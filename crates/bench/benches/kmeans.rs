@@ -1,0 +1,36 @@
+//! Criterion bench: k'-means clustering over discriminator embeddings
+//! (ClusterU in QSelect).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gale_tensor::{kmeans, KMeansConfig, Matrix, Rng};
+use std::hint::black_box;
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for &(n, k) in &[(500usize, 10usize), (2000, 20)] {
+        let mut rng = Rng::seed_from_u64(5);
+        let points = Matrix::randn(n, 24, 1.0, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new(format!("k{k}"), n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut r = Rng::seed_from_u64(6);
+                    black_box(kmeans(
+                        &points,
+                        &KMeansConfig {
+                            k,
+                            max_iter: 30,
+                            tol: 1e-5,
+                        },
+                        &mut r,
+                    ));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans);
+criterion_main!(benches);

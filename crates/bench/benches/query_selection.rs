@@ -1,0 +1,34 @@
+//! Criterion bench: QSelect greedy selection, memoized vs un-memoized
+//! (the micro view of Fig. 7(f)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gale_core::{qselect, MemoCache};
+use gale_tensor::{Matrix, Rng};
+use std::hint::black_box;
+
+fn bench_qselect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qselect");
+    for &n in &[200usize, 800] {
+        let mut rng = Rng::seed_from_u64(1);
+        let h = Matrix::randn(n, 24, 1.0, &mut rng);
+        let unlabeled: Vec<usize> = (0..n).collect();
+        let typ: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+        group.bench_with_input(BenchmarkId::new("memoized", n), &n, |b, _| {
+            let mut memo = MemoCache::new(true, 1e-6);
+            memo.update_embeddings(&h);
+            b.iter(|| {
+                black_box(qselect(&h, &unlabeled, &typ, 10, 0.3, &mut memo));
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("unmemoized", n), &n, |b, _| {
+            let mut memo = MemoCache::new(false, 1e-6);
+            b.iter(|| {
+                black_box(qselect(&h, &unlabeled, &typ, 10, 0.3, &mut memo));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qselect);
+criterion_main!(benches);

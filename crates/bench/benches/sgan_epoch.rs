@@ -1,0 +1,43 @@
+//! Criterion bench: SGAN training epochs — the model-learning cost core of
+//! Fig. 7(d) — and the incremental SGAND refresh.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gale_core::{Sgan, SganConfig};
+use gale_tensor::{Matrix, Rng};
+use std::hint::black_box;
+
+fn bench_sgan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgan");
+    group.sample_size(10);
+    let mut rng = Rng::seed_from_u64(9);
+    let n = 1000;
+    let dim = 40;
+    let x_r = Matrix::randn(n, dim, 1.0, &mut rng);
+    let x_s = Matrix::randn(n / 8, dim, 1.0, &mut rng);
+    let targets: Vec<(usize, usize)> = (0..n).step_by(10).map(|r| (r, r % 2)).collect();
+    let cfg = SganConfig {
+        epochs: 5,
+        incremental_epochs: 5,
+        early_stop_patience: 0,
+        ..Default::default()
+    };
+    group.bench_function("train_5_epochs", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from_u64(10);
+            let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+            black_box(sgan.train(&x_r, &x_s, &targets, &[], &mut rng));
+        });
+    });
+    group.bench_function("sgand_5_epochs", |b| {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+        b.iter(|| {
+            black_box(sgan.update_discriminator(&x_r, &x_s, &targets, &mut rng));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgan);
+criterion_main!(benches);

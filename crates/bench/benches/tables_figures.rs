@@ -1,0 +1,47 @@
+//! Criterion bench: scaled-down end-to-end versions of every table/figure
+//! runner, so `cargo bench` exercises each experiment path. Full-size
+//! regeneration is the `experiments` binary's job (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gale_bench::*;
+use std::hint::black_box;
+
+const SCALE: f64 = 0.03;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    let knobs = Knobs::quick();
+    group.bench_function("table3", |b| {
+        b.iter(|| black_box(table3(SCALE, 1)));
+    });
+    group.bench_function("table4_one_dataset", |b| {
+        b.iter(|| {
+            black_box(table4(
+                SCALE,
+                1,
+                &[gale_data::DatasetId::MachineLearning],
+                &knobs,
+            ))
+        });
+    });
+    group.bench_function("fig7a", |b| {
+        b.iter(|| black_box(fig7a(SCALE, 1, &knobs)));
+    });
+    group.bench_function("fig7c", |b| {
+        b.iter(|| black_box(fig7c(SCALE, 1, &knobs)));
+    });
+    group.bench_function("fig7f", |b| {
+        b.iter(|| black_box(fig7f(SCALE, 1, &knobs)));
+    });
+    group.bench_function("errdist", |b| {
+        b.iter(|| black_box(errdist(SCALE, 1, &knobs)));
+    });
+    group.bench_function("casestudy", |b| {
+        b.iter(|| black_box(casestudy(SCALE, 1, &knobs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

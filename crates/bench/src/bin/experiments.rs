@@ -1,0 +1,127 @@
+//! Experiment harness CLI: regenerates every table and figure of the GALE
+//! paper's evaluation (Section VIII).
+//!
+//! ```text
+//! experiments [--scale S] [--seed N] [--quick] [--out FILE.json] <exp...>
+//!   exp: table2 table3 table4 fig7a fig7b fig7c fig7d fig7e fig7f
+//!        errdist casestudy all
+//! ```
+//!
+//! `--scale` shrinks the Table III dataset sizes (default 0.15; 1.0 matches
+//! the paper). `--quick` uses reduced model sizes for smoke runs. Results
+//! print as text tables and optionally accumulate into a JSON file.
+
+use gale_bench::*;
+use std::io::Write as _;
+
+struct Args {
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    quick: bool,
+    out: Option<String>,
+    exps: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 0.15,
+        seed: 7,
+        reps: 3,
+        quick: false,
+        out: None,
+        exps: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                args.scale = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number");
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an integer");
+            }
+            "--reps" => {
+                args.reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--reps needs an integer");
+            }
+            "--quick" => args.quick = true,
+            "--out" => args.out = it.next(),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--scale S] [--seed N] [--quick] [--out FILE] <exp...|all>"
+                );
+                std::process::exit(0);
+            }
+            other => args.exps.push(other.to_string()),
+        }
+    }
+    if args.exps.is_empty() {
+        args.exps.push("all".to_string());
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let knobs = if args.quick {
+        Knobs::quick()
+    } else {
+        Knobs::default()
+    };
+    let all = [
+        "table2", "table3", "table4", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
+        "errdist", "casestudy", "ablation", "noise",
+    ];
+    let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
+        all.to_vec()
+    } else {
+        args.exps.iter().map(String::as_str).collect()
+    };
+    let mut results = Vec::new();
+    for exp in selected {
+        let started = std::time::Instant::now();
+        let (text, json) = match exp {
+            "table2" => table2(),
+            "table3" => table3(args.scale, args.seed),
+            "table4" => table4_reps(args.scale, args.seed, args.reps, &[], &knobs),
+            "fig7a" => fig7a(args.scale, args.seed, &knobs),
+            "fig7b" => fig7b(args.scale, args.seed, &knobs),
+            "fig7c" => fig7c(args.scale, args.seed, &knobs),
+            "fig7d" => fig7d(args.scale, args.seed, &knobs),
+            "fig7e" => fig7e(args.scale, args.seed, &knobs),
+            "fig7f" => fig7f(args.scale, args.seed, &knobs),
+            "errdist" => errdist(args.scale, args.seed, &knobs),
+            "casestudy" => casestudy(args.scale, args.seed, &knobs),
+            "ablation" => ablation(args.scale, args.seed, &knobs),
+            "noise" => noise(args.scale, args.seed, &knobs),
+            other => {
+                eprintln!("unknown experiment '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        };
+        println!("{text}");
+        println!("[{exp} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        results.push(json);
+    }
+    if let Some(path) = args.out {
+        let doc = serde_json::json!({
+            "scale": args.scale,
+            "seed": args.seed,
+            "quick": args.quick,
+            "experiments": results,
+        });
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(serde_json::to_string_pretty(&doc).unwrap().as_bytes())
+            .expect("write output file");
+        eprintln!("results written to {path}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Ablation sweeps over GALE's design choices (DESIGN.md section 4):
+//! the diversity weight λ, the example-sampling rate η, the synthetic-as-
+//! error supervised weight, and the detector-signal feature block.
+
+use crate::harness::{gale_config, paper_budget, Knobs, Method, Scenario};
+use gale_core::{run_gale, GroundTruthOracle, Prf};
+use gale_data::DatasetId;
+use serde_json::json;
+use std::fmt::Write as _;
+
+fn run_variant(
+    prep: &crate::harness::PreparedScenario,
+    knobs: &Knobs,
+    seed: u64,
+    mutate: impl FnOnce(&mut gale_core::GaleConfig),
+) -> Prf {
+    let (budget, k) = paper_budget(prep.scenario.dataset, prep.scenario.scale);
+    let mut cfg = gale_config(Method::Gale, knobs, budget, k, seed);
+    mutate(&mut cfg);
+    let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+    let initial = prep.initial_examples(0.1);
+    let outcome = run_gale(
+        &prep.data.graph,
+        &prep.data.constraints,
+        &prep.split,
+        &initial,
+        &prep.val_examples,
+        &mut oracle,
+        &cfg,
+    );
+    prep.evaluate_gale(&outcome)
+}
+
+/// Runs the ablation suite on DM(OAG).
+pub fn ablation(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
+    let mut out = format!(
+        "Ablations (DM, {} nodes, {} errors)\n",
+        prep.data.graph.node_count(),
+        prep.data.truth.error_count()
+    );
+    let mut rows = Vec::new();
+
+    // Diversity weight λ (0 = pure typicality, as in clustering sampling).
+    for &lambda in &[0.0, 0.3, 1.0] {
+        let prf = run_variant(&prep, knobs, seed ^ 0x1a, |c| c.lambda = lambda);
+        let _ = writeln!(out, "lambda={lambda:<4} F1 {:.3}", prf.f1);
+        rows.push(json!({ "knob": "lambda", "value": lambda, "f1": prf.f1 }));
+    }
+    // Example re-sampling rate η (Fig. 3 line 10).
+    for &eta in &[0.25, 0.5, 1.0] {
+        let prf = run_variant(&prep, knobs, seed ^ 0x2b, |c| c.eta = eta);
+        let _ = writeln!(out, "eta={eta:<7} F1 {:.3}", prf.f1);
+        rows.push(json!({ "knob": "eta", "value": eta, "f1": prf.f1 }));
+    }
+    // Synthetic-as-error supervised weight (graph augmentation's teeth).
+    for &w in &[0.0, 0.25, 0.5] {
+        let prf = run_variant(&prep, knobs, seed ^ 0x3c, |c| c.sgan.syn_label_weight = w);
+        let _ = writeln!(out, "syn_weight={w:<4} F1 {:.3}", prf.f1);
+        rows.push(json!({ "knob": "syn_label_weight", "value": w, "f1": prf.f1 }));
+    }
+    // Detector-signal feature block on/off.
+    for &signals in &[true, false] {
+        let prf = run_variant(&prep, knobs, seed ^ 0x4d, |c| {
+            c.augment.feat.detector_signals = signals;
+        });
+        let _ = writeln!(out, "detector_signals={signals:<5} F1 {:.3}", prf.f1);
+        rows.push(json!({ "knob": "detector_signals", "value": signals, "f1": prf.f1 }));
+    }
+    // Incremental-update depth (SGAND epochs).
+    for &epochs in &[5usize, 20, 60] {
+        let prf = run_variant(&prep, knobs, seed ^ 0x5e, |c| {
+            c.sgan.incremental_epochs = epochs;
+        });
+        let _ = writeln!(out, "sgand_epochs={epochs:<3} F1 {:.3}", prf.f1);
+        rows.push(json!({ "knob": "incremental_epochs", "value": epochs, "f1": prf.f1 }));
+    }
+    (
+        out,
+        json!({ "id": "ablation", "scale": scale, "rows": rows }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_smoke() {
+        let (text, j) = ablation(0.04, 31, &Knobs::quick());
+        assert!(text.contains("lambda"));
+        assert!(text.contains("detector_signals"));
+        let rows = j["rows"].as_array().unwrap();
+        assert!(rows.len() >= 14);
+        for r in rows {
+            let f1 = r["f1"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+}

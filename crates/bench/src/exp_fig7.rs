@@ -1,0 +1,453 @@
+//! Figure 7(a-f): impact factors and learning cost.
+
+use crate::harness::{gale_config, paper_budget, Knobs, Method, PreparedScenario, Scenario};
+use gale_baselines::{gcn_detector, gedet, GedetConfig};
+use gale_core::{run_gale, Example, GroundTruthOracle, Label, Prf};
+use gale_data::DatasetId;
+use gale_tensor::Rng;
+use serde_json::json;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Builds a V_T with a controlled imbalance `p_e = |V^e| / |V_T|` and size
+/// `p_t · n`, clamped by the available erroneous training nodes.
+fn imbalanced_vt(prep: &PreparedScenario, p_t: f64, p_e: f64, seed: u64) -> Vec<Example> {
+    let n = prep.data.graph.node_count();
+    let mut err_nodes: Vec<usize> = prep
+        .split
+        .train
+        .iter()
+        .copied()
+        .filter(|&v| prep.data.truth.is_erroneous(v))
+        .collect();
+    let mut cor_nodes: Vec<usize> = prep
+        .split
+        .train
+        .iter()
+        .copied()
+        .filter(|&v| !prep.data.truth.is_erroneous(v))
+        .collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    rng.shuffle(&mut err_nodes);
+    rng.shuffle(&mut cor_nodes);
+    let mut vt_size = ((n as f64 * p_t).round() as usize).max(4);
+    // Clamp so the requested imbalance is achievable.
+    let want_err = ((vt_size as f64) * p_e).round() as usize;
+    if want_err > err_nodes.len() && p_e > 0.0 {
+        vt_size = ((err_nodes.len() as f64) / p_e).floor() as usize;
+    }
+    let n_err = (((vt_size as f64) * p_e).round() as usize).min(err_nodes.len());
+    let n_cor = vt_size.saturating_sub(n_err).min(cor_nodes.len());
+    let mut out = Vec::with_capacity(n_err + n_cor);
+    out.extend(err_nodes[..n_err].iter().map(|&v| Example {
+        node: v,
+        label: Label::Error,
+    }));
+    out.extend(cor_nodes[..n_cor].iter().map(|&v| Example {
+        node: v,
+        label: Label::Correct,
+    }));
+    out
+}
+
+/// Runs the GALE-family + GEDet + GCN panel on a prepared scenario with a
+/// custom V_T and budget; returns `(method name, F1)` pairs.
+fn factor_panel(
+    prep: &PreparedScenario,
+    vt: &[Example],
+    budget_total: usize,
+    k: usize,
+    knobs: &Knobs,
+    seed: u64,
+) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    // GCN.
+    {
+        let mut rng = Rng::seed_from_u64(seed);
+        let repr = gale_data::featurize(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &knobs.augment.feat,
+            &mut rng,
+        );
+        let r = gcn_detector(&repr, vt, &prep.val_examples, &knobs.gcn, &mut rng);
+        rows.push(("GCN".to_string(), prep.evaluate(&r).f1));
+    }
+    // GEDet.
+    {
+        let mut rng = Rng::seed_from_u64(seed);
+        let cfg = GedetConfig {
+            sgan: knobs.sgan.clone(),
+            augment: knobs.augment.clone(),
+        };
+        let r = gedet(
+            &prep.data.graph,
+            &prep.data.constraints,
+            vt,
+            &prep.val_examples,
+            &cfg,
+            &mut rng,
+        );
+        rows.push(("GEDet".to_string(), prep.evaluate(&r).f1));
+    }
+    // GALE variants: initialized with 10% of this V_T.
+    let tenth = vt.len().div_ceil(10).max(1);
+    let initial = &vt[..tenth.min(vt.len())];
+    for m in [
+        Method::GaleEnt,
+        Method::GaleRan,
+        Method::GaleKme,
+        Method::Gale,
+    ] {
+        let cfg = gale_config(m, knobs, budget_total, k, seed);
+        let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+        let outcome = run_gale(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &prep.split,
+            initial,
+            &prep.val_examples,
+            &mut oracle,
+            &cfg,
+        );
+        rows.push((m.name().to_string(), prep.evaluate_gale(&outcome).f1));
+    }
+    rows
+}
+
+/// Fig. 7(a): impact of data imbalance `p_e` on ML(OAG), `p_t = 10%`,
+/// `K = 80` (scaled).
+pub fn fig7a(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::MachineLearning, scale, seed).prepare();
+    let budget = ((80.0 * scale).round() as usize).max(8);
+    let k = (budget / 4).max(2);
+    let mut out = format!("Fig 7(a): impact of imbalance p_e (ML, K={budget}, k={k})\n");
+    let mut rows = Vec::new();
+    for &p_e in &[0.1, 0.3, 0.5, 0.7, 0.9] {
+        let vt = imbalanced_vt(&prep, 0.10, p_e, seed ^ 0xa);
+        let panel = factor_panel(&prep, &vt, budget, k, knobs, seed ^ 0x7a);
+        let _ = writeln!(
+            out,
+            "p_e={p_e:.1} |V_T|={:<4} {}",
+            vt.len(),
+            panel
+                .iter()
+                .map(|(m, f)| format!("{m}={f:.3}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        rows.push(json!({ "p_e": p_e, "vt": vt.len(), "panel": panel }));
+    }
+    (out, json!({ "id": "fig7a", "scale": scale, "rows": rows }))
+}
+
+/// Fig. 7(b): varying training-example ratio `p_t` on UG1, `K = 80`,
+/// `p_e = 50%`.
+pub fn fig7b(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::UserGroup1, scale, seed).prepare();
+    let budget = ((80.0 * scale).round() as usize).max(8);
+    let k = (budget / 4).max(2);
+    let mut out = format!("Fig 7(b): varying example size p_t (UG1, K={budget}, k={k})\n");
+    let mut rows = Vec::new();
+    for &p_t in &[0.15, 0.10, 0.05, 0.02, 0.01] {
+        let vt = imbalanced_vt(&prep, p_t, 0.5, seed ^ 0xb);
+        let panel = factor_panel(&prep, &vt, budget, k, knobs, seed ^ 0x7b);
+        let _ = writeln!(
+            out,
+            "p_t={p_t:.2} |V_T|={:<4} {}",
+            vt.len(),
+            panel
+                .iter()
+                .map(|(m, f)| format!("{m}={f:.3}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        rows.push(json!({ "p_t": p_t, "vt": vt.len(), "panel": panel }));
+    }
+    (out, json!({ "id": "fig7b", "scale": scale, "rows": rows }))
+}
+
+/// Fig. 7(c): varying cumulative budget `K` (paper: 400-700, k=100) for the
+/// four query strategies, on DM(OAG).
+pub fn fig7c(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
+    let mut out = String::from("Fig 7(c): varying cumulative budget K (DM)\n");
+    let mut rows = Vec::new();
+    for &k_total in &[400.0, 500.0, 600.0, 700.0] {
+        let budget = ((k_total * scale).round() as usize).max(8);
+        let k = ((100.0 * scale).round() as usize).clamp(2, budget);
+        let mut panel = Vec::new();
+        for m in [
+            Method::GaleEnt,
+            Method::GaleRan,
+            Method::GaleKme,
+            Method::Gale,
+        ] {
+            let cfg = gale_config(m, knobs, budget, k, seed ^ 0xc);
+            let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+            let initial = prep.initial_examples(0.1);
+            let outcome = run_gale(
+                &prep.data.graph,
+                &prep.data.constraints,
+                &prep.split,
+                &initial,
+                &prep.val_examples,
+                &mut oracle,
+                &cfg,
+            );
+            panel.push((m.name().to_string(), prep.evaluate_gale(&outcome).f1));
+        }
+        let _ = writeln!(
+            out,
+            "K={budget:<4} {}",
+            panel
+                .iter()
+                .map(|(m, f)| format!("{m}={f:.3}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        );
+        rows.push(json!({ "K": budget, "panel": panel }));
+    }
+    (out, json!({ "id": "fig7c", "scale": scale, "rows": rows }))
+}
+
+/// Fig. 7(d): model learning cost — wall-clock to train each learned method
+/// (220-epoch budget with early stopping) and the recall it reaches, on UG2.
+pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::UserGroup2, scale, seed).prepare();
+    let (budget, k) = paper_budget(DatasetId::UserGroup2, scale);
+    let mut out = String::from("Fig 7(d): model learning cost (UG2)\n");
+    let mut rows = Vec::new();
+    // GCN.
+    {
+        let t = Instant::now();
+        let mut rng = Rng::seed_from_u64(seed);
+        let repr = gale_data::featurize(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &knobs.augment.feat,
+            &mut rng,
+        );
+        let r = gcn_detector(&repr, &prep.vt_examples, &prep.val_examples, &knobs.gcn, &mut rng);
+        let secs = t.elapsed().as_secs_f64();
+        let prf = prep.evaluate(&r);
+        let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", "GCN", prf.recall);
+        rows.push(json!({ "method": "GCN", "seconds": secs, "recall": prf.recall }));
+    }
+    // GEDet.
+    {
+        let t = Instant::now();
+        let mut rng = Rng::seed_from_u64(seed);
+        let cfg = GedetConfig {
+            sgan: knobs.sgan.clone(),
+            augment: knobs.augment.clone(),
+        };
+        let r = gedet(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &prep.vt_examples,
+            &prep.val_examples,
+            &cfg,
+            &mut rng,
+        );
+        let secs = t.elapsed().as_secs_f64();
+        let prf = prep.evaluate(&r);
+        let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", "GEDet", prf.recall);
+        rows.push(json!({ "method": "GEDet", "seconds": secs, "recall": prf.recall }));
+    }
+    for m in [
+        Method::GaleEnt,
+        Method::GaleRan,
+        Method::GaleKme,
+        Method::Gale,
+    ] {
+        let t = Instant::now();
+        let cfg = gale_config(m, knobs, budget, k, seed ^ 0xd);
+        let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+        let initial = prep.initial_examples(0.1);
+        let outcome = run_gale(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &prep.split,
+            &initial,
+            &prep.val_examples,
+            &mut oracle,
+            &cfg,
+        );
+        let secs = t.elapsed().as_secs_f64();
+        let prf = prep.evaluate_gale(&outcome);
+        let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", m.name(), prf.recall);
+        rows.push(json!({ "method": m.name(), "seconds": secs, "recall": prf.recall }));
+    }
+    (out, json!({ "id": "fig7d", "scale": scale, "rows": rows }))
+}
+
+/// Fig. 7(e): active-learning cost in the low-budget regime — cumulative
+/// per-iteration time of each strategy on DM with `k = 10` per iteration.
+pub fn fig7e(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
+    let k = 10usize;
+    let iterations = 6usize;
+    let mut out = String::from("Fig 7(e): active learning cost, low-budget regime (DM, k=10)\n");
+    let mut rows = Vec::new();
+    for m in [
+        Method::GaleEnt,
+        Method::GaleRan,
+        Method::GaleKme,
+        Method::Gale,
+    ] {
+        let cfg = gale_config(m, knobs, k * iterations, k, seed ^ 0xe);
+        let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+        let initial = prep.initial_examples(0.1);
+        let outcome = run_gale(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &prep.split,
+            &initial,
+            &prep.val_examples,
+            &mut oracle,
+            &cfg,
+        );
+        // Cumulative active-learning time per iteration (excluding the
+        // cold-start full training).
+        let mut cum = 0.0f64;
+        let cumulative: Vec<f64> = outcome
+            .history
+            .iter()
+            .skip(1)
+            .map(|r| {
+                cum += r.select_time.as_secs_f64() + r.train_time.as_secs_f64();
+                cum
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{:<14} per-iter cumulative: {}",
+            m.name(),
+            cumulative
+                .iter()
+                .map(|s| format!("{s:.2}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        rows.push(json!({ "method": m.name(), "cumulative_seconds": cumulative }));
+    }
+    (out, json!({ "id": "fig7e", "scale": scale, "rows": rows }))
+}
+
+/// Fig. 7(f): memoization ablation — GALE vs U_GALE selection cost on DM
+/// for growing local budgets.
+pub fn fig7f(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
+    let mut out = String::from("Fig 7(f): memoization (GALE vs U_GALE, DM)\n");
+    let mut rows = Vec::new();
+    for &k in &[5usize, 10, 20] {
+        let mut line = format!("k={k:<3}");
+        let mut row = serde_json::Map::new();
+        row.insert("k".into(), json!(k));
+        for m in [Method::Gale, Method::UGale] {
+            let cfg = gale_config(m, knobs, k * 5, k, seed ^ 0xf);
+            let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+            let initial = prep.initial_examples(0.1);
+            let outcome = run_gale(
+                &prep.data.graph,
+                &prep.data.constraints,
+                &prep.split,
+                &initial,
+                &prep.val_examples,
+                &mut oracle,
+                &cfg,
+            );
+            let select = outcome.total_select_time().as_secs_f64();
+            let _ = write!(
+                line,
+                "  {}: select {select:.3}s ({} typicality reuses)",
+                m.name(),
+                outcome.typicality_reuses
+            );
+            row.insert(
+                m.name().replace('_', "").to_lowercase(),
+                json!({
+                    "select_seconds": select,
+                    "typicality_reuses": outcome.typicality_reuses,
+                }),
+            );
+        }
+        let _ = writeln!(out, "{line}");
+        rows.push(serde_json::Value::Object(row));
+    }
+    (out, json!({ "id": "fig7f", "scale": scale, "rows": rows }))
+}
+
+/// Exp-2's error-distribution robustness: GALE F1 under violations-heavy,
+/// outliers-heavy, and string-noise-heavy mixes on UG1.
+pub fn errdist(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+    use gale_detect::ErrorGenConfig;
+    let mut out = String::from("Error-distribution robustness (UG1)\n");
+    let mut rows = Vec::new();
+    let mut f1s = Vec::new();
+    for (name, cfg_fn) in [
+        ("violations-heavy", ErrorGenConfig::violations_heavy as fn() -> ErrorGenConfig),
+        ("outliers-heavy", ErrorGenConfig::outliers_heavy),
+        ("string-noise-heavy", ErrorGenConfig::string_noise_heavy),
+    ] {
+        let mut error_cfg = cfg_fn();
+        error_cfg.node_error_rate = if scale >= 0.99 { 0.02 } else { 0.05 };
+        let scenario = Scenario {
+            dataset: DatasetId::UserGroup1,
+            scale,
+            error_cfg,
+            seed,
+        };
+        let prep = scenario.prepare();
+        let (budget, k) = paper_budget(DatasetId::UserGroup1, scale);
+        let cfg = gale_config(Method::Gale, knobs, budget, k, seed ^ 0x2d);
+        let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+        let initial = prep.initial_examples(0.1);
+        let outcome = run_gale(
+            &prep.data.graph,
+            &prep.data.constraints,
+            &prep.split,
+            &initial,
+            &prep.val_examples,
+            &mut oracle,
+            &cfg,
+        );
+        let prf: Prf = prep.evaluate_gale(&outcome);
+        let _ = writeln!(out, "{name:<20} F1 {:.3}", prf.f1);
+        f1s.push(prf.f1);
+        rows.push(json!({ "mix": name, "f1": prf.f1, "precision": prf.precision, "recall": prf.recall }));
+    }
+    let mean = gale_tensor::stats::mean(&f1s);
+    let sd = gale_tensor::stats::std_dev(&f1s);
+    let _ = writeln!(out, "mean {mean:.3} ± {sd:.3}");
+    (
+        out,
+        json!({ "id": "errdist", "scale": scale, "rows": rows, "mean": mean, "std": sd }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalanced_vt_hits_requested_ratio() {
+        let prep = Scenario::table4(DatasetId::MachineLearning, 0.08, 9).prepare();
+        let vt = imbalanced_vt(&prep, 0.10, 0.5, 1);
+        let errs = vt.iter().filter(|e| e.label == Label::Error).count();
+        let ratio = errs as f64 / vt.len() as f64;
+        assert!((ratio - 0.5).abs() < 0.1, "ratio {ratio}");
+        // Clamping with extreme imbalance still works.
+        let vt9 = imbalanced_vt(&prep, 0.10, 0.9, 1);
+        let errs9 = vt9.iter().filter(|e| e.label == Label::Error).count();
+        assert!(errs9 as f64 / vt9.len() as f64 > 0.8);
+    }
+
+    #[test]
+    fn fig7f_smoke() {
+        let (text, j) = fig7f(0.04, 11, &Knobs::quick());
+        assert!(text.contains("U_GALE"));
+        assert_eq!(j["rows"].as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! Table IV: P/R/F1 of all nine methods over the five datasets.
+//!
+//! The paper runs each experiment 5 times and reports the median; this
+//! module does the same over `reps` seeds.
+
+use crate::harness::{render_table, run_method, Knobs, Method, MethodEval, Scenario};
+use gale_data::DatasetId;
+use gale_tensor::stats::median;
+use serde_json::json;
+
+/// Median (per metric) of repeated evaluations of one method.
+fn median_eval(evals: &[MethodEval]) -> MethodEval {
+    let get = |f: fn(&MethodEval) -> f64| median(&evals.iter().map(f).collect::<Vec<_>>());
+    MethodEval {
+        method: evals[0].method,
+        precision: get(|e| e.precision),
+        recall: get(|e| e.recall),
+        f1: get(|e| e.f1),
+        seconds: get(|e| e.seconds),
+        select_seconds: get(|e| e.select_seconds),
+        queries: evals[0].queries,
+    }
+}
+
+/// Runs Table IV at the given scale, reporting per-metric medians over
+/// `reps` repetitions (the paper uses 5). `datasets` restricts the rows
+/// (all five when empty); `knobs` picks the model sizes.
+pub fn table4_reps(
+    scale: f64,
+    seed: u64,
+    reps: usize,
+    datasets: &[DatasetId],
+    knobs: &Knobs,
+) -> (String, serde_json::Value) {
+    let datasets: Vec<DatasetId> = if datasets.is_empty() {
+        DatasetId::ALL.to_vec()
+    } else {
+        datasets.to_vec()
+    };
+    let reps = reps.max(1);
+    let mut out = String::new();
+    let mut rows = Vec::new();
+    for id in datasets {
+        // Repetitions are independent; run them on worker threads.
+        let rep_results: Vec<(usize, usize, Vec<MethodEval>)> =
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..reps)
+                    .map(|rep| {
+                        scope.spawn(move |_| {
+                            let prep =
+                                Scenario::table4(id, scale, seed + rep as u64).prepare();
+                            let evals: Vec<MethodEval> = Method::TABLE4
+                                .iter()
+                                .map(|&m| run_method(m, &prep, knobs))
+                                .collect();
+                            (
+                                prep.data.graph.node_count(),
+                                prep.data.truth.error_count(),
+                                evals,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("rep thread panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope");
+        let nodes = rep_results[0].0;
+        let errors = rep_results[0].1;
+        let mut per_method: Vec<Vec<MethodEval>> = vec![Vec::new(); Method::TABLE4.len()];
+        for (_, _, evals) in &rep_results {
+            for (i, e) in evals.iter().enumerate() {
+                per_method[i].push(e.clone());
+            }
+        }
+        let evals: Vec<MethodEval> = per_method.iter().map(|v| median_eval(v)).collect();
+        out.push_str(&render_table(
+            &format!(
+                "Table IV — {} ({nodes} nodes, ~{errors} errors, median of {reps} runs)",
+                id.display_name()
+            ),
+            &evals,
+        ));
+        out.push('\n');
+        rows.push(json!({
+            "dataset": id.code(),
+            "nodes": nodes,
+            "errors": errors,
+            "reps": reps,
+            "methods": evals,
+        }));
+    }
+    (
+        out,
+        json!({ "id": "table4", "scale": scale, "reps": reps, "rows": rows }),
+    )
+}
+
+/// Single-repetition Table IV (used by smoke tests and quick runs).
+pub fn table4(
+    scale: f64,
+    seed: u64,
+    datasets: &[DatasetId],
+    knobs: &Knobs,
+) -> (String, serde_json::Value) {
+    table4_reps(scale, seed, 1, datasets, knobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_single_dataset_smoke() {
+        let (text, j) = table4(0.05, 5, &[DatasetId::MachineLearning], &Knobs::quick());
+        assert!(text.contains("GALE"));
+        assert!(text.contains("VioDet"));
+        let methods = j["rows"][0]["methods"].as_array().unwrap();
+        assert_eq!(methods.len(), 9);
+        // Every F1 is a valid probability.
+        for m in methods {
+            let f1 = m["f1"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+
+    #[test]
+    fn median_eval_is_componentwise() {
+        let mk = |p: f64, r: f64| MethodEval {
+            method: Method::Gale,
+            precision: p,
+            recall: r,
+            f1: 0.0,
+            seconds: 1.0,
+            select_seconds: 0.0,
+            queries: 3,
+        };
+        let m = median_eval(&[mk(0.1, 0.9), mk(0.5, 0.1), mk(0.9, 0.5)]);
+        assert_eq!(m.precision, 0.5);
+        assert_eq!(m.recall, 0.5);
+    }
+}

@@ -1,0 +1,530 @@
+//! Shared experiment harness: scenario preparation, method runners, and
+//! result records for every table and figure of Section VIII.
+
+use gale_baselines::{
+    alad, gcn_detector, gedet, raha, viodet, AladConfig, DetectionResult, GcnConfig, GedetConfig,
+    RahaConfig,
+};
+use gale_core::{
+    run_gale, AugmentConfig, Example, GaleConfig, GaleOutcome, GroundTruthOracle, Label, Prf,
+    QueryStrategy, SganConfig,
+};
+use gale_data::{prepare, DataSplit, DatasetId, FeaturizeConfig, PreparedDataset};
+use gale_detect::ErrorGenConfig;
+use gale_nn::GaeConfig;
+use gale_tensor::Rng;
+use serde::Serialize;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// A complete experimental scenario (dataset + pollution + seed).
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which Table III dataset analogue to generate.
+    pub dataset: DatasetId,
+    /// Scale factor relative to the paper's sizes (1.0 = Table III).
+    pub scale: f64,
+    /// Error-injection configuration.
+    pub error_cfg: ErrorGenConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scenario {
+    /// A scenario with the paper's default pollution, at the given scale.
+    ///
+    /// The default node error rate is raised from the paper's 0.01 to 0.05
+    /// at sub-full scales so that small graphs still contain enough
+    /// erroneous nodes for stable metrics; at scale 1.0 the paper's 0.01 is
+    /// kept.
+    pub fn table4(dataset: DatasetId, scale: f64, seed: u64) -> Scenario {
+        let node_error_rate = if scale >= 0.99 { 0.02 } else { 0.05 };
+        Scenario {
+            dataset,
+            scale,
+            error_cfg: ErrorGenConfig {
+                node_error_rate,
+                ..Default::default()
+            },
+            seed,
+        }
+    }
+
+    /// Generates, pollutes, splits, and labels the scenario.
+    pub fn prepare(&self) -> PreparedScenario {
+        let data = prepare(self.dataset, self.scale, &self.error_cfg, self.seed);
+        let n = data.graph.node_count();
+        let mut rng = Rng::seed_from_u64(self.seed ^ 0x51e1d);
+        let split = DataSplit::paper_default(n, &mut rng);
+        let label_of = |v: usize| {
+            if data.truth.is_erroneous(v) {
+                Label::Error
+            } else {
+                Label::Correct
+            }
+        };
+        // V_T: the labeled training examples the supervised baselines see.
+        // Table III's |V_T| is ~6% of the nodes, with errors *oversampled*
+        // (|V^e|/|V_T| is 12-28% while the node error rate is 1%); we mirror
+        // both properties.
+        let vt_size = ((n as f64 * 0.06).round() as usize).clamp(10, split.train.len());
+        let err_frac = match self.dataset {
+            DatasetId::Species => 0.126,
+            DatasetId::DataMining => 0.236,
+            DatasetId::MachineLearning => 0.266,
+            DatasetId::UserGroup1 => 0.282,
+            DatasetId::UserGroup2 => 0.230,
+        };
+        let mut err_pool: Vec<usize> = split
+            .train
+            .iter()
+            .copied()
+            .filter(|&v| data.truth.is_erroneous(v))
+            .collect();
+        let mut cor_pool: Vec<usize> = split
+            .train
+            .iter()
+            .copied()
+            .filter(|&v| !data.truth.is_erroneous(v))
+            .collect();
+        rng.shuffle(&mut err_pool);
+        rng.shuffle(&mut cor_pool);
+        let n_err = (((vt_size as f64) * err_frac).round() as usize).min(err_pool.len());
+        let n_cor = vt_size.saturating_sub(n_err).min(cor_pool.len());
+        let mut vt_examples: Vec<Example> = Vec::with_capacity(n_err + n_cor);
+        vt_examples.extend(err_pool[..n_err].iter().map(|&v| Example {
+            node: v,
+            label: Label::Error,
+        }));
+        vt_examples.extend(cor_pool[..n_cor].iter().map(|&v| Example {
+            node: v,
+            label: Label::Correct,
+        }));
+        // Interleave so prefix slices (initial_examples) stay mixed.
+        rng.shuffle(&mut vt_examples);
+        let val_examples: Vec<Example> = split
+            .val
+            .iter()
+            .map(|&v| Example {
+                node: v,
+                label: label_of(v),
+            })
+            .collect();
+        let truth_test: HashSet<usize> = split
+            .test
+            .iter()
+            .copied()
+            .filter(|&v| data.truth.is_erroneous(v))
+            .collect();
+        PreparedScenario {
+            scenario: self.clone(),
+            data,
+            split,
+            vt_examples,
+            val_examples,
+            truth_test,
+        }
+    }
+}
+
+/// A prepared scenario ready for method runs.
+pub struct PreparedScenario {
+    /// The originating scenario.
+    pub scenario: Scenario,
+    /// Graph + ground truth + Σ.
+    pub data: PreparedDataset,
+    /// 6/1/3 folds.
+    pub split: DataSplit,
+    /// The labeled training pool `V_T`.
+    pub vt_examples: Vec<Example>,
+    /// Labeled validation examples.
+    pub val_examples: Vec<Example>,
+    /// True error set restricted to the test fold.
+    pub truth_test: HashSet<usize>,
+}
+
+impl PreparedScenario {
+    /// P/R/F1 of a detection result on the test fold.
+    pub fn evaluate(&self, result: &DetectionResult) -> Prf {
+        Prf::from_sets(&result.predicted_errors(&self.split.test), &self.truth_test)
+    }
+
+    /// P/R/F1 of a GALE outcome on the test fold.
+    pub fn evaluate_gale(&self, outcome: &GaleOutcome) -> Prf {
+        Prf::from_sets(
+            &outcome.predicted_errors(&self.split.test),
+            &self.truth_test,
+        )
+    }
+
+    /// The first `fraction` of V_T (GALE variants start from 10% of V_T).
+    pub fn initial_examples(&self, fraction: f64) -> Vec<Example> {
+        let keep = ((self.vt_examples.len() as f64 * fraction).round() as usize)
+            .clamp(1, self.vt_examples.len());
+        self.vt_examples[..keep].to_vec()
+    }
+}
+
+/// The nine methods of Table IV plus `U_GALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Method {
+    /// Constraint-violation union.
+    VioDet,
+    /// Anomaly ranking with tuned threshold.
+    Alad,
+    /// Detector-signature clustering with few labels.
+    Raha,
+    /// Two-layer GCN node classifier.
+    Gcn,
+    /// One-shot adversarial few-shot detection.
+    GeDet,
+    /// GALE with entropy sampling.
+    GaleEnt,
+    /// GALE with random sampling.
+    GaleRan,
+    /// GALE with k-means-centroid sampling.
+    GaleKme,
+    /// Full GALE (diversified typicality).
+    Gale,
+    /// GALE without memoization.
+    UGale,
+}
+
+impl Method {
+    /// Table IV's column order.
+    pub const TABLE4: [Method; 9] = [
+        Method::VioDet,
+        Method::Alad,
+        Method::Raha,
+        Method::Gcn,
+        Method::GeDet,
+        Method::GaleEnt,
+        Method::GaleRan,
+        Method::GaleKme,
+        Method::Gale,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::VioDet => "VioDet",
+            Method::Alad => "Alad",
+            Method::Raha => "Raha",
+            Method::Gcn => "GCN",
+            Method::GeDet => "GEDet",
+            Method::GaleEnt => "GALE(-Ent.)",
+            Method::GaleRan => "GALE(-Ran.)",
+            Method::GaleKme => "GALE(-Kme.)",
+            Method::Gale => "GALE",
+            Method::UGale => "U_GALE",
+        }
+    }
+
+    /// The query strategy for GALE-family methods.
+    pub fn strategy(self) -> Option<QueryStrategy> {
+        match self {
+            Method::GaleEnt => Some(QueryStrategy::Entropy),
+            Method::GaleRan => Some(QueryStrategy::Random),
+            Method::GaleKme => Some(QueryStrategy::KMeansCentroid),
+            Method::Gale | Method::UGale => Some(QueryStrategy::DiversifiedTypicality),
+            _ => None,
+        }
+    }
+}
+
+/// Query budgets per dataset (paper: total 800/490/25/50/50).
+pub fn paper_budget(dataset: DatasetId, scale: f64) -> (usize, usize) {
+    let (total, k) = match dataset {
+        DatasetId::Species => (800, 100),
+        DatasetId::DataMining => (490, 70),
+        DatasetId::MachineLearning => (25, 5),
+        DatasetId::UserGroup1 => (50, 10),
+        DatasetId::UserGroup2 => (50, 10),
+    };
+    let total = ((total as f64 * scale).round() as usize).max(8);
+    let k = ((k as f64 * scale).round() as usize).clamp(2, total);
+    (total, k)
+}
+
+/// Model-size knobs shared across methods for fair comparison.
+#[derive(Debug, Clone)]
+pub struct Knobs {
+    /// SGAN settings for GEDet and GALE variants.
+    pub sgan: SganConfig,
+    /// Featurization/augmentation settings.
+    pub augment: AugmentConfig,
+    /// GCN settings.
+    pub gcn: GcnConfig,
+}
+
+impl Default for Knobs {
+    fn default() -> Self {
+        Knobs {
+            sgan: SganConfig {
+                epochs: 200,
+                incremental_epochs: 20,
+                early_stop_patience: 20,
+                ..Default::default()
+            },
+            augment: AugmentConfig {
+                feat: FeaturizeConfig {
+                    gae: GaeConfig {
+                        epochs: 30,
+                        ..FeaturizeConfig::default().gae
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            gcn: GcnConfig::default(),
+        }
+    }
+}
+
+impl Knobs {
+    /// Lighter settings for micro-benches and smoke tests.
+    pub fn quick() -> Knobs {
+        Knobs {
+            sgan: SganConfig {
+                d_hidden: vec![24, 12],
+                g_hidden: vec![24],
+                epochs: 60,
+                incremental_epochs: 8,
+                batch_unsup: 128,
+                early_stop_patience: 0,
+                ..Default::default()
+            },
+            augment: AugmentConfig {
+                feat: FeaturizeConfig {
+                    gae: GaeConfig {
+                        epochs: 8,
+                        ..FeaturizeConfig::default().gae
+                    },
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            gcn: GcnConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// One method's evaluation on one scenario.
+#[derive(Debug, Clone, Serialize)]
+pub struct MethodEval {
+    /// Which method ran.
+    pub method: Method,
+    /// Test precision.
+    pub precision: f64,
+    /// Test recall.
+    pub recall: f64,
+    /// Test F1.
+    pub f1: f64,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+    /// Selection seconds (GALE family; 0 otherwise).
+    pub select_seconds: f64,
+    /// Queries issued to the oracle (GALE family; 0 otherwise).
+    pub queries: usize,
+}
+
+/// Builds the GALE configuration for a GALE-family method.
+pub fn gale_config(
+    method: Method,
+    knobs: &Knobs,
+    budget_total: usize,
+    k: usize,
+    seed: u64,
+) -> GaleConfig {
+    let iterations = budget_total.div_ceil(k.max(1)).max(1);
+    GaleConfig {
+        local_budget: k,
+        iterations,
+        strategy: method.strategy().expect("GALE-family method"),
+        memoization: method != Method::UGale,
+        sgan: knobs.sgan.clone(),
+        augment: knobs.augment.clone(),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Runs one method on a prepared scenario and evaluates it on the test fold.
+pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> MethodEval {
+    let seed = prep.scenario.seed ^ 0xbeef;
+    let started = Instant::now();
+    let (prf, select_seconds, queries) = match method {
+        Method::VioDet => {
+            let r = viodet(&prep.data.graph, &prep.data.constraints);
+            (prep.evaluate(&r), 0.0, 0)
+        }
+        Method::Alad => {
+            let r = alad(&prep.data.graph, &prep.val_examples, &AladConfig::default());
+            (prep.evaluate(&r), 0.0, 0)
+        }
+        Method::Raha => {
+            let mut rng = Rng::seed_from_u64(seed);
+            let r = raha(
+                &prep.data.graph,
+                &prep.vt_examples,
+                &RahaConfig::default(),
+                &mut rng,
+            );
+            (prep.evaluate(&r), 0.0, 0)
+        }
+        Method::Gcn => {
+            let mut rng = Rng::seed_from_u64(seed);
+            let repr = gale_data::featurize(
+                &prep.data.graph,
+                &prep.data.constraints,
+                &knobs.augment.feat,
+                &mut rng,
+            );
+            let r = gcn_detector(&repr, &prep.vt_examples, &prep.val_examples, &knobs.gcn, &mut rng);
+            (prep.evaluate(&r), 0.0, 0)
+        }
+        Method::GeDet => {
+            let mut rng = Rng::seed_from_u64(seed);
+            let cfg = GedetConfig {
+                sgan: knobs.sgan.clone(),
+                augment: knobs.augment.clone(),
+            };
+            let r = gedet(
+                &prep.data.graph,
+                &prep.data.constraints,
+                &prep.vt_examples,
+                &prep.val_examples,
+                &cfg,
+                &mut rng,
+            );
+            (prep.evaluate(&r), 0.0, 0)
+        }
+        Method::GaleEnt | Method::GaleRan | Method::GaleKme | Method::Gale | Method::UGale => {
+            let (total, k) = paper_budget(prep.scenario.dataset, prep.scenario.scale);
+            let cfg = gale_config(method, knobs, total, k, seed);
+            let mut oracle = GroundTruthOracle::new(&prep.data.truth);
+            let initial = prep.initial_examples(0.1);
+            let outcome = run_gale(
+                &prep.data.graph,
+                &prep.data.constraints,
+                &prep.split,
+                &initial,
+                &prep.val_examples,
+                &mut oracle,
+                &cfg,
+            );
+            let select = outcome.total_select_time().as_secs_f64();
+            let queries = outcome.queries_issued;
+            (prep.evaluate_gale(&outcome), select, queries)
+        }
+    };
+    MethodEval {
+        method,
+        precision: prf.precision,
+        recall: prf.recall,
+        f1: prf.f1,
+        seconds: started.elapsed().as_secs_f64(),
+        select_seconds,
+        queries,
+    }
+}
+
+/// Renders a list of evaluations as an aligned text table.
+pub fn render_table(title: &str, evals: &[MethodEval]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>7} {:>7} {:>7} {:>9} {:>8}",
+        "method", "P", "R", "F1", "time(s)", "queries"
+    );
+    for e in evals {
+        let _ = writeln!(
+            out,
+            "{:<14} {:>7.3} {:>7.3} {:>7.3} {:>9.2} {:>8}",
+            e.method.name(),
+            e.precision,
+            e.recall,
+            e.f1,
+            e.seconds,
+            e.queries
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_preparation_consistent() {
+        let prep = Scenario::table4(DatasetId::MachineLearning, 0.05, 1).prepare();
+        let n = prep.data.graph.node_count();
+        assert_eq!(prep.split.len(), n);
+        assert!(!prep.vt_examples.is_empty());
+        assert!(prep.vt_examples.len() <= prep.split.train.len());
+        // V_T examples carry ground-truth labels.
+        for e in &prep.vt_examples {
+            let expected = if prep.data.truth.is_erroneous(e.node) {
+                Label::Error
+            } else {
+                Label::Correct
+            };
+            assert_eq!(e.label, expected);
+        }
+        let tenth = prep.initial_examples(0.1);
+        assert!(tenth.len() <= prep.vt_examples.len() / 5);
+    }
+
+    #[test]
+    fn budgets_follow_paper_and_scale() {
+        assert_eq!(paper_budget(DatasetId::Species, 1.0), (800, 100));
+        assert_eq!(paper_budget(DatasetId::MachineLearning, 1.0), (25, 5));
+        let (t, k) = paper_budget(DatasetId::Species, 0.1);
+        assert_eq!(t, 80);
+        assert_eq!(k, 10);
+        // Tiny scale clamps to a usable floor.
+        let (t, k) = paper_budget(DatasetId::MachineLearning, 0.01);
+        assert!(t >= 8 && k >= 2);
+    }
+
+    #[test]
+    fn non_gale_methods_run_quickly() {
+        let prep = Scenario::table4(DatasetId::UserGroup1, 0.05, 2).prepare();
+        let knobs = Knobs::quick();
+        for m in [Method::VioDet, Method::Alad, Method::Raha] {
+            let e = run_method(m, &prep, &knobs);
+            assert!(e.f1 >= 0.0 && e.f1 <= 1.0, "{m:?} F1 {}", e.f1);
+            assert_eq!(e.queries, 0);
+        }
+    }
+
+    #[test]
+    fn gale_method_issues_queries() {
+        let prep = Scenario::table4(DatasetId::MachineLearning, 0.05, 3).prepare();
+        let e = run_method(Method::GaleRan, &prep, &Knobs::quick());
+        assert!(e.queries > 0);
+        assert!(e.select_seconds >= 0.0);
+    }
+
+    #[test]
+    fn render_contains_all_methods() {
+        let evals = vec![MethodEval {
+            method: Method::VioDet,
+            precision: 0.5,
+            recall: 0.25,
+            f1: 1.0 / 3.0,
+            seconds: 0.1,
+            select_seconds: 0.0,
+            queries: 0,
+        }];
+        let t = render_table("Table IV", &evals);
+        assert!(t.contains("VioDet"));
+        assert!(t.contains("0.333"));
+    }
+}

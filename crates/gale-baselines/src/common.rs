@@ -1,0 +1,68 @@
+//! Shared types for the baseline detectors compared in Table IV.
+
+use gale_core::Label;
+use gale_graph::NodeId;
+use std::collections::HashSet;
+
+/// Output of any error-detection method: a hard prediction plus a ranking
+/// score per node.
+#[derive(Debug, Clone)]
+pub struct DetectionResult {
+    /// Predicted label per node.
+    pub predictions: Vec<Label>,
+    /// Error score per node (higher = more likely erroneous).
+    pub scores: Vec<f64>,
+}
+
+impl DetectionResult {
+    /// Builds a result from a predicted-error set over `n` nodes, with 0/1
+    /// scores.
+    pub fn from_error_set(n: usize, errors: &HashSet<NodeId>) -> Self {
+        let predictions = (0..n)
+            .map(|v| {
+                if errors.contains(&v) {
+                    Label::Error
+                } else {
+                    Label::Correct
+                }
+            })
+            .collect();
+        let scores = (0..n)
+            .map(|v| if errors.contains(&v) { 1.0 } else { 0.0 })
+            .collect();
+        DetectionResult {
+            predictions,
+            scores,
+        }
+    }
+
+    /// The predicted error set restricted to a population.
+    pub fn predicted_errors(&self, population: &[NodeId]) -> HashSet<NodeId> {
+        population
+            .iter()
+            .copied()
+            .filter(|&v| self.predictions[v] == Label::Error)
+            .collect()
+    }
+
+    /// `(node, score)` pairs over a population.
+    pub fn scores_over(&self, population: &[NodeId]) -> Vec<(NodeId, f64)> {
+        population.iter().map(|&v| (v, self.scores[v])).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_error_set_roundtrip() {
+        let errs: HashSet<NodeId> = [1, 3].into_iter().collect();
+        let r = DetectionResult::from_error_set(5, &errs);
+        assert_eq!(r.predictions[1], Label::Error);
+        assert_eq!(r.predictions[0], Label::Correct);
+        assert_eq!(r.scores, vec![0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(r.predicted_errors(&[0, 1, 2, 3, 4]), errs);
+        assert_eq!(r.predicted_errors(&[0, 2]), HashSet::new());
+    }
+}

@@ -1,0 +1,24 @@
+//! # gale-baselines
+//!
+//! The five competing methods of the GALE paper's evaluation (Section VIII):
+//! VioDet (constraint violations), Alad (attributed-network anomaly
+//! ranking), Raha-lite (detector-signature clustering with few labels),
+//! a two-layer GCN node classifier, and GEDet (one-shot adversarial
+//! few-shot detection — GALE without the active loop).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alad;
+pub mod common;
+pub mod gcn_detector;
+pub mod gedet;
+pub mod raha;
+pub mod viodet;
+
+pub use alad::{alad, alad_scores, AladConfig};
+pub use common::DetectionResult;
+pub use gcn_detector::{gcn_detector, GcnConfig};
+pub use gedet::{gedet, GedetConfig};
+pub use raha::{raha, RahaConfig};
+pub use viodet::viodet;

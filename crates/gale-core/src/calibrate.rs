@@ -1,0 +1,60 @@
+//! Shared score calibration for the SGAN-derived classifiers.
+
+use crate::label::{Example, Label};
+use crate::metrics::prevalence_threshold;
+
+/// Converts error scores into labels. With a non-empty validation fold the
+/// decision threshold is prevalence-calibrated (the predicted error rate is
+/// matched to the validation fold's observed error rate); otherwise the
+/// plain argmax rule (score >= 0.5) applies.
+pub fn calibrated_predictions(error_scores: &[f64], val_examples: &[Example]) -> Vec<Label> {
+    let threshold = if val_examples.is_empty() {
+        0.5
+    } else {
+        let errs = val_examples
+            .iter()
+            .filter(|e| e.label == Label::Error)
+            .count();
+        let prevalence = (errs as f64 / val_examples.len() as f64).clamp(0.005, 0.5);
+        prevalence_threshold(error_scores, prevalence)
+    };
+    error_scores
+        .iter()
+        .map(|&s| {
+            if s >= threshold {
+                Label::Error
+            } else {
+                Label::Correct
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_validation_uses_argmax() {
+        let preds = calibrated_predictions(&[0.4, 0.6], &[]);
+        assert_eq!(preds, vec![Label::Correct, Label::Error]);
+    }
+
+    #[test]
+    fn calibration_matches_prevalence() {
+        // 100 nodes with ascending scores; validation says 10% errors.
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let val: Vec<Example> = (0..20)
+            .map(|i| Example {
+                node: i,
+                label: if i < 2 { Label::Error } else { Label::Correct },
+            })
+            .collect();
+        let preds = calibrated_predictions(&scores, &val);
+        let errors = preds.iter().filter(|&&l| l == Label::Error).count();
+        assert!((8..=12).contains(&errors), "{errors} predicted errors");
+        // The top-scoring nodes are the predicted errors.
+        assert_eq!(preds[99], Label::Error);
+        assert_eq!(preds[0], Label::Correct);
+    }
+}

@@ -1,0 +1,217 @@
+//! Labels, examples, and the example pool `V_T`.
+
+use gale_graph::NodeId;
+use gale_tensor::Rng;
+use std::collections::HashMap;
+
+/// A node label for error detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Label {
+    /// The node carries at least one erroneous attribute value.
+    Error,
+    /// All attribute values match the ground truth.
+    Correct,
+}
+
+impl Label {
+    /// The discriminator class index (`error` = 0, `correct` = 1; class 2 is
+    /// reserved for synthetic examples).
+    pub fn class_index(self) -> usize {
+        match self {
+            Label::Error => 0,
+            Label::Correct => 1,
+        }
+    }
+
+    /// Inverse of [`Label::class_index`]; panics on class 2+.
+    pub fn from_class_index(c: usize) -> Label {
+        match c {
+            0 => Label::Error,
+            1 => Label::Correct,
+            _ => panic!("from_class_index: {c} is not a node label"),
+        }
+    }
+}
+
+/// A labeled example `(v, l)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Example {
+    /// The labeled node.
+    pub node: NodeId,
+    /// Its label.
+    pub label: Label,
+}
+
+/// The growing pool of examples `V_T = V^e ∪ V^c`.
+///
+/// Later labels for the same node replace earlier ones (oracles are trusted
+/// to be most-recently-correct).
+#[derive(Debug, Clone, Default)]
+pub struct ExamplePool {
+    by_node: HashMap<NodeId, Label>,
+    order: Vec<NodeId>,
+}
+
+impl ExamplePool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ExamplePool::default()
+    }
+
+    /// Adds (or replaces) an example.
+    pub fn insert(&mut self, node: NodeId, label: Label) {
+        if self.by_node.insert(node, label).is_none() {
+            self.order.push(node);
+        }
+    }
+
+    /// Adds many examples.
+    pub fn extend(&mut self, examples: impl IntoIterator<Item = Example>) {
+        for e in examples {
+            self.insert(e.node, e.label);
+        }
+    }
+
+    /// Label of a node, if known.
+    pub fn get(&self, node: NodeId) -> Option<Label> {
+        self.by_node.get(&node).copied()
+    }
+
+    /// `true` when the node has a label.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.by_node.contains_key(&node)
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when no examples exist.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// All examples in insertion order.
+    pub fn examples(&self) -> impl Iterator<Item = Example> + '_ {
+        self.order.iter().map(|&node| Example {
+            node,
+            label: self.by_node[&node],
+        })
+    }
+
+    /// Counts of (erroneous, correct) examples — `(|V^e|, |V^c|)`.
+    pub fn class_counts(&self) -> (usize, usize) {
+        let err = self
+            .by_node
+            .values()
+            .filter(|l| **l == Label::Error)
+            .count();
+        (err, self.len() - err)
+    }
+
+    /// The paper's `sample(V_T, η)` (Fig. 3 line 10): a uniform subsample of
+    /// rate `eta`, so the current iteration's fresh queries weigh more in
+    /// the incremental update than the accumulated history.
+    pub fn sample(&self, eta: f64, rng: &mut Rng) -> Vec<Example> {
+        let eta = eta.clamp(0.0, 1.0);
+        let keep = ((self.len() as f64) * eta).round() as usize;
+        let idx = rng.sample_indices(self.len(), keep);
+        idx.into_iter()
+            .map(|i| {
+                let node = self.order[i];
+                Example {
+                    node,
+                    label: self.by_node[&node],
+                }
+            })
+            .collect()
+    }
+
+    /// Supervised-loss targets `(row, class)` for a set of examples.
+    pub fn targets(examples: &[Example]) -> Vec<(usize, usize)> {
+        examples
+            .iter()
+            .map(|e| (e.node, e.label.class_index()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_index_roundtrip() {
+        for l in [Label::Error, Label::Correct] {
+            assert_eq!(Label::from_class_index(l.class_index()), l);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a node label")]
+    fn synthetic_class_is_not_a_label() {
+        let _ = Label::from_class_index(2);
+    }
+
+    #[test]
+    fn insert_and_replace() {
+        let mut p = ExamplePool::new();
+        p.insert(5, Label::Error);
+        p.insert(5, Label::Correct);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(5), Some(Label::Correct));
+        assert!(p.contains(5));
+        assert!(!p.contains(6));
+    }
+
+    #[test]
+    fn class_counts() {
+        let mut p = ExamplePool::new();
+        p.insert(1, Label::Error);
+        p.insert(2, Label::Error);
+        p.insert(3, Label::Correct);
+        assert_eq!(p.class_counts(), (2, 1));
+    }
+
+    #[test]
+    fn sample_rate() {
+        let mut p = ExamplePool::new();
+        for i in 0..100 {
+            p.insert(i, if i % 4 == 0 { Label::Error } else { Label::Correct });
+        }
+        let mut rng = Rng::seed_from_u64(1);
+        let s = p.sample(0.3, &mut rng);
+        assert_eq!(s.len(), 30);
+        // Sampled examples carry their true labels.
+        for e in &s {
+            assert_eq!(p.get(e.node), Some(e.label));
+        }
+        assert!(p.sample(0.0, &mut rng).is_empty());
+        assert_eq!(p.sample(1.0, &mut rng).len(), 100);
+    }
+
+    #[test]
+    fn targets_map_to_rows() {
+        let ex = vec![
+            Example {
+                node: 3,
+                label: Label::Error,
+            },
+            Example {
+                node: 7,
+                label: Label::Correct,
+            },
+        ];
+        assert_eq!(ExamplePool::targets(&ex), vec![(3, 0), (7, 1)]);
+    }
+
+    #[test]
+    fn examples_iterate_in_insertion_order() {
+        let mut p = ExamplePool::new();
+        p.insert(9, Label::Error);
+        p.insert(2, Label::Correct);
+        let nodes: Vec<NodeId> = p.examples().map(|e| e.node).collect();
+        assert_eq!(nodes, vec![9, 2]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Memorization structures (Section VII).
+//!
+//! GALE's iterative loop re-runs query selection every iteration, whose
+//! dominant costs are (a) pairwise embedding distances and (b) recomputing
+//! node typicality. The paper's optimization keeps: a distance store, a
+//! per-node dirty flag tracking whether the learned embedding changed
+//! between consecutive iterations (element-wise within a tolerance), a
+//! typicality dictionary, and the pre-computed (static) propagation
+//! operator. `U_GALE` — the un-memoized ablation — simply runs with
+//! `enabled = false`, recomputing everything from scratch.
+
+use gale_tensor::Matrix;
+use std::collections::HashMap;
+
+/// Cached per-iteration selection state: the k'-means centroids and the
+/// PPR class-conflict vectors from the last full typicality computation.
+/// When only a small fraction of embeddings changed, the next iteration
+/// re-scores changed nodes against this state instead of re-running
+/// k-means and the propagation smoothings — the paper's main saving.
+#[derive(Debug, Clone)]
+pub struct SelectionState {
+    /// k'-means centroids over the unlabeled embeddings.
+    pub centroids: Matrix,
+    /// Smoothed opposite-class influence per class (indexed by class).
+    pub conflict: [Option<Vec<f64>>; 2],
+    /// Soft-label class per node (usize::MAX = unknown).
+    pub soft_classes: Vec<usize>,
+}
+
+/// The memoization cache shared across active-learning iterations.
+pub struct MemoCache {
+    /// Master switch (false reproduces `U_GALE`).
+    pub enabled: bool,
+    /// Relative tolerance under which an embedding row counts as unchanged:
+    /// a row is "significantly changed" only when some element moves by
+    /// more than `tolerance x (mean |value| + 0.05)`. The paper explicitly
+    /// permits approximate distances for not-significantly-changed
+    /// embeddings (Section VII); a relative criterion keeps that judgement
+    /// scale-free.
+    pub tolerance: f64,
+    snapshot: Option<Matrix>,
+    /// Bumps every time a row's embedding changes materially.
+    versions: Vec<u64>,
+    /// `(lo, hi) -> (version_lo, version_hi, distance)`.
+    distances: HashMap<(usize, usize), (u64, u64, f64)>,
+    /// Cached per-node typicality from the previous iteration, with the
+    /// version each entry was computed at.
+    typicality: HashMap<usize, (u64, f64)>,
+    /// Statistics: cache interrogations and hits (for the Fig. 7(f) bench).
+    pub lookups: u64,
+    /// Distance-cache hits.
+    pub hits: u64,
+    /// Cached selection state from the previous full typicality pass.
+    pub selection_state: Option<SelectionState>,
+    /// Fraction of embedding rows that changed at the last
+    /// [`MemoCache::update_embeddings`] call.
+    pub last_changed_fraction: f64,
+    /// Number of full typicality recomputations skipped thanks to the cache.
+    pub typicality_reuses: u64,
+}
+
+impl MemoCache {
+    /// A fresh cache.
+    pub fn new(enabled: bool, tolerance: f64) -> Self {
+        MemoCache {
+            enabled,
+            tolerance,
+            snapshot: None,
+            versions: Vec::new(),
+            distances: HashMap::new(),
+            typicality: HashMap::new(),
+            lookups: 0,
+            hits: 0,
+            selection_state: None,
+            last_changed_fraction: 1.0,
+            typicality_reuses: 0,
+        }
+    }
+
+    /// Installs the iteration's embeddings, diffing against the previous
+    /// snapshot to bump versions of materially-changed rows. Returns the
+    /// number of changed rows.
+    pub fn update_embeddings(&mut self, h: &Matrix) -> usize {
+        if self.versions.len() != h.rows() {
+            self.versions = vec![0; h.rows()];
+        }
+        let changed = match (&self.snapshot, self.enabled) {
+            (Some(prev), true) if prev.shape() == h.shape() => {
+                let mut changed = 0usize;
+                for r in 0..h.rows() {
+                    let row = prev.row(r);
+                    let scale = row.iter().map(|x| x.abs()).sum::<f64>()
+                        / row.len().max(1) as f64
+                        + 0.05;
+                    let budget = self.tolerance * scale;
+                    let same = row
+                        .iter()
+                        .zip(h.row(r))
+                        .all(|(a, b)| (a - b).abs() <= budget);
+                    if !same {
+                        self.versions[r] += 1;
+                        changed += 1;
+                    }
+                }
+                changed
+            }
+            _ => {
+                for v in &mut self.versions {
+                    *v += 1;
+                }
+                h.rows()
+            }
+        };
+        self.snapshot = Some(h.clone());
+        self.last_changed_fraction = if h.rows() == 0 {
+            0.0
+        } else {
+            changed as f64 / h.rows() as f64
+        };
+        changed
+    }
+
+    /// Euclidean distance between embedding rows `i` and `j`, reusing the
+    /// stored value when both rows are unchanged since it was computed.
+    pub fn distance(&mut self, h: &Matrix, i: usize, j: usize) -> f64 {
+        if !self.enabled {
+            return gale_tensor::distance::euclidean(h.row(i), h.row(j));
+        }
+        self.lookups += 1;
+        let key = (i.min(j), i.max(j));
+        let (vi, vj) = (self.versions[key.0], self.versions[key.1]);
+        if let Some(&(ci, cj, d)) = self.distances.get(&key) {
+            if ci == vi && cj == vj {
+                self.hits += 1;
+                return d;
+            }
+        }
+        let d = gale_tensor::distance::euclidean(h.row(i), h.row(j));
+        self.distances.insert(key, (vi, vj, d));
+        d
+    }
+
+    /// Cached typicality of a node, if its embedding hasn't changed since
+    /// the value was stored.
+    pub fn typicality(&self, node: usize) -> Option<f64> {
+        if !self.enabled {
+            return None;
+        }
+        self.typicality
+            .get(&node)
+            .and_then(|&(v, t)| (v == self.versions[node]).then_some(t))
+    }
+
+    /// Stores a node's typicality at its current version.
+    pub fn store_typicality(&mut self, node: usize, value: f64) {
+        if self.enabled {
+            self.typicality.insert(node, (self.versions[node], value));
+        }
+    }
+
+    /// Current version of a node's embedding (diagnostics).
+    pub fn version(&self, node: usize) -> u64 {
+        self.versions.get(node).copied().unwrap_or(0)
+    }
+
+    /// Distance-cache hit rate so far.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::Rng;
+
+    fn embeddings(rng: &mut Rng) -> Matrix {
+        Matrix::randn(10, 4, 1.0, rng)
+    }
+
+    #[test]
+    fn distance_cache_hits_on_unchanged() {
+        let mut rng = Rng::seed_from_u64(1);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        let d1 = memo.distance(&h, 2, 7);
+        let d2 = memo.distance(&h, 7, 2); // symmetric key
+        assert_eq!(d1, d2);
+        assert_eq!(memo.hits, 1);
+        // Unchanged re-install keeps versions.
+        let changed = memo.update_embeddings(&h);
+        assert_eq!(changed, 0);
+        let d3 = memo.distance(&h, 2, 7);
+        assert_eq!(d3, d1);
+        assert_eq!(memo.hits, 2);
+    }
+
+    #[test]
+    fn changed_row_invalidates_its_distances() {
+        let mut rng = Rng::seed_from_u64(2);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        let _ = memo.distance(&h, 0, 1);
+        let _ = memo.distance(&h, 2, 3);
+        let mut h2 = h.clone();
+        h2[(0, 0)] += 1.0; // row 0 changes
+        let changed = memo.update_embeddings(&h2);
+        assert_eq!(changed, 1);
+        memo.hits = 0;
+        memo.lookups = 0;
+        let _ = memo.distance(&h2, 0, 1); // invalidated
+        let _ = memo.distance(&h2, 2, 3); // still valid
+        assert_eq!(memo.hits, 1);
+        assert_eq!(memo.lookups, 2);
+        // And the refreshed value is correct.
+        let exact = gale_tensor::distance::euclidean(h2.row(0), h2.row(1));
+        assert_eq!(memo.distance(&h2, 0, 1), exact);
+    }
+
+    #[test]
+    fn tolerance_ignores_tiny_drift() {
+        let mut rng = Rng::seed_from_u64(3);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-3);
+        memo.update_embeddings(&h);
+        let mut h2 = h.clone();
+        h2[(4, 2)] += 1e-5;
+        assert_eq!(memo.update_embeddings(&h2), 0);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut rng = Rng::seed_from_u64(4);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(false, 1e-9);
+        memo.update_embeddings(&h);
+        let _ = memo.distance(&h, 1, 2);
+        let _ = memo.distance(&h, 1, 2);
+        assert_eq!(memo.hits, 0);
+        assert_eq!(memo.hit_rate(), 0.0);
+        assert!(memo.typicality(1).is_none());
+    }
+
+    #[test]
+    fn typicality_cache_tracks_versions() {
+        let mut rng = Rng::seed_from_u64(5);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        memo.store_typicality(3, 0.7);
+        assert_eq!(memo.typicality(3), Some(0.7));
+        assert_eq!(memo.typicality(4), None);
+        let mut h2 = h.clone();
+        h2[(3, 0)] += 1.0;
+        memo.update_embeddings(&h2);
+        assert_eq!(memo.typicality(3), None, "stale typicality survived");
+    }
+
+    #[test]
+    fn distances_are_exact_values() {
+        let mut rng = Rng::seed_from_u64(6);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        for i in 0..10 {
+            for j in 0..10 {
+                let exact = gale_tensor::distance::euclidean(h.row(i), h.row(j));
+                assert_eq!(memo.distance(&h, i, j), exact);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Evaluation metrics of Section VIII: precision, recall, F1, and AUC-PR
+//! (used for Alad's threshold selection).
+
+use gale_graph::NodeId;
+use std::collections::HashSet;
+
+/// Precision / recall / F1 triple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prf {
+    /// `|Err_d ∩ Err| / |Err_d|`; 0 when nothing was predicted.
+    pub precision: f64,
+    /// `|Err_d ∩ Err| / |Err|`; 0 when no true errors exist.
+    pub recall: f64,
+    /// Harmonic mean `2PR / (P + R)`; 0 when both are 0.
+    pub f1: f64,
+}
+
+impl Prf {
+    /// Computes P/R/F1 from a predicted error set and the true error set,
+    /// both already restricted to the evaluation population.
+    pub fn from_sets(predicted: &HashSet<NodeId>, truth: &HashSet<NodeId>) -> Prf {
+        let tp = predicted.intersection(truth).count() as f64;
+        let precision = if predicted.is_empty() {
+            0.0
+        } else {
+            tp / predicted.len() as f64
+        };
+        let recall = if truth.is_empty() {
+            0.0
+        } else {
+            tp / truth.len() as f64
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+        }
+    }
+}
+
+/// Area under the precision-recall curve by ranking `scores` descending and
+/// sweeping every threshold (average-precision formulation).
+///
+/// `scores` pairs each node with its error score; `truth` is the true error
+/// set. Returns 0.0 when no positives exist.
+pub fn auc_pr(scores: &[(NodeId, f64)], truth: &HashSet<NodeId>) -> f64 {
+    let positives = scores.iter().filter(|(n, _)| truth.contains(n)).count();
+    if positives == 0 {
+        return 0.0;
+    }
+    let mut ranked: Vec<&(NodeId, f64)> = scores.iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("auc_pr: NaN score"));
+    let mut tp = 0usize;
+    let mut ap = 0.0;
+    for (rank, (node, _)) in ranked.iter().enumerate() {
+        if truth.contains(node) {
+            tp += 1;
+            ap += tp as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / positives as f64
+}
+
+/// Prevalence-calibrated threshold: the score cutoff above which a
+/// `prevalence` fraction of the population falls. Small labeled sets make
+/// direct threshold tuning unstable, but the error *rate* can be estimated
+/// robustly from a validation fold; cutting the score ranking at that rate
+/// calibrates the classifier's operating point.
+pub fn prevalence_threshold(scores: &[f64], prevalence: f64) -> f64 {
+    if scores.is_empty() {
+        return 0.5;
+    }
+    let p = prevalence.clamp(0.0, 1.0);
+    gale_tensor::stats::quantile(scores, 1.0 - p)
+}
+
+/// Picks the score threshold maximizing F1 over the given population — how
+/// the paper configures Alad ("selected the thresholds that enable its best
+/// performance"). Returns `(threshold, best Prf)`.
+pub fn best_f1_threshold(scores: &[(NodeId, f64)], truth: &HashSet<NodeId>) -> (f64, Prf) {
+    let mut ranked: Vec<&(NodeId, f64)> = scores.iter().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("best_f1_threshold: NaN"));
+    let mut best = (f64::INFINITY, Prf::from_sets(&HashSet::new(), truth));
+    let mut predicted: HashSet<NodeId> = HashSet::new();
+    for (node, score) in ranked {
+        predicted.insert(*node);
+        let prf = Prf::from_sets(&predicted, truth);
+        if prf.f1 > best.1.f1 {
+            best = (*score, prf);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[NodeId]) -> HashSet<NodeId> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let p = Prf::from_sets(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(p.precision, 1.0);
+        assert_eq!(p.recall, 1.0);
+        assert_eq!(p.f1, 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_hand_checked() {
+        // predicted {1,2,3,4}, truth {3,4,5,6,7,8}: tp=2, P=0.5, R=1/3.
+        let p = Prf::from_sets(&set(&[1, 2, 3, 4]), &set(&[3, 4, 5, 6, 7, 8]));
+        assert!((p.precision - 0.5).abs() < 1e-12);
+        assert!((p.recall - 1.0 / 3.0).abs() < 1e-12);
+        let f = 2.0 * 0.5 * (1.0 / 3.0) / (0.5 + 1.0 / 3.0);
+        assert!((p.f1 - f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        let p = Prf::from_sets(&set(&[]), &set(&[1]));
+        assert_eq!(p.precision, 0.0);
+        assert_eq!(p.f1, 0.0);
+        let p = Prf::from_sets(&set(&[1]), &set(&[]));
+        assert_eq!(p.recall, 0.0);
+        assert_eq!(p.f1, 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let p = Prf::from_sets(&set(&[1, 2]), &set(&[1, 3]));
+        let hm = 2.0 * p.precision * p.recall / (p.precision + p.recall);
+        assert!((p.f1 - hm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_pr_perfect_ranking_is_one() {
+        let scores = vec![(1, 0.9), (2, 0.8), (3, 0.3), (4, 0.1)];
+        let a = auc_pr(&scores, &set(&[1, 2]));
+        assert!((a - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_pr_worst_ranking_is_low() {
+        let scores = vec![(1, 0.1), (2, 0.2), (3, 0.8), (4, 0.9)];
+        let a = auc_pr(&scores, &set(&[1, 2]));
+        // Positives at ranks 3 and 4: AP = (1/3 + 2/4)/2.
+        assert!((a - (1.0 / 3.0 + 0.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_pr_no_positives() {
+        assert_eq!(auc_pr(&[(1, 0.5)], &set(&[])), 0.0);
+    }
+
+    #[test]
+    fn prevalence_threshold_cuts_expected_count() {
+        let scores: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let thr = prevalence_threshold(&scores, 0.1);
+        let above = scores.iter().filter(|&&s| s >= thr).count();
+        assert!((8..=12).contains(&above), "{above} above threshold");
+        assert_eq!(prevalence_threshold(&[], 0.1), 0.5);
+    }
+
+    #[test]
+    fn best_threshold_finds_clean_cut() {
+        let scores = vec![(1, 0.9), (2, 0.85), (3, 0.2), (4, 0.1)];
+        let (thr, prf) = best_f1_threshold(&scores, &set(&[1, 2]));
+        assert_eq!(prf.f1, 1.0);
+        assert!((0.2..=0.85).contains(&thr), "threshold {thr}");
+    }
+
+    #[test]
+    fn best_threshold_noisy() {
+        // Truth mixed into ranking; best F1 is below 1 but above naive all.
+        let scores = vec![(1, 0.9), (2, 0.8), (3, 0.7), (4, 0.6), (5, 0.5)];
+        let truth = set(&[1, 3, 5]);
+        let (_, prf) = best_f1_threshold(&scores, &truth);
+        let all = Prf::from_sets(&set(&[1, 2, 3, 4, 5]), &truth);
+        assert!(prf.f1 >= all.f1);
+    }
+}

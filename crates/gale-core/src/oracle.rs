@@ -1,0 +1,195 @@
+//! Oracles (Section II): sources of true labels for annotated queries.
+//!
+//! The paper simulates its controlled-test oracle with the base-detector
+//! library ("an 'error' label is assigned if a base detector identified
+//! erroneous attribute values of the query") and uses human labelers for
+//! the case study. We provide both plus a noisy wrapper for robustness
+//! experiments.
+
+use crate::annotate::Annotation;
+use crate::label::Label;
+use gale_detect::GroundTruth;
+use gale_tensor::Rng;
+
+/// A labeling oracle consuming annotated queries.
+pub trait Oracle {
+    /// Returns the oracle's label for one annotated query.
+    fn label(&mut self, annotation: &Annotation) -> Label;
+
+    /// Labels a whole batch (default: one by one).
+    fn label_batch(&mut self, annotations: &[Annotation]) -> Vec<Label> {
+        annotations.iter().map(|a| self.label(a)).collect()
+    }
+}
+
+/// A perfect oracle backed by the injection ground truth (an idealized
+/// human expert).
+pub struct GroundTruthOracle<'a> {
+    truth: &'a GroundTruth,
+}
+
+impl<'a> GroundTruthOracle<'a> {
+    /// Wraps the ground truth.
+    pub fn new(truth: &'a GroundTruth) -> Self {
+        GroundTruthOracle { truth }
+    }
+}
+
+impl Oracle for GroundTruthOracle<'_> {
+    fn label(&mut self, annotation: &Annotation) -> Label {
+        if self.truth.is_erroneous(annotation.node) {
+            Label::Error
+        } else {
+            Label::Correct
+        }
+    }
+}
+
+/// The paper's simulated oracle: labels `error` iff any base detector in Ψ
+/// flagged an attribute value of the query (already recorded in the
+/// annotation's Type-2 data).
+#[derive(Default)]
+pub struct EnsembleOracle;
+
+impl EnsembleOracle {
+    /// Creates the detector-ensemble oracle.
+    pub fn new() -> Self {
+        EnsembleOracle
+    }
+}
+
+impl Oracle for EnsembleOracle {
+    fn label(&mut self, annotation: &Annotation) -> Label {
+        if annotation.is_flagged() {
+            Label::Error
+        } else {
+            Label::Correct
+        }
+    }
+}
+
+/// Wraps another oracle and flips each answer with probability `flip_prob`
+/// — the "low-quality labels" stressor.
+pub struct NoisyOracle<O: Oracle> {
+    inner: O,
+    flip_prob: f64,
+    rng: Rng,
+}
+
+impl<O: Oracle> NoisyOracle<O> {
+    /// Wraps `inner`, flipping labels with probability `flip_prob`.
+    pub fn new(inner: O, flip_prob: f64, rng: Rng) -> Self {
+        assert!((0.0..=1.0).contains(&flip_prob), "flip_prob out of range");
+        NoisyOracle {
+            inner,
+            flip_prob,
+            rng,
+        }
+    }
+}
+
+impl<O: Oracle> Oracle for NoisyOracle<O> {
+    fn label(&mut self, annotation: &Annotation) -> Label {
+        let truth = self.inner.label(annotation);
+        if self.rng.chance(self.flip_prob) {
+            match truth {
+                Label::Error => Label::Correct,
+                Label::Correct => Label::Error,
+            }
+        } else {
+            truth
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annotate::DetectedError;
+
+    fn blank_annotation(node: usize) -> Annotation {
+        Annotation {
+            node,
+            soft_subgraph: Vec::new(),
+            detected_errors: Vec::new(),
+            corrections: Vec::new(),
+            error_distribution: [0.0; 3],
+            most_influential_labeled: None,
+            degree_assortativity: 0.0,
+            numeric_percentiles: Vec::new(),
+        }
+    }
+
+    fn flagged_annotation(node: usize) -> Annotation {
+        let mut a = blank_annotation(node);
+        a.detected_errors.push(DetectedError {
+            attr: 0,
+            detector: "zscore".into(),
+            confidence: 0.9,
+            message: "spike".into(),
+        });
+        a
+    }
+
+    #[test]
+    fn ground_truth_oracle_is_exact() {
+        let mut g = gale_graph::Graph::new();
+        for i in 0..20 {
+            g.add_node_with(
+                "t",
+                &[("x", gale_graph::AttrKind::Numeric, (i as f64).into())],
+            );
+        }
+        let truth = gale_detect::inject_errors(
+            &mut g,
+            &[],
+            &gale_detect::ErrorGenConfig {
+                node_error_rate: 0.5,
+                ..Default::default()
+            },
+            &mut Rng::seed_from_u64(1),
+        );
+        let mut oracle = GroundTruthOracle::new(&truth);
+        for v in 0..20 {
+            let expected = if truth.is_erroneous(v) {
+                Label::Error
+            } else {
+                Label::Correct
+            };
+            assert_eq!(oracle.label(&blank_annotation(v)), expected);
+        }
+    }
+
+    #[test]
+    fn ensemble_oracle_follows_flags() {
+        let mut oracle = EnsembleOracle::new();
+        assert_eq!(oracle.label(&flagged_annotation(1)), Label::Error);
+        assert_eq!(oracle.label(&blank_annotation(2)), Label::Correct);
+    }
+
+    #[test]
+    fn noisy_oracle_flips_at_rate() {
+        let mut oracle = NoisyOracle::new(EnsembleOracle::new(), 0.25, Rng::seed_from_u64(2));
+        let flips = (0..4000)
+            .filter(|_| oracle.label(&blank_annotation(0)) == Label::Error)
+            .count();
+        let rate = flips as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.03, "flip rate {rate}");
+    }
+
+    #[test]
+    fn noisy_oracle_zero_noise_is_exact() {
+        let mut oracle = NoisyOracle::new(EnsembleOracle::new(), 0.0, Rng::seed_from_u64(3));
+        assert_eq!(oracle.label(&flagged_annotation(1)), Label::Error);
+    }
+
+    #[test]
+    fn batch_labels_match_singles() {
+        let mut oracle = EnsembleOracle::new();
+        let anns = vec![flagged_annotation(0), blank_annotation(1)];
+        assert_eq!(
+            oracle.label_batch(&anns),
+            vec![Label::Error, Label::Correct]
+        );
+    }
+}

@@ -1,0 +1,233 @@
+//! QSelect (Section V-B): greedy diversified-typicality query selection.
+//!
+//! Maximizes `T(Q) + λ Σ_{v,v'∈Q} d(h(v), h(v'))` over size-`k` subsets of
+//! the unlabeled pool. The greedy rule adds the node with the largest
+//! marginal gain `B'_v(Q) = ½ T(v) + λ Σ_{q∈Q} d(h(v), h(q))`, the standard
+//! 2-approximation for max-sum p-dispersion with a monotone submodular
+//! utility (Borodin et al., the paper's Lemma 1).
+
+use crate::memo::MemoCache;
+use gale_tensor::Matrix;
+
+/// Greedy diversified-typicality selection.
+///
+/// * `embeddings` — full `H_n(X_R)` matrix (rows indexed by node id);
+/// * `unlabeled` — candidate node ids;
+/// * `typicality` — `T(v)` per candidate (parallel to `unlabeled`);
+/// * `k` — query budget;
+/// * `lambda` — diversity weight λ;
+/// * `memo` — distance cache (pass a disabled cache for `U_GALE`).
+///
+/// Returns at most `k` node ids.
+pub fn qselect(
+    embeddings: &Matrix,
+    unlabeled: &[usize],
+    typicality: &[f64],
+    k: usize,
+    lambda: f64,
+    memo: &mut MemoCache,
+) -> Vec<usize> {
+    assert_eq!(
+        unlabeled.len(),
+        typicality.len(),
+        "qselect: typicality/candidate mismatch"
+    );
+    let k = k.min(unlabeled.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut selected: Vec<usize> = Vec::with_capacity(k);
+    let mut in_q = vec![false; unlabeled.len()];
+    // Running Σ_{q∈Q} d(h(v), h(q)) per candidate.
+    let mut div_sum = vec![0.0f64; unlabeled.len()];
+
+    for _round in 0..k {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..unlabeled.len() {
+            if in_q[i] {
+                continue;
+            }
+            let gain = 0.5 * typicality[i] + lambda * div_sum[i];
+            match best {
+                Some((_, b)) if gain <= b => {}
+                _ => best = Some((i, gain)),
+            }
+        }
+        let Some((pick, _)) = best else { break };
+        in_q[pick] = true;
+        let picked_node = unlabeled[pick];
+        selected.push(picked_node);
+        // Update diversity sums against the new member.
+        for (i, &v) in unlabeled.iter().enumerate() {
+            if !in_q[i] {
+                div_sum[i] += memo.distance(embeddings, v, picked_node);
+            }
+        }
+    }
+    selected
+}
+
+/// Objective value of a query set (used by tests and the approximation
+/// check): `T(Q) + λ Σ_{v<v'} d(h(v), h(v'))`.
+pub fn objective(
+    embeddings: &Matrix,
+    queries: &[usize],
+    typicality_of: impl Fn(usize) -> f64,
+    lambda: f64,
+) -> f64 {
+    let t: f64 = queries.iter().map(|&v| typicality_of(v)).sum();
+    let mut div = 0.0;
+    for (i, &a) in queries.iter().enumerate() {
+        for &b in &queries[i + 1..] {
+            div += gale_tensor::distance::euclidean(embeddings.row(a), embeddings.row(b));
+        }
+    }
+    t + lambda * div
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::Rng;
+    use std::collections::HashMap;
+
+    fn random_instance(n: usize, dim: usize, seed: u64) -> (Matrix, Vec<usize>, Vec<f64>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let h = Matrix::randn(n, dim, 1.0, &mut rng);
+        let unlabeled: Vec<usize> = (0..n).collect();
+        let typ: Vec<f64> = (0..n).map(|_| rng.f64() * 2.0).collect();
+        (h, unlabeled, typ)
+    }
+
+    /// Exhaustive best objective over all size-k subsets (tiny n only).
+    #[allow(clippy::too_many_arguments)]
+    fn brute_force(
+        h: &Matrix,
+        unlabeled: &[usize],
+        typ: &HashMap<usize, f64>,
+        k: usize,
+        lambda: f64,
+    ) -> f64 {
+        #[allow(clippy::too_many_arguments)]
+        fn rec(
+            h: &Matrix,
+            cands: &[usize],
+            typ: &HashMap<usize, f64>,
+            k: usize,
+            lambda: f64,
+            start: usize,
+            cur: &mut Vec<usize>,
+            best: &mut f64,
+        ) {
+            if cur.len() == k {
+                let val = objective(h, cur, |v| typ[&v], lambda);
+                if val > *best {
+                    *best = val;
+                }
+                return;
+            }
+            for i in start..cands.len() {
+                cur.push(cands[i]);
+                rec(h, cands, typ, k, lambda, i + 1, cur, best);
+                cur.pop();
+            }
+        }
+        let mut best = f64::NEG_INFINITY;
+        rec(h, unlabeled, typ, k, lambda, 0, &mut Vec::new(), &mut best);
+        best
+    }
+
+    #[test]
+    fn selects_exactly_k() {
+        let (h, u, t) = random_instance(30, 4, 1);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        let q = qselect(&h, &u, &t, 7, 0.5, &mut memo);
+        assert_eq!(q.len(), 7);
+        let mut dedup = q.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 7, "duplicates selected");
+    }
+
+    #[test]
+    fn k_larger_than_pool_clamps() {
+        let (h, u, t) = random_instance(5, 3, 2);
+        let mut memo = MemoCache::new(false, 1e-9);
+        let q = qselect(&h, &u, &t, 50, 0.5, &mut memo);
+        assert_eq!(q.len(), 5);
+    }
+
+    #[test]
+    fn pure_typicality_when_lambda_zero() {
+        let (h, u, t) = random_instance(20, 3, 3);
+        let mut memo = MemoCache::new(false, 1e-9);
+        let q = qselect(&h, &u, &t, 5, 0.0, &mut memo);
+        // With λ=0 the greedy picks the top-5 typicality nodes.
+        let mut by_t: Vec<usize> = (0..20).collect();
+        by_t.sort_by(|&a, &b| t[b].partial_cmp(&t[a]).unwrap());
+        let expected: std::collections::HashSet<usize> = by_t[..5].iter().copied().collect();
+        let got: std::collections::HashSet<usize> = q.into_iter().collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn diversity_spreads_selection() {
+        // Two tight clusters; high typicality in cluster A only. With large
+        // λ, the selection still crosses into cluster B.
+        let mut rows = Vec::new();
+        let mut typ = Vec::new();
+        for i in 0..10 {
+            let c = if i < 5 { 0.0 } else { 20.0 };
+            rows.push(vec![c + (i % 5) as f64 * 0.01, 0.0]);
+            typ.push(if i < 5 { 1.0 } else { 0.2 });
+        }
+        let h = Matrix::from_rows(&rows);
+        let u: Vec<usize> = (0..10).collect();
+        let mut memo = MemoCache::new(false, 1e-9);
+        let q = qselect(&h, &u, &typ, 4, 1.0, &mut memo);
+        let far = q.iter().filter(|&&v| v >= 5).count();
+        assert!(far >= 1, "no diversity: {q:?}");
+        // And with λ = 0 it never leaves cluster A.
+        let q0 = qselect(&h, &u, &typ, 4, 0.0, &mut memo);
+        assert!(q0.iter().all(|&v| v < 5), "λ=0 left cluster A: {q0:?}");
+    }
+
+    #[test]
+    fn greedy_within_half_of_optimum_on_small_instances() {
+        // Lemma 1: 2-approximation. Verify empirically against brute force.
+        for seed in 0..5 {
+            let (h, u, t) = random_instance(9, 3, 100 + seed);
+            let typ_map: HashMap<usize, f64> =
+                u.iter().copied().zip(t.iter().copied()).collect();
+            let mut memo = MemoCache::new(true, 1e-9);
+            memo.update_embeddings(&h);
+            let q = qselect(&h, &u, &t, 4, 0.7, &mut memo);
+            let greedy_val = objective(&h, &q, |v| typ_map[&v], 0.7);
+            let opt = brute_force(&h, &u, &typ_map, 4, 0.7);
+            assert!(
+                greedy_val >= opt / 2.0 - 1e-9,
+                "seed {seed}: greedy {greedy_val} < half of optimum {opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_pool_or_zero_budget() {
+        let (h, u, t) = random_instance(10, 3, 4);
+        let mut memo = MemoCache::new(false, 1e-9);
+        assert!(qselect(&h, &u, &t, 0, 0.5, &mut memo).is_empty());
+        assert!(qselect(&h, &[], &[], 5, 0.5, &mut memo).is_empty());
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_agree() {
+        let (h, u, t) = random_instance(40, 5, 5);
+        let mut m1 = MemoCache::new(true, 1e-9);
+        m1.update_embeddings(&h);
+        let mut m2 = MemoCache::new(false, 1e-9);
+        let q1 = qselect(&h, &u, &t, 10, 0.8, &mut m1);
+        let q2 = qselect(&h, &u, &t, 10, 0.8, &mut m2);
+        assert_eq!(q1, q2, "memoization changed the selection");
+    }
+}

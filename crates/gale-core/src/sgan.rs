@@ -1,0 +1,557 @@
+//! The semi-supervised generative adversarial module (Sections III-IV).
+//!
+//! A three-class discriminator `D` (error / correct / synthetic) is trained
+//! against a generator `G` that transforms synthetic-error encodings `X_S`
+//! into representations that imitate the real encodings `X_R`:
+//!
+//! * `L(D) = L_s + λ L_u` — masked cross-entropy on the labeled examples
+//!   plus the Eq.-1 unsupervised terms (real rows pushed away from the
+//!   synthetic class, generated rows pushed into it);
+//! * `L(G)` — feature matching on an intermediate discriminator layer
+//!   (Section IV), whose activations double as the node embeddings
+//!   `H_n(X_R)` consumed by query selection.
+//!
+//! `SGAN` (procedure SGAN, Fig. 4) trains both players from scratch;
+//! [`Sgan::update_discriminator`] is the incremental `SGAND` variant that
+//! refreshes only `D` when the example set changes.
+
+use gale_nn::{
+    feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam,
+    Layer, Mlp,
+};
+use gale_tensor::{Matrix, Rng};
+
+/// Class index of synthetic examples in the discriminator output.
+pub const SYNTHETIC_CLASS: usize = 2;
+
+/// SGAN hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SganConfig {
+    /// Discriminator hidden widths (the last entry is the embedding layer
+    /// `H_n` tapped for feature matching and query selection).
+    pub d_hidden: Vec<usize>,
+    /// Generator hidden widths.
+    pub g_hidden: Vec<usize>,
+    /// Full-training epochs (the paper uses 200 to reach Nash equilibrium).
+    pub epochs: usize,
+    /// Incremental (SGAND) epochs per active-learning iteration.
+    pub incremental_epochs: usize,
+    /// Discriminator Adam learning rate.
+    pub d_lr: f64,
+    /// Generator Adam learning rate.
+    pub g_lr: f64,
+    /// Per-epoch learning-rate decay ("reduce learning rate β", Fig. 4).
+    pub lr_decay: f64,
+    /// Dropout probability inside both players.
+    pub dropout: f64,
+    /// Weight λ of the unsupervised loss in `L(D)`.
+    pub lambda_unsup: f64,
+    /// Unsupervised mini-batch size over `X_R` rows per epoch.
+    pub batch_unsup: usize,
+    /// Early stopping: quit after this many epochs without validation
+    /// improvement (the paper uses 20). `0` disables early stopping.
+    pub early_stop_patience: usize,
+    /// Weight of the synthetic-as-error supervised term: graph augmentation
+    /// labels the injected synthetic errors as class `error`, which is what
+    /// lets GEDet/GALE detect with only a handful of real examples.
+    pub syn_label_weight: f64,
+    /// L2 weight decay applied to the discriminator after each step
+    /// (regularizes the few-shot regime).
+    pub weight_decay: f64,
+    /// Learning-rate multiplier for incremental (SGAND) updates: the
+    /// refresh nudges `D` toward the enriched examples without retraining,
+    /// keeping most node embeddings stable across iterations (which is what
+    /// makes the Section-VII memoization effective).
+    pub incremental_lr_scale: f64,
+}
+
+impl Default for SganConfig {
+    fn default() -> Self {
+        SganConfig {
+            d_hidden: vec![48, 24],
+            g_hidden: vec![48],
+            epochs: 200,
+            incremental_epochs: 20,
+            d_lr: 2e-3,
+            g_lr: 2e-3,
+            lr_decay: 0.995,
+            dropout: 0.2,
+            lambda_unsup: 0.5,
+            batch_unsup: 256,
+            early_stop_patience: 20,
+            syn_label_weight: 0.25,
+            weight_decay: 1e-4,
+            incremental_lr_scale: 0.3,
+        }
+    }
+}
+
+/// Statistics from a training run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TrainStats {
+    /// Epochs actually executed (early stopping may cut the budget).
+    pub epochs_run: usize,
+    /// Final discriminator loss (supervised + λ·unsupervised).
+    pub d_loss: f64,
+    /// Final generator feature-matching loss.
+    pub g_loss: f64,
+}
+
+/// The two-player model.
+pub struct Sgan {
+    d: Mlp,
+    g: Mlp,
+    d_opt: Adam,
+    g_opt: Adam,
+    /// Index of the tapped (embedding) layer inside `d`.
+    tap: usize,
+    cfg: SganConfig,
+    input_dim: usize,
+}
+
+impl Sgan {
+    /// Initializes both players for `input_dim`-dimensional encodings.
+    pub fn new(input_dim: usize, cfg: &SganConfig, rng: &mut Rng) -> Sgan {
+        assert!(!cfg.d_hidden.is_empty(), "SganConfig: d_hidden empty");
+        let mut d_sizes = vec![input_dim];
+        d_sizes.extend_from_slice(&cfg.d_hidden);
+        d_sizes.push(3);
+        let d = Mlp::dense(&d_sizes, Activation::LeakyRelu, false, cfg.dropout, rng);
+
+        let mut g_sizes = vec![input_dim];
+        g_sizes.extend_from_slice(&cfg.g_hidden);
+        g_sizes.push(input_dim);
+        let g = Mlp::dense(&g_sizes, Activation::LeakyRelu, true, cfg.dropout, rng);
+
+        // Tap = output of the last hidden activation (just before the final
+        // Linear). Mlp::dense appends [Linear, Act, Dropout?]* then Linear,
+        // so the tap is depth-2 with dropout disabled in eval, or depth-2
+        // counting the dropout layer when present. last_hidden_index()
+        // resolves this uniformly.
+        let tap = d.last_hidden_index();
+        Sgan {
+            d,
+            g,
+            d_opt: Adam::new(cfg.d_lr),
+            g_opt: Adam::new(cfg.g_lr),
+            tap,
+            cfg: cfg.clone(),
+            input_dim,
+        }
+    }
+
+    /// Encoding dimensionality this model was built for.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// One discriminator update on a composite batch. Returns `L(D)`.
+    ///
+    /// `unsup_rows`/`fake_rows` index into `x_r`/`x_s`; `targets` are
+    /// `(x_r row, class)` pairs for the supervised term.
+    fn d_step(
+        &mut self,
+        x_r: &Matrix,
+        x_s: &Matrix,
+        targets: &[(usize, usize)],
+        unsup_rows: &[usize],
+        fake_rows: &[usize],
+        rng: &mut Rng,
+    ) -> f64 {
+        let _ = rng;
+        // Combined input: [labeled | unsup real | synthetic-as-error | fake].
+        let labeled_rows: Vec<usize> = targets.iter().map(|&(r, _)| r).collect();
+        let labeled_x = x_r.select_rows(&labeled_rows);
+        let unsup_x = x_r.select_rows(unsup_rows);
+        let syn_x = x_s.select_rows(fake_rows);
+        let fake_x = if syn_x.rows() > 0 {
+            self.g.forward(&syn_x, true)
+        } else {
+            Matrix::zeros(0, self.input_dim)
+        };
+        let combined = labeled_x.vstack(&unsup_x).vstack(&syn_x).vstack(&fake_x);
+        let logits = self.d.forward(&combined, true);
+
+        let n_lab = labeled_rows.len();
+        let n_unsup = unsup_rows.len();
+        let n_syn = syn_x.rows();
+        // Supervised loss on the labeled block.
+        let local_targets: Vec<(usize, usize)> = targets
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, c))| (i, c))
+            .collect();
+        let (l_sup, grad_sup) = softmax_cross_entropy(&logits, &local_targets);
+        // Augmentation term: synthetic errors are supervised `error`
+        // examples (weighted), the mechanism that lifts recall when real
+        // error labels are scarce.
+        let syn_targets: Vec<(usize, usize)> = (0..n_syn)
+            .map(|i| (n_lab + n_unsup + i, crate::label::Label::Error.class_index()))
+            .collect();
+        let (l_syn, grad_syn) = softmax_cross_entropy(&logits, &syn_targets);
+
+        // Unsupervised loss: the real blocks vs the generated block.
+        let real_logits = logits.select_rows(&(0..n_lab + n_unsup).collect::<Vec<_>>());
+        let fake_logits =
+            logits.select_rows(&((n_lab + n_unsup + n_syn)..logits.rows()).collect::<Vec<_>>());
+        let (l_unsup, grad_real, grad_fake) =
+            sgan_unsupervised_loss(&real_logits, &fake_logits, SYNTHETIC_CLASS);
+
+        // Assemble the combined gradient.
+        let mut grad = grad_sup;
+        let lambda = self.cfg.lambda_unsup;
+        let w_syn = self.cfg.syn_label_weight;
+        for r in 0..grad.rows() {
+            if r < n_lab + n_unsup {
+                for c in 0..grad.cols() {
+                    grad[(r, c)] += lambda * grad_real[(r, c)];
+                }
+            } else if r >= n_lab + n_unsup + n_syn {
+                let fr = r - n_lab - n_unsup - n_syn;
+                for c in 0..grad.cols() {
+                    grad[(r, c)] += lambda * grad_fake[(fr, c)];
+                }
+            } else {
+                for c in 0..grad.cols() {
+                    grad[(r, c)] += w_syn * grad_syn[(r, c)];
+                }
+            }
+        }
+        self.d.zero_grad();
+        let _ = self.d.backward(&grad);
+        self.d_opt.step(&mut self.d);
+        if self.cfg.weight_decay > 0.0 {
+            let shrink = 1.0 - self.cfg.weight_decay;
+            self.d.visit_params(&mut |p, _| p.scale_inplace(shrink));
+        }
+        l_sup + w_syn * l_syn + lambda * l_unsup
+    }
+
+    /// One generator update via feature matching. Returns `L(G)`.
+    fn g_step(&mut self, x_r: &Matrix, x_s: &Matrix, real_rows: &[usize], fake_rows: &[usize]) -> f64 {
+        if fake_rows.is_empty() || real_rows.is_empty() {
+            return 0.0;
+        }
+        let real_x = x_r.select_rows(real_rows);
+        let fake_in = x_s.select_rows(fake_rows);
+        let fake_x = self.g.forward(&fake_in, true);
+        // Forward the real and fake blocks together so both taps come from
+        // identical discriminator state.
+        let combined = real_x.vstack(&fake_x);
+        let _ = self.d.forward(&combined, true);
+        let h = self.d.tap(self.tap).clone();
+        let h_real = h.select_rows(&(0..real_x.rows()).collect::<Vec<_>>());
+        let h_fake = h.select_rows(&(real_x.rows()..h.rows()).collect::<Vec<_>>());
+        let (loss, grad_h_fake) = feature_matching_loss(&h_real, &h_fake);
+
+        // Backprop dL/dh through the discriminator prefix to get dL/d(fake
+        // input of D) — zeroing the real block's gradient.
+        let mut grad_h = Matrix::zeros(h.rows(), h.cols());
+        for r in 0..h_fake.rows() {
+            let src = grad_h_fake.row(r).to_vec();
+            grad_h.set_row(real_x.rows() + r, &src);
+        }
+        self.d.zero_grad(); // discard: D's params are NOT updated here
+        let grad_fake_input = gale_nn::backward_from_tap(&mut self.d, self.tap, &grad_h);
+        let grad_fake_only = grad_fake_input
+            .select_rows(&(real_x.rows()..grad_fake_input.rows()).collect::<Vec<_>>());
+        self.d.zero_grad();
+        self.g.zero_grad();
+        let _ = self.g.backward(&grad_fake_only);
+        self.g_opt.step(&mut self.g);
+        loss
+    }
+
+    /// Full joint training (procedure SGAN): alternates generator and
+    /// discriminator updates, decays learning rates, and early-stops on the
+    /// validation loss when `val_targets` is non-empty.
+    pub fn train(
+        &mut self,
+        x_r: &Matrix,
+        x_s: &Matrix,
+        targets: &[(usize, usize)],
+        val_targets: &[(usize, usize)],
+        rng: &mut Rng,
+    ) -> TrainStats {
+        let mut stats = TrainStats::default();
+        let mut best_val = f64::INFINITY;
+        let mut stale = 0usize;
+        for epoch in 0..self.cfg.epochs {
+            stats.epochs_run = epoch + 1;
+            let unsup_rows = rng.sample_indices(x_r.rows(), self.cfg.batch_unsup);
+            let fake_rows = if x_s.rows() > 0 {
+                rng.sample_indices(x_s.rows(), self.cfg.batch_unsup.min(x_s.rows()))
+            } else {
+                Vec::new()
+            };
+            stats.g_loss = self.g_step(x_r, x_s, &unsup_rows, &fake_rows);
+            stats.d_loss = self.d_step(x_r, x_s, targets, &unsup_rows, &fake_rows, rng);
+            self.d_opt.decay_lr(self.cfg.lr_decay);
+            self.g_opt.decay_lr(self.cfg.lr_decay);
+
+            if self.cfg.early_stop_patience > 0 && !val_targets.is_empty() {
+                let logits = self.d.forward(x_r, false);
+                let (val_loss, _) = softmax_cross_entropy(&logits, val_targets);
+                if val_loss + 1e-6 < best_val {
+                    best_val = val_loss;
+                    stale = 0;
+                } else {
+                    stale += 1;
+                    if stale >= self.cfg.early_stop_patience {
+                        break;
+                    }
+                }
+            }
+        }
+        stats
+    }
+
+    /// Incremental discriminator refresh (procedure SGAND): descends
+    /// `L^i(D)` on the updated example set for a few epochs, leaving `G`
+    /// untouched.
+    pub fn update_discriminator(
+        &mut self,
+        x_r: &Matrix,
+        x_s: &Matrix,
+        targets: &[(usize, usize)],
+        rng: &mut Rng,
+    ) -> TrainStats {
+        let mut stats = TrainStats::default();
+        let full_lr = self.d_opt.lr;
+        self.d_opt.lr = full_lr * self.cfg.incremental_lr_scale;
+        for epoch in 0..self.cfg.incremental_epochs {
+            stats.epochs_run = epoch + 1;
+            let unsup_rows = rng.sample_indices(x_r.rows(), self.cfg.batch_unsup);
+            let fake_rows = if x_s.rows() > 0 {
+                rng.sample_indices(x_s.rows(), self.cfg.batch_unsup.min(x_s.rows()))
+            } else {
+                Vec::new()
+            };
+            stats.d_loss = self.d_step(x_r, x_s, targets, &unsup_rows, &fake_rows, rng);
+        }
+        self.d_opt.lr = full_lr;
+        stats
+    }
+
+    /// Raw 3-class logits in evaluation mode.
+    pub fn logits(&mut self, x: &Matrix) -> Matrix {
+        self.d.forward(x, false)
+    }
+
+    /// Class probabilities over {error, correct}, renormalized after
+    /// dropping the synthetic class — the classifier `M` of Section III.
+    pub fn class_probs(&mut self, x: &Matrix) -> Matrix {
+        let probs = self.logits(x).softmax_rows();
+        let mut out = Matrix::zeros(x.rows(), 2);
+        for r in 0..x.rows() {
+            let pe = probs[(r, 0)];
+            let pc = probs[(r, 1)];
+            let z = (pe + pc).max(1e-12);
+            out[(r, 0)] = pe / z;
+            out[(r, 1)] = pc / z;
+        }
+        out
+    }
+
+    /// Node embeddings `H_n(X)` — the tapped intermediate layer, evaluation
+    /// mode. Forwarded to the query-selection module each iteration.
+    pub fn embeddings(&mut self, x: &Matrix) -> Matrix {
+        let _ = self.d.forward(x, false);
+        self.d.tap(self.tap).clone()
+    }
+
+    /// Per-row probability of the `error` class (classifier scores).
+    pub fn error_scores(&mut self, x: &Matrix) -> Vec<f64> {
+        let p = self.class_probs(x);
+        (0..x.rows()).map(|r| p[(r, 0)]).collect()
+    }
+
+    /// Generates fake encodings from synthetic inputs (diagnostics).
+    pub fn generate(&mut self, x_s: &Matrix) -> Matrix {
+        self.g.forward(x_s, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    /// Real data: two Gaussian blobs (errors near +2, correct near -2) in
+    /// `dim` dimensions. Synthetic inputs: noise near the error blob.
+    fn toy_data(rng: &mut Rng, n: usize, dim: usize) -> (Matrix, Matrix, Vec<Label>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let center = if i % 4 == 0 { 2.0 } else { -2.0 };
+            labels.push(if i % 4 == 0 {
+                Label::Error
+            } else {
+                Label::Correct
+            });
+            rows.push((0..dim).map(|_| center + rng.gauss() * 0.6).collect());
+        }
+        let x_r = Matrix::from_rows(&rows);
+        let x_s = Matrix::from_fn(n / 2, dim, |_, _| 2.0 + rng.gauss());
+        (x_r, x_s, labels)
+    }
+
+    fn small_cfg() -> SganConfig {
+        SganConfig {
+            d_hidden: vec![16, 8],
+            g_hidden: vec![16],
+            epochs: 120,
+            incremental_epochs: 10,
+            batch_unsup: 64,
+            early_stop_patience: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sgan_learns_toy_separation() {
+        let mut rng = Rng::seed_from_u64(201);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 200, 6);
+        // Label 20% of rows.
+        let targets: Vec<(usize, usize)> = (0..200)
+            .step_by(5)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(6, &small_cfg(), &mut rng);
+        let stats = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+        assert_eq!(stats.epochs_run, 120);
+        // Accuracy on all rows.
+        let probs = sgan.class_probs(&x_r);
+        let correct = (0..200)
+            .filter(|&r| {
+                let pred = if probs[(r, 0)] > probs[(r, 1)] {
+                    Label::Error
+                } else {
+                    Label::Correct
+                };
+                pred == labels[r]
+            })
+            .count();
+        assert!(correct >= 180, "accuracy {correct}/200");
+    }
+
+    #[test]
+    fn class_probs_normalized() {
+        let mut rng = Rng::seed_from_u64(202);
+        let (x_r, _, _) = toy_data(&mut rng, 50, 4);
+        let mut sgan = Sgan::new(4, &small_cfg(), &mut rng);
+        let p = sgan.class_probs(&x_r);
+        for r in 0..50 {
+            assert!((p[(r, 0)] + p[(r, 1)] - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn embeddings_have_tap_width() {
+        let mut rng = Rng::seed_from_u64(203);
+        let (x_r, _, _) = toy_data(&mut rng, 20, 4);
+        let cfg = small_cfg();
+        let mut sgan = Sgan::new(4, &cfg, &mut rng);
+        let h = sgan.embeddings(&x_r);
+        assert_eq!(h.shape(), (20, *cfg.d_hidden.last().unwrap()));
+    }
+
+    #[test]
+    fn incremental_update_improves_on_new_labels() {
+        let mut rng = Rng::seed_from_u64(204);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 200, 6);
+        // Train with very few labels first.
+        let sparse: Vec<(usize, usize)> = (0..200)
+            .step_by(50)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(6, &small_cfg(), &mut rng);
+        let _ = sgan.train(&x_r, &x_s, &sparse, &[], &mut rng);
+        let probs_before = sgan.class_probs(&x_r);
+        let acc = |p: &Matrix| {
+            (0..200)
+                .filter(|&r| (p[(r, 0)] > p[(r, 1)]) == (labels[r] == Label::Error))
+                .count()
+        };
+        let acc_before = acc(&probs_before);
+        // SGAND with a much richer example set.
+        let dense: Vec<(usize, usize)> = (0..200)
+            .step_by(3)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        for _ in 0..5 {
+            let _ = sgan.update_discriminator(&x_r, &x_s, &dense, &mut rng);
+        }
+        let acc_after = acc(&sgan.class_probs(&x_r));
+        assert!(
+            acc_after >= acc_before,
+            "SGAND regressed: {acc_before} -> {acc_after}"
+        );
+        assert!(acc_after > 180, "accuracy after SGAND: {acc_after}");
+    }
+
+    #[test]
+    fn generator_moves_toward_real_distribution() {
+        let mut rng = Rng::seed_from_u64(205);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 200, 6);
+        let targets: Vec<(usize, usize)> = (0..200)
+            .step_by(5)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(6, &small_cfg(), &mut rng);
+        // Feature-matching distance before training.
+        let h_real0 = sgan.embeddings(&x_r);
+        let fake0 = sgan.generate(&x_s);
+        let h_fake0 = sgan.embeddings(&fake0);
+        let (fm0, _) = feature_matching_loss(&h_real0, &h_fake0);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+        let h_real1 = sgan.embeddings(&x_r);
+        let fake1 = sgan.generate(&x_s);
+        let h_fake1 = sgan.embeddings(&fake1);
+        let (fm1, _) = feature_matching_loss(&h_real1, &h_fake1);
+        assert!(
+            fm1 < fm0 * 2.0,
+            "feature matching exploded: {fm0} -> {fm1}"
+        );
+    }
+
+    #[test]
+    fn early_stopping_cuts_epochs() {
+        let mut rng = Rng::seed_from_u64(206);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 120, 4);
+        let targets: Vec<(usize, usize)> = (0..120)
+            .step_by(4)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let val: Vec<(usize, usize)> = (1..120)
+            .step_by(7)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let cfg = SganConfig {
+            epochs: 400,
+            early_stop_patience: 10,
+            ..small_cfg()
+        };
+        let mut sgan = Sgan::new(4, &cfg, &mut rng);
+        let stats = sgan.train(&x_r, &x_s, &targets, &val, &mut rng);
+        assert!(
+            stats.epochs_run < 400,
+            "early stopping never fired ({} epochs)",
+            stats.epochs_run
+        );
+    }
+
+    #[test]
+    fn empty_synthetic_set_still_trains() {
+        let mut rng = Rng::seed_from_u64(207);
+        let (x_r, _, labels) = toy_data(&mut rng, 80, 4);
+        let x_s = Matrix::zeros(0, 4);
+        let targets: Vec<(usize, usize)> = (0..80)
+            .step_by(4)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(4, &small_cfg(), &mut rng);
+        let stats = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+        assert!(stats.d_loss.is_finite());
+    }
+}

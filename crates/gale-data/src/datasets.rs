@@ -1,0 +1,377 @@
+//! The five evaluation datasets of Table III, as synthetic analogues, plus
+//! the Table II source-graph metadata they are "induced" from.
+
+use crate::generator::{generate, AttrSpec, GeneratedGraph, GraphSpec, NaturalNoise};
+use crate::vocab;
+use gale_detect::{discover_constraints, inject_errors, Constraint, DiscoveryConfig, ErrorGenConfig, GroundTruth};
+use gale_graph::Graph;
+use gale_tensor::Rng;
+
+/// The five processed graphs of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Species (DBP): 17.7K nodes / 20K edges / 4 attrs.
+    Species,
+    /// Data Mining (OAG): 11.2K / 12.9K / 3.
+    DataMining,
+    /// Machine Learning (OAG): 3.4K / 3.3K / 3.
+    MachineLearning,
+    /// UserGroup1 (Yelp): 3.4K / 2.6K / 3.
+    UserGroup1,
+    /// UserGroup2 (Yelp): 3.3K / 2.5K / 3.
+    UserGroup2,
+}
+
+impl DatasetId {
+    /// All datasets in Table III/IV order.
+    pub const ALL: [DatasetId; 5] = [
+        DatasetId::Species,
+        DatasetId::DataMining,
+        DatasetId::MachineLearning,
+        DatasetId::UserGroup1,
+        DatasetId::UserGroup2,
+    ];
+
+    /// The paper's short code (SP/DM/ML/UG1/UG2).
+    pub fn code(self) -> &'static str {
+        match self {
+            DatasetId::Species => "SP",
+            DatasetId::DataMining => "DM",
+            DatasetId::MachineLearning => "ML",
+            DatasetId::UserGroup1 => "UG1",
+            DatasetId::UserGroup2 => "UG2",
+        }
+    }
+
+    /// Full display name as in Table III.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            DatasetId::Species => "Species(DBP)",
+            DatasetId::DataMining => "Data Mining(DM:OAG)",
+            DatasetId::MachineLearning => "Machine Learning(ML:OAG)",
+            DatasetId::UserGroup1 => "UserGroup1(UG1:Yelp)",
+            DatasetId::UserGroup2 => "UserGroup2(UG2:Yelp)",
+        }
+    }
+
+    /// Table III node/edge targets at full scale.
+    pub fn full_size(self) -> (usize, usize) {
+        match self {
+            DatasetId::Species => (17_700, 20_000),
+            DatasetId::DataMining => (11_200, 12_900),
+            DatasetId::MachineLearning => (3_400, 3_300),
+            DatasetId::UserGroup1 => (3_400, 2_600),
+            DatasetId::UserGroup2 => (3_300, 2_500),
+        }
+    }
+
+    /// The graph spec at a given scale factor (1.0 = Table III sizes).
+    pub fn spec(self, scale: f64) -> GraphSpec {
+        assert!(scale > 0.0, "spec: scale must be positive");
+        let (n, e) = self.full_size();
+        let nodes = ((n as f64 * scale) as usize).max(64);
+        let edges = ((e as f64 * scale) as usize).max(64);
+        match self {
+            DatasetId::Species => species_spec(nodes, edges),
+            DatasetId::DataMining => oag_spec(nodes, edges, "paper_dm", 10),
+            DatasetId::MachineLearning => oag_spec(nodes, edges, "paper_ml", 6),
+            DatasetId::UserGroup1 => yelp_spec(nodes, edges, "user_g1", 6, 0),
+            DatasetId::UserGroup2 => yelp_spec(nodes, edges, "user_g2", 5, 8),
+        }
+    }
+}
+
+fn strings(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| s.to_string()).collect()
+}
+
+fn species_spec(nodes: usize, edges: usize) -> GraphSpec {
+    let mut name_vocab = strings(vocab::GENERA);
+    name_vocab.extend(strings(vocab::EPITHETS));
+    GraphSpec {
+        node_type: "species".into(),
+        edge_type: "related_to".into(),
+        nodes,
+        edges,
+        communities: 8,
+        intra_community_edge_prob: 0.9,
+        noise: NaturalNoise::default(),
+        attrs: vec![
+            AttrSpec::TextName {
+                name: "name".into(),
+                vocab: name_vocab,
+                words: 2,
+            },
+            AttrSpec::CategoricalByCommunity {
+                name: "order".into(),
+                vocab: strings(vocab::ORDERS),
+                spread: 3,
+            },
+            AttrSpec::DerivedCategorical {
+                name: "kingdom".into(),
+                source: 1,
+                vocab: strings(vocab::KINGDOMS),
+            },
+            AttrSpec::NumericByCommunity {
+                name: "population".into(),
+                base: 1000.0,
+                community_shift: 150.0,
+                noise: 60.0,
+            },
+        ],
+    }
+}
+
+fn oag_spec(nodes: usize, edges: usize, node_type: &str, communities: usize) -> GraphSpec {
+    GraphSpec {
+        node_type: node_type.into(),
+        edge_type: "cites".into(),
+        nodes,
+        edges,
+        communities,
+        intra_community_edge_prob: 0.85,
+        noise: NaturalNoise::default(),
+        attrs: vec![
+            AttrSpec::CategoricalByCommunity {
+                name: "venue".into(),
+                vocab: strings(vocab::VENUES),
+                spread: 3,
+            },
+            AttrSpec::DerivedCategorical {
+                name: "field".into(),
+                source: 0,
+                vocab: strings(vocab::FIELDS),
+            },
+            AttrSpec::NumericByCommunity {
+                name: "citations".into(),
+                base: 40.0,
+                community_shift: 12.0,
+                noise: 8.0,
+            },
+        ],
+    }
+}
+
+fn yelp_spec(
+    nodes: usize,
+    edges: usize,
+    node_type: &str,
+    communities: usize,
+    city_offset: usize,
+) -> GraphSpec {
+    // Rotate the city vocabulary so UG1 and UG2 live in different cities.
+    let mut cities = strings(vocab::CITIES);
+    let rot = city_offset % cities.len();
+    cities.rotate_left(rot);
+    let mut names = strings(vocab::FIRST_NAMES);
+    names.extend(strings(vocab::LAST_NAMES));
+    GraphSpec {
+        node_type: node_type.into(),
+        edge_type: "friend_with".into(),
+        nodes,
+        edges,
+        communities,
+        intra_community_edge_prob: 0.92,
+        noise: NaturalNoise::default(),
+        attrs: vec![
+            AttrSpec::TextName {
+                name: "name".into(),
+                vocab: names,
+                words: 2,
+            },
+            AttrSpec::CategoricalByCommunity {
+                name: "city".into(),
+                vocab: cities,
+                spread: 2,
+            },
+            AttrSpec::NumericByCommunity {
+                name: "rating".into(),
+                base: 3.5,
+                community_shift: 0.15,
+                noise: 0.4,
+            },
+        ],
+    }
+}
+
+/// Table II: the three source graphs the processed datasets are induced
+/// from. Returned as metadata only (the full graphs are never materialized).
+#[derive(Debug, Clone)]
+pub struct SourceGraphInfo {
+    /// Source-graph name.
+    pub name: &'static str,
+    /// Node count.
+    pub nodes: u64,
+    /// Edge count.
+    pub edges: u64,
+    /// Number of node types.
+    pub node_types: u32,
+    /// Number of edge types.
+    pub edge_types: u32,
+    /// Average attributes per node.
+    pub avg_attrs: u32,
+}
+
+/// The Table II rows.
+pub fn table2_sources() -> Vec<SourceGraphInfo> {
+    vec![
+        SourceGraphInfo {
+            name: "DBP",
+            nodes: 2_200_000,
+            edges: 7_400_000,
+            node_types: 73,
+            edge_types: 584,
+            avg_attrs: 4,
+        },
+        SourceGraphInfo {
+            name: "OAG",
+            nodes: 600_000,
+            edges: 1_700_000,
+            node_types: 5,
+            edge_types: 6,
+            avg_attrs: 2,
+        },
+        SourceGraphInfo {
+            name: "Yelp",
+            nodes: 1_500_000,
+            edges: 1_600_000,
+            node_types: 42,
+            edge_types: 20,
+            avg_attrs: 5,
+        },
+    ]
+}
+
+/// A fully prepared evaluation dataset: polluted graph, ground truth, and
+/// the constraint set Σ mined from the clean graph.
+pub struct PreparedDataset {
+    /// Which Table III dataset this is.
+    pub id: DatasetId,
+    /// The polluted graph handed to the detectors.
+    pub graph: Graph,
+    /// Injection ground truth.
+    pub truth: GroundTruth,
+    /// Mined rule set Σ (shared by GALE variants, GEDet, VioDet).
+    pub constraints: Vec<Constraint>,
+    /// Community assignment from the generator (diagnostics only).
+    pub communities: Vec<usize>,
+}
+
+/// Generates, mines Σ, and pollutes one dataset.
+///
+/// `scale` shrinks the Table III sizes proportionally (useful for tests and
+/// micro-benches); `error_cfg` follows the paper's defaults when
+/// `ErrorGenConfig::default()` is passed.
+pub fn prepare(
+    id: DatasetId,
+    scale: f64,
+    error_cfg: &ErrorGenConfig,
+    seed: u64,
+) -> PreparedDataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let GeneratedGraph {
+        graph: mut g,
+        communities,
+    } = generate(&id.spec(scale), &mut rng);
+    let constraints = discover_constraints(
+        &g,
+        &DiscoveryConfig {
+            min_support: 10,
+            min_confidence: 0.8,
+            max_domain_size: 32,
+        },
+    );
+    let truth = inject_errors(&mut g, &constraints, error_cfg, &mut rng);
+    PreparedDataset {
+        id,
+        graph: g,
+        truth,
+        constraints,
+        communities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_generate_at_small_scale() {
+        for id in DatasetId::ALL {
+            let spec = id.spec(0.05);
+            let gen = generate(&spec, &mut Rng::seed_from_u64(1));
+            assert!(gen.graph.node_count() >= 64, "{id:?} too small");
+            assert!(gen.graph.edge_count() >= 64);
+        }
+    }
+
+    #[test]
+    fn full_sizes_match_table3() {
+        assert_eq!(DatasetId::Species.full_size(), (17_700, 20_000));
+        assert_eq!(DatasetId::MachineLearning.full_size(), (3_400, 3_300));
+        assert_eq!(DatasetId::UserGroup2.full_size(), (3_300, 2_500));
+    }
+
+    #[test]
+    fn avg_attrs_match_table3() {
+        for (id, expected) in [
+            (DatasetId::Species, 4.0),
+            (DatasetId::DataMining, 3.0),
+            (DatasetId::UserGroup1, 3.0),
+        ] {
+            let gen = generate(&id.spec(0.05), &mut Rng::seed_from_u64(2));
+            assert!(
+                (gen.graph.avg_attrs() - expected).abs() < 1e-9,
+                "{id:?}: avg attrs {}",
+                gen.graph.avg_attrs()
+            );
+        }
+    }
+
+    #[test]
+    fn prepare_injects_default_error_rate() {
+        let d = prepare(
+            DatasetId::MachineLearning,
+            0.3,
+            &ErrorGenConfig {
+                node_error_rate: 0.05,
+                ..Default::default()
+            },
+            7,
+        );
+        let rate = d.truth.error_count() as f64 / d.graph.node_count() as f64;
+        assert!((rate - 0.05).abs() < 0.03, "rate {rate}");
+        assert!(!d.constraints.is_empty(), "no constraints mined");
+    }
+
+    #[test]
+    fn prepare_is_deterministic() {
+        let a = prepare(DatasetId::UserGroup1, 0.1, &ErrorGenConfig::default(), 3);
+        let b = prepare(DatasetId::UserGroup1, 0.1, &ErrorGenConfig::default(), 3);
+        assert_eq!(a.truth.error_count(), b.truth.error_count());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn ug1_and_ug2_differ_in_cities() {
+        let a = generate(&DatasetId::UserGroup1.spec(0.05), &mut Rng::seed_from_u64(4));
+        let b = generate(&DatasetId::UserGroup2.spec(0.05), &mut Rng::seed_from_u64(4));
+        let city_a = a.graph.schema.find_attr("city").unwrap();
+        let city_b = b.graph.schema.find_attr("city").unwrap();
+        let ta = a.graph.schema.find_node_type("user_g1").unwrap();
+        let tb = b.graph.schema.find_node_type("user_g2").unwrap();
+        let ca: std::collections::HashSet<String> =
+            a.graph.value_counts(ta, city_a).into_keys().collect();
+        let cb: std::collections::HashSet<String> =
+            b.graph.value_counts(tb, city_b).into_keys().collect();
+        assert_ne!(ca, cb);
+    }
+
+    #[test]
+    fn table2_rows_present() {
+        let rows = table2_sources();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].name, "DBP");
+        assert_eq!(rows[0].node_types, 73);
+    }
+}

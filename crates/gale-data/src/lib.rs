@@ -1,0 +1,23 @@
+//! # gale-data
+//!
+//! Synthetic evaluation data for the GALE reproduction (ICDE 2023): the five
+//! Table III dataset analogues (community-structured graphs with minable
+//! constraints, numeric distributions, and text attributes), the 6/1/3 fold
+//! split, and the feature-engineering pipeline of Section VII.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod featurize;
+pub mod generator;
+pub mod split;
+pub mod vocab;
+
+pub use datasets::{prepare, table2_sources, DatasetId, PreparedDataset, SourceGraphInfo};
+pub use featurize::{
+    attribute_feature_layout, attribute_features, detector_signal_features, featurize,
+    FeaturePipeline, FeaturizeConfig,
+};
+pub use generator::{generate, AttrSpec, GeneratedGraph, GraphSpec};
+pub use split::DataSplit;

@@ -1,0 +1,126 @@
+//! Train/validation/test folds.
+//!
+//! The paper randomly partitions nodes into 10 folds: 6 for training
+//! examples, 1 for validation, 3 for testing (Section VIII).
+
+use gale_graph::NodeId;
+use gale_tensor::Rng;
+
+/// A node-level split of a graph.
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// Training-pool node ids (the paper's `V_T` candidates).
+    pub train: Vec<NodeId>,
+    /// Validation node ids (early stopping).
+    pub val: Vec<NodeId>,
+    /// Held-out test node ids (all reported metrics).
+    pub test: Vec<NodeId>,
+}
+
+impl DataSplit {
+    /// Random fold split with the given per-split fold counts out of
+    /// `train_folds + val_folds + test_folds` total folds.
+    pub fn folds(
+        n_nodes: usize,
+        train_folds: usize,
+        val_folds: usize,
+        test_folds: usize,
+        rng: &mut Rng,
+    ) -> Self {
+        let total = train_folds + val_folds + test_folds;
+        assert!(total > 0, "DataSplit::folds: zero folds");
+        let mut ids: Vec<NodeId> = (0..n_nodes).collect();
+        rng.shuffle(&mut ids);
+        let train_end = n_nodes * train_folds / total;
+        let val_end = n_nodes * (train_folds + val_folds) / total;
+        DataSplit {
+            train: ids[..train_end].to_vec(),
+            val: ids[train_end..val_end].to_vec(),
+            test: ids[val_end..].to_vec(),
+        }
+    }
+
+    /// The paper's 6/1/3 split.
+    pub fn paper_default(n_nodes: usize, rng: &mut Rng) -> Self {
+        DataSplit::folds(n_nodes, 6, 1, 3, rng)
+    }
+
+    /// Total number of nodes across all splits.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// `true` when every split is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Down-samples the training pool to a fraction `p_t` of the *graph*
+    /// (the paper's training-data-ratio knob, Fig. 7(b)); keeps order.
+    pub fn with_train_ratio(&self, n_nodes: usize, p_t: f64) -> DataSplit {
+        let keep = ((n_nodes as f64 * p_t).round() as usize).min(self.train.len());
+        DataSplit {
+            train: self.train[..keep].to_vec(),
+            val: self.val.clone(),
+            test: self.test.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn folds_partition_all_nodes() {
+        let mut rng = Rng::seed_from_u64(1);
+        let s = DataSplit::paper_default(1000, &mut rng);
+        assert_eq!(s.len(), 1000);
+        let mut all: Vec<NodeId> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 1000);
+    }
+
+    #[test]
+    fn paper_ratios_hold() {
+        let mut rng = Rng::seed_from_u64(2);
+        let s = DataSplit::paper_default(1000, &mut rng);
+        assert_eq!(s.train.len(), 600);
+        assert_eq!(s.val.len(), 100);
+        assert_eq!(s.test.len(), 300);
+    }
+
+    #[test]
+    fn train_ratio_downsamples() {
+        let mut rng = Rng::seed_from_u64(3);
+        let s = DataSplit::paper_default(1000, &mut rng);
+        let s5 = s.with_train_ratio(1000, 0.05);
+        assert_eq!(s5.train.len(), 50);
+        assert_eq!(s5.test.len(), 300);
+        // Ratio above the pool clamps.
+        let s_all = s.with_train_ratio(1000, 0.99);
+        assert_eq!(s_all.train.len(), 600);
+    }
+
+    #[test]
+    fn deterministic_split() {
+        let a = DataSplit::paper_default(500, &mut Rng::seed_from_u64(4));
+        let b = DataSplit::paper_default(500, &mut Rng::seed_from_u64(4));
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+    }
+
+    #[test]
+    fn tiny_graph_split() {
+        let mut rng = Rng::seed_from_u64(5);
+        let s = DataSplit::folds(3, 1, 1, 1, &mut rng);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic vocabularies for the synthetic dataset generators.
+//!
+//! Each list is themed after one of the paper's source graphs (DBpedia
+//! species, Open Academic Graph topics, Yelp services) so that generated
+//! attribute values look like the real thing and the string-noise detectors
+//! have realistic character statistics to model.
+
+/// Botanical/zoological order names (DBP species analogue).
+pub const ORDERS: &[&str] = &[
+    "Malvales", "Fabales", "Rosales", "Asterales", "Poales", "Lamiales",
+    "Brassicales", "Sapindales", "Myrtales", "Gentianales", "Ericales",
+    "Caryophyllales", "Ranunculales", "Asparagales", "Liliales", "Pinales",
+    "Lepidoptera", "Coleoptera", "Diptera", "Hymenoptera", "Hemiptera",
+    "Odonata", "Orthoptera", "Passeriformes",
+];
+
+/// Kingdom names, grouped so each order maps deterministically to one.
+pub const KINGDOMS: &[&str] = &["plantae", "animalia", "fungi", "protista"];
+
+/// Latin-ish species epithets for name generation.
+pub const EPITHETS: &[&str] = &[
+    "alba", "rubra", "verde", "minor", "major", "vulgaris", "officinalis",
+    "sylvatica", "campestris", "montana", "aquatica", "arvensis", "nigra",
+    "lutea", "grandis", "parva", "elegans", "robusta", "gracilis", "communis",
+];
+
+/// Genus-like stems.
+pub const GENERA: &[&str] = &[
+    "cavanillesia", "quercus", "acer", "salix", "betula", "pinus", "abies",
+    "rosa", "malva", "viola", "iris", "lilium", "carex", "festuca", "poa",
+    "papilio", "morpho", "danaus", "vanessa", "pieris", "apis", "bombus",
+];
+
+/// Academic venue names (OAG analogue).
+pub const VENUES: &[&str] = &[
+    "ICDE", "SIGMOD", "VLDB", "KDD", "ICML", "NeurIPS", "ICLR", "AAAI",
+    "IJCAI", "WWW", "WSDM", "CIKM", "EDBT", "ICDM", "SDM", "ECML", "UAI",
+    "COLT", "ACL", "EMNLP", "CVPR", "ICCV", "SIGIR", "RecSys",
+];
+
+/// Research fields, grouped so venues map deterministically onto them.
+pub const FIELDS: &[&str] = &[
+    "databases", "data mining", "machine learning", "natural language",
+    "computer vision", "information retrieval",
+];
+
+/// Paper-title stock words.
+pub const TITLE_WORDS: &[&str] = &[
+    "learning", "graphs", "efficient", "scalable", "neural", "deep",
+    "adversarial", "detection", "queries", "optimization", "embedding",
+    "attention", "transformers", "clustering", "sampling", "distributed",
+    "streaming", "indexes", "joins", "provenance", "cleaning", "repair",
+];
+
+/// City names (Yelp analogue).
+pub const CITIES: &[&str] = &[
+    "Phoenix", "Las Vegas", "Toronto", "Charlotte", "Pittsburgh",
+    "Montreal", "Madison", "Cleveland", "Edinburgh", "Stuttgart",
+    "Champaign", "Urbana", "Scottsdale", "Henderson", "Tempe", "Mesa",
+];
+
+/// Yelp-ish business categories.
+pub const CATEGORIES: &[&str] = &[
+    "restaurants", "plumbers", "electricians", "cafes", "bars", "salons",
+    "dentists", "mechanics", "bakeries", "gyms", "florists", "movers",
+];
+
+/// Personal-name stems for user names.
+pub const FIRST_NAMES: &[&str] = &[
+    "alex", "sam", "jordan", "taylor", "casey", "morgan", "riley", "jamie",
+    "avery", "quinn", "dana", "reese", "skyler", "devon", "kendall", "logan",
+];
+
+/// Surname stems.
+pub const LAST_NAMES: &[&str] = &[
+    "smith", "garcia", "chen", "mueller", "rossi", "tanaka", "kowalski",
+    "johnson", "brown", "davis", "martin", "lopez", "gonzalez", "wilson",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vocabularies_non_empty_and_unique() {
+        for (name, list) in [
+            ("ORDERS", ORDERS),
+            ("KINGDOMS", KINGDOMS),
+            ("EPITHETS", EPITHETS),
+            ("GENERA", GENERA),
+            ("VENUES", VENUES),
+            ("FIELDS", FIELDS),
+            ("TITLE_WORDS", TITLE_WORDS),
+            ("CITIES", CITIES),
+            ("CATEGORIES", CATEGORIES),
+            ("FIRST_NAMES", FIRST_NAMES),
+            ("LAST_NAMES", LAST_NAMES),
+        ] {
+            assert!(!list.is_empty(), "{name} empty");
+            let mut v: Vec<&&str> = list.iter().collect();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), list.len(), "{name} has duplicates");
+        }
+    }
+
+    #[test]
+    fn orders_cover_multiple_kingdom_groups() {
+        assert!(ORDERS.len() >= 2 * KINGDOMS.len());
+    }
+}

@@ -1,0 +1,101 @@
+//! The base-detector abstraction for the library Ψ (Section II: "an oracle
+//! can be … simulated by invoking and ensembling a set of user-defined
+//! classifiers called *base detectors*").
+
+use gale_graph::{AttrId, Graph, NodeId};
+use gale_graph::value::AttrValue;
+use serde::{Deserialize, Serialize};
+
+/// The class a base detector belongs to. The paper's built-in library covers
+/// constraint-based, outlier, and string-error detectors (Section VII), which
+/// mirror the three injected error types of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DetectorClass {
+    /// Violations of data constraints (GFD-style rules).
+    Constraint,
+    /// Statistical outliers in numeric attributes.
+    Outlier,
+    /// String noise: misspellings, nulls, garbage values.
+    StringNoise,
+}
+
+impl DetectorClass {
+    /// All classes, in a stable order.
+    pub const ALL: [DetectorClass; 3] = [
+        DetectorClass::Constraint,
+        DetectorClass::Outlier,
+        DetectorClass::StringNoise,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DetectorClass::Constraint => "constraint",
+            DetectorClass::Outlier => "outlier",
+            DetectorClass::StringNoise => "string-noise",
+        }
+    }
+}
+
+/// A single detection: a detector's claim that an attribute value is wrong.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Detection {
+    /// The flagged node.
+    pub node: NodeId,
+    /// The flagged attribute.
+    pub attr: AttrId,
+    /// Detector-local confidence in `[0, 1]`.
+    pub confidence: f64,
+    /// Human-readable explanation (drives the annotator's Type-2 data).
+    pub message: String,
+}
+
+/// A base detector in the library Ψ.
+pub trait BaseDetector {
+    /// Stable identifier of this detector instance.
+    fn name(&self) -> String;
+
+    /// Which class of errors this detector targets.
+    fn class(&self) -> DetectorClass;
+
+    /// Scans the whole graph and returns every detection.
+    fn detect(&self, g: &Graph) -> Vec<Detection>;
+
+    /// For "invertible" detectors (Section VII): a suggested correct value
+    /// for a flagged `(node, attr)`. `None` when the detector cannot invert.
+    fn suggest(&self, _g: &Graph, _node: NodeId, _attr: AttrId) -> Option<AttrValue> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_are_distinct() {
+        let names: Vec<&str> = DetectorClass::ALL.iter().map(|c| c.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn default_suggest_is_none() {
+        struct Dummy;
+        impl BaseDetector for Dummy {
+            fn name(&self) -> String {
+                "dummy".into()
+            }
+            fn class(&self) -> DetectorClass {
+                DetectorClass::Outlier
+            }
+            fn detect(&self, _g: &Graph) -> Vec<Detection> {
+                Vec::new()
+            }
+        }
+        let d = Dummy;
+        assert!(d.suggest(&Graph::new(), 0, 0).is_none());
+    }
+}

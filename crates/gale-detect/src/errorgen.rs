@@ -1,0 +1,784 @@
+//! BART-style configurable error injection (Section VIII, "Error
+//! Generation").
+//!
+//! The paper pollutes clean graphs with three error types — constraint
+//! violations, outliers, and string noises — controlled by a *node error
+//! rate* (probability a node becomes erroneous), an *attribute error rate*
+//! (probability each of its attributes is perturbed), and a *detectable
+//! rate* (the chance an injected error is capturable by a base detector in
+//! Ψ). Defaults are the paper's: 0.01 / 0.33 / 0.5.
+
+use crate::constraints::{Constraint, EdgeRelation};
+use gale_graph::value::AttrValue;
+use gale_graph::{AttrId, AttrKind, Graph, NodeId, NodeTypeId};
+use gale_tensor::{stats, Rng};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The three injected error types of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// A value perturbed to violate a data constraint in Σ.
+    ConstraintViolation,
+    /// A numeric value pushed away from (or subtly inside) its distribution.
+    Outlier,
+    /// Misspellings, missing values, and random string disturbance.
+    StringNoise,
+}
+
+impl ErrorKind {
+    /// All kinds, in the order used by weight vectors.
+    pub const ALL: [ErrorKind; 3] = [
+        ErrorKind::ConstraintViolation,
+        ErrorKind::Outlier,
+        ErrorKind::StringNoise,
+    ];
+}
+
+/// Error-injection configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorGenConfig {
+    /// Probability a node is chosen as erroneous (paper default 0.01).
+    pub node_error_rate: f64,
+    /// Probability each attribute of a chosen node is perturbed (0.33).
+    pub attr_error_rate: f64,
+    /// Probability an injected error is detectable by Ψ (0.5).
+    pub detectable_rate: f64,
+    /// Relative weights of the three error kinds, [violation, outlier,
+    /// string]; uniform by default.
+    pub kind_weights: [f64; 3],
+}
+
+impl Default for ErrorGenConfig {
+    fn default() -> Self {
+        ErrorGenConfig {
+            node_error_rate: 0.01,
+            attr_error_rate: 0.33,
+            detectable_rate: 0.5,
+            kind_weights: [1.0, 1.0, 1.0],
+        }
+    }
+}
+
+impl ErrorGenConfig {
+    /// The paper's "violations-heavy" mix: 50% violations, 25% each other.
+    pub fn violations_heavy() -> Self {
+        ErrorGenConfig {
+            kind_weights: [2.0, 1.0, 1.0],
+            ..Default::default()
+        }
+    }
+
+    /// 50% outliers, 25% each other.
+    pub fn outliers_heavy() -> Self {
+        ErrorGenConfig {
+            kind_weights: [1.0, 2.0, 1.0],
+            ..Default::default()
+        }
+    }
+
+    /// 50% string noise, 25% each other.
+    pub fn string_noise_heavy() -> Self {
+        ErrorGenConfig {
+            kind_weights: [1.0, 1.0, 2.0],
+            ..Default::default()
+        }
+    }
+}
+
+/// One injected error record.
+#[derive(Debug, Clone)]
+pub struct InjectedError {
+    /// Polluted node.
+    pub node: NodeId,
+    /// Polluted attribute.
+    pub attr: AttrId,
+    /// The error type injected.
+    pub kind: ErrorKind,
+    /// Whether the injection aimed to be detectable by Ψ.
+    pub detectable: bool,
+    /// Value before pollution (the "ground truth" v*).
+    pub original: AttrValue,
+    /// Value after pollution.
+    pub corrupted: AttrValue,
+}
+
+/// Ground truth produced by [`inject_errors`].
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Every injected error, in injection order.
+    pub errors: Vec<InjectedError>,
+    erroneous: HashSet<NodeId>,
+}
+
+impl GroundTruth {
+    /// `true` when the node carries at least one injected error.
+    pub fn is_erroneous(&self, node: NodeId) -> bool {
+        self.erroneous.contains(&node)
+    }
+
+    /// The set of erroneous nodes.
+    pub fn erroneous_nodes(&self) -> &HashSet<NodeId> {
+        &self.erroneous
+    }
+
+    /// Number of erroneous nodes.
+    pub fn error_count(&self) -> usize {
+        self.erroneous.len()
+    }
+
+    /// The original (correct) value for a polluted `(node, attr)`, if any.
+    pub fn original_value(&self, node: NodeId, attr: AttrId) -> Option<&AttrValue> {
+        self.errors
+            .iter()
+            .find(|e| e.node == node && e.attr == attr)
+            .map(|e| &e.original)
+    }
+}
+
+/// Pre-computed per-(type, attr) population statistics and dictionaries,
+/// gathered from the *clean* graph before injection.
+struct Population {
+    numeric: HashMap<(NodeTypeId, AttrId), (f64, f64)>, // (mean, std)
+    dictionaries: HashMap<(NodeTypeId, AttrId), Vec<String>>,
+}
+
+impl Population {
+    fn gather(g: &Graph) -> Self {
+        let mut numeric_vals: HashMap<(NodeTypeId, AttrId), Vec<f64>> = HashMap::new();
+        let mut dict_counts: HashMap<(NodeTypeId, AttrId), HashMap<String, usize>> =
+            HashMap::new();
+        for (_, node) in g.nodes() {
+            for (attr, v) in node.attrs() {
+                match g.schema.attr_kind(attr) {
+                    AttrKind::Numeric => {
+                        if let Some(x) = v.as_f64() {
+                            numeric_vals
+                                .entry((node.node_type, attr))
+                                .or_default()
+                                .push(x);
+                        }
+                    }
+                    _ => {
+                        if !v.is_null() {
+                            *dict_counts
+                                .entry((node.node_type, attr))
+                                .or_default()
+                                .entry(v.canonical())
+                                .or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let numeric = numeric_vals
+            .into_iter()
+            .map(|(k, vals)| (k, (stats::mean(&vals), stats::std_dev(&vals).max(1e-9))))
+            .collect();
+        let dictionaries = dict_counts
+            .into_iter()
+            .map(|(k, counts)| {
+                let mut vals: Vec<String> = counts
+                    .into_iter()
+                    .filter(|(_, c)| *c > 1)
+                    .map(|(v, _)| v)
+                    .collect();
+                vals.sort_unstable(); // determinism
+                (k, vals)
+            })
+            .collect();
+        Population {
+            numeric,
+            dictionaries,
+        }
+    }
+}
+
+/// Injects errors into `g` in place and returns the ground truth.
+///
+/// `constraints` is the mined rule set Σ (used both to *create* violations
+/// and to keep non-violation errors from accidentally violating Σ, as the
+/// paper requires: "injecting these errors alone are not leading to
+/// violations of Σ").
+pub fn inject_errors(
+    g: &mut Graph,
+    constraints: &[Constraint],
+    cfg: &ErrorGenConfig,
+    rng: &mut Rng,
+) -> GroundTruth {
+    assert!(
+        (0.0..=1.0).contains(&cfg.node_error_rate)
+            && (0.0..=1.0).contains(&cfg.attr_error_rate)
+            && (0.0..=1.0).contains(&cfg.detectable_rate),
+        "inject_errors: rates must be probabilities"
+    );
+    let pop = Population::gather(g);
+    let mut truth = GroundTruth::default();
+    let n = g.node_count();
+    for node in 0..n {
+        if !rng.chance(cfg.node_error_rate) {
+            continue;
+        }
+        let attrs: Vec<AttrId> = g.node(node).attrs().map(|(a, _)| a).collect();
+        if attrs.is_empty() {
+            continue;
+        }
+        let mut corrupted_any = false;
+        for &attr in &attrs {
+            if rng.chance(cfg.attr_error_rate)
+                && corrupt_attr(g, constraints, &pop, cfg, node, attr, rng, &mut truth)
+            {
+                corrupted_any = true;
+            }
+        }
+        if !corrupted_any {
+            // The node was selected as erroneous: force one perturbation,
+            // trying each attribute in random order.
+            let mut order = attrs.clone();
+            rng.shuffle(&mut order);
+            for attr in order {
+                if corrupt_attr(g, constraints, &pop, cfg, node, attr, rng, &mut truth) {
+                    break;
+                }
+            }
+        }
+    }
+    truth
+}
+
+/// Attempts one corruption; returns false when no applicable perturbation
+/// exists for this attribute (e.g. outlier requested on an empty slice).
+#[allow(clippy::too_many_arguments)]
+fn corrupt_attr(
+    g: &mut Graph,
+    constraints: &[Constraint],
+    pop: &Population,
+    cfg: &ErrorGenConfig,
+    node: NodeId,
+    attr: AttrId,
+    rng: &mut Rng,
+    truth: &mut GroundTruth,
+) -> bool {
+    let kind = ErrorKind::ALL[rng.weighted(&cfg.kind_weights)];
+    let detectable = rng.chance(cfg.detectable_rate);
+    let original = match g.node(node).get(attr) {
+        Some(v) => v.clone(),
+        None => return false,
+    };
+    let corrupted = match kind {
+        ErrorKind::ConstraintViolation => {
+            make_violation(g, constraints, pop, node, attr, detectable, rng)
+        }
+        ErrorKind::Outlier => make_outlier(g, pop, node, attr, detectable, rng),
+        ErrorKind::StringNoise => {
+            make_string_noise(g, constraints, pop, node, attr, detectable, rng)
+        }
+    };
+    let Some(corrupted) = corrupted else {
+        return false;
+    };
+    if corrupted.semantically_eq(&original) {
+        return false; // perturbation degenerated to the original value
+    }
+    g.node_mut(node).set(attr, corrupted.clone());
+    truth.erroneous.insert(node);
+    truth.errors.push(InjectedError {
+        node,
+        attr,
+        kind,
+        detectable,
+        original,
+        corrupted,
+    });
+    true
+}
+
+/// Constraint-violation pollution. Detectable: break a TypeFd binding or an
+/// EdgeRule. Undetectable: swap to another legal in-domain value (wrong but
+/// consistent with every rule).
+fn make_violation(
+    g: &mut Graph,
+    constraints: &[Constraint],
+    pop: &Population,
+    node: NodeId,
+    attr: AttrId,
+    detectable: bool,
+    rng: &mut Rng,
+) -> Option<AttrValue> {
+    let t = g.node(node).node_type;
+    if detectable {
+        // Break a TypeFd whose RHS is this attribute.
+        for c in constraints {
+            if let Constraint::TypeFd {
+                node_type,
+                lhs,
+                rhs,
+                bindings,
+                ..
+            } = c
+            {
+                if *node_type != t || *rhs != attr {
+                    continue;
+                }
+                let lv = g.node(node).get(*lhs)?.canonical();
+                let expected = bindings.get(&lv)?;
+                // Pick a different binding's value, deterministically ordered.
+                let mut others: Vec<&AttrValue> = bindings
+                    .values()
+                    .filter(|v| !v.semantically_eq(expected))
+                    .collect();
+                others.sort_by_key(|v| v.canonical());
+                if !others.is_empty() {
+                    return Some((*rng.choose(&others)).clone());
+                }
+            }
+            if let Constraint::EdgeRule {
+                src_type,
+                edge_type,
+                attr: eattr,
+                relation: EdgeRelation::MustDiffer,
+                ..
+            } = c
+            {
+                if *src_type != t || *eattr != attr {
+                    continue;
+                }
+                // Copy the value from a neighbor across this edge type:
+                // instant MustDiffer violation.
+                for e in g.edges() {
+                    if e.edge_type != *edge_type {
+                        continue;
+                    }
+                    let other = if e.src == node {
+                        e.dst
+                    } else if e.dst == node {
+                        e.src
+                    } else {
+                        continue;
+                    };
+                    if let Some(v) = g.node(other).get(attr) {
+                        if !v.is_null() {
+                            return Some(v.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // No applicable rule: fall back to an in-dictionary swap so the node
+        // is still wrong (though only weakly detectable).
+        in_domain_swap(g, pop, node, attr, rng)
+    } else {
+        subtle_wrong_value(g, constraints, pop, node, attr, rng)
+    }
+}
+
+/// A wrong-but-consistent value: numeric values drift inside the normal
+/// range; categorical values swap to another legal value *and* any TypeFd
+/// whose LHS is this attribute has its RHS re-bound so no rule fires —
+/// mirroring the paper's box-office cases 3/4, which no detector catches.
+fn subtle_wrong_value(
+    g: &mut Graph,
+    constraints: &[Constraint],
+    pop: &Population,
+    node: NodeId,
+    attr: AttrId,
+    rng: &mut Rng,
+) -> Option<AttrValue> {
+    if g.schema.attr_kind(attr) == AttrKind::Numeric {
+        return in_domain_swap(g, pop, node, attr, rng);
+    }
+    let new_value = in_domain_swap(g, pop, node, attr, rng)?;
+    let t = g.node(node).node_type;
+    // Keep TypeFds consistent: re-bind every RHS determined by this LHS.
+    for c in constraints {
+        if let Constraint::TypeFd {
+            node_type,
+            lhs,
+            rhs,
+            bindings,
+            ..
+        } = c
+        {
+            if *node_type == t && *lhs == attr {
+                if let Some(bound) = bindings.get(&new_value.canonical()) {
+                    g.node_mut(node).set(*rhs, bound.clone());
+                }
+            }
+        }
+    }
+    // If this attribute is itself an FD RHS, swapping it would violate the
+    // rule; pick the value the FD expects... which is the original. In that
+    // case a consistent wrong value does not exist — report None so the
+    // caller falls back to another attribute.
+    for c in constraints {
+        if let Constraint::TypeFd {
+            node_type,
+            lhs,
+            rhs,
+            bindings,
+            ..
+        } = c
+        {
+            if *node_type == t && *rhs == attr {
+                if let Some(lv) = g.node(node).get(*lhs) {
+                    if let Some(expected) = bindings.get(&lv.canonical()) {
+                        if !new_value.semantically_eq(expected) {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(new_value)
+}
+
+/// Swap to a different legitimate value of the same `(type, attr)` slice —
+/// plausible but wrong, like the paper's box-office cases 3 and 4.
+fn in_domain_swap(
+    g: &Graph,
+    pop: &Population,
+    node: NodeId,
+    attr: AttrId,
+    rng: &mut Rng,
+) -> Option<AttrValue> {
+    let t = g.node(node).node_type;
+    if g.schema.attr_kind(attr) == AttrKind::Numeric {
+        // Subtle numeric drift stays inside the normal range.
+        let &(_, std) = pop.numeric.get(&(t, attr))?;
+        let cur = g.node(node).get(attr)?.as_f64()?;
+        let shift = std * (0.5 + rng.f64()) * if rng.chance(0.5) { 1.0 } else { -1.0 };
+        return Some(AttrValue::Float(cur + shift));
+    }
+    let dict = pop.dictionaries.get(&(t, attr))?;
+    let cur = g.node(node).get(attr)?.canonical();
+    let others: Vec<&String> = dict.iter().filter(|v| **v != cur).collect();
+    if others.is_empty() {
+        return None;
+    }
+    Some(AttrValue::Text((*rng.choose(&others)).clone()))
+}
+
+/// Outlier pollution: detectable variants jump 6-10σ away; undetectable
+/// variants drift 0.5-1.5σ (inside the normal range, invisible to Ψ).
+fn make_outlier(
+    g: &Graph,
+    pop: &Population,
+    node: NodeId,
+    attr: AttrId,
+    detectable: bool,
+    rng: &mut Rng,
+) -> Option<AttrValue> {
+    if g.schema.attr_kind(attr) != AttrKind::Numeric {
+        return None;
+    }
+    let t = g.node(node).node_type;
+    let &(mean, std) = pop.numeric.get(&(t, attr))?;
+    let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+    let magnitude = if detectable {
+        6.0 + rng.f64() * 4.0
+    } else {
+        0.5 + rng.f64()
+    };
+    Some(AttrValue::Float(mean + sign * magnitude * std))
+}
+
+/// String-noise pollution: detectable variants are misspellings, nulls, or
+/// garbage; undetectable variants swap to a different valid dictionary value
+/// (kept constraint-consistent).
+fn make_string_noise(
+    g: &mut Graph,
+    constraints: &[Constraint],
+    pop: &Population,
+    node: NodeId,
+    attr: AttrId,
+    detectable: bool,
+    rng: &mut Rng,
+) -> Option<AttrValue> {
+    if g.schema.attr_kind(attr) == AttrKind::Numeric {
+        return None;
+    }
+    let original = g.node(node).get(attr)?.clone();
+    let original = &original;
+    if !detectable {
+        return subtle_wrong_value(g, constraints, pop, node, attr, rng);
+    }
+    match rng.below(3) {
+        0 => {
+            // Misspelling: one random character edit.
+            let s = original.canonical();
+            if s.chars().count() < 3 {
+                return Some(AttrValue::Null);
+            }
+            Some(AttrValue::Text(misspell(&s, rng)))
+        }
+        1 => Some(AttrValue::Null),
+        _ => Some(AttrValue::Text(garbage_string(rng))),
+    }
+}
+
+/// Applies one character-level edit: swap, delete, or substitute.
+fn misspell(s: &str, rng: &mut Rng) -> String {
+    let mut chars: Vec<char> = s.chars().collect();
+    let i = rng.below(chars.len().max(1));
+    match rng.below(3) {
+        0 if chars.len() >= 2 => {
+            let j = (i + 1) % chars.len();
+            chars.swap(i, j);
+        }
+        1 if chars.len() >= 2 => {
+            chars.remove(i);
+        }
+        _ => {
+            let sub = (b'a' + rng.below(26) as u8) as char;
+            chars[i] = sub;
+        }
+    }
+    chars.into_iter().collect()
+}
+
+/// A random consonant-heavy token that no character model likes.
+fn garbage_string(rng: &mut Rng) -> String {
+    const CONSONANTS: &[u8] = b"qxzkwjvpbq";
+    let len = 6 + rng.below(8);
+    (0..len)
+        .map(|i| {
+            if i > 0 && i % 5 == 4 {
+                ' '
+            } else {
+                CONSONANTS[rng.below(CONSONANTS.len())] as char
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::discovery::{discover_constraints, DiscoveryConfig};
+    use crate::library::DetectorLibrary;
+
+    /// A clean corpus: 400 films, franchise -> studio FD, normal scores.
+    fn corpus() -> Graph {
+        let mut g = Graph::new();
+        let mut rng = Rng::seed_from_u64(7);
+        let franchises = [
+            ("avengers", "marvel"),
+            ("batman", "dc"),
+            ("xmen", "fox"),
+            ("bond", "mgm"),
+        ];
+        for i in 0..400 {
+            let (fr, st) = franchises[i % 4];
+            let id = g.add_node_with(
+                "film",
+                &[
+                    ("franchise", AttrKind::Categorical, fr.into()),
+                    ("studio", AttrKind::Categorical, st.into()),
+                    (
+                        "score",
+                        AttrKind::Numeric,
+                        (7.0 + rng.gauss() * 0.5).into(),
+                    ),
+                    (
+                        "name",
+                        AttrKind::Text,
+                        format!("the great picture number {i}").into(),
+                    ),
+                ],
+            );
+            if i > 0 {
+                g.add_edge_named(id - 1, id, "rel");
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn node_error_rate_respected() {
+        let mut g = corpus();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.1,
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(1));
+        let rate = truth.error_count() as f64 / g.node_count() as f64;
+        assert!(
+            (rate - 0.1).abs() < 0.05,
+            "empirical node error rate {rate}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let mut g = corpus();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.0,
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(1));
+        assert_eq!(truth.error_count(), 0);
+        assert!(truth.errors.is_empty());
+    }
+
+    #[test]
+    fn every_erroneous_node_actually_differs() {
+        let clean = corpus();
+        let mut g = clean.clone();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.2,
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(2));
+        assert!(truth.error_count() > 20);
+        for e in &truth.errors {
+            let now = g.node(e.node).get(e.attr).unwrap();
+            let before = clean.node(e.node).get(e.attr).unwrap();
+            assert!(
+                !now.semantically_eq(before),
+                "node {} attr {} unchanged",
+                e.node,
+                e.attr
+            );
+            assert!(e.original.semantically_eq(before));
+            assert!(now.semantically_eq(&e.corrupted));
+        }
+    }
+
+    #[test]
+    fn detectable_violations_trip_constraints() {
+        let clean = corpus();
+        let constraints = discover_constraints(&clean, &DiscoveryConfig::default());
+        assert!(!constraints.is_empty());
+        let mut g = clean.clone();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.3,
+            detectable_rate: 1.0,
+            kind_weights: [1.0, 0.0, 0.0],
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &constraints, &cfg, &mut Rng::seed_from_u64(3));
+        assert!(truth.error_count() > 30);
+        // A meaningful share of polluted nodes violate some rule.
+        let mut violators: HashSet<NodeId> = HashSet::new();
+        for c in &constraints {
+            violators.extend(c.violations(&g).into_iter().map(|(n, _)| n));
+        }
+        let caught = truth
+            .erroneous_nodes()
+            .iter()
+            .filter(|n| violators.contains(n))
+            .count();
+        assert!(
+            caught as f64 >= 0.5 * truth.error_count() as f64,
+            "only {caught}/{} violation errors trip rules",
+            truth.error_count()
+        );
+    }
+
+    #[test]
+    fn detectable_outliers_caught_undetectable_missed() {
+        let clean = corpus();
+        let lib = DetectorLibrary::standard(Vec::new());
+        let run = |detectable_rate: f64, seed: u64| {
+            let mut g = clean.clone();
+            let cfg = ErrorGenConfig {
+                node_error_rate: 0.15,
+                detectable_rate,
+                kind_weights: [0.0, 1.0, 0.0],
+                ..Default::default()
+            };
+            let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(seed));
+            let report = lib.run(&g);
+            let caught = truth
+                .erroneous_nodes()
+                .iter()
+                .filter(|n| report.is_flagged(**n))
+                .count();
+            (caught as f64, truth.error_count() as f64)
+        };
+        let (caught_hi, total_hi) = run(1.0, 4);
+        let (caught_lo, total_lo) = run(0.0, 5);
+        assert!(
+            caught_hi / total_hi > 0.8,
+            "detectable outliers recall {}",
+            caught_hi / total_hi
+        );
+        assert!(
+            caught_lo / total_lo < 0.4,
+            "undetectable outliers recall {}",
+            caught_lo / total_lo
+        );
+    }
+
+    #[test]
+    fn string_noise_produces_detectable_artifacts() {
+        let clean = corpus();
+        let mut g = clean.clone();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.2,
+            detectable_rate: 1.0,
+            kind_weights: [0.0, 0.0, 1.0],
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(6));
+        assert!(truth.error_count() > 20);
+        let kinds: HashSet<_> = truth.errors.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, HashSet::from([ErrorKind::StringNoise]));
+    }
+
+    #[test]
+    fn kind_weights_shift_the_mix() {
+        let mut g = corpus();
+        let constraints = discover_constraints(&g, &DiscoveryConfig::default());
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.5,
+            kind_weights: [2.0, 1.0, 1.0],
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &constraints, &cfg, &mut Rng::seed_from_u64(8));
+        let mut counts: HashMap<ErrorKind, usize> = HashMap::new();
+        for e in &truth.errors {
+            *counts.entry(e.kind).or_insert(0) += 1;
+        }
+        let v = counts
+            .get(&ErrorKind::ConstraintViolation)
+            .copied()
+            .unwrap_or(0);
+        let o = counts.get(&ErrorKind::Outlier).copied().unwrap_or(0);
+        let s = counts.get(&ErrorKind::StringNoise).copied().unwrap_or(0);
+        assert!(v > o && v > s, "violations-heavy mix: v={v} o={o} s={s}");
+    }
+
+    #[test]
+    fn ground_truth_lookup() {
+        let mut g = corpus();
+        let cfg = ErrorGenConfig {
+            node_error_rate: 0.1,
+            ..Default::default()
+        };
+        let truth = inject_errors(&mut g, &[], &cfg, &mut Rng::seed_from_u64(9));
+        let e = &truth.errors[0];
+        assert!(truth.is_erroneous(e.node));
+        assert_eq!(truth.original_value(e.node, e.attr), Some(&e.original));
+        assert_eq!(truth.original_value(e.node, 999), None);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut g = corpus();
+            let truth = inject_errors(
+                &mut g,
+                &[],
+                &ErrorGenConfig {
+                    node_error_rate: 0.1,
+                    ..Default::default()
+                },
+                &mut Rng::seed_from_u64(42),
+            );
+            (truth.error_count(), truth.errors.len())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,25 @@
+//! # gale-detect
+//!
+//! The base-detector library Ψ of the GALE reproduction (ICDE 2023):
+//! GFD-style graph constraints with mining, outlier detectors, string-noise
+//! detectors, correction suggestion, and the BART-style error generator used
+//! by the evaluation (Section VIII).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraints;
+pub mod detector;
+pub mod discovery;
+pub mod errorgen;
+pub mod library;
+pub mod outlier;
+pub mod string_noise;
+
+pub use constraints::{Constraint, ConstraintDetector, EdgeRelation};
+pub use detector::{BaseDetector, Detection, DetectorClass};
+pub use discovery::{discover_constraints, DiscoveryConfig};
+pub use errorgen::{inject_errors, ErrorGenConfig, ErrorKind, GroundTruth, InjectedError};
+pub use library::{DetectorLibrary, LibraryReport};
+pub use outlier::{IqrDetector, LocalNeighborhoodDetector, RareValueDetector, ZScoreDetector};
+pub use string_noise::{GarbageStringDetector, MisspellingDetector, NullDetector};

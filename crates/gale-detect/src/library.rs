@@ -1,0 +1,303 @@
+//! The base-detector library Ψ and its aggregated report.
+//!
+//! QAnnotate (Section VI) derives three of its four annotation types from Ψ:
+//! per-detector confidence scores `|Ψ_i| / |Ψ_{C_i}|` (Type 2), suggested
+//! corrections from invertible detectors (Type 3), and the per-node error
+//! distribution as a weighted sum of class scores (Type 4).
+
+use crate::constraints::{Constraint, ConstraintDetector};
+use crate::detector::{BaseDetector, Detection, DetectorClass};
+use crate::outlier::{IqrDetector, LocalNeighborhoodDetector, ZScoreDetector};
+use crate::string_noise::{GarbageStringDetector, MisspellingDetector, NullDetector};
+use gale_graph::value::AttrValue;
+use gale_graph::{AttrId, Graph, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// The library Ψ: an ordered collection of base detectors.
+pub struct DetectorLibrary {
+    detectors: Vec<Box<dyn BaseDetector>>,
+}
+
+/// The result of running every detector in Ψ over a graph.
+#[derive(Debug)]
+pub struct LibraryReport {
+    /// `per_detector[i]` holds detector `i`'s detections.
+    pub per_detector: Vec<Vec<Detection>>,
+    /// Class of each detector (parallel to `per_detector`).
+    pub classes: Vec<DetectorClass>,
+    /// Name of each detector (parallel to `per_detector`).
+    pub names: Vec<String>,
+    /// Normalized confidence per detector: `|Ψ_i| / |Ψ_{C_i}|` — the share
+    /// of its class's detected nodes that detector `i` itself captured.
+    pub detector_confidence: Vec<f64>,
+    node_hits: HashMap<NodeId, Vec<(usize, usize)>>, // node -> (detector, detection idx)
+}
+
+impl DetectorLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        DetectorLibrary {
+            detectors: Vec::new(),
+        }
+    }
+
+    /// The paper's default three-class library: a constraint detector over
+    /// Σ, three outlier detectors, and three string-noise detectors.
+    pub fn standard(constraints: Vec<Constraint>) -> Self {
+        DetectorLibrary::new()
+            .with(ConstraintDetector::new(constraints, "sigma"))
+            .with(ZScoreDetector::default())
+            .with(IqrDetector::default())
+            .with(LocalNeighborhoodDetector::default())
+            .with(NullDetector::default())
+            .with(MisspellingDetector::default())
+            .with(GarbageStringDetector::default())
+    }
+
+    /// Adds a detector (builder style).
+    pub fn with(mut self, d: impl BaseDetector + 'static) -> Self {
+        self.detectors.push(Box::new(d));
+        self
+    }
+
+    /// Number of detectors.
+    pub fn len(&self) -> usize {
+        self.detectors.len()
+    }
+
+    /// `true` when the library holds no detectors.
+    pub fn is_empty(&self) -> bool {
+        self.detectors.is_empty()
+    }
+
+    /// Runs every detector over the graph and aggregates the report.
+    pub fn run(&self, g: &Graph) -> LibraryReport {
+        let mut per_detector = Vec::with_capacity(self.detectors.len());
+        let mut classes = Vec::with_capacity(self.detectors.len());
+        let mut names = Vec::with_capacity(self.detectors.len());
+        for d in &self.detectors {
+            per_detector.push(d.detect(g));
+            classes.push(d.class());
+            names.push(d.name());
+        }
+        // Per-class captured node sets for the normalized confidence.
+        let mut class_nodes: HashMap<DetectorClass, HashSet<NodeId>> = HashMap::new();
+        let mut detector_nodes: Vec<HashSet<NodeId>> = Vec::with_capacity(per_detector.len());
+        for (i, dets) in per_detector.iter().enumerate() {
+            let nodes: HashSet<NodeId> = dets.iter().map(|d| d.node).collect();
+            class_nodes
+                .entry(classes[i])
+                .or_default()
+                .extend(nodes.iter().copied());
+            detector_nodes.push(nodes);
+        }
+        let detector_confidence = detector_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, nodes)| {
+                let class_total = class_nodes
+                    .get(&classes[i])
+                    .map(|s| s.len())
+                    .unwrap_or(0);
+                if class_total == 0 {
+                    0.0
+                } else {
+                    nodes.len() as f64 / class_total as f64
+                }
+            })
+            .collect();
+        let mut node_hits: HashMap<NodeId, Vec<(usize, usize)>> = HashMap::new();
+        for (i, dets) in per_detector.iter().enumerate() {
+            for (j, d) in dets.iter().enumerate() {
+                node_hits.entry(d.node).or_default().push((i, j));
+            }
+        }
+        LibraryReport {
+            per_detector,
+            classes,
+            names,
+            detector_confidence,
+            node_hits,
+        }
+    }
+
+    /// Suggested corrections for a node from invertible detectors: one
+    /// `(attr, suggestion, detector name)` triple per flagged attribute that
+    /// any detector can repair. `report` must come from [`Self::run`] on the
+    /// same graph.
+    pub fn suggest_corrections(
+        &self,
+        g: &Graph,
+        report: &LibraryReport,
+        node: NodeId,
+    ) -> Vec<(AttrId, AttrValue, String)> {
+        let mut out = Vec::new();
+        let mut seen: HashSet<AttrId> = HashSet::new();
+        for &(di, dj) in report.hits(node) {
+            let det = &report.per_detector[di][dj];
+            if seen.contains(&det.attr) {
+                continue;
+            }
+            if let Some(fix) = self.detectors[di].suggest(g, node, det.attr) {
+                seen.insert(det.attr);
+                out.push((det.attr, fix, self.detectors[di].name()));
+            }
+        }
+        out
+    }
+}
+
+impl Default for DetectorLibrary {
+    fn default() -> Self {
+        DetectorLibrary::new()
+    }
+}
+
+impl LibraryReport {
+    /// All `(detector index, detection index)` hits on a node.
+    pub fn hits(&self, node: NodeId) -> &[(usize, usize)] {
+        self.node_hits.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All detections on a node, resolved.
+    pub fn detections_for(&self, node: NodeId) -> Vec<&Detection> {
+        self.hits(node)
+            .iter()
+            .map(|&(i, j)| &self.per_detector[i][j])
+            .collect()
+    }
+
+    /// `true` when any detector flagged the node.
+    pub fn is_flagged(&self, node: NodeId) -> bool {
+        self.node_hits.contains_key(&node)
+    }
+
+    /// The set of all flagged nodes.
+    pub fn flagged_nodes(&self) -> HashSet<NodeId> {
+        self.node_hits.keys().copied().collect()
+    }
+
+    /// Type-4 annotation: the probability that a node's errors come from
+    /// each detector class, as the normalized weighted sum of the class
+    /// scores of the detectors that flagged it.
+    ///
+    /// Indexed by [`DetectorClass::ALL`] order; all-zero when unflagged.
+    pub fn error_distribution(&self, node: NodeId) -> [f64; 3] {
+        let mut dist = [0.0f64; 3];
+        for &(i, j) in self.hits(node) {
+            let class_idx = DetectorClass::ALL
+                .iter()
+                .position(|c| *c == self.classes[i])
+                .expect("known class");
+            dist[class_idx] += self.detector_confidence[i] * self.per_detector[i][j].confidence;
+        }
+        let total: f64 = dist.iter().sum();
+        if total > 0.0 {
+            for d in &mut dist {
+                *d /= total;
+            }
+        }
+        dist
+    }
+
+    /// Majority-style vote used by the simulated oracle: a node is labeled
+    /// `error` when at least one base detector flags an attribute value
+    /// (the paper's controlled-test oracle).
+    pub fn votes(&self, node: NodeId) -> usize {
+        self.hits(node).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_graph::AttrKind;
+
+    fn polluted_graph() -> (Graph, NodeId, NodeId) {
+        let mut g = Graph::new();
+        for i in 0..30 {
+            let id = g.add_node_with(
+                "film",
+                &[
+                    ("score", AttrKind::Numeric, (7.0 + (i % 4) as f64 * 0.2).into()),
+                    (
+                        "genre",
+                        AttrKind::Categorical,
+                        ["action", "drama", "comedy"][i % 3].into(),
+                    ),
+                ],
+            );
+            if i > 0 {
+                g.add_edge_named(id - 1, id, "rel");
+            }
+        }
+        let score = g.schema.find_attr("score").unwrap();
+        let genre = g.schema.find_attr("genre").unwrap();
+        g.node_mut(4).set(score, 99.0.into()); // outlier
+        g.node_mut(9).set(genre, "actoin".into()); // misspelling
+        (g, 4, 9)
+    }
+
+    #[test]
+    fn library_flags_both_error_kinds() {
+        let (g, outlier_node, typo_node) = polluted_graph();
+        let lib = DetectorLibrary::standard(Vec::new());
+        let report = lib.run(&g);
+        assert!(report.is_flagged(outlier_node));
+        assert!(report.is_flagged(typo_node));
+        assert!(!report.is_flagged(0));
+    }
+
+    #[test]
+    fn error_distribution_identifies_class() {
+        let (g, outlier_node, typo_node) = polluted_graph();
+        let lib = DetectorLibrary::standard(Vec::new());
+        let report = lib.run(&g);
+        let dist_outlier = report.error_distribution(outlier_node);
+        // Outlier class (index 1) dominates for the numeric spike.
+        assert!(dist_outlier[1] > dist_outlier[0]);
+        assert!(dist_outlier[1] > dist_outlier[2]);
+        let dist_typo = report.error_distribution(typo_node);
+        // String-noise class (index 2) dominates for the misspelling.
+        assert!(dist_typo[2] > dist_typo[1], "{dist_typo:?}");
+        // Distributions normalize to 1.
+        assert!((dist_outlier.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Clean node: all-zero.
+        assert_eq!(report.error_distribution(0), [0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn corrections_suggested_for_typo() {
+        let (g, _, typo_node) = polluted_graph();
+        let lib = DetectorLibrary::standard(Vec::new());
+        let report = lib.run(&g);
+        let fixes = lib.suggest_corrections(&g, &report, typo_node);
+        let genre = g.schema.find_attr("genre").unwrap();
+        assert!(fixes
+            .iter()
+            .any(|(a, v, _)| *a == genre && *v == AttrValue::Text("action".into())));
+    }
+
+    #[test]
+    fn detector_confidence_normalized_within_class() {
+        let (g, _, _) = polluted_graph();
+        let lib = DetectorLibrary::standard(Vec::new());
+        let report = lib.run(&g);
+        for (i, &conf) in report.detector_confidence.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(&conf),
+                "detector {} confidence {conf}",
+                report.names[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_library_runs() {
+        let (g, _, _) = polluted_graph();
+        let lib = DetectorLibrary::new();
+        assert!(lib.is_empty());
+        let report = lib.run(&g);
+        assert!(report.flagged_nodes().is_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! Feature representation `G = (X_G, A_G)` of Section II.
+
+use crate::graph::Graph;
+use gale_tensor::{Matrix, SparseMatrix};
+
+/// An attributed graph in feature form: a node-feature matrix plus the
+/// adjacency structure and its pre-computed propagation operator.
+#[derive(Debug, Clone)]
+pub struct FeatureRepr {
+    /// `n x d` node feature matrix `X_G` (row `v` encodes node `v`).
+    pub x: Matrix,
+    /// Binary symmetric adjacency `A_G`.
+    pub a: SparseMatrix,
+    /// Symmetric-normalized propagation operator `D̃^{-1/2} Ã D̃^{-1/2}`
+    /// (with self-loops), shared by GCN layers, label propagation, and PPR.
+    pub s_norm: SparseMatrix,
+}
+
+impl FeatureRepr {
+    /// Assembles a feature representation from a graph and a feature matrix
+    /// whose row count matches the node count.
+    pub fn new(graph: &Graph, x: Matrix) -> Self {
+        assert_eq!(
+            x.rows(),
+            graph.node_count(),
+            "FeatureRepr: feature rows {} != node count {}",
+            x.rows(),
+            graph.node_count()
+        );
+        let a = graph.adjacency();
+        let s_norm = a.sym_normalized_with_self_loops();
+        FeatureRepr { x, a, s_norm }
+    }
+
+    /// Builds features by evaluating `f(node_id)` for every node.
+    pub fn from_fn(graph: &Graph, dim: usize, mut f: impl FnMut(usize) -> Vec<f64>) -> Self {
+        let n = graph.node_count();
+        let mut x = Matrix::zeros(n, dim);
+        for v in 0..n {
+            let row = f(v);
+            assert_eq!(row.len(), dim, "FeatureRepr::from_fn: row {v} has wrong dim");
+            x.set_row(v, &row);
+        }
+        FeatureRepr::new(graph, x)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn tiny() -> Graph {
+        let mut g = Graph::new();
+        for i in 0..3 {
+            g.add_node_with("t", &[("x", AttrKind::Numeric, (i as i64).into())]);
+        }
+        g.add_edge_named(0, 1, "e");
+        g.add_edge_named(1, 2, "e");
+        g
+    }
+
+    #[test]
+    fn shapes_align() {
+        let g = tiny();
+        let fr = FeatureRepr::from_fn(&g, 2, |v| vec![v as f64, 1.0]);
+        assert_eq!(fr.node_count(), 3);
+        assert_eq!(fr.dim(), 2);
+        assert_eq!(fr.a.rows(), 3);
+        assert_eq!(fr.s_norm.rows(), 3);
+        assert_eq!(fr.x[(2, 0)], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn mismatched_rows_panic() {
+        let g = tiny();
+        let _ = FeatureRepr::new(&g, Matrix::zeros(5, 2));
+    }
+
+    #[test]
+    fn normalization_includes_self_loops() {
+        let g = tiny();
+        let fr = FeatureRepr::from_fn(&g, 1, |_| vec![1.0]);
+        // Every diagonal entry is positive thanks to the self-loop.
+        for v in 0..3 {
+            assert!(fr.s_norm.get(v, v) > 0.0);
+        }
+    }
+}

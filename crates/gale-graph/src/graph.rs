@@ -1,0 +1,375 @@
+//! The attributed heterogeneous graph `G = (V, E)` of Section II.
+
+use crate::schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
+use crate::value::AttrValue;
+use gale_tensor::SparseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Index of a node within its graph.
+pub type NodeId = usize;
+
+/// A node: a typed tuple of attribute values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    /// The node's type within the schema.
+    pub node_type: NodeTypeId,
+    /// Attribute values, sorted by `AttrId` and unique per attribute.
+    attrs: Vec<(AttrId, AttrValue)>,
+}
+
+impl Node {
+    /// Creates a node of the given type with no attributes.
+    pub fn new(node_type: NodeTypeId) -> Self {
+        Node {
+            node_type,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Sets (or replaces) an attribute value.
+    pub fn set(&mut self, attr: AttrId, value: AttrValue) {
+        match self.attrs.binary_search_by_key(&attr, |(a, _)| *a) {
+            Ok(i) => self.attrs[i].1 = value,
+            Err(i) => self.attrs.insert(i, (attr, value)),
+        }
+    }
+
+    /// Looks up an attribute value.
+    pub fn get(&self, attr: AttrId) -> Option<&AttrValue> {
+        self.attrs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| &self.attrs[i].1)
+    }
+
+    /// Removes an attribute, returning its previous value.
+    pub fn remove(&mut self, attr: AttrId) -> Option<AttrValue> {
+        self.attrs
+            .binary_search_by_key(&attr, |(a, _)| *a)
+            .ok()
+            .map(|i| self.attrs.remove(i).1)
+    }
+
+    /// Iterator over `(attr, value)` pairs in ascending attribute order.
+    pub fn attrs(&self) -> impl Iterator<Item = (AttrId, &AttrValue)> {
+        self.attrs.iter().map(|(a, v)| (*a, v))
+    }
+
+    /// Number of attributes present on this node.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// A typed edge between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source node index.
+    pub src: NodeId,
+    /// Destination node index.
+    pub dst: NodeId,
+    /// The edge's relationship type.
+    pub edge_type: EdgeTypeId,
+}
+
+/// An attributed heterogeneous graph with its schema.
+///
+/// Edges are stored as given (directed records); most analyses view the
+/// topology as undirected via [`Graph::adjacency`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    /// Interned naming context for types and attributes.
+    pub schema: Schema,
+    nodes: Vec<Node>,
+    edges: Vec<Edge>,
+}
+
+impl Graph {
+    /// An empty graph with an empty schema.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// An empty graph sharing an existing schema (used when carving
+    /// subgraphs out of a parent graph).
+    pub fn with_schema(schema: Schema) -> Self {
+        Graph {
+            schema,
+            nodes: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Convenience: adds a node of a (string-named) type with attributes.
+    pub fn add_node_with(
+        &mut self,
+        type_name: &str,
+        attrs: &[(&str, AttrKind, AttrValue)],
+    ) -> NodeId {
+        let t = self.schema.node_type(type_name);
+        let mut node = Node::new(t);
+        for (name, kind, value) in attrs {
+            let a = self.schema.attr(name, *kind);
+            node.set(a, value.clone());
+        }
+        self.add_node(node)
+    }
+
+    /// Adds a typed edge. Panics on out-of-range endpoints.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, edge_type: EdgeTypeId) {
+        assert!(
+            src < self.nodes.len() && dst < self.nodes.len(),
+            "add_edge: endpoint out of range ({src}, {dst})"
+        );
+        self.edges.push(Edge {
+            src,
+            dst,
+            edge_type,
+        });
+    }
+
+    /// Convenience: adds an edge with a string-named type.
+    pub fn add_edge_named(&mut self, src: NodeId, dst: NodeId, type_name: &str) {
+        let t = self.schema.edge_type(type_name);
+        self.add_edge(src, dst, t);
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edge records.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Immutable node access. Panics on out-of-range ids.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id]
+    }
+
+    /// Mutable node access. Panics on out-of-range ids.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id]
+    }
+
+    /// Iterator over all nodes with their ids.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes.iter().enumerate()
+    }
+
+    /// Slice of all edge records.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Ids of all nodes with the given type.
+    pub fn nodes_of_type(&self, t: NodeTypeId) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| (n.node_type == t).then_some(i))
+            .collect()
+    }
+
+    /// Binary symmetric adjacency matrix (both directions of every edge,
+    /// duplicate edges collapse to weight 1).
+    pub fn adjacency(&self) -> SparseMatrix {
+        let n = self.nodes.len();
+        let mut seen = std::collections::HashSet::with_capacity(self.edges.len() * 2);
+        let mut triplets = Vec::with_capacity(self.edges.len() * 2);
+        for e in &self.edges {
+            if e.src == e.dst {
+                continue; // self-loops are added by normalization when needed
+            }
+            if seen.insert((e.src, e.dst)) {
+                triplets.push((e.src, e.dst, 1.0));
+            }
+            if seen.insert((e.dst, e.src)) {
+                triplets.push((e.dst, e.src, 1.0));
+            }
+        }
+        SparseMatrix::from_triplets(n, n, triplets)
+    }
+
+    /// Undirected neighbor lists (deduplicated, sorted).
+    pub fn neighbor_lists(&self) -> Vec<Vec<NodeId>> {
+        let mut nbrs: Vec<Vec<NodeId>> = vec![Vec::new(); self.nodes.len()];
+        for e in &self.edges {
+            if e.src != e.dst {
+                nbrs[e.src].push(e.dst);
+                nbrs[e.dst].push(e.src);
+            }
+        }
+        for l in &mut nbrs {
+            l.sort_unstable();
+            l.dedup();
+        }
+        nbrs
+    }
+
+    /// Undirected degree of every node (after deduplication).
+    pub fn degrees(&self) -> Vec<usize> {
+        self.neighbor_lists().iter().map(|l| l.len()).collect()
+    }
+
+    /// Average number of attributes per node; 0.0 for an empty graph.
+    pub fn avg_attrs(&self) -> f64 {
+        if self.nodes.is_empty() {
+            return 0.0;
+        }
+        self.nodes.iter().map(|n| n.attr_count()).sum::<usize>() as f64
+            / self.nodes.len() as f64
+    }
+
+    /// Collects the domain (distinct canonical values with counts) of an
+    /// attribute over nodes of a type. Used by constraint discovery and the
+    /// correction suggester.
+    pub fn value_counts(
+        &self,
+        node_type: NodeTypeId,
+        attr: AttrId,
+    ) -> std::collections::HashMap<String, usize> {
+        let mut counts = std::collections::HashMap::new();
+        for n in &self.nodes {
+            if n.node_type != node_type {
+                continue;
+            }
+            if let Some(v) = n.get(attr) {
+                *counts.entry(v.canonical()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running example of Fig. 1: five films linked by `subsequent`.
+    pub(crate) fn films() -> (Graph, Vec<NodeId>) {
+        let mut g = Graph::new();
+        let specs: [(&str, i64, f64); 5] = [
+            ("Avengers: Age of Ultron", 2015, 7.3),
+            ("Avengers: Infinity War", 2014, 8.4), // wrong year (case 1)
+            ("Ant-Man", 2015, 3.8),                // wrong score (case 2)
+            ("Avengers: Endgame", 2019, 8.4),
+            ("Captain Marvel", 2019, 6.8),
+        ];
+        let mut ids = Vec::new();
+        for (name, year, score) in specs {
+            let id = g.add_node_with(
+                "film",
+                &[
+                    ("name", AttrKind::Text, name.into()),
+                    ("release_year", AttrKind::Numeric, year.into()),
+                    ("score", AttrKind::Numeric, score.into()),
+                ],
+            );
+            ids.push(id);
+        }
+        g.add_edge_named(ids[0], ids[1], "subsequent");
+        g.add_edge_named(ids[1], ids[3], "subsequent");
+        g.add_edge_named(ids[3], ids[4], "subsequent");
+        g.add_edge_named(ids[2], ids[0], "same_universe");
+        (g, ids)
+    }
+
+    #[test]
+    fn node_attr_set_get_replace() {
+        let mut g = Graph::new();
+        let id = g.add_node_with("film", &[("name", AttrKind::Text, "X".into())]);
+        let name_attr = g.schema.find_attr("name").unwrap();
+        assert_eq!(g.node(id).get(name_attr), Some(&AttrValue::Text("X".into())));
+        g.node_mut(id).set(name_attr, "Y".into());
+        assert_eq!(g.node(id).get(name_attr), Some(&AttrValue::Text("Y".into())));
+        assert_eq!(g.node(id).attr_count(), 1);
+        assert_eq!(g.node_mut(id).remove(name_attr), Some("Y".into()));
+        assert_eq!(g.node(id).attr_count(), 0);
+    }
+
+    #[test]
+    fn attrs_stay_sorted() {
+        let mut n = Node::new(0);
+        n.set(5, AttrValue::Int(5));
+        n.set(1, AttrValue::Int(1));
+        n.set(3, AttrValue::Int(3));
+        let ids: Vec<AttrId> = n.attrs().map(|(a, _)| a).collect();
+        assert_eq!(ids, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn adjacency_symmetric_no_self_loops() {
+        let (g, ids) = films();
+        let a = g.adjacency();
+        assert_eq!(a.rows(), 5);
+        assert_eq!(a.get(ids[0], ids[1]), 1.0);
+        assert_eq!(a.get(ids[1], ids[0]), 1.0);
+        assert_eq!(a.get(ids[0], ids[0]), 0.0);
+        assert_eq!(a.get(ids[2], ids[3]), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut g = Graph::new();
+        let a = g.add_node_with("t", &[]);
+        let b = g.add_node_with("t", &[]);
+        g.add_edge_named(a, b, "e");
+        g.add_edge_named(a, b, "e");
+        g.add_edge_named(b, a, "e");
+        let adj = g.adjacency();
+        assert_eq!(adj.get(a, b), 1.0);
+        assert_eq!(adj.nnz(), 2);
+        assert_eq!(g.degrees(), vec![1, 1]);
+    }
+
+    #[test]
+    fn nodes_of_type_filters() {
+        let (g, _) = films();
+        let film = g.schema.find_node_type("film").unwrap();
+        assert_eq!(g.nodes_of_type(film).len(), 5);
+    }
+
+    #[test]
+    fn value_counts_profile() {
+        let (g, _) = films();
+        let film = g.schema.find_node_type("film").unwrap();
+        let year = g.schema.find_attr("release_year").unwrap();
+        let counts = g.value_counts(film, year);
+        assert_eq!(counts.get("2015"), Some(&2));
+        assert_eq!(counts.get("2019"), Some(&2));
+        assert_eq!(counts.get("2014"), Some(&1));
+    }
+
+    #[test]
+    fn avg_attrs_counts() {
+        let (g, _) = films();
+        assert!((g.avg_attrs() - 3.0).abs() < 1e-12);
+        assert_eq!(Graph::new().avg_attrs(), 0.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (g, _) = films();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: Graph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoint out of range")]
+    fn bad_edge_panics() {
+        let mut g = Graph::new();
+        g.add_node_with("t", &[]);
+        g.add_edge(0, 9, 0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Graph persistence: JSON save/load with schema-index restoration.
+//!
+//! `Graph` derives `Serialize`/`Deserialize`, but the schema's lookup
+//! indices are skipped during serialization; these helpers wrap the round
+//! trip so a loaded graph is immediately usable.
+
+use crate::graph::Graph;
+use std::io;
+use std::path::Path;
+
+/// Serializes a graph to pretty-printed JSON.
+pub fn to_json(g: &Graph) -> String {
+    serde_json::to_string_pretty(g).expect("graph serialization cannot fail")
+}
+
+/// Deserializes a graph from JSON, rebuilding the schema indices.
+pub fn from_json(json: &str) -> Result<Graph, serde_json::Error> {
+    let mut g: Graph = serde_json::from_str(json)?;
+    g.schema.rebuild_indices();
+    Ok(g)
+}
+
+/// Writes a graph to a JSON file.
+pub fn save(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    std::fs::write(path, to_json(g))
+}
+
+/// Reads a graph from a JSON file, rebuilding the schema indices.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let json = std::fs::read_to_string(path)?;
+    from_json(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrKind;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node_with(
+            "film",
+            &[
+                ("name", AttrKind::Text, "Dune".into()),
+                ("year", AttrKind::Numeric, 2021i64.into()),
+            ],
+        );
+        let b = g.add_node_with("film", &[("name", AttrKind::Text, "Dune 2".into())]);
+        g.add_edge_named(a, b, "subsequent");
+        g
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let g = sample();
+        let back = from_json(&to_json(&g)).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        // Schema indices rebuilt: name lookups work immediately.
+        let name = back.schema.find_attr("name").unwrap();
+        assert_eq!(
+            back.node(0).get(name).map(|v| v.to_string()),
+            Some("Dune".to_string())
+        );
+        assert_eq!(back.schema.find_edge_type("subsequent"), Some(0));
+        assert_eq!(back.schema.attr_kind(name), AttrKind::Text);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("gale_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.json");
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.node_count(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_json_is_an_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(load("/nonexistent/path/graph.json").is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! # gale-graph
+//!
+//! Attributed heterogeneous graphs for the GALE reproduction (ICDE 2023):
+//! the value/schema/graph model of Section II, adjacency and propagation
+//! operators, traversal utilities, and the `(X_G, A_G)` feature
+//! representation consumed by the learning stack.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod features;
+pub mod graph;
+pub mod io;
+pub mod propagation;
+pub mod schema;
+pub mod traversal;
+pub mod value;
+
+pub use features::FeatureRepr;
+pub use graph::{Edge, Graph, Node, NodeId};
+pub use propagation::{
+    ppr_single, ppr_smooth, ppr_smooth_matrix, soft_labels, PropagationConfig,
+};
+pub use schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
+pub use traversal::{
+    bfs_distances, connected_components, degree_assortativity, induced_subgraph,
+    k_hop_neighborhood, InducedSubgraph,
+};
+pub use value::AttrValue;

@@ -1,0 +1,230 @@
+//! Graph schema: interned node types, edge types, and attribute names.
+//!
+//! The paper's graphs are heterogeneous (Table II lists up to 73 node types
+//! and 584 edge types), so all type and attribute names are interned to small
+//! integer ids and resolved through a [`Schema`].
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a node type (e.g. `film`, `author`).
+pub type NodeTypeId = u32;
+/// Identifier of an edge type (e.g. `subsequent`, `cites`).
+pub type EdgeTypeId = u32;
+/// Identifier of an attribute name (e.g. `release_year`).
+pub type AttrId = u32;
+
+/// The declared kind of an attribute, used by detectors and featurization to
+/// choose the right treatment (z-scores for numerics, dictionaries for
+/// categoricals, token embeddings for text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Continuous or ordinal numbers.
+    Numeric,
+    /// Values drawn from a closed (if unknown) domain.
+    Categorical,
+    /// Free text such as names and titles.
+    Text,
+}
+
+/// Interned naming context shared by a graph and everything that analyses it.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Schema {
+    node_types: Vec<String>,
+    edge_types: Vec<String>,
+    attrs: Vec<(String, AttrKind)>,
+    #[serde(skip)]
+    node_type_index: HashMap<String, NodeTypeId>,
+    #[serde(skip)]
+    edge_type_index: HashMap<String, EdgeTypeId>,
+    #[serde(skip)]
+    attr_index: HashMap<String, AttrId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Interns (or looks up) a node type name.
+    pub fn node_type(&mut self, name: &str) -> NodeTypeId {
+        if let Some(&id) = self.node_type_index.get(name) {
+            return id;
+        }
+        let id = self.node_types.len() as NodeTypeId;
+        self.node_types.push(name.to_string());
+        self.node_type_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns (or looks up) an edge type name.
+    pub fn edge_type(&mut self, name: &str) -> EdgeTypeId {
+        if let Some(&id) = self.edge_type_index.get(name) {
+            return id;
+        }
+        let id = self.edge_types.len() as EdgeTypeId;
+        self.edge_types.push(name.to_string());
+        self.edge_type_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Interns (or looks up) an attribute, declaring its kind on first use.
+    ///
+    /// Re-interning with a different kind keeps the original declaration;
+    /// the first declaration wins (schemas are append-only).
+    pub fn attr(&mut self, name: &str, kind: AttrKind) -> AttrId {
+        if let Some(&id) = self.attr_index.get(name) {
+            return id;
+        }
+        let id = self.attrs.len() as AttrId;
+        self.attrs.push((name.to_string(), kind));
+        self.attr_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a node type id without interning.
+    pub fn find_node_type(&self, name: &str) -> Option<NodeTypeId> {
+        self.node_type_index.get(name).copied()
+    }
+
+    /// Looks up an edge type id without interning.
+    pub fn find_edge_type(&self, name: &str) -> Option<EdgeTypeId> {
+        self.edge_type_index.get(name).copied()
+    }
+
+    /// Looks up an attribute id without interning.
+    pub fn find_attr(&self, name: &str) -> Option<AttrId> {
+        self.attr_index.get(name).copied()
+    }
+
+    /// Name of a node type id; panics on unknown ids.
+    pub fn node_type_name(&self, id: NodeTypeId) -> &str {
+        &self.node_types[id as usize]
+    }
+
+    /// Name of an edge type id; panics on unknown ids.
+    pub fn edge_type_name(&self, id: EdgeTypeId) -> &str {
+        &self.edge_types[id as usize]
+    }
+
+    /// Name of an attribute id; panics on unknown ids.
+    pub fn attr_name(&self, id: AttrId) -> &str {
+        &self.attrs[id as usize].0
+    }
+
+    /// Declared kind of an attribute id.
+    pub fn attr_kind(&self, id: AttrId) -> AttrKind {
+        self.attrs[id as usize].1
+    }
+
+    /// Number of interned node types.
+    pub fn node_type_count(&self) -> usize {
+        self.node_types.len()
+    }
+
+    /// Number of interned edge types.
+    pub fn edge_type_count(&self) -> usize {
+        self.edge_types.len()
+    }
+
+    /// Number of interned attributes.
+    pub fn attr_count(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attribute ids with the given kind.
+    pub fn attrs_of_kind(&self, kind: AttrKind) -> Vec<AttrId> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, k))| (*k == kind).then_some(i as AttrId))
+            .collect()
+    }
+
+    /// Rebuilds the lookup indices after deserialization (serde skips them).
+    pub fn rebuild_indices(&mut self) {
+        self.node_type_index = self
+            .node_types
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as NodeTypeId))
+            .collect();
+        self.edge_type_index = self
+            .edge_types
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as EdgeTypeId))
+            .collect();
+        self.attr_index = self
+            .attrs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.clone(), i as AttrId))
+            .collect();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut s = Schema::new();
+        let a = s.node_type("film");
+        let b = s.node_type("film");
+        assert_eq!(a, b);
+        assert_eq!(s.node_type_count(), 1);
+        let c = s.node_type("director");
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn attr_kind_first_declaration_wins() {
+        let mut s = Schema::new();
+        let a = s.attr("score", AttrKind::Numeric);
+        let b = s.attr("score", AttrKind::Text);
+        assert_eq!(a, b);
+        assert_eq!(s.attr_kind(a), AttrKind::Numeric);
+    }
+
+    #[test]
+    fn name_resolution() {
+        let mut s = Schema::new();
+        let f = s.node_type("film");
+        let e = s.edge_type("subsequent");
+        let y = s.attr("release_year", AttrKind::Numeric);
+        assert_eq!(s.node_type_name(f), "film");
+        assert_eq!(s.edge_type_name(e), "subsequent");
+        assert_eq!(s.attr_name(y), "release_year");
+        assert_eq!(s.find_node_type("film"), Some(f));
+        assert_eq!(s.find_node_type("nope"), None);
+        assert_eq!(s.find_attr("release_year"), Some(y));
+    }
+
+    #[test]
+    fn attrs_of_kind_filters() {
+        let mut s = Schema::new();
+        s.attr("year", AttrKind::Numeric);
+        s.attr("name", AttrKind::Text);
+        s.attr("score", AttrKind::Numeric);
+        assert_eq!(s.attrs_of_kind(AttrKind::Numeric).len(), 2);
+        assert_eq!(s.attrs_of_kind(AttrKind::Text).len(), 1);
+        assert_eq!(s.attrs_of_kind(AttrKind::Categorical).len(), 0);
+    }
+
+    #[test]
+    fn serde_roundtrip_rebuilds_indices() {
+        let mut s = Schema::new();
+        s.node_type("film");
+        s.edge_type("subsequent");
+        s.attr("year", AttrKind::Numeric);
+        let json = serde_json::to_string(&s).unwrap();
+        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.find_node_type("film"), None); // indices skipped
+        back.rebuild_indices();
+        assert_eq!(back.find_node_type("film"), Some(0));
+        assert_eq!(back.find_attr("year"), Some(0));
+    }
+}

@@ -1,0 +1,197 @@
+//! Attribute values carried by graph nodes.
+//!
+//! Section II of the paper models each node as a tuple over `n` attributes
+//! whose values may be numbers, strings, or `null` (a missing value — itself
+//! a possible error). [`AttrValue`] is that value domain.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single attribute value on a node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// A missing value. Distinct from an absent attribute: `Null` means the
+    /// attribute exists but carries no value (a frequent error type).
+    Null,
+    /// An integer value (years, counts).
+    Int(i64),
+    /// A floating-point value (scores, monetary amounts).
+    Float(f64),
+    /// A free-text or categorical value.
+    Text(String),
+}
+
+impl AttrValue {
+    /// `true` for [`AttrValue::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, AttrValue::Null)
+    }
+
+    /// Numeric view: integers and floats convert; text parses when it forms
+    /// a number; `Null` and non-numeric text return `None`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Null => None,
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            AttrValue::Text(s) => s.trim().parse::<f64>().ok(),
+        }
+    }
+
+    /// Text view of textual values (no numeric stringification).
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical display form used for hashing, dictionaries, and labels.
+    pub fn canonical(&self) -> String {
+        match self {
+            AttrValue::Null => "∅".to_string(),
+            AttrValue::Int(i) => i.to_string(),
+            AttrValue::Float(f) => {
+                // Trim trailing zeros so 2.50 and 2.5 share a token.
+                let s = format!("{f}");
+                s
+            }
+            AttrValue::Text(s) => s.clone(),
+        }
+    }
+
+    /// Equality for error detection: numerically equal numbers match across
+    /// `Int`/`Float`, text compares exactly, and `Null` only equals `Null`.
+    pub fn semantically_eq(&self, other: &AttrValue) -> bool {
+        match (self, other) {
+            (AttrValue::Null, AttrValue::Null) => true,
+            (AttrValue::Text(a), AttrValue::Text(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs())),
+                _ => false,
+            },
+        }
+    }
+
+    /// Tokenizes the value for feature hashing: text splits on
+    /// non-alphanumeric boundaries and lowercases; numbers yield one token.
+    pub fn tokens(&self) -> Vec<String> {
+        match self {
+            AttrValue::Null => vec!["<null>".to_string()],
+            AttrValue::Int(i) => vec![i.to_string()],
+            AttrValue::Float(f) => vec![format!("{f:.4}")],
+            AttrValue::Text(s) => {
+                let toks: Vec<String> = s
+                    .split(|c: char| !c.is_alphanumeric())
+                    .filter(|t| !t.is_empty())
+                    .map(|t| t.to_lowercase())
+                    .collect();
+                if toks.is_empty() {
+                    vec!["<empty>".to_string()]
+                } else {
+                    toks
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Null => write!(f, "null"),
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => write!(f, "{x}"),
+            AttrValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::Text(v.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(v: String) -> Self {
+        AttrValue::Text(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(AttrValue::Int(3).as_f64(), Some(3.0));
+        assert_eq!(AttrValue::Float(2.5).as_f64(), Some(2.5));
+        assert_eq!(AttrValue::Text("7.7".into()).as_f64(), Some(7.7));
+        assert_eq!(AttrValue::Text(" 42 ".into()).as_f64(), Some(42.0));
+        assert_eq!(AttrValue::Text("abc".into()).as_f64(), None);
+        assert_eq!(AttrValue::Null.as_f64(), None);
+    }
+
+    #[test]
+    fn semantic_equality() {
+        assert!(AttrValue::Int(2).semantically_eq(&AttrValue::Float(2.0)));
+        assert!(AttrValue::Null.semantically_eq(&AttrValue::Null));
+        assert!(!AttrValue::Null.semantically_eq(&AttrValue::Int(0)));
+        assert!(AttrValue::Text("x".into()).semantically_eq(&"x".into()));
+        assert!(!AttrValue::Text("x".into()).semantically_eq(&"y".into()));
+        // Text "2" vs Int 2 counts as equal through the numeric view.
+        assert!(AttrValue::Text("2".into()).semantically_eq(&AttrValue::Int(2)));
+    }
+
+    #[test]
+    fn tokenization() {
+        let v = AttrValue::Text("Avengers: Infinity War".into());
+        assert_eq!(v.tokens(), vec!["avengers", "infinity", "war"]);
+        assert_eq!(AttrValue::Null.tokens(), vec!["<null>"]);
+        assert_eq!(AttrValue::Int(2015).tokens(), vec!["2015"]);
+        assert_eq!(AttrValue::Text("!!!".into()).tokens(), vec!["<empty>"]);
+    }
+
+    #[test]
+    fn canonical_forms() {
+        assert_eq!(AttrValue::Null.canonical(), "∅");
+        assert_eq!(AttrValue::Int(-4).canonical(), "-4");
+        assert_eq!(AttrValue::Text("a b".into()).canonical(), "a b");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: AttrValue = 5i64.into();
+        assert_eq!(v, AttrValue::Int(5));
+        let v: AttrValue = 1.5f64.into();
+        assert_eq!(v, AttrValue::Float(1.5));
+        let v: AttrValue = "hi".into();
+        assert_eq!(v, AttrValue::Text("hi".into()));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let vals = vec![
+            AttrValue::Null,
+            AttrValue::Int(7),
+            AttrValue::Float(3.25),
+            AttrValue::Text("species".into()),
+        ];
+        let json = serde_json::to_string(&vals).unwrap();
+        let back: Vec<AttrValue> = serde_json::from_str(&json).unwrap();
+        assert_eq!(vals, back);
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic feature-hashing token embeddings.
+//!
+//! The paper uses pretrained word embeddings (AllenNLP) to encode attribute
+//! tokens. Offline, we substitute *hash embeddings*: each token's embedding
+//! is a fixed pseudo-random Gaussian vector seeded by the token's hash.
+//! Similar *sets* of tokens therefore produce similar averaged vectors, which
+//! is the property the downstream pipeline actually relies on (nodes sharing
+//! attribute values land close together), while requiring no external model.
+
+use gale_tensor::{Matrix, Rng};
+
+/// A deterministic token-to-vector embedder.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    salt: u64,
+}
+
+/// FNV-1a, stable across platforms (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+impl HashEmbedder {
+    /// Creates an embedder with the given output dimensionality and salt
+    /// (the salt lets distinct attribute namespaces use distinct bases).
+    pub fn new(dim: usize, salt: u64) -> Self {
+        assert!(dim > 0, "HashEmbedder: dim must be positive");
+        HashEmbedder { dim, salt }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The embedding vector of a single token (unit-variance Gaussian
+    /// entries scaled by 1/sqrt(dim) so token vectors have ~unit norm).
+    pub fn embed_token(&self, token: &str) -> Vec<f64> {
+        let seed = fnv1a(token.as_bytes()) ^ self.salt;
+        let mut rng = Rng::seed_from_u64(seed);
+        let scale = 1.0 / (self.dim as f64).sqrt();
+        (0..self.dim).map(|_| rng.gauss() * scale).collect()
+    }
+
+    /// The mean embedding of a token sequence; the zero vector when empty.
+    pub fn embed_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        if tokens.is_empty() {
+            return acc;
+        }
+        for t in tokens {
+            for (a, e) in acc.iter_mut().zip(self.embed_token(t.as_ref())) {
+                *a += e;
+            }
+        }
+        let inv = 1.0 / tokens.len() as f64;
+        for a in &mut acc {
+            *a *= inv;
+        }
+        acc
+    }
+
+    /// Embeds a batch of token sequences into an `n x dim` matrix.
+    pub fn embed_batch<S: AsRef<str>>(&self, sequences: &[Vec<S>]) -> Matrix {
+        let mut out = Matrix::zeros(sequences.len(), self.dim);
+        for (r, seq) in sequences.iter().enumerate() {
+            out.set_row(r, &self.embed_tokens(seq));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::distance::{cosine_similarity, l2_norm};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = HashEmbedder::new(16, 7).embed_token("film");
+        let b = HashEmbedder::new(16, 7).embed_token("film");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn salt_separates_namespaces() {
+        let a = HashEmbedder::new(16, 1).embed_token("film");
+        let b = HashEmbedder::new(16, 2).embed_token("film");
+        assert!(cosine_similarity(&a, &b).abs() < 0.7);
+    }
+
+    #[test]
+    fn distinct_tokens_nearly_orthogonal() {
+        let e = HashEmbedder::new(64, 0);
+        let a = e.embed_token("avengers");
+        let b = e.embed_token("species");
+        assert!(cosine_similarity(&a, &b).abs() < 0.4);
+    }
+
+    #[test]
+    fn token_vectors_near_unit_norm() {
+        let e = HashEmbedder::new(128, 3);
+        let n = l2_norm(&e.embed_token("anything"));
+        assert!((n - 1.0).abs() < 0.3, "norm {n}");
+    }
+
+    #[test]
+    fn overlapping_sequences_more_similar() {
+        let e = HashEmbedder::new(64, 0);
+        let a = e.embed_tokens(&["avengers", "infinity", "war"]);
+        let b = e.embed_tokens(&["avengers", "infinity", "stones"]);
+        let c = e.embed_tokens(&["plumber", "yelp", "review"]);
+        assert!(cosine_similarity(&a, &b) > cosine_similarity(&a, &c));
+        assert!(cosine_similarity(&a, &b) > 0.4);
+    }
+
+    #[test]
+    fn empty_sequence_is_zero() {
+        let e = HashEmbedder::new(8, 0);
+        let z = e.embed_tokens::<&str>(&[]);
+        assert_eq!(z, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = HashEmbedder::new(8, 0);
+        let batch = e.embed_batch(&[vec!["a", "b"], vec!["c"]]);
+        assert_eq!(batch.row(0), e.embed_tokens(&["a", "b"]).as_slice());
+        assert_eq!(batch.row(1), e.embed_tokens(&["c"]).as_slice());
+    }
+}

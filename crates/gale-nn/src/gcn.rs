@@ -1,0 +1,237 @@
+//! Graph convolutional layers (Kipf & Welling's first-order approximation,
+//! the paper's reference [30]).
+//!
+//! A layer computes `Z = act(S X W)` where `S` is the symmetric-normalized
+//! adjacency with self-loops. `S` is shared by reference between layers and
+//! is constant, so backprop only flows into `W` and `X`.
+
+use crate::activation::Activation;
+use crate::layer::Layer;
+use gale_tensor::{Matrix, Rng, SparseMatrix};
+use std::sync::Arc;
+
+/// One graph-convolution layer: `Z = act(S X W + b)`.
+pub struct GcnLayer {
+    s: Arc<SparseMatrix>,
+    w: Matrix,
+    b: Matrix,
+    gw: Matrix,
+    gb: Matrix,
+    act: Activation,
+    cached_sx: Matrix,
+    cached_pre: Matrix,
+    cached_out: Matrix,
+}
+
+impl GcnLayer {
+    /// Creates a GCN layer over the shared propagation operator `s`.
+    pub fn new(
+        s: Arc<SparseMatrix>,
+        in_dim: usize,
+        out_dim: usize,
+        act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        GcnLayer {
+            s,
+            w: Matrix::rand_uniform(in_dim, out_dim, -limit, limit, rng),
+            b: Matrix::zeros(1, out_dim),
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: Matrix::zeros(1, out_dim),
+            act,
+            cached_sx: Matrix::zeros(0, 0),
+            cached_pre: Matrix::zeros(0, 0),
+            cached_out: Matrix::zeros(0, 0),
+        }
+    }
+}
+
+impl Layer for GcnLayer {
+    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+        assert_eq!(x.rows(), self.s.rows(), "GcnLayer: node count mismatch");
+        let sx = self.s.matmul_dense(x);
+        let mut pre = sx.matmul(&self.w);
+        pre.add_row_broadcast(self.b.row(0));
+        let out = pre.map(|v| self.act.apply(v));
+        self.cached_sx = sx;
+        self.cached_pre = pre;
+        self.cached_out = out.clone();
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        // dL/dpre = grad_out * act'(pre)  (elementwise).
+        let mut dpre = grad_out.clone();
+        for i in 0..dpre.data().len() {
+            let x = self.cached_pre.data()[i];
+            let y = self.cached_out.data()[i];
+            let d = match self.act {
+                Activation::Relu => {
+                    if x > 0.0 {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                }
+                Activation::LeakyRelu => {
+                    if x > 0.0 {
+                        1.0
+                    } else {
+                        0.2
+                    }
+                }
+                Activation::Tanh => 1.0 - y * y,
+                Activation::Sigmoid => y * (1.0 - y),
+                Activation::Identity => 1.0,
+            };
+            dpre.data_mut()[i] *= d;
+        }
+        // dW += (S X)^T dpre ; db += colsums(dpre);
+        self.gw.axpy(1.0, &self.cached_sx.matmul_tn(&dpre));
+        for (gb, s) in self.gb.row_mut(0).iter_mut().zip(dpre.sum_rows()) {
+            *gb += s;
+        }
+        // dX = S^T (dpre W^T) = S (dpre W^T) since S is symmetric.
+        let dxw = dpre.matmul_nt(&self.w);
+        self.s.matmul_dense(&dxw)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        f(&mut self.w, &mut self.gw);
+        f(&mut self.b, &mut self.gb);
+    }
+}
+
+/// A two-layer GCN encoder, the standard architecture for semi-supervised
+/// node classification (and the encoder of the GAE).
+pub struct Gcn {
+    layer1: GcnLayer,
+    layer2: GcnLayer,
+    hidden: Matrix,
+}
+
+impl Gcn {
+    /// Builds `in_dim -> hidden -> out_dim` with ReLU in between and a
+    /// configurable output activation (identity for logits, identity for
+    /// embeddings too).
+    pub fn new(
+        s: Arc<SparseMatrix>,
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        out_act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        Gcn {
+            layer1: GcnLayer::new(s.clone(), in_dim, hidden_dim, Activation::Relu, rng),
+            layer2: GcnLayer::new(s, hidden_dim, out_dim, out_act, rng),
+            hidden: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Hidden representation from the most recent forward pass.
+    pub fn hidden(&self) -> &Matrix {
+        &self.hidden
+    }
+}
+
+impl Layer for Gcn {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let h = self.layer1.forward(x, train);
+        let out = self.layer2.forward(&h, train);
+        self.hidden = h;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let gh = self.layer2.backward(grad_out);
+        self.layer1.backward(&gh)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
+        self.layer1.visit_params(f);
+        self.layer2.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::input_gradient_error;
+    use crate::loss::softmax_cross_entropy;
+    use crate::optim::Adam;
+
+    /// Two 4-cliques joined by a single edge; perfect community structure.
+    fn two_cliques() -> Arc<SparseMatrix> {
+        let mut triplets = Vec::new();
+        let connect = |a: usize, b: usize, t: &mut Vec<(usize, usize, f64)>| {
+            t.push((a, b, 1.0));
+            t.push((b, a, 1.0));
+        };
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                connect(i, j, &mut triplets);
+                connect(i + 4, j + 4, &mut triplets);
+            }
+        }
+        connect(3, 4, &mut triplets);
+        Arc::new(SparseMatrix::from_triplets(8, 8, triplets).sym_normalized_with_self_loops())
+    }
+
+    #[test]
+    fn gcn_layer_gradient_check() {
+        let s = two_cliques();
+        let mut rng = Rng::seed_from_u64(111);
+        let mut layer = GcnLayer::new(s, 3, 2, Activation::Tanh, &mut rng);
+        let x = Matrix::randn(8, 3, 1.0, &mut rng);
+        let err = input_gradient_error(&mut layer, &x, 1e-6);
+        assert!(err < 1e-6, "gradient error {err}");
+    }
+
+    #[test]
+    fn two_layer_gradient_check() {
+        let s = two_cliques();
+        let mut rng = Rng::seed_from_u64(112);
+        let mut net = Gcn::new(s, 3, 5, 2, Activation::Identity, &mut rng);
+        let x = Matrix::randn(8, 3, 1.0, &mut rng);
+        let err = input_gradient_error(&mut net, &x, 1e-6);
+        assert!(err < 1e-5, "gradient error {err}");
+    }
+
+    #[test]
+    fn semi_supervised_classification_learns_communities() {
+        // Label one node per clique; the GCN should classify the rest.
+        let s = two_cliques();
+        let mut rng = Rng::seed_from_u64(113);
+        let x = Matrix::randn(8, 4, 1.0, &mut rng);
+        let mut net = Gcn::new(s, 4, 8, 2, Activation::Identity, &mut rng);
+        let mut opt = Adam::new(0.05);
+        let labels = [(0usize, 0usize), (7, 1)];
+        for _ in 0..200 {
+            let logits = net.forward(&x, true);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            net.zero_grad();
+            let _ = net.backward(&grad);
+            opt.step(&mut net);
+        }
+        let logits = net.forward(&x, false);
+        let preds = logits.argmax_rows();
+        for i in 0..4 {
+            assert_eq!(preds[i], 0, "node {i} misclassified: {preds:?}");
+        }
+        for i in 4..8 {
+            assert_eq!(preds[i], 1, "node {i} misclassified: {preds:?}");
+        }
+    }
+
+    #[test]
+    fn hidden_exposed_after_forward() {
+        let s = two_cliques();
+        let mut rng = Rng::seed_from_u64(114);
+        let mut net = Gcn::new(s, 3, 6, 2, Activation::Identity, &mut rng);
+        let x = Matrix::randn(8, 3, 1.0, &mut rng);
+        let _ = net.forward(&x, false);
+        assert_eq!(net.hidden().shape(), (8, 6));
+    }
+}

@@ -1,0 +1,266 @@
+//! Loss functions of Section IV: masked softmax cross-entropy (supervised
+//! loss `L_s`), the GAN real/synthetic terms (unsupervised loss `L_u`), and
+//! the generator's feature-matching loss `L(G)`.
+
+use gale_tensor::Matrix;
+
+/// Softmax cross-entropy over selected rows.
+///
+/// `logits` is `n x c`; `targets` pairs a row index with its class. Returns
+/// the mean loss over the selected rows and the gradient dL/dlogits (zero on
+/// unselected rows) — the masked form GALE uses because only labeled nodes
+/// contribute to `L_s`.
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[(usize, usize)],
+) -> (f64, Matrix) {
+    let mut grad = Matrix::zeros(logits.rows(), logits.cols());
+    if targets.is_empty() {
+        return (0.0, grad);
+    }
+    let probs = logits.softmax_rows();
+    let inv = 1.0 / targets.len() as f64;
+    let mut loss = 0.0;
+    for &(row, class) in targets {
+        assert!(class < logits.cols(), "softmax_cross_entropy: class {class}");
+        let p = probs[(row, class)].max(1e-12);
+        loss -= p.ln();
+        for c in 0..logits.cols() {
+            grad[(row, c)] += (probs[(row, c)] - f64::from(u8::from(c == class))) * inv;
+        }
+    }
+    (loss * inv, grad)
+}
+
+/// The semi-supervised GAN unsupervised loss for a 3-class discriminator
+/// whose class `synthetic_class` marks generated samples (Eq. 1's second and
+/// third terms).
+///
+/// * `real_logits`: rows drawn from the real distribution — pushed to have
+///   `P(y <= 2 | x)` high, i.e. `1 - P(synthetic)` high.
+/// * `fake_logits`: generated rows — pushed toward the synthetic class.
+///
+/// Returns `(loss, grad_real, grad_fake)` with means taken per batch.
+pub fn sgan_unsupervised_loss(
+    real_logits: &Matrix,
+    fake_logits: &Matrix,
+    synthetic_class: usize,
+) -> (f64, Matrix, Matrix) {
+    let c = real_logits.cols();
+    assert!(synthetic_class < c, "sgan_unsupervised_loss: bad class");
+    let mut loss = 0.0;
+
+    // Real term: -log(1 - P(synthetic | x)).
+    let real_probs = real_logits.softmax_rows();
+    let mut grad_real = Matrix::zeros(real_logits.rows(), c);
+    if real_logits.rows() > 0 {
+        let inv = 1.0 / real_logits.rows() as f64;
+        for r in 0..real_logits.rows() {
+            let ps = real_probs[(r, synthetic_class)].min(1.0 - 1e-12);
+            loss -= (1.0 - ps).ln() * inv;
+            // d(-log(1-p_s))/dz_j = p_s * (softmax_j - [j == s]) / (1 - p_s)
+            // ... which simplifies to p_s/(1-p_s) * (p_j - δ_js) * (-1)^... ;
+            // derive directly: L = -log(1 - p_s), dL/dp_s = 1/(1-p_s),
+            // dp_s/dz_j = p_s (δ_js - p_j)  =>
+            // dL/dz_j = p_s (δ_js - p_j) / (1 - p_s).
+            let factor = ps / (1.0 - ps);
+            for j in 0..c {
+                let delta = f64::from(u8::from(j == synthetic_class));
+                grad_real[(r, j)] = factor * (delta - real_probs[(r, j)]) * inv;
+            }
+        }
+    }
+
+    // Fake term: -log(P(synthetic | x)).
+    let fake_probs = fake_logits.softmax_rows();
+    let mut grad_fake = Matrix::zeros(fake_logits.rows(), c);
+    if fake_logits.rows() > 0 {
+        let inv = 1.0 / fake_logits.rows() as f64;
+        for r in 0..fake_logits.rows() {
+            let ps = fake_probs[(r, synthetic_class)].max(1e-12);
+            loss -= ps.ln() * inv;
+            // dL/dz_j = p_j - δ_js (standard CE toward the synthetic class).
+            for j in 0..c {
+                let delta = f64::from(u8::from(j == synthetic_class));
+                grad_fake[(r, j)] = (fake_probs[(r, j)] - delta) * inv;
+            }
+        }
+    }
+    (loss, grad_real, grad_fake)
+}
+
+/// Feature-matching loss of Section IV:
+/// `L(G) = || E[h(x_real)] - E[h(G(z))] ||^2`.
+///
+/// Returns the loss and dL/dh_fake (an `n_fake x d` matrix); the gradient on
+/// the real side is not needed because only `G` descends this loss.
+pub fn feature_matching_loss(h_real: &Matrix, h_fake: &Matrix) -> (f64, Matrix) {
+    assert_eq!(
+        h_real.cols(),
+        h_fake.cols(),
+        "feature_matching_loss: dim mismatch"
+    );
+    let mu_real = h_real.mean_rows();
+    let mu_fake = h_fake.mean_rows();
+    let diff: Vec<f64> = mu_fake.iter().zip(&mu_real).map(|(f, r)| f - r).collect();
+    let loss: f64 = diff.iter().map(|d| d * d).sum();
+    // dL/dh_fake[r][c] = 2 * diff[c] / n_fake.
+    let n = h_fake.rows().max(1) as f64;
+    let mut grad = Matrix::zeros(h_fake.rows(), h_fake.cols());
+    for r in 0..h_fake.rows() {
+        for (c, g) in grad.row_mut(r).iter_mut().enumerate() {
+            *g = 2.0 * diff[c] / n;
+        }
+    }
+    (loss, grad)
+}
+
+/// Binary cross-entropy on a probability (already sigmoided), with the
+/// gradient w.r.t. the *logit* folded in: for `p = σ(z)` and target `y`,
+/// `dL/dz = p - y`. Used by the graph autoencoder's edge reconstruction.
+#[inline]
+pub fn bce_with_logit_grad(p: f64, y: f64) -> (f64, f64) {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    let loss = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+    (loss, p - y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::Rng;
+
+    fn numeric_grad(
+        logits: &Matrix,
+        f: &dyn Fn(&Matrix) -> f64,
+        r: usize,
+        c: usize,
+    ) -> f64 {
+        let eps = 1e-6;
+        let mut lp = logits.clone();
+        lp[(r, c)] += eps;
+        let mut lm = logits.clone();
+        lm[(r, c)] -= eps;
+        (f(&lp) - f(&lm)) / (2.0 * eps)
+    }
+
+    #[test]
+    fn ce_perfect_prediction_near_zero_loss() {
+        let logits = Matrix::from_vec(2, 3, vec![100.0, 0.0, 0.0, 0.0, 100.0, 0.0]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[(0, 0), (1, 1)]);
+        assert!(loss < 1e-6, "loss {loss}");
+    }
+
+    #[test]
+    fn ce_gradient_matches_numeric() {
+        let mut rng = Rng::seed_from_u64(101);
+        let logits = Matrix::randn(4, 3, 1.0, &mut rng);
+        let targets = vec![(0usize, 2usize), (2, 0), (3, 1)];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets);
+        let f = |l: &Matrix| softmax_cross_entropy(l, &targets).0;
+        for r in 0..4 {
+            for c in 0..3 {
+                let n = numeric_grad(&logits, &f, r, c);
+                assert!(
+                    (n - grad[(r, c)]).abs() < 1e-6,
+                    "grad[{r},{c}] numeric {n} vs {}",
+                    grad[(r, c)]
+                );
+            }
+        }
+        // Unlabeled row 1 receives no gradient.
+        assert_eq!(grad.row(1), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn ce_empty_targets() {
+        let logits = Matrix::zeros(2, 3);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[]);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn sgan_unsup_gradients_match_numeric() {
+        let mut rng = Rng::seed_from_u64(102);
+        let real = Matrix::randn(3, 3, 1.0, &mut rng);
+        let fake = Matrix::randn(2, 3, 1.0, &mut rng);
+        let (_, greal, gfake) = sgan_unsupervised_loss(&real, &fake, 2);
+
+        let f_real = |l: &Matrix| sgan_unsupervised_loss(l, &fake, 2).0;
+        for r in 0..3 {
+            for c in 0..3 {
+                let n = numeric_grad(&real, &f_real, r, c);
+                assert!(
+                    (n - greal[(r, c)]).abs() < 1e-6,
+                    "real grad[{r},{c}] {n} vs {}",
+                    greal[(r, c)]
+                );
+            }
+        }
+        let f_fake = |l: &Matrix| sgan_unsupervised_loss(&real, l, 2).0;
+        for r in 0..2 {
+            for c in 0..3 {
+                let n = numeric_grad(&fake, &f_fake, r, c);
+                assert!(
+                    (n - gfake[(r, c)]).abs() < 1e-6,
+                    "fake grad[{r},{c}] {n} vs {}",
+                    gfake[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sgan_unsup_loss_direction() {
+        // A discriminator that confidently marks real as non-synthetic and
+        // fake as synthetic has near-zero loss.
+        let real = Matrix::from_vec(1, 3, vec![10.0, 10.0, -20.0]);
+        let fake = Matrix::from_vec(1, 3, vec![-20.0, -20.0, 10.0]);
+        let (good, _, _) = sgan_unsupervised_loss(&real, &fake, 2);
+        let (bad, _, _) = sgan_unsupervised_loss(&fake, &real, 2);
+        assert!(good < 1e-6);
+        assert!(bad > 5.0);
+    }
+
+    #[test]
+    fn feature_matching_zero_when_means_match() {
+        let h = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let g = Matrix::from_vec(4, 2, vec![2.0, 3.0, 2.0, 3.0, 2.0, 3.0, 2.0, 3.0]);
+        let (loss, grad) = feature_matching_loss(&h, &g);
+        assert!(loss < 1e-12);
+        assert!(grad.max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn feature_matching_gradient_matches_numeric() {
+        let mut rng = Rng::seed_from_u64(103);
+        let h_real = Matrix::randn(5, 3, 1.0, &mut rng);
+        let h_fake = Matrix::randn(4, 3, 1.0, &mut rng);
+        let (_, grad) = feature_matching_loss(&h_real, &h_fake);
+        let f = |hf: &Matrix| feature_matching_loss(&h_real, hf).0;
+        for r in 0..4 {
+            for c in 0..3 {
+                let n = numeric_grad(&h_fake, &f, r, c);
+                assert!(
+                    (n - grad[(r, c)]).abs() < 1e-6,
+                    "grad[{r},{c}] {n} vs {}",
+                    grad[(r, c)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bce_behaviour() {
+        let (l0, g0) = bce_with_logit_grad(0.9, 1.0);
+        assert!(l0 < 0.2);
+        assert!(g0 < 0.0); // push logit up? p - y = -0.1 -> increase z. Yes.
+        let (l1, g1) = bce_with_logit_grad(0.9, 0.0);
+        assert!(l1 > 2.0);
+        assert!(g1 > 0.0);
+        // Clamping protects the extremes.
+        let (lc, _) = bce_with_logit_grad(0.0, 1.0);
+        assert!(lc.is_finite());
+    }
+}

@@ -1,0 +1,158 @@
+//! Vector distances and similarity measures used throughout query selection
+//! (diversified typicality) and clustering.
+
+/// Euclidean (L2) distance between two equal-length vectors.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    squared_euclidean(a, b).sqrt()
+}
+
+/// Squared Euclidean distance (avoids the sqrt when only ordering matters).
+#[inline]
+pub fn squared_euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Manhattan (L1) distance.
+#[inline]
+pub fn manhattan(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+/// Cosine similarity in `[-1, 1]`; 0.0 when either vector is ~zero.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na < 1e-12 || nb < 1e-12 {
+        return 0.0;
+    }
+    (dot / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine distance `1 - cosine_similarity` in `[0, 2]`.
+#[inline]
+pub fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// L2 norm of a vector.
+#[inline]
+pub fn l2_norm(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Normalizes a vector to unit L2 norm in place; leaves ~zero vectors alone.
+pub fn normalize_l2(a: &mut [f64]) {
+    let n = l2_norm(a);
+    if n > 1e-12 {
+        for x in a {
+            *x /= n;
+        }
+    }
+}
+
+/// Levenshtein edit distance between two strings (unit costs).
+///
+/// Used by the string-noise detectors to match misspellings against a
+/// dictionary. O(|a|*|b|) time, O(min) memory.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    if short.is_empty() {
+        return long.len();
+    }
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut cur = vec![0usize; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let sub = prev[j] + usize::from(lc != sc);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[short.len()]
+}
+
+/// Normalized edit similarity in `[0, 1]`: 1.0 for identical strings.
+pub fn edit_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_hand_checked() {
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(squared_euclidean(&[1.0, 1.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn manhattan_hand_checked() {
+        assert_eq!(manhattan(&[1.0, 2.0], &[4.0, -2.0]), 7.0);
+    }
+
+    #[test]
+    fn cosine_cases() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!((cosine_distance(&[2.0, 0.0], &[5.0, 0.0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_makes_unit() {
+        let mut v = vec![3.0, 4.0];
+        normalize_l2(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-12);
+        let mut z = vec![0.0, 0.0];
+        normalize_l2(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn levenshtein_classics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        // The paper's case study: Melvaceae vs Malvaceae — one substitution.
+        assert_eq!(levenshtein("Melvaceae", "Malvaceae"), 1);
+    }
+
+    #[test]
+    fn levenshtein_symmetric() {
+        assert_eq!(levenshtein("graph", "graphs"), levenshtein("graphs", "graph"));
+    }
+
+    #[test]
+    fn edit_similarity_bounds() {
+        assert_eq!(edit_similarity("", ""), 1.0);
+        assert_eq!(edit_similarity("abc", "abc"), 1.0);
+        assert_eq!(edit_similarity("abc", "xyz"), 0.0);
+        let s = edit_similarity("Melvaceae", "Malvaceae");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn unicode_edit_distance_counts_chars() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+    }
+}

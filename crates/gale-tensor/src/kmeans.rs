@@ -1,0 +1,295 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Query selection (Section V of the paper) clusters the discriminator's node
+//! embeddings `H_n(X_R)` with k'-means (k' between k and 3k) and measures
+//! *clustering typicality* as the inverse distance to the assigned centroid.
+
+use crate::distance::squared_euclidean;
+use crate::matrix::Matrix;
+use crate::rng::Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// `k x d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster assignment for every input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Number of Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Euclidean distance from row `i` of `points` to its assigned centroid.
+    pub fn distance_to_centroid(&self, points: &Matrix, i: usize) -> f64 {
+        squared_euclidean(points.row(i), self.centroids.row(self.assignments[i])).sqrt()
+    }
+
+    /// Members of cluster `c`, in input order.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Configuration for [`kmeans`].
+#[derive(Debug, Clone)]
+pub struct KMeansConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig {
+            k: 8,
+            max_iter: 100,
+            tol: 1e-6,
+        }
+    }
+}
+
+/// Runs k-means++ initialization followed by Lloyd iterations.
+///
+/// `points` is an `n x d` matrix. If `n < k` the effective `k` is clamped to
+/// `n`. Empty clusters are re-seeded with the point farthest from its
+/// centroid, so the result always has non-degenerate assignments.
+pub fn kmeans(points: &Matrix, cfg: &KMeansConfig, rng: &mut Rng) -> KMeansResult {
+    let n = points.rows();
+    let d = points.cols();
+    assert!(n > 0, "kmeans: no points");
+    let k = cfg.k.clamp(1, n);
+
+    let mut centroids = plus_plus_init(points, k, rng);
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    let mut inertia = f64::INFINITY;
+
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        // Assignment step.
+        inertia = 0.0;
+        for i in 0..n {
+            let (mut best, mut best_d) = (0usize, f64::INFINITY);
+            for c in 0..k {
+                let dist = squared_euclidean(points.row(i), centroids.row(c));
+                if dist < best_d {
+                    best = c;
+                    best_d = dist;
+                }
+            }
+            assignments[i] = best;
+            inertia += best_d;
+        }
+        // Update step.
+        let mut sums = Matrix::zeros(k, d);
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignments[i];
+            counts[c] += 1;
+            for (s, &p) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
+                *s += p;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fitting point.
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = squared_euclidean(points.row(a), centroids.row(assignments[a]));
+                        let db = squared_euclidean(points.row(b), centroids.row(assignments[b]));
+                        da.partial_cmp(&db).expect("kmeans: NaN distance")
+                    })
+                    .expect("kmeans: n > 0");
+                centroids.set_row(c, points.row(far));
+                movement += 1.0;
+                continue;
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let old: Vec<f64> = centroids.row(c).to_vec();
+            for (cc, &s) in centroids.row_mut(c).iter_mut().zip(sums.row(c)) {
+                *cc = s * inv;
+            }
+            movement += squared_euclidean(&old, centroids.row(c)).sqrt();
+        }
+        if movement <= cfg.tol {
+            break;
+        }
+    }
+
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+/// k-means++ seeding: the first centroid is uniform, subsequent centroids are
+/// drawn proportionally to the squared distance from the nearest chosen one.
+fn plus_plus_init(points: &Matrix, k: usize, rng: &mut Rng) -> Matrix {
+    let n = points.rows();
+    let mut centroids = Matrix::zeros(k, points.cols());
+    let first = rng.below(n);
+    centroids.set_row(0, points.row(first));
+
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|i| squared_euclidean(points.row(i), centroids.row(0)))
+        .collect();
+    for c in 1..k {
+        let total: f64 = dist2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.below(n) // all points identical; any choice works
+        } else {
+            rng.weighted(&dist2)
+        };
+        centroids.set_row(c, points.row(next));
+        for i in 0..n {
+            let d = squared_euclidean(points.row(i), centroids.row(c));
+            if d < dist2[i] {
+                dist2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2D.
+    fn blobs(rng: &mut Rng) -> (Matrix, Vec<usize>) {
+        let centers = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..30 {
+                rows.push(vec![cx + rng.gauss() * 0.5, cy + rng.gauss() * 0.5]);
+                truth.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let mut rng = Rng::seed_from_u64(101);
+        let (points, truth) = blobs(&mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        // Each true blob maps to exactly one predicted cluster.
+        for blob in 0..3 {
+            let labels: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == blob)
+                .map(|(i, _)| res.assignments[i])
+                .collect();
+            assert!(
+                labels.windows(2).all(|w| w[0] == w[1]),
+                "blob {blob} split across clusters"
+            );
+        }
+        assert!(res.inertia < 100.0, "inertia {}", res.inertia);
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let mut rng = Rng::seed_from_u64(7);
+        let points = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0]]);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 10,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(res.centroids.rows(), 2);
+        assert!(res.assignments.iter().all(|&a| a < 2));
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let mut rng = Rng::seed_from_u64(8);
+        let points = Matrix::from_rows(&vec![vec![3.0, 3.0]; 10]);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert!(res.inertia < 1e-18);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut rng = Rng::seed_from_u64(55);
+            let (points, _) = blobs(&mut rng);
+            kmeans(
+                &points,
+                &KMeansConfig {
+                    k: 3,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .assignments
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn distance_to_centroid_consistent() {
+        let mut rng = Rng::seed_from_u64(9);
+        let (points, _) = blobs(&mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let total: f64 = (0..points.rows())
+            .map(|i| res.distance_to_centroid(&points, i).powi(2))
+            .sum();
+        assert!((total - res.inertia).abs() < 1e-9);
+    }
+
+    #[test]
+    fn members_partition_inputs() {
+        let mut rng = Rng::seed_from_u64(10);
+        let (points, _) = blobs(&mut rng);
+        let res = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 3,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let total: usize = (0..3).map(|c| res.members(c).len()).sum();
+        assert_eq!(total, points.rows());
+    }
+}

@@ -1,0 +1,241 @@
+//! Small dense linear-algebra routines: symmetric eigendecomposition via the
+//! cyclic Jacobi method, and Gaussian elimination for small systems.
+//!
+//! These are only applied to covariance matrices of reduced dimensionality
+//! (tens to a few hundreds), so O(n^3) methods are perfectly adequate.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct SymEigen {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Column `j` of this matrix is the eigenvector for `values[j]`.
+    pub vectors: Matrix,
+}
+
+/// Computes all eigenpairs of a symmetric matrix with the cyclic Jacobi
+/// method. Asymmetry beyond ~1e-9 panics (callers should symmetrize first).
+pub fn sym_eigen(a: &Matrix) -> SymEigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "sym_eigen: non-square");
+    for r in 0..n {
+        for c in (r + 1)..n {
+            assert!(
+                (a[(r, c)] - a[(c, r)]).abs() <= 1e-9 * (1.0 + a[(r, c)].abs()),
+                "sym_eigen: matrix not symmetric at ({r},{c})"
+            );
+        }
+    }
+    let mut m = a.clone();
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        // Largest off-diagonal magnitude decides convergence.
+        let mut off = 0.0f64;
+        for r in 0..n {
+            for c in (r + 1)..n {
+                off = off.max(m[(r, c)].abs());
+            }
+        }
+        if off < 1e-12 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[(p, q)];
+                if apq.abs() < 1e-14 {
+                    continue;
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                let theta = 0.5 * (aqq - app) / apq;
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the rotation G(p, q, theta) on both sides.
+                for k in 0..n {
+                    let mkp = m[(k, p)];
+                    let mkq = m[(k, q)];
+                    m[(k, p)] = c * mkp - s * mkq;
+                    m[(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[(p, k)];
+                    let mqk = m[(q, k)];
+                    m[(p, k)] = c * mpk - s * mqk;
+                    m[(q, k)] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        m[(j, j)]
+            .partial_cmp(&m[(i, i)])
+            .expect("sym_eigen: NaN eigenvalue")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| m[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (jnew, &jold) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors[(k, jnew)] = v[(k, jold)];
+        }
+    }
+    SymEigen { values, vectors }
+}
+
+/// Solves `A x = b` for a small square system with partial-pivot Gaussian
+/// elimination. Returns `None` when the matrix is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "solve: non-square");
+    assert_eq!(n, b.len(), "solve: rhs length mismatch");
+    let mut aug = Matrix::zeros(n, n + 1);
+    for r in 0..n {
+        aug.row_mut(r)[..n].copy_from_slice(a.row(r));
+        aug[(r, n)] = b[r];
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| {
+                aug[(i, col)]
+                    .abs()
+                    .partial_cmp(&aug[(j, col)].abs())
+                    .expect("solve: NaN entry")
+            })
+            .expect("solve: non-empty range");
+        if aug[(pivot, col)].abs() < 1e-12 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..=n {
+                let tmp = aug[(col, k)];
+                aug[(col, k)] = aug[(pivot, k)];
+                aug[(pivot, k)] = tmp;
+            }
+        }
+        let diag = aug[(col, col)];
+        for r in (col + 1)..n {
+            let factor = aug[(r, col)] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..=n {
+                aug[(r, k)] -= factor * aug[(col, k)];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut s = aug[(r, n)];
+        for k in (r + 1)..n {
+            s -= aug[(r, k)] * x[k];
+        }
+        x[r] = s / aug[(r, r)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn eigen_of_diagonal() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 2.0).abs() < 1e-10);
+        assert!((e.values[2] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigen_hand_checked_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let e = sym_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0: Vec<f64> = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-8);
+        assert!((v0[0] - v0[1]).abs() < 1e-8);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let mut rng = Rng::seed_from_u64(21);
+        let b = Matrix::randn(5, 5, 1.0, &mut rng);
+        let a = b.matmul_tn(&b); // symmetric PSD
+        let e = sym_eigen(&a);
+        // Reconstruct V diag(w) V^T.
+        let mut recon = Matrix::zeros(5, 5);
+        for j in 0..5 {
+            let v = e.vectors.col(j);
+            for r in 0..5 {
+                for c in 0..5 {
+                    recon[(r, c)] += e.values[j] * v[r] * v[c];
+                }
+            }
+        }
+        assert!(recon.approx_eq(&a, 1e-8), "reconstruction failed");
+    }
+
+    #[test]
+    fn eigenvectors_orthonormal() {
+        let mut rng = Rng::seed_from_u64(22);
+        let b = Matrix::randn(6, 6, 1.0, &mut rng);
+        let a = b.matmul_tn(&b);
+        let e = sym_eigen(&a);
+        let vtv = e.vectors.matmul_tn(&e.vectors);
+        assert!(vtv.approx_eq(&Matrix::identity(6), 1e-8));
+    }
+
+    #[test]
+    fn solve_hand_checked() {
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_singular_returns_none() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn solve_random_consistency() {
+        let mut rng = Rng::seed_from_u64(23);
+        let a = {
+            let b = Matrix::randn(4, 4, 1.0, &mut rng);
+            // Diagonal boost keeps it well-conditioned.
+            let mut m = b.matmul_tn(&b);
+            for i in 0..4 {
+                m[(i, i)] += 1.0;
+            }
+            m
+        };
+        let x_true = vec![1.0, -2.0, 0.5, 3.0];
+        let b = a.matvec(&x_true);
+        let x = solve(&a, &b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Principal component analysis.
+//!
+//! The paper reduces the concatenated attribute/structure embeddings with PCA
+//! before feeding them to the SGAN, "to reduce training cost" (Section VII).
+//! This implementation centers the data, eigendecomposes the covariance with
+//! the Jacobi method, and projects onto the leading components.
+
+use crate::linalg::sym_eigen;
+use crate::matrix::Matrix;
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Feature means subtracted before projection (length = input dim).
+    pub mean: Vec<f64>,
+    /// `d x k` projection matrix; columns are principal axes.
+    pub components: Matrix,
+    /// Variance explained by each kept component, descending.
+    pub explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits PCA on an `n x d` data matrix, keeping `k` components
+    /// (clamped to `min(n, d)`).
+    ///
+    /// Panics on an empty matrix.
+    pub fn fit(data: &Matrix, k: usize) -> Pca {
+        let n = data.rows();
+        let d = data.cols();
+        assert!(n > 0 && d > 0, "Pca::fit: empty data");
+        let k = k.clamp(1, d);
+
+        let mean = data.mean_rows();
+        let mut centered = data.clone();
+        for r in 0..n {
+            for (x, m) in centered.row_mut(r).iter_mut().zip(&mean) {
+                *x -= m;
+            }
+        }
+        // Covariance = X^T X / n  (population convention).
+        let mut cov = centered.matmul_tn(&centered);
+        cov.scale_inplace(1.0 / n as f64);
+        // Numerical symmetrization before Jacobi.
+        for r in 0..d {
+            for c in (r + 1)..d {
+                let avg = 0.5 * (cov[(r, c)] + cov[(c, r)]);
+                cov[(r, c)] = avg;
+                cov[(c, r)] = avg;
+            }
+        }
+        let eig = sym_eigen(&cov);
+        let mut components = Matrix::zeros(d, k);
+        for j in 0..k {
+            for i in 0..d {
+                components[(i, j)] = eig.vectors[(i, j)];
+            }
+        }
+        Pca {
+            mean,
+            components,
+            explained_variance: eig.values[..k].to_vec(),
+        }
+    }
+
+    /// Projects an `n x d` matrix into the `k`-dimensional PCA space.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(
+            data.cols(),
+            self.mean.len(),
+            "Pca::transform: dimension mismatch"
+        );
+        let mut centered = data.clone();
+        for r in 0..centered.rows() {
+            for (x, m) in centered.row_mut(r).iter_mut().zip(&self.mean) {
+                *x -= m;
+            }
+        }
+        centered.matmul(&self.components)
+    }
+
+    /// Convenience: fit then transform the same matrix.
+    pub fn fit_transform(data: &Matrix, k: usize) -> (Pca, Matrix) {
+        let pca = Pca::fit(data, k);
+        let projected = pca.transform(data);
+        (pca, projected)
+    }
+
+    /// Fraction of total variance captured by the kept components
+    /// (1.0 when all components are kept, assuming PSD covariance).
+    pub fn explained_variance_ratio(&self, total_variance: f64) -> f64 {
+        if total_variance <= 0.0 {
+            return 0.0;
+        }
+        self.explained_variance.iter().sum::<f64>() / total_variance
+    }
+
+    /// Output dimensionality of the projection.
+    pub fn out_dim(&self) -> usize {
+        self.components.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Data stretched along the direction (1, 1) with tiny orthogonal noise.
+    fn anisotropic(rng: &mut Rng, n: usize) -> Matrix {
+        let mut rows = Vec::with_capacity(n);
+        for _ in 0..n {
+            let t = rng.gauss() * 5.0;
+            let e = rng.gauss() * 0.1;
+            rows.push(vec![t + e, t - e]);
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_finds_dominant_axis() {
+        let mut rng = Rng::seed_from_u64(31);
+        let data = anisotropic(&mut rng, 500);
+        let pca = Pca::fit(&data, 2);
+        // Leading axis should be ±(1,1)/sqrt(2).
+        let axis: Vec<f64> = pca.components.col(0);
+        let ratio = (axis[0] / axis[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "axis {axis:?}");
+        assert!(pca.explained_variance[0] > 20.0 * pca.explained_variance[1]);
+    }
+
+    #[test]
+    fn projection_is_centered() {
+        let mut rng = Rng::seed_from_u64(32);
+        let data = anisotropic(&mut rng, 300);
+        let (_, proj) = Pca::fit_transform(&data, 1);
+        let m = proj.mean_rows();
+        assert!(m[0].abs() < 1e-9, "projected mean {m:?}");
+    }
+
+    #[test]
+    fn transform_preserves_pairwise_distances_full_rank() {
+        // Keeping all components makes PCA an isometry (rotation).
+        let mut rng = Rng::seed_from_u64(33);
+        let data = Matrix::randn(50, 4, 1.0, &mut rng);
+        let (_, proj) = Pca::fit_transform(&data, 4);
+        for (i, j) in [(0usize, 1usize), (5, 20), (49, 3)] {
+            let orig = crate::distance::euclidean(data.row(i), data.row(j));
+            let new = crate::distance::euclidean(proj.row(i), proj.row(j));
+            assert!((orig - new).abs() < 1e-8, "({i},{j}): {orig} vs {new}");
+        }
+    }
+
+    #[test]
+    fn k_is_clamped() {
+        let mut rng = Rng::seed_from_u64(34);
+        let data = Matrix::randn(10, 3, 1.0, &mut rng);
+        let pca = Pca::fit(&data, 99);
+        assert_eq!(pca.out_dim(), 3);
+    }
+
+    #[test]
+    fn variance_ratio_close_to_one_for_full_rank() {
+        let mut rng = Rng::seed_from_u64(35);
+        let data = Matrix::randn(200, 5, 1.0, &mut rng);
+        let pca = Pca::fit(&data, 5);
+        // Total variance equals the trace of the covariance.
+        let mean = data.mean_rows();
+        let mut total = 0.0;
+        for c in 0..5 {
+            let col = data.col(c);
+            total += col
+                .iter()
+                .map(|x| (x - mean[c]) * (x - mean[c]))
+                .sum::<f64>()
+                / data.rows() as f64;
+        }
+        let ratio = pca.explained_variance_ratio(total);
+        assert!((ratio - 1.0).abs() < 1e-6, "ratio {ratio}");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let mut rng = Rng::seed_from_u64(36);
+        let data = Matrix::randn(40, 6, 1.0, &mut rng);
+        let (_, p1) = Pca::fit_transform(&data, 3);
+        let (_, p2) = Pca::fit_transform(&data, 3);
+        assert!(p1.approx_eq(&p2, 0.0));
+    }
+}

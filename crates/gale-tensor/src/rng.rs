@@ -1,0 +1,347 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! GALE's experiments must be reproducible bit-for-bit across runs and
+//! platforms, so instead of depending on an external RNG crate (whose API and
+//! stream definitions churn across major versions) we implement the
+//! well-known xoshiro256++ generator seeded through SplitMix64, exactly as
+//! specified by Blackman & Vigna. The generator is *not* cryptographically
+//! secure; it is used only for simulation, initialization, and sampling.
+
+/// A deterministic xoshiro256++ pseudo-random number generator.
+///
+/// Cloning an `Rng` clones its state, producing two generators that emit the
+/// same stream; use [`Rng::fork`] to derive an independent child stream.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second normal deviate from the last Box-Muller draw.
+    cached_gauss: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The full 256-bit state is expanded from the seed with SplitMix64, so
+    /// nearby seeds still yield well-separated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            s,
+            cached_gauss: None,
+        }
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child is seeded from the parent's stream, so distinct forks of the
+    /// same parent produce distinct streams while staying deterministic.
+    pub fn fork(&mut self) -> Self {
+        Rng::seed_from_u64(self.next_u64())
+    }
+
+    /// Returns the next raw 64-bit value of the stream.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`. `lo` must be `<= hi`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64: lo {lo} > hi {hi}");
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform `usize` in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased results.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below: empty range");
+        let n = n as u64;
+        // Lemire: draw until the low product lands outside the biased zone.
+        let mut x = self.next_u64();
+        let mut m = (x as u128).wrapping_mul(n as u128);
+        let mut l = m as u64;
+        if l < n {
+            let t = n.wrapping_neg() % n;
+            while l < t {
+                x = self.next_u64();
+                m = (x as u128).wrapping_mul(n as u128);
+                l = m as u64;
+            }
+        }
+        (m >> 64) as usize
+    }
+
+    /// Uniform `usize` in `[lo, hi)`. Panics if `lo >= hi`.
+    #[inline]
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "range: lo {lo} >= hi {hi}");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal deviate via the Box-Muller transform.
+    pub fn gauss(&mut self) -> f64 {
+        if let Some(z) = self.cached_gauss.take() {
+            return z;
+        }
+        // Rejection-free polar-less form: u1 in (0,1] avoids ln(0).
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached_gauss = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal deviate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gauss()
+    }
+
+    /// Fisher-Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Uniformly chooses one element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "choose: empty slice");
+        &xs[self.below(xs.len())]
+    }
+
+    /// Samples `k` distinct indices from `[0, n)` without replacement.
+    ///
+    /// Returns fewer than `k` indices only when `k > n`. Uses a partial
+    /// Fisher-Yates pass, O(n) memory, O(k) swaps.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        let k = k.min(n);
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = self.range(i, n);
+            pool.swap(i, j);
+        }
+        pool.truncate(k);
+        pool
+    }
+
+    /// Draws an index according to the (unnormalized, non-negative) weights.
+    ///
+    /// Panics if the weights are empty or sum to a non-finite/non-positive
+    /// value.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weighted: weights must sum to a positive finite value, got {total}"
+        );
+        let mut target = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            debug_assert!(w >= 0.0, "weighted: negative weight {w} at {i}");
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1 // floating-point slack lands on the last bucket
+    }
+
+    /// Draws a Poisson-distributed count (Knuth's method; fine for small λ).
+    pub fn poisson(&mut self, lambda: f64) -> usize {
+        assert!(lambda >= 0.0, "poisson: negative lambda");
+        let limit = (-lambda).exp();
+        let mut k = 0usize;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= limit {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2, "streams should be essentially disjoint");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.below(10);
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn below_unbiased_roughly() {
+        let mut r = Rng::seed_from_u64(9);
+        let n = 7usize;
+        let draws = 70_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            counts[r.below(n)] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() < expected * 0.1);
+        }
+    }
+
+    #[test]
+    fn gauss_moments() {
+        let mut r = Rng::seed_from_u64(11);
+        let n = 200_000;
+        let (mut sum, mut sumsq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = r.gauss();
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sumsq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut xs: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut r = Rng::seed_from_u64(13);
+        let s = r.sample_indices(100, 30);
+        assert_eq!(s.len(), 30);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 30);
+        assert!(d.iter().all(|&i| i < 100));
+    }
+
+    #[test]
+    fn sample_indices_clamps_k() {
+        let mut r = Rng::seed_from_u64(13);
+        let s = r.sample_indices(5, 50);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut r = Rng::seed_from_u64(17);
+        let w = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted(&w)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn poisson_mean() {
+        let mut r = Rng::seed_from_u64(19);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| r.poisson(2.5)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn fork_produces_independent_stream() {
+        let mut a = Rng::seed_from_u64(23);
+        let mut b = a.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::seed_from_u64(29);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

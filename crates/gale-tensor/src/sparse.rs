@@ -1,0 +1,401 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Graph adjacency and its normalizations are stored in CSR form so that
+//! GCN propagation, label propagation, and personalized-PageRank power
+//! iterations all run in O(|E|) per step.
+
+use crate::matrix::Matrix;
+
+/// A sparse `f64` matrix in CSR layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// `indptr[r]..indptr[r+1]` bounds row `r`'s entries.
+    indptr: Vec<usize>,
+    /// Column index of each stored entry, sorted within each row.
+    indices: Vec<usize>,
+    /// Value of each stored entry.
+    values: Vec<f64>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from (row, col, value) triplets.
+    ///
+    /// Duplicate coordinates are summed. Out-of-range coordinates panic.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
+        for (r, c, v) in triplets {
+            assert!(r < rows && c < cols, "from_triplets: ({r},{c}) out of range");
+            by_row[r].push((c, v));
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in &mut by_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = row[i].1;
+                let mut j = i + 1;
+                while j < row.len() && row[j].0 == c {
+                    v += row[j].1;
+                    j += 1;
+                }
+                indices.push(c);
+                values.push(v);
+                i = j;
+            }
+            indptr.push(indices.len());
+        }
+        SparseMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+            values,
+        }
+    }
+
+    /// An all-zero sparse matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        SparseMatrix {
+            rows,
+            cols,
+            indptr: vec![0; rows + 1],
+            indices: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// The `n x n` sparse identity.
+    pub fn identity(n: usize) -> Self {
+        SparseMatrix {
+            rows: n,
+            cols: n,
+            indptr: (0..=n).collect(),
+            indices: (0..n).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterator over `(col, value)` pairs of row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        self.indices[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&c, &v)| (c, v))
+    }
+
+    /// Number of stored entries in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: usize) -> usize {
+        self.indptr[r + 1] - self.indptr[r]
+    }
+
+    /// Looks up entry `(r, c)`; zero if not stored. O(log row_nnz).
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        match self.indices[lo..hi].binary_search(&c) {
+            Ok(k) => self.values[lo + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse * dense product, producing a dense matrix.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "matmul_dense: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for r in 0..self.rows {
+            let orow = out.row_mut(r);
+            for (c, v) in self.row_iter(r) {
+                let drow = dense.row(c);
+                for j in 0..n {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+        out
+    }
+
+    /// Sparse * vector product.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "matvec: width mismatch");
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(c, w)| w * v[c]).sum())
+            .collect()
+    }
+
+    /// Transposed sparse * vector product (`self^T * v`) without building the
+    /// transpose.
+    pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.rows, v.len(), "matvec_t: height mismatch");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let vr = v[r];
+            if vr == 0.0 {
+                continue;
+            }
+            for (c, w) in self.row_iter(r) {
+                out[c] += w * vr;
+            }
+        }
+        out
+    }
+
+    /// Materializes the transpose in CSR form.
+    pub fn transpose(&self) -> SparseMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                triplets.push((c, r, v));
+            }
+        }
+        SparseMatrix::from_triplets(self.cols, self.rows, triplets)
+    }
+
+    /// Row sums (out-weights); the degree vector for an adjacency matrix.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Scales row `r` by `factors[r]` (used for D^{-1} A normalization).
+    pub fn scale_rows(&self, factors: &[f64]) -> SparseMatrix {
+        assert_eq!(factors.len(), self.rows, "scale_rows: length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            for v in &mut out.values[lo..hi] {
+                *v *= factors[r];
+            }
+        }
+        out
+    }
+
+    /// Returns `left[r] * A[r,c] * right[c]` — the symmetric normalization
+    /// D̃^{-1/2} Ã D̃^{-1/2} when `left == right == d^{-1/2}`.
+    pub fn scale_both(&self, left: &[f64], right: &[f64]) -> SparseMatrix {
+        assert_eq!(left.len(), self.rows);
+        assert_eq!(right.len(), self.cols);
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let lo = out.indptr[r];
+            let hi = out.indptr[r + 1];
+            for k in lo..hi {
+                out.values[k] *= left[r] * right[out.indices[k]];
+            }
+        }
+        out
+    }
+
+    /// Adds the identity (self-loops): Ã = A + I. Requires a square matrix.
+    pub fn add_identity(&self) -> SparseMatrix {
+        assert_eq!(self.rows, self.cols, "add_identity: non-square");
+        let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.nnz() + self.rows);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                triplets.push((r, c, v));
+            }
+            triplets.push((r, r, 1.0));
+        }
+        SparseMatrix::from_triplets(self.rows, self.cols, triplets)
+    }
+
+    /// Converts to a dense matrix (test/debug helper; O(rows*cols) memory).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out[(r, c)] += v;
+            }
+        }
+        out
+    }
+
+    /// The GCN/PPR propagation operator for an undirected adjacency:
+    /// `S = D̃^{-1/2} (A + I) D̃^{-1/2}` where `D̃` is the degree of `A + I`.
+    ///
+    /// Every row of `S` for a node with at least the self-loop is non-empty,
+    /// so power iterations never lose mass on isolated nodes.
+    pub fn sym_normalized_with_self_loops(&self) -> SparseMatrix {
+        let tilde = self.add_identity();
+        let deg = tilde.row_sums();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
+        tilde.scale_both(&inv_sqrt, &inv_sqrt)
+    }
+
+    /// Row-stochastic random-walk operator `D̃^{-1} (A + I)`.
+    pub fn rw_normalized_with_self_loops(&self) -> SparseMatrix {
+        let tilde = self.add_identity();
+        let deg = tilde.row_sums();
+        let inv: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d } else { 0.0 })
+            .collect();
+        tilde.scale_rows(&inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    fn small() -> SparseMatrix {
+        // [[0,1,0],[2,0,3],[0,0,4]]
+        SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 2.0), (1, 2, 3.0), (2, 2, 4.0)])
+    }
+
+    #[test]
+    fn triplets_roundtrip_get() {
+        let m = small();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(2, 2), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.nnz(), 4);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let m = SparseMatrix::from_triplets(2, 2, [(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.get(0, 0), 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn matmul_dense_matches_dense() {
+        let mut rng = Rng::seed_from_u64(4);
+        let s = small();
+        let d = Matrix::randn(3, 5, 1.0, &mut rng);
+        let fast = s.matmul_dense(&d);
+        let slow = s.to_dense().matmul(&d);
+        assert!(fast.approx_eq(&slow, 1e-12));
+    }
+
+    #[test]
+    fn matvec_and_transposed_matvec() {
+        let s = small();
+        assert_eq!(s.matvec(&[1.0, 1.0, 1.0]), vec![1.0, 5.0, 4.0]);
+        let vt = s.matvec_t(&[1.0, 1.0, 1.0]);
+        let slow = s.transpose().matvec(&[1.0, 1.0, 1.0]);
+        assert_eq!(vt, slow);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let s = small();
+        assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn sym_normalization_rows_bounded() {
+        // A path graph 0-1-2.
+        let a = SparseMatrix::from_triplets(
+            3,
+            3,
+            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        );
+        let s = a.sym_normalized_with_self_loops();
+        // Symmetry is preserved.
+        let d = s.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((d[(r, c)] - d[(c, r)]).abs() < 1e-12);
+            }
+        }
+        // Diagonal entries equal 1/deg̃ and off-diagonals 1/sqrt(deg̃_u deg̃_v).
+        assert!((d[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((d[(1, 1)] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((d[(0, 1)] - 1.0 / (2.0f64 * 3.0).sqrt()).abs() < 1e-12);
+        // Power iteration with this operator is bounded: applying S to the
+        // all-ones vector never exceeds sqrt(d_max/d_min) in magnitude.
+        let ones = vec![1.0; 3];
+        let out = s.matvec(&ones);
+        assert!(out.iter().all(|v| v.abs() <= (3.0f64 / 2.0).sqrt() + 1e-12));
+    }
+
+    #[test]
+    fn rw_normalization_is_row_stochastic() {
+        let a = SparseMatrix::from_triplets(
+            3,
+            3,
+            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
+        );
+        let p = a.rw_normalized_with_self_loops();
+        for r in 0..3 {
+            let sum: f64 = p.row_iter(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop_mass() {
+        let a = SparseMatrix::zeros(2, 2);
+        let p = a.rw_normalized_with_self_loops();
+        assert_eq!(p.get(0, 0), 1.0);
+        assert_eq!(p.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn scale_rows_and_both() {
+        let s = small();
+        let scaled = s.scale_rows(&[1.0, 0.5, 2.0]);
+        assert_eq!(scaled.get(1, 0), 1.0);
+        assert_eq!(scaled.get(2, 2), 8.0);
+        let both = s.scale_both(&[1.0, 1.0, 1.0], &[0.0, 1.0, 1.0]);
+        assert_eq!(both.get(1, 0), 0.0);
+        assert_eq!(both.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = SparseMatrix::identity(4);
+        let v = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&v), v);
+    }
+}

@@ -1,0 +1,264 @@
+//! Small statistics toolkit used by the outlier detectors, the data
+//! generators, and the evaluation harness.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Z-score of `x` relative to the sample; 0.0 when the deviation is ~0.
+pub fn z_score(x: f64, xs: &[f64]) -> f64 {
+    let sd = std_dev(xs);
+    if sd < 1e-12 {
+        return 0.0;
+    }
+    (x - mean(xs)) / sd
+}
+
+/// Median of the sample (average of the two central elements for even n).
+pub fn median(xs: &[f64]) -> f64 {
+    quantile(xs, 0.5)
+}
+
+/// Linear-interpolated quantile, `q` in `[0, 1]`. 0.0 for an empty slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("quantile: NaN in data"));
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Interquartile range `(q1, q3)`.
+pub fn iqr_bounds(xs: &[f64]) -> (f64, f64) {
+    (quantile(xs, 0.25), quantile(xs, 0.75))
+}
+
+/// Tukey fences: values outside `[q1 - k*iqr, q3 + k*iqr]` are outliers.
+pub fn tukey_fences(xs: &[f64], k: f64) -> (f64, f64) {
+    let (q1, q3) = iqr_bounds(xs);
+    let iqr = q3 - q1;
+    (q1 - k * iqr, q3 + k * iqr)
+}
+
+/// Min and max of a non-empty slice.
+pub fn min_max(xs: &[f64]) -> (f64, f64) {
+    assert!(!xs.is_empty(), "min_max: empty slice");
+    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+        (lo.min(x), hi.max(x))
+    })
+}
+
+/// Pearson correlation of two equal-length samples; 0.0 when degenerate.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson: length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx < 1e-24 || vy < 1e-24 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Shannon entropy (nats) of a probability vector; entries are clamped to be
+/// non-negative and renormalized if needed.
+pub fn entropy(probs: &[f64]) -> f64 {
+    let total: f64 = probs.iter().filter(|p| **p > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| {
+            let q = p / total;
+            q * q.ln()
+        })
+        .sum::<f64>()
+}
+
+/// A streaming histogram over a fixed numeric range, used for value-
+/// distribution profiling by the annotator.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+    total: usize,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width buckets over `[lo, hi]`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: need at least one bin");
+        assert!(lo < hi, "Histogram: lo must be < hi");
+        Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds an observation; values outside the range clamp to the edge bins.
+    pub fn add(&mut self, x: f64) {
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let mut b = (t * bins as f64) as usize;
+        if b == bins {
+            b -= 1;
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bucket counts.
+    pub fn counts(&self) -> &[usize] {
+        &self.counts
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// The empirical density of the bucket containing `x` (0.0 when empty).
+    pub fn density_at(&self, x: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let bins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        let mut b = (t * bins as f64) as usize;
+        if b == bins {
+            b -= 1;
+        }
+        self.counts[b] as f64 / self.total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_var_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(z_score(5.0, &[3.0, 3.0, 3.0]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn z_score_hand_checked() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((z_score(9.0, &xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn median_and_quantiles() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.0), 1.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 1.0), 5.0);
+        assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.25), 2.0);
+    }
+
+    #[test]
+    fn tukey_fences_catch_spike() {
+        let mut xs: Vec<f64> = (0..100).map(|i| 10.0 + (i % 5) as f64).collect();
+        xs.push(1000.0);
+        let (lo, hi) = tukey_fences(&xs, 1.5);
+        assert!(1000.0 > hi);
+        assert!(10.0 > lo && 14.0 < hi);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let zs = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &zs) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_uniform_is_max() {
+        let u = entropy(&[0.25, 0.25, 0.25, 0.25]);
+        assert!((u - (4.0f64).ln()).abs() < 1e-12);
+        let peaked = entropy(&[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(peaked, 0.0);
+        assert!(u > entropy(&[0.7, 0.1, 0.1, 0.1]));
+    }
+
+    #[test]
+    fn entropy_renormalizes() {
+        // Unnormalized weights behave like their normalized counterparts.
+        assert!((entropy(&[2.0, 2.0]) - entropy(&[0.5, 0.5])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_and_density() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.5, 1.5, 2.5, 2.6, 9.9, 10.0, -5.0] {
+            h.add(x);
+        }
+        assert_eq!(h.total(), 7);
+        // Bucket 0 holds 0.5, 1.5 (width 2), and the clamped -5.0.
+        assert_eq!(h.counts()[0], 3);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[4], 2);
+        assert!((h.density_at(0.1) - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]), (-1.0, 7.0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Anytime detection: the paper notes GALE "can be 'interrupted' at any
+//! iteration to respond to error detection with a current M". This example
+//! traces detection quality as the iteration budget grows, showing where
+//! the oracle budget stops paying for itself.
+//!
+//! ```sh
+//! cargo run --release --example anytime_detection
+//! ```
+
+use gale::prelude::*;
+use std::collections::HashSet;
+
+fn main() {
+    let d = prepare(
+        DatasetId::DataMining,
+        0.15,
+        &ErrorGenConfig {
+            node_error_rate: 0.05,
+            ..Default::default()
+        },
+        77,
+    );
+    let mut rng = Rng::seed_from_u64(77);
+    let split = DataSplit::paper_default(d.graph.node_count(), &mut rng);
+    let truth_test: HashSet<NodeId> = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&v| d.truth.is_erroneous(v))
+        .collect();
+    let label_of = |v: NodeId| {
+        if d.truth.is_erroneous(v) {
+            Label::Error
+        } else {
+            Label::Correct
+        }
+    };
+    let val: Vec<Example> = split
+        .val
+        .iter()
+        .map(|&v| Example {
+            node: v,
+            label: label_of(v),
+        })
+        .collect();
+    let initial: Vec<Example> = split.train[..15]
+        .iter()
+        .map(|&v| Example {
+            node: v,
+            label: label_of(v),
+        })
+        .collect();
+
+    println!(
+        "citation graph: {} nodes, {} erroneous; 15 initial labels, k = 10 per iteration\n",
+        d.graph.node_count(),
+        d.truth.error_count()
+    );
+    println!(
+        "{:>10} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "iterations", "queries", "P", "R", "F1", "time(s)"
+    );
+    for iterations in [1usize, 2, 4, 6, 8] {
+        let mut cfg = GaleConfig {
+            local_budget: 10,
+            iterations,
+            seed: 77,
+            ..Default::default()
+        };
+        cfg.sgan.epochs = 120;
+        cfg.augment.feat.gae.epochs = 15;
+        let mut oracle = GroundTruthOracle::new(&d.truth);
+        let outcome = run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &initial,
+            &val,
+            &mut oracle,
+            &cfg,
+        );
+        let prf = Prf::from_sets(&outcome.predicted_errors(&split.test), &truth_test);
+        println!(
+            "{iterations:>10} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>10.2}",
+            outcome.queries_issued,
+            prf.precision,
+            prf.recall,
+            prf.f1,
+            outcome.total_time.as_secs_f64()
+        );
+    }
+    println!("\nthe model is usable after any row; extra iterations refine the decision boundary");
+}

@@ -1,0 +1,152 @@
+//! Cross-crate integration: every baseline runs on the same prepared
+//! dataset and produces consistent, comparable output.
+
+use gale::prelude::*;
+use std::collections::HashSet;
+
+struct Fixture {
+    d: PreparedDataset,
+    split: DataSplit,
+    vt: Vec<Example>,
+    val: Vec<Example>,
+    truth_test: HashSet<NodeId>,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let d = prepare(
+        DatasetId::DataMining,
+        0.08,
+        &ErrorGenConfig {
+            node_error_rate: 0.06,
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut rng = Rng::seed_from_u64(seed);
+    let split = DataSplit::paper_default(d.graph.node_count(), &mut rng);
+    let label_of = |v: NodeId, d: &PreparedDataset| {
+        if d.truth.is_erroneous(v) {
+            Label::Error
+        } else {
+            Label::Correct
+        }
+    };
+    let vt = split.train[..80]
+        .iter()
+        .map(|&v| Example {
+            node: v,
+            label: label_of(v, &d),
+        })
+        .collect();
+    let val = split
+        .val
+        .iter()
+        .map(|&v| Example {
+            node: v,
+            label: label_of(v, &d),
+        })
+        .collect();
+    let truth_test = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&v| d.truth.is_erroneous(v))
+        .collect();
+    Fixture {
+        d,
+        split,
+        vt,
+        val,
+        truth_test,
+    }
+}
+
+fn check(result: &DetectionResult, f: &Fixture, name: &str) -> f64 {
+    assert_eq!(result.predictions.len(), f.d.graph.node_count(), "{name}");
+    assert_eq!(result.scores.len(), f.d.graph.node_count(), "{name}");
+    assert!(
+        result.scores.iter().all(|s| s.is_finite()),
+        "{name}: non-finite scores"
+    );
+    let prf = Prf::from_sets(&result.predicted_errors(&f.split.test), &f.truth_test);
+    assert!((0.0..=1.0).contains(&prf.f1), "{name}");
+    prf.f1
+}
+
+#[test]
+fn all_baselines_run_and_score() {
+    let f = fixture(11);
+    let mut rng = Rng::seed_from_u64(12);
+
+    let r = viodet(&f.d.graph, &f.d.constraints);
+    let f1_viodet = check(&r, &f, "viodet");
+
+    let r = alad(&f.d.graph, &f.val, &AladConfig::default());
+    check(&r, &f, "alad");
+
+    let r = raha(&f.d.graph, &f.vt, &RahaConfig::default(), &mut rng);
+    check(&r, &f, "raha");
+
+    let feat = FeaturizeConfig {
+        gae: gale::nn::GaeConfig {
+            epochs: 8,
+            ..FeaturizeConfig::default().gae
+        },
+        ..Default::default()
+    };
+    let repr = featurize(&f.d.graph, &f.d.constraints, &feat, &mut rng);
+    let r = gcn_detector(
+        &repr,
+        &f.vt,
+        &f.val,
+        &GcnConfig {
+            epochs: 60,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    check(&r, &f, "gcn");
+
+    let mut cfg = GedetConfig::default();
+    cfg.sgan.epochs = 60;
+    cfg.sgan.early_stop_patience = 0;
+    cfg.augment.feat.gae.epochs = 8;
+    let r = gedet(&f.d.graph, &f.d.constraints, &f.vt, &f.val, &cfg, &mut rng);
+    let f1_gedet = check(&r, &f, "gedet");
+
+    // Shape check from the paper: the adversarially-trained detector should
+    // be competitive with the pure rule union on mixed error types.
+    assert!(
+        f1_gedet + 0.25 > f1_viodet,
+        "GEDet ({f1_gedet:.3}) far below VioDet ({f1_viodet:.3})"
+    );
+}
+
+#[test]
+fn viodet_flags_subset_relationship_with_library() {
+    // VioDet's flags must be a subset of the full library's flagged set
+    // (the library contains the constraint detector plus others).
+    let f = fixture(13);
+    let r = viodet(&f.d.graph, &f.d.constraints);
+    let lib = DetectorLibrary::standard(f.d.constraints.clone());
+    let report = lib.run(&f.d.graph);
+    for v in 0..f.d.graph.node_count() {
+        if r.predictions[v] == Label::Error {
+            assert!(report.is_flagged(v), "VioDet flag {v} missing from library");
+        }
+    }
+}
+
+#[test]
+fn auc_pr_ranks_learned_methods_reasonably() {
+    let f = fixture(17);
+    let mut rng = Rng::seed_from_u64(18);
+    let mut cfg = GedetConfig::default();
+    cfg.sgan.epochs = 80;
+    cfg.sgan.early_stop_patience = 0;
+    cfg.augment.feat.gae.epochs = 8;
+    let r = gedet(&f.d.graph, &f.d.constraints, &f.vt, &f.val, &cfg, &mut rng);
+    let auc = auc_pr(&r.scores_over(&f.split.test), &f.truth_test);
+    // Error prevalence is ~6%; random ranking gives AUC-PR ~0.06.
+    assert!(auc > 0.15, "AUC-PR {auc:.3} no better than random");
+}

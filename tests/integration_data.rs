@@ -1,0 +1,137 @@
+//! Integration: dataset generators conform to Table III's structural
+//! properties at multiple scales, and pollution interacts correctly with
+//! the mined constraints.
+
+use gale::prelude::*;
+
+#[test]
+fn generators_track_table3_proportions_across_scales() {
+    for id in [DatasetId::Species, DatasetId::UserGroup2] {
+        let (full_n, full_e) = id.full_size();
+        for &scale in &[0.1f64, 0.3] {
+            let spec = id.spec(scale);
+            let mut rng = Rng::seed_from_u64(1);
+            let gen = gale::data::generate(&spec, &mut rng);
+            let n = gen.graph.node_count() as f64;
+            let e = gen.graph.edge_count() as f64;
+            assert!(
+                (n - full_n as f64 * scale).abs() <= 1.0,
+                "{id:?}@{scale}: n {n}"
+            );
+            assert!(
+                (e - full_e as f64 * scale).abs() <= 1.0,
+                "{id:?}@{scale}: e {e}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_dataset_mines_usable_constraints() {
+    for id in DatasetId::ALL {
+        let d = prepare(id, 0.08, &ErrorGenConfig::default(), 5);
+        assert!(
+            !d.constraints.is_empty(),
+            "{id:?}: no constraints mined"
+        );
+        // At least one rule has high confidence.
+        assert!(
+            d.constraints.iter().any(|c| c.confidence() >= 0.9),
+            "{id:?}: no high-confidence rule"
+        );
+    }
+}
+
+#[test]
+fn detectable_rate_controls_library_recall() {
+    // Sweeping the detectable rate monotonically moves the library's recall
+    // on the injected errors.
+    let mut recalls = Vec::new();
+    for &rate in &[0.0f64, 0.5, 1.0] {
+        let d = prepare(
+            DatasetId::DataMining,
+            0.1,
+            &ErrorGenConfig {
+                node_error_rate: 0.08,
+                detectable_rate: rate,
+                ..Default::default()
+            },
+            9,
+        );
+        let lib = DetectorLibrary::standard(d.constraints.clone());
+        let report = lib.run(&d.graph);
+        let caught = d
+            .truth
+            .erroneous_nodes()
+            .iter()
+            .filter(|&&v| report.is_flagged(v))
+            .count();
+        recalls.push(caught as f64 / d.truth.error_count().max(1) as f64);
+    }
+    assert!(
+        recalls[0] < recalls[1] && recalls[1] < recalls[2],
+        "recall not monotone in detectable rate: {recalls:?}"
+    );
+    assert!(recalls[2] > 0.6, "fully detectable errors mostly caught: {recalls:?}");
+    assert!(recalls[0] < 0.35, "undetectable errors largely invisible: {recalls:?}");
+}
+
+#[test]
+fn error_mixes_shift_injected_kind_distribution() {
+    use std::collections::HashMap;
+    let count_kinds = |cfg: &ErrorGenConfig| -> HashMap<ErrorKind, usize> {
+        let d = prepare(DatasetId::UserGroup1, 0.15, cfg, 13);
+        let mut counts = HashMap::new();
+        for e in &d.truth.errors {
+            *counts.entry(e.kind).or_insert(0) += 1;
+        }
+        counts
+    };
+    let mut heavy = ErrorGenConfig::outliers_heavy();
+    heavy.node_error_rate = 0.15;
+    let outlier_heavy = count_kinds(&heavy);
+    let uniform = ErrorGenConfig {
+        node_error_rate: 0.15,
+        ..Default::default()
+    };
+    let balanced = count_kinds(&uniform);
+    let frac = |m: &HashMap<ErrorKind, usize>, k: ErrorKind| {
+        let total: usize = m.values().sum();
+        *m.get(&k).unwrap_or(&0) as f64 / total.max(1) as f64
+    };
+    assert!(
+        frac(&outlier_heavy, ErrorKind::Outlier) > frac(&balanced, ErrorKind::Outlier),
+        "outliers-heavy mix did not raise the outlier share"
+    );
+}
+
+#[test]
+fn featurization_is_scale_stable() {
+    // Feature dimensionality depends only on the schema, not on graph size.
+    let cfg = FeaturizeConfig::default();
+    let mut dims = Vec::new();
+    for &scale in &[0.05f64, 0.15] {
+        let d = prepare(DatasetId::MachineLearning, scale, &ErrorGenConfig::default(), 3);
+        let mut rng = Rng::seed_from_u64(3);
+        let fr = featurize(&d.graph, &d.constraints, &cfg, &mut rng);
+        dims.push(fr.dim());
+        assert!(!fr.x.has_non_finite());
+    }
+    assert_eq!(dims[0], dims[1]);
+}
+
+#[test]
+fn graph_io_roundtrip_through_files() {
+    let d = prepare(DatasetId::UserGroup1, 0.05, &ErrorGenConfig::default(), 7);
+    let dir = std::env::temp_dir().join("gale_integration_io");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ug1.json");
+    gale::graph::io::save(&d.graph, &path).unwrap();
+    let back = gale::graph::io::load(&path).unwrap();
+    assert_eq!(back.node_count(), d.graph.node_count());
+    assert_eq!(back.edge_count(), d.graph.edge_count());
+    // The loaded graph supports the full detection stack.
+    let rules = discover_constraints(&back, &DiscoveryConfig::default());
+    assert!(!rules.is_empty());
+    std::fs::remove_file(&path).ok();
+}

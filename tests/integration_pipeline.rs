@@ -1,0 +1,201 @@
+//! End-to-end integration tests spanning data generation, constraint
+//! mining, pollution, featurization, the GALE loop, and evaluation.
+
+use gale::prelude::*;
+use std::collections::HashSet;
+
+fn quick_cfg(seed: u64) -> GaleConfig {
+    let mut cfg = GaleConfig {
+        local_budget: 6,
+        iterations: 3,
+        seed,
+        ..Default::default()
+    };
+    cfg.sgan.epochs = 60;
+    cfg.sgan.incremental_epochs = 6;
+    cfg.sgan.early_stop_patience = 0;
+    cfg.augment.feat.gae.epochs = 8;
+    cfg
+}
+
+fn prepare_small(seed: u64) -> (PreparedDataset, DataSplit) {
+    let d = prepare(
+        DatasetId::UserGroup1,
+        0.12,
+        &ErrorGenConfig {
+            node_error_rate: 0.08,
+            ..Default::default()
+        },
+        seed,
+    );
+    let mut rng = Rng::seed_from_u64(seed + 1);
+    let split = DataSplit::paper_default(d.graph.node_count(), &mut rng);
+    (d, split)
+}
+
+#[test]
+fn full_pipeline_produces_sane_outcome() {
+    let (d, split) = prepare_small(1);
+    let mut oracle = GroundTruthOracle::new(&d.truth);
+    let cfg = quick_cfg(1);
+    let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut oracle, &cfg);
+
+    assert_eq!(outcome.predictions.len(), d.graph.node_count());
+    assert_eq!(outcome.error_scores.len(), d.graph.node_count());
+    assert!(outcome
+        .error_scores
+        .iter()
+        .all(|s| (0.0..=1.0).contains(s)));
+    // Budget bound: at most (1 + iterations) * k queries (cold start + loop).
+    assert!(outcome.queries_issued <= (cfg.iterations + 1) * cfg.local_budget);
+    // Every query the oracle answered is in the pool with its true label.
+    for rec in &outcome.history {
+        for &q in &rec.queries {
+            let expected = if d.truth.is_erroneous(q) {
+                Label::Error
+            } else {
+                Label::Correct
+            };
+            assert_eq!(outcome.pool.get(q), Some(expected));
+        }
+    }
+    // Queries come only from the training fold.
+    let train: HashSet<NodeId> = split.train.iter().copied().collect();
+    for rec in &outcome.history {
+        assert!(rec.queries.iter().all(|q| train.contains(q)));
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic() {
+    let (d, split) = prepare_small(2);
+    let run = || {
+        let mut oracle = GroundTruthOracle::new(&d.truth);
+        run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &[],
+            &[],
+            &mut oracle,
+            &quick_cfg(2),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.queries_issued, b.queries_issued);
+    let qa: Vec<_> = a.history.iter().map(|r| r.queries.clone()).collect();
+    let qb: Vec<_> = b.history.iter().map(|r| r.queries.clone()).collect();
+    assert_eq!(qa, qb);
+}
+
+#[test]
+fn more_iterations_never_shrink_the_pool() {
+    let (d, split) = prepare_small(3);
+    let mut oracle = GroundTruthOracle::new(&d.truth);
+    let outcome = run_gale(
+        &d.graph,
+        &d.constraints,
+        &split,
+        &[],
+        &[],
+        &mut oracle,
+        &quick_cfg(3),
+    );
+    let sizes: Vec<usize> = outcome.history.iter().map(|r| r.pool_size).collect();
+    assert!(sizes.windows(2).all(|w| w[1] >= w[0]), "{sizes:?}");
+}
+
+#[test]
+fn initial_examples_seed_the_pool() {
+    let (d, split) = prepare_small(4);
+    let initial: Vec<Example> = split.train[..10]
+        .iter()
+        .map(|&v| Example {
+            node: v,
+            label: if d.truth.is_erroneous(v) {
+                Label::Error
+            } else {
+                Label::Correct
+            },
+        })
+        .collect();
+    let mut oracle = GroundTruthOracle::new(&d.truth);
+    let outcome = run_gale(
+        &d.graph,
+        &d.constraints,
+        &split,
+        &initial,
+        &[],
+        &mut oracle,
+        &quick_cfg(4),
+    );
+    for e in &initial {
+        assert!(outcome.pool.contains(e.node));
+    }
+    // Initial examples are never re-queried.
+    let initial_nodes: HashSet<NodeId> = initial.iter().map(|e| e.node).collect();
+    for rec in &outcome.history {
+        assert!(rec.queries.iter().all(|q| !initial_nodes.contains(q)));
+    }
+}
+
+#[test]
+fn every_strategy_completes_the_loop() {
+    let (d, split) = prepare_small(5);
+    for strategy in [
+        QueryStrategy::DiversifiedTypicality,
+        QueryStrategy::Random,
+        QueryStrategy::Entropy,
+        QueryStrategy::Margin,
+        QueryStrategy::KMeansCentroid,
+    ] {
+        let mut oracle = GroundTruthOracle::new(&d.truth);
+        let cfg = GaleConfig {
+            strategy,
+            ..quick_cfg(5)
+        };
+        let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut oracle, &cfg);
+        assert!(
+            outcome.queries_issued > 0,
+            "{strategy:?} issued no queries"
+        );
+        assert_eq!(outcome.history.len(), cfg.iterations);
+    }
+}
+
+#[test]
+fn noisy_oracle_degrades_gracefully() {
+    let (d, split) = prepare_small(6);
+    let truth_test: HashSet<NodeId> = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&v| d.truth.is_erroneous(v))
+        .collect();
+    let f1_with_noise = |flip: f64, seed: u64| {
+        let mut oracle = NoisyOracle::new(
+            GroundTruthOracle::new(&d.truth),
+            flip,
+            Rng::seed_from_u64(seed),
+        );
+        let outcome = run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &[],
+            &[],
+            &mut oracle,
+            &quick_cfg(6),
+        );
+        Prf::from_sets(&outcome.predicted_errors(&split.test), &truth_test).f1
+    };
+    let clean = f1_with_noise(0.0, 7);
+    let noisy = f1_with_noise(0.5, 7);
+    // A coin-flip oracle cannot be *better* than the exact oracle by much.
+    assert!(
+        noisy <= clean + 0.15,
+        "noisy {noisy:.3} vs clean {clean:.3}"
+    );
+}

@@ -1,0 +1,189 @@
+//! Robustness tests: degenerate graphs, empty inputs, and pathological
+//! configurations must not panic anywhere in the stack.
+
+use gale::prelude::*;
+
+fn quick_cfg() -> GaleConfig {
+    let mut cfg = GaleConfig {
+        local_budget: 3,
+        iterations: 2,
+        ..Default::default()
+    };
+    cfg.sgan.epochs = 10;
+    cfg.sgan.incremental_epochs = 2;
+    cfg.sgan.early_stop_patience = 0;
+    cfg.augment.feat.gae.epochs = 2;
+    cfg
+}
+
+/// A minimal graph with `n` nodes, optional edges, and one attribute each.
+fn tiny_graph(n: usize, connected: bool) -> Graph {
+    let mut g = Graph::new();
+    for i in 0..n {
+        g.add_node_with(
+            "t",
+            &[
+                ("cat", AttrKind::Categorical, ["x", "y"][i % 2].into()),
+                ("num", AttrKind::Numeric, (i as f64).into()),
+            ],
+        );
+    }
+    if connected {
+        for i in 1..n {
+            g.add_edge_named(i - 1, i, "e");
+        }
+    }
+    g
+}
+
+#[test]
+fn pipeline_survives_edgeless_graph() {
+    let mut g = tiny_graph(30, false);
+    let mut rng = Rng::seed_from_u64(1);
+    let truth = inject_errors(
+        &mut g,
+        &[],
+        &ErrorGenConfig {
+            node_error_rate: 0.2,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let split = DataSplit::paper_default(30, &mut rng);
+    let mut oracle = GroundTruthOracle::new(&truth);
+    let outcome = run_gale(&g, &[], &split, &[], &[], &mut oracle, &quick_cfg());
+    assert_eq!(outcome.predictions.len(), 30);
+}
+
+#[test]
+fn pipeline_survives_clean_graph_no_errors() {
+    let g = tiny_graph(30, true);
+    let truth = GroundTruth::default();
+    let mut rng = Rng::seed_from_u64(2);
+    let split = DataSplit::paper_default(30, &mut rng);
+    let mut oracle = GroundTruthOracle::new(&truth);
+    let outcome = run_gale(&g, &[], &split, &[], &[], &mut oracle, &quick_cfg());
+    // Everything labeled correct by the oracle; the pool still grows.
+    assert!(!outcome.pool.is_empty());
+    assert!(outcome
+        .pool
+        .examples()
+        .all(|e| e.label == Label::Correct));
+}
+
+#[test]
+fn pipeline_budget_exceeding_pool_terminates() {
+    let mut g = tiny_graph(20, true);
+    let mut rng = Rng::seed_from_u64(3);
+    let truth = inject_errors(
+        &mut g,
+        &[],
+        &ErrorGenConfig {
+            node_error_rate: 0.3,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let split = DataSplit::paper_default(20, &mut rng);
+    let mut oracle = GroundTruthOracle::new(&truth);
+    let mut cfg = quick_cfg();
+    cfg.local_budget = 50; // more than the whole training pool
+    cfg.iterations = 5;
+    let outcome = run_gale(&g, &[], &split, &[], &[], &mut oracle, &cfg);
+    // Every training node gets labeled at most once.
+    assert!(outcome.pool.len() <= split.train.len());
+}
+
+#[test]
+fn detectors_handle_all_null_attribute() {
+    let mut g = Graph::new();
+    for _ in 0..20 {
+        g.add_node_with("t", &[("a", AttrKind::Categorical, AttrValue::Null)]);
+    }
+    let lib = DetectorLibrary::standard(Vec::new());
+    let report = lib.run(&g);
+    // All-null slice: nothing sensible to flag, but no panic either.
+    assert!(report.flagged_nodes().len() <= 20);
+}
+
+#[test]
+fn discovery_on_empty_and_singleton_graphs() {
+    let g = Graph::new();
+    assert!(discover_constraints(&g, &DiscoveryConfig::default()).is_empty());
+    let mut g = Graph::new();
+    g.add_node_with("t", &[("a", AttrKind::Categorical, "v".into())]);
+    assert!(discover_constraints(&g, &DiscoveryConfig::default()).is_empty());
+}
+
+#[test]
+fn featurize_attribute_free_graph() {
+    let mut g = Graph::new();
+    for i in 0..10 {
+        g.add_node(Node::new(0));
+        if i > 0 {
+            g.add_edge_named(i - 1, i, "e");
+        }
+    }
+    // No schema attributes at all: featurization degrades to the structural
+    // block without panicking.
+    let mut rng = Rng::seed_from_u64(5);
+    let cfg = FeaturizeConfig {
+        detector_signals: false,
+        ..Default::default()
+    };
+    let fr = featurize(&g, &[], &cfg, &mut rng);
+    assert_eq!(fr.node_count(), 10);
+    assert!(fr.dim() >= 1);
+}
+
+#[test]
+fn error_generator_on_attributeless_nodes() {
+    let mut g = Graph::new();
+    for _ in 0..20 {
+        g.add_node(Node::new(0));
+    }
+    let mut rng = Rng::seed_from_u64(6);
+    let truth = inject_errors(
+        &mut g,
+        &[],
+        &ErrorGenConfig {
+            node_error_rate: 0.5,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    // Nothing to corrupt: no errors recorded, no panic.
+    assert_eq!(truth.error_count(), 0);
+}
+
+#[test]
+fn sgan_with_single_labeled_example() {
+    let mut rng = Rng::seed_from_u64(7);
+    let x_r = Matrix::randn(30, 6, 1.0, &mut rng);
+    let x_s = Matrix::randn(5, 6, 1.0, &mut rng);
+    let cfg = SganConfig {
+        epochs: 10,
+        early_stop_patience: 0,
+        ..Default::default()
+    };
+    let mut sgan = Sgan::new(6, &cfg, &mut rng);
+    let stats = sgan.train(&x_r, &x_s, &[(0, 0)], &[], &mut rng);
+    assert!(stats.d_loss.is_finite());
+    let probs = sgan.class_probs(&x_r);
+    assert!(!probs.has_non_finite());
+}
+
+#[test]
+fn viodet_with_empty_constraint_set() {
+    let g = tiny_graph(10, true);
+    let r = viodet(&g, &[]);
+    assert!(r.predictions.iter().all(|&l| l == Label::Correct));
+}
+
+#[test]
+fn raha_with_more_clusters_than_nodes() {
+    let g = tiny_graph(5, true);
+    let mut rng = Rng::seed_from_u64(8);
+    let r = raha(&g, &[], &RahaConfig { clusters: 50 }, &mut rng);
+    assert_eq!(r.predictions.len(), 5);
+}
