@@ -2,7 +2,7 @@
 //! (ClusterU in QSelect).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use gale_tensor::{kmeans, KMeansConfig, Matrix, Rng};
+use gale_tensor::{kmeans, par, KMeansConfig, Matrix, Rng};
 use std::hint::black_box;
 
 fn bench_kmeans(c: &mut Criterion) {
@@ -10,27 +10,54 @@ fn bench_kmeans(c: &mut Criterion) {
     for &(n, k) in &[(500usize, 10usize), (2000, 20)] {
         let mut rng = Rng::seed_from_u64(5);
         let points = Matrix::randn(n, 24, 1.0, &mut rng);
-        group.bench_with_input(
-            BenchmarkId::new(format!("k{k}"), n),
-            &n,
-            |b, _| {
-                b.iter(|| {
-                    let mut r = Rng::seed_from_u64(6);
-                    black_box(kmeans(
-                        &points,
-                        &KMeansConfig {
-                            k,
-                            max_iter: 30,
-                            tol: 1e-5,
-                        },
-                        &mut r,
-                    ));
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new(format!("k{k}"), n), &n, |b, _| {
+            b.iter(|| {
+                let mut r = Rng::seed_from_u64(6);
+                black_box(kmeans(
+                    &points,
+                    &KMeansConfig {
+                        k,
+                        max_iter: 30,
+                        tol: 1e-5,
+                    },
+                    &mut r,
+                ));
+            });
+        });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_kmeans);
+/// Parallel vs sequential assignment/accumulation at n = 10k. The outputs
+/// are asserted bitwise-equal in gale-tensor's par_determinism tests; this
+/// group only measures the speedup.
+fn bench_kmeans_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_par");
+    group.sample_size(10);
+    let n = 10_000;
+    let mut rng = Rng::seed_from_u64(5);
+    let points = Matrix::randn(n, 16, 1.0, &mut rng);
+    let cfg = KMeansConfig {
+        k: 16,
+        max_iter: 5,
+        tol: 0.0,
+    };
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        b.iter(|| {
+            par::with_threads(1, || {
+                let mut r = Rng::seed_from_u64(6);
+                black_box(kmeans(&points, &cfg, &mut r));
+            });
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+        b.iter(|| {
+            let mut r = Rng::seed_from_u64(6);
+            black_box(kmeans(&points, &cfg, &mut r));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kmeans, bench_kmeans_parallel);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use gale_core::{qselect, MemoCache};
-use gale_tensor::{Matrix, Rng};
+use gale_tensor::{par, Matrix, Rng};
 use std::hint::black_box;
 
 fn bench_qselect(c: &mut Criterion) {
@@ -30,5 +30,33 @@ fn bench_qselect(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_qselect);
+/// Parallel vs sequential un-memoized selection at n = 10k, where every
+/// round recomputes all candidate distances. Outputs are asserted equal
+/// across thread counts in gale-tensor/gale-core tests.
+fn bench_qselect_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qselect_par");
+    group.sample_size(10);
+    let n = 10_000;
+    let mut rng = Rng::seed_from_u64(2);
+    let h = Matrix::randn(n, 24, 1.0, &mut rng);
+    let unlabeled: Vec<usize> = (0..n).collect();
+    let typ: Vec<f64> = (0..n).map(|_| rng.f64()).collect();
+    group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
+        b.iter(|| {
+            par::with_threads(1, || {
+                let mut memo = MemoCache::new(false, 1e-6);
+                black_box(qselect(&h, &unlabeled, &typ, 10, 0.3, &mut memo));
+            });
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", n), &n, |b, _| {
+        b.iter(|| {
+            let mut memo = MemoCache::new(false, 1e-6);
+            black_box(qselect(&h, &unlabeled, &typ, 10, 0.3, &mut memo));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_qselect, bench_qselect_parallel);
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gale_core::{Sgan, SganConfig};
-use gale_tensor::{Matrix, Rng};
+use gale_tensor::{par, Matrix, Rng};
 use std::hint::black_box;
 
 fn bench_sgan(c: &mut Criterion) {
@@ -39,5 +39,41 @@ fn bench_sgan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sgan);
+/// Parallel vs sequential epoch at n = 10k — the matmul-dominated hot path.
+/// Determinism across thread counts is asserted by gale-tensor's tests.
+fn bench_sgan_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgan_par");
+    group.sample_size(10);
+    let mut rng = Rng::seed_from_u64(12);
+    let n = 10_000;
+    let dim = 40;
+    let x_r = Matrix::randn(n, dim, 1.0, &mut rng);
+    let x_s = Matrix::randn(n / 8, dim, 1.0, &mut rng);
+    let targets: Vec<(usize, usize)> = (0..n).step_by(10).map(|r| (r, r % 2)).collect();
+    let cfg = SganConfig {
+        epochs: 1,
+        incremental_epochs: 1,
+        early_stop_patience: 0,
+        ..Default::default()
+    };
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            par::with_threads(1, || {
+                let mut rng = Rng::seed_from_u64(13);
+                let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+                black_box(sgan.train(&x_r, &x_s, &targets, &[], &mut rng));
+            });
+        });
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| {
+            let mut rng = Rng::seed_from_u64(13);
+            let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+            black_box(sgan.train(&x_r, &x_s, &targets, &[], &mut rng));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgan, bench_sgan_parallel);
 criterion_main!(benches);

@@ -78,8 +78,19 @@ fn main() {
         Knobs::default()
     };
     let all = [
-        "table2", "table3", "table4", "fig7a", "fig7b", "fig7c", "fig7d", "fig7e", "fig7f",
-        "errdist", "casestudy", "ablation", "noise",
+        "table2",
+        "table3",
+        "table4",
+        "fig7a",
+        "fig7b",
+        "fig7c",
+        "fig7d",
+        "fig7e",
+        "fig7f",
+        "errdist",
+        "casestudy",
+        "ablation",
+        "noise",
     ];
     let selected: Vec<&str> = if args.exps.iter().any(|e| e == "all") {
         all.to_vec()
@@ -109,18 +120,21 @@ fn main() {
             }
         };
         println!("{text}");
-        println!("[{exp} finished in {:.1}s]\n", started.elapsed().as_secs_f64());
+        println!(
+            "[{exp} finished in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
         results.push(json);
     }
     if let Some(path) = args.out {
-        let doc = serde_json::json!({
+        let doc = gale_json::json!({
             "scale": args.scale,
             "seed": args.seed,
             "quick": args.quick,
             "experiments": results,
         });
         let mut f = std::fs::File::create(&path).expect("create output file");
-        f.write_all(serde_json::to_string_pretty(&doc).unwrap().as_bytes())
+        f.write_all(gale_json::to_string_pretty(&doc).as_bytes())
             .expect("write output file");
         eprintln!("results written to {path}");
     }

@@ -5,7 +5,7 @@
 use crate::harness::{gale_config, paper_budget, Knobs, Method, Scenario};
 use gale_core::{run_gale, GroundTruthOracle, Prf};
 use gale_data::DatasetId;
-use serde_json::json;
+use gale_json::json;
 use std::fmt::Write as _;
 
 fn run_variant(
@@ -32,7 +32,7 @@ fn run_variant(
 }
 
 /// Runs the ablation suite on DM(OAG).
-pub fn ablation(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn ablation(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
     let mut out = format!(
         "Ablations (DM, {} nodes, {} errors)\n",

@@ -7,11 +7,11 @@ use crate::harness::{gale_config, paper_budget, Knobs, Method, Scenario};
 use gale_core::{run_gale, GroundTruthOracle, Label};
 use gale_data::DatasetId;
 use gale_detect::DetectorLibrary;
-use serde_json::json;
+use gale_json::json;
 use std::fmt::Write as _;
 
 /// Runs the case study and produces the narrative report.
-pub fn casestudy(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn casestudy(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::Species, scale, seed).prepare();
     let g = &prep.data.graph;
     let lib = DetectorLibrary::standard(prep.data.constraints.clone());
@@ -29,7 +29,10 @@ pub fn casestudy(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::V
 
     let mut out = String::from("Case study: usability of query annotation (Species)\n");
     if hard_nodes.is_empty() {
-        let _ = writeln!(out, "no undetectable erroneous test node in this draw; rerun with another seed");
+        let _ = writeln!(
+            out,
+            "no undetectable erroneous test node in this draw; rerun with another seed"
+        );
         return (out, json!({ "id": "casestudy", "found": false }));
     }
     let _ = writeln!(
@@ -76,7 +79,11 @@ pub fn casestudy(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::V
         .find(|a| !a.corrections.is_empty())
         .or_else(|| outcome.last_annotations.iter().find(|a| a.is_flagged()));
     if let Some(a) = annotated {
-        let _ = writeln!(out, "\nannotated query node v' = {} (rendered v'.M):", a.node);
+        let _ = writeln!(
+            out,
+            "\nannotated query node v' = {} (rendered v'.M):",
+            a.node
+        );
         out.push_str(&a.render(g));
     } else {
         let _ = writeln!(out, "\n(no flagged node among the final queries)");

@@ -4,8 +4,8 @@ use crate::harness::{gale_config, paper_budget, Knobs, Method, PreparedScenario,
 use gale_baselines::{gcn_detector, gedet, GedetConfig};
 use gale_core::{run_gale, Example, GroundTruthOracle, Label, Prf};
 use gale_data::DatasetId;
+use gale_json::json;
 use gale_tensor::Rng;
-use serde_json::json;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -117,7 +117,7 @@ fn factor_panel(
 
 /// Fig. 7(a): impact of data imbalance `p_e` on ML(OAG), `p_t = 10%`,
 /// `K = 80` (scaled).
-pub fn fig7a(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7a(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::MachineLearning, scale, seed).prepare();
     let budget = ((80.0 * scale).round() as usize).max(8);
     let k = (budget / 4).max(2);
@@ -143,7 +143,7 @@ pub fn fig7a(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
 
 /// Fig. 7(b): varying training-example ratio `p_t` on UG1, `K = 80`,
 /// `p_e = 50%`.
-pub fn fig7b(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7b(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::UserGroup1, scale, seed).prepare();
     let budget = ((80.0 * scale).round() as usize).max(8);
     let k = (budget / 4).max(2);
@@ -169,7 +169,7 @@ pub fn fig7b(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
 
 /// Fig. 7(c): varying cumulative budget `K` (paper: 400-700, k=100) for the
 /// four query strategies, on DM(OAG).
-pub fn fig7c(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7c(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
     let mut out = String::from("Fig 7(c): varying cumulative budget K (DM)\n");
     let mut rows = Vec::new();
@@ -213,7 +213,7 @@ pub fn fig7c(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
 
 /// Fig. 7(d): model learning cost — wall-clock to train each learned method
 /// (220-epoch budget with early stopping) and the recall it reaches, on UG2.
-pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::UserGroup2, scale, seed).prepare();
     let (budget, k) = paper_budget(DatasetId::UserGroup2, scale);
     let mut out = String::from("Fig 7(d): model learning cost (UG2)\n");
@@ -228,7 +228,13 @@ pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
             &knobs.augment.feat,
             &mut rng,
         );
-        let r = gcn_detector(&repr, &prep.vt_examples, &prep.val_examples, &knobs.gcn, &mut rng);
+        let r = gcn_detector(
+            &repr,
+            &prep.vt_examples,
+            &prep.val_examples,
+            &knobs.gcn,
+            &mut rng,
+        );
         let secs = t.elapsed().as_secs_f64();
         let prf = prep.evaluate(&r);
         let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", "GCN", prf.recall);
@@ -252,7 +258,11 @@ pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
         );
         let secs = t.elapsed().as_secs_f64();
         let prf = prep.evaluate(&r);
-        let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", "GEDet", prf.recall);
+        let _ = writeln!(
+            out,
+            "{:<14} {secs:>8.2}s  recall {:.3}",
+            "GEDet", prf.recall
+        );
         rows.push(json!({ "method": "GEDet", "seconds": secs, "recall": prf.recall }));
     }
     for m in [
@@ -276,7 +286,12 @@ pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
         );
         let secs = t.elapsed().as_secs_f64();
         let prf = prep.evaluate_gale(&outcome);
-        let _ = writeln!(out, "{:<14} {secs:>8.2}s  recall {:.3}", m.name(), prf.recall);
+        let _ = writeln!(
+            out,
+            "{:<14} {secs:>8.2}s  recall {:.3}",
+            m.name(),
+            prf.recall
+        );
         rows.push(json!({ "method": m.name(), "seconds": secs, "recall": prf.recall }));
     }
     (out, json!({ "id": "fig7d", "scale": scale, "rows": rows }))
@@ -284,7 +299,7 @@ pub fn fig7d(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
 
 /// Fig. 7(e): active-learning cost in the low-budget regime — cumulative
 /// per-iteration time of each strategy on DM with `k = 10` per iteration.
-pub fn fig7e(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7e(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
     let k = 10usize;
     let iterations = 6usize;
@@ -337,14 +352,14 @@ pub fn fig7e(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
 
 /// Fig. 7(f): memoization ablation — GALE vs U_GALE selection cost on DM
 /// for growing local budgets.
-pub fn fig7f(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn fig7f(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
     let mut out = String::from("Fig 7(f): memoization (GALE vs U_GALE, DM)\n");
     let mut rows = Vec::new();
     for &k in &[5usize, 10, 20] {
         let mut line = format!("k={k:<3}");
-        let mut row = serde_json::Map::new();
-        row.insert("k".into(), json!(k));
+        let mut row = gale_json::Map::new();
+        row.insert("k", json!(k));
         for m in [Method::Gale, Method::UGale] {
             let cfg = gale_config(m, knobs, k * 5, k, seed ^ 0xf);
             let mut oracle = GroundTruthOracle::new(&prep.data.truth);
@@ -374,20 +389,23 @@ pub fn fig7f(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value
             );
         }
         let _ = writeln!(out, "{line}");
-        rows.push(serde_json::Value::Object(row));
+        rows.push(gale_json::Value::Object(row));
     }
     (out, json!({ "id": "fig7f", "scale": scale, "rows": rows }))
 }
 
 /// Exp-2's error-distribution robustness: GALE F1 under violations-heavy,
 /// outliers-heavy, and string-noise-heavy mixes on UG1.
-pub fn errdist(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn errdist(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     use gale_detect::ErrorGenConfig;
     let mut out = String::from("Error-distribution robustness (UG1)\n");
     let mut rows = Vec::new();
     let mut f1s = Vec::new();
     for (name, cfg_fn) in [
-        ("violations-heavy", ErrorGenConfig::violations_heavy as fn() -> ErrorGenConfig),
+        (
+            "violations-heavy",
+            ErrorGenConfig::violations_heavy as fn() -> ErrorGenConfig,
+        ),
         ("outliers-heavy", ErrorGenConfig::outliers_heavy),
         ("string-noise-heavy", ErrorGenConfig::string_noise_heavy),
     ] {
@@ -416,7 +434,9 @@ pub fn errdist(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Val
         let prf: Prf = prep.evaluate_gale(&outcome);
         let _ = writeln!(out, "{name:<20} F1 {:.3}", prf.f1);
         f1s.push(prf.f1);
-        rows.push(json!({ "mix": name, "f1": prf.f1, "precision": prf.precision, "recall": prf.recall }));
+        rows.push(
+            json!({ "mix": name, "f1": prf.f1, "precision": prf.precision, "recall": prf.recall }),
+        );
     }
     let mean = gale_tensor::stats::mean(&f1s);
     let sd = gale_tensor::stats::std_dev(&f1s);

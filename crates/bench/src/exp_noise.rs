@@ -6,12 +6,12 @@
 use crate::harness::{gale_config, paper_budget, Knobs, Method, Scenario};
 use gale_core::{run_gale, GroundTruthOracle, NoisyOracle};
 use gale_data::DatasetId;
+use gale_json::json;
 use gale_tensor::Rng;
-use serde_json::json;
 use std::fmt::Write as _;
 
 /// Runs the label-noise sweep on DM(OAG).
-pub fn noise(scale: f64, seed: u64, knobs: &Knobs) -> (String, serde_json::Value) {
+pub fn noise(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value) {
     let prep = Scenario::table4(DatasetId::DataMining, scale, seed).prepare();
     let (budget, k) = paper_budget(DatasetId::DataMining, scale);
     let mut out = format!(

@@ -5,8 +5,8 @@
 
 use crate::harness::{render_table, run_method, Knobs, Method, MethodEval, Scenario};
 use gale_data::DatasetId;
+use gale_json::json;
 use gale_tensor::stats::median;
-use serde_json::json;
 
 /// Median (per metric) of repeated evaluations of one method.
 fn median_eval(evals: &[MethodEval]) -> MethodEval {
@@ -31,7 +31,7 @@ pub fn table4_reps(
     reps: usize,
     datasets: &[DatasetId],
     knobs: &Knobs,
-) -> (String, serde_json::Value) {
+) -> (String, gale_json::Value) {
     let datasets: Vec<DatasetId> = if datasets.is_empty() {
         DatasetId::ALL.to_vec()
     } else {
@@ -41,32 +41,22 @@ pub fn table4_reps(
     let mut out = String::new();
     let mut rows = Vec::new();
     for id in datasets {
-        // Repetitions are independent; run them on worker threads.
+        // Repetitions are independent; fan them out over the shared worker
+        // pool (kernels inside each rep degrade to sequential while nested).
+        let rep_ids: Vec<usize> = (0..reps).collect();
         let rep_results: Vec<(usize, usize, Vec<MethodEval>)> =
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = (0..reps)
-                    .map(|rep| {
-                        scope.spawn(move |_| {
-                            let prep =
-                                Scenario::table4(id, scale, seed + rep as u64).prepare();
-                            let evals: Vec<MethodEval> = Method::TABLE4
-                                .iter()
-                                .map(|&m| run_method(m, &prep, knobs))
-                                .collect();
-                            (
-                                prep.data.graph.node_count(),
-                                prep.data.truth.error_count(),
-                                evals,
-                            )
-                        })
-                    })
+            gale_tensor::par::par_map(&rep_ids, |&rep| {
+                let prep = Scenario::table4(id, scale, seed + rep as u64).prepare();
+                let evals: Vec<MethodEval> = Method::TABLE4
+                    .iter()
+                    .map(|&m| run_method(m, &prep, knobs))
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("rep thread panicked"))
-                    .collect()
-            })
-            .expect("crossbeam scope");
+                (
+                    prep.data.graph.node_count(),
+                    prep.data.truth.error_count(),
+                    evals,
+                )
+            });
         let nodes = rep_results[0].0;
         let errors = rep_results[0].1;
         let mut per_method: Vec<Vec<MethodEval>> = vec![Vec::new(); Method::TABLE4.len()];
@@ -104,7 +94,7 @@ pub fn table4(
     seed: u64,
     datasets: &[DatasetId],
     knobs: &Knobs,
-) -> (String, serde_json::Value) {
+) -> (String, gale_json::Value) {
     table4_reps(scale, seed, 1, datasets, knobs)
 }
 

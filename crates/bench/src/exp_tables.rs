@@ -2,13 +2,16 @@
 
 use crate::harness::Scenario;
 use gale_data::{table2_sources, DatasetId};
-use serde_json::json;
+use gale_json::json;
 
 /// Renders Table II (source-graph overview).
-pub fn table2() -> (String, serde_json::Value) {
+pub fn table2() -> (String, gale_json::Value) {
     use std::fmt::Write;
     let mut out = String::new();
-    let _ = writeln!(out, "Table II: Overview of Real-world Graphs (reference metadata)");
+    let _ = writeln!(
+        out,
+        "Table II: Overview of Real-world Graphs (reference metadata)"
+    );
     let _ = writeln!(
         out,
         "{:<6} {:>10} {:>10} {:>12} {:>12} {:>12}",
@@ -32,7 +35,7 @@ pub fn table2() -> (String, serde_json::Value) {
 
 /// Renders Table III (processed graphs) by actually generating each dataset
 /// at the given scale and reporting its measured statistics.
-pub fn table3(scale: f64, seed: u64) -> (String, serde_json::Value) {
+pub fn table3(scale: f64, seed: u64) -> (String, gale_json::Value) {
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(out, "Table III: Processed Graphs (scale {scale})");
@@ -82,7 +85,13 @@ mod tests {
     #[test]
     fn table3_generates_all_five() {
         let (text, j) = table3(0.03, 7);
-        for code in ["Species", "Data Mining", "Machine Learning", "UserGroup1", "UserGroup2"] {
+        for code in [
+            "Species",
+            "Data Mining",
+            "Machine Learning",
+            "UserGroup1",
+            "UserGroup2",
+        ] {
             assert!(text.contains(code), "missing {code}");
         }
         let rows = j["rows"].as_array().unwrap();

@@ -13,7 +13,6 @@ use gale_data::{prepare, DataSplit, DatasetId, FeaturizeConfig, PreparedDataset}
 use gale_detect::ErrorGenConfig;
 use gale_nn::GaeConfig;
 use gale_tensor::Rng;
-use serde::Serialize;
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -166,7 +165,7 @@ impl PreparedScenario {
 }
 
 /// The nine methods of Table IV plus `U_GALE`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Method {
     /// Constraint-violation union.
     VioDet,
@@ -313,7 +312,7 @@ impl Knobs {
 }
 
 /// One method's evaluation on one scenario.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct MethodEval {
     /// Which method ran.
     pub method: Method,
@@ -329,6 +328,26 @@ pub struct MethodEval {
     pub select_seconds: f64,
     /// Queries issued to the oracle (GALE family; 0 otherwise).
     pub queries: usize,
+}
+
+impl From<&MethodEval> for gale_json::Value {
+    fn from(e: &MethodEval) -> gale_json::Value {
+        gale_json::json!({
+            "method": format!("{:?}", e.method),
+            "precision": e.precision,
+            "recall": e.recall,
+            "f1": e.f1,
+            "seconds": e.seconds,
+            "select_seconds": e.select_seconds,
+            "queries": e.queries,
+        })
+    }
+}
+
+impl From<MethodEval> for gale_json::Value {
+    fn from(e: MethodEval) -> gale_json::Value {
+        gale_json::Value::from(&e)
+    }
 }
 
 /// Builds the GALE configuration for a GALE-family method.
@@ -383,7 +402,13 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
                 &knobs.augment.feat,
                 &mut rng,
             );
-            let r = gcn_detector(&repr, &prep.vt_examples, &prep.val_examples, &knobs.gcn, &mut rng);
+            let r = gcn_detector(
+                &repr,
+                &prep.vt_examples,
+                &prep.val_examples,
+                &knobs.gcn,
+                &mut rng,
+            );
             (prep.evaluate(&r), 0.0, 0)
         }
         Method::GeDet => {

@@ -41,15 +41,11 @@ pub fn alad_scores(g: &Graph, cfg: &AladConfig) -> Vec<f64> {
         .map(|v| {
             let mut diags: Vec<f64> = diag_cols.iter().map(|&c| raw[(v, c)].abs()).collect();
             diags.sort_by(|a, b| b.partial_cmp(a).expect("NaN diagnostic"));
-            let attr_score =
-                diags.iter().take(2).sum::<f64>() / (diags.len().clamp(1, 2) as f64);
+            let attr_score = diags.iter().take(2).sum::<f64>() / (diags.len().clamp(1, 2) as f64);
             let struct_score = if neighbors[v].is_empty() {
                 0.0
             } else {
-                let mean_deg = neighbors[v]
-                    .iter()
-                    .map(|&u| degrees[u] as f64)
-                    .sum::<f64>()
+                let mean_deg = neighbors[v].iter().map(|&u| degrees[u] as f64).sum::<f64>()
                     / neighbors[v].len() as f64;
                 ((degrees[v] as f64 - mean_deg).abs() / (mean_deg + 1.0)).min(3.0)
             };
@@ -101,10 +97,7 @@ mod tests {
     use gale_detect::ErrorGenConfig;
     use gale_tensor::Rng;
 
-    fn val_examples(
-        d: &gale_data::PreparedDataset,
-        split: &DataSplit,
-    ) -> Vec<Example> {
+    fn val_examples(d: &gale_data::PreparedDataset, split: &DataSplit) -> Vec<Example> {
         split
             .val
             .iter()
@@ -180,18 +173,9 @@ mod tests {
 
     #[test]
     fn empty_validation_falls_back() {
-        let d = prepare(
-            DatasetId::UserGroup2,
-            0.05,
-            &ErrorGenConfig::default(),
-            7,
-        );
+        let d = prepare(DatasetId::UserGroup2, 0.05, &ErrorGenConfig::default(), 7);
         let r = alad(&d.graph, &[], &AladConfig::default());
-        let flagged = r
-            .predictions
-            .iter()
-            .filter(|&&l| l == Label::Error)
-            .count();
+        let flagged = r.predictions.iter().filter(|&&l| l == Label::Error).count();
         // 95th-percentile fallback flags ~5% of nodes.
         let frac = flagged as f64 / d.graph.node_count() as f64;
         assert!((0.01..0.15).contains(&frac), "flagged fraction {frac}");

@@ -46,22 +46,12 @@ pub fn gcn_detector(
     let (mean, std) = x.column_stats();
     x.standardize_columns(&mean, &std);
     let s = Arc::new(repr.s_norm.clone());
-    let mut net = Gcn::new(
-        s,
-        repr.dim(),
-        cfg.hidden,
-        2,
-        Activation::Identity,
-        rng,
-    );
+    let mut net = Gcn::new(s, repr.dim(), cfg.hidden, 2, Activation::Identity, rng);
     let mut opt = Adam::new(cfg.lr);
     // Inverse-frequency class weights to counter the error/correct skew
     // (without them the GCN collapses to all-correct — the instability the
     // paper observes under imbalance, Fig. 7(a)).
-    let n_err = labeled
-        .iter()
-        .filter(|e| e.label == Label::Error)
-        .count();
+    let n_err = labeled.iter().filter(|e| e.label == Label::Error).count();
     let n_cor = labeled.len().saturating_sub(n_err);
     let w_err = if n_err > 0 {
         (n_cor.max(1) as f64 / n_err as f64).min(20.0)
@@ -79,8 +69,7 @@ pub fn gcn_detector(
                 Label::Correct => (1usize, 1.0),
             };
             for c in 0..2 {
-                grad[(e.node, c)] +=
-                    w * (probs[(e.node, c)] - f64::from(u8::from(c == cls))) * inv;
+                grad[(e.node, c)] += w * (probs[(e.node, c)] - f64::from(u8::from(c == cls))) * inv;
             }
         }
         net.zero_grad();
@@ -176,11 +165,7 @@ mod tests {
             },
             &mut rng,
         );
-        let flagged = r
-            .predictions
-            .iter()
-            .filter(|&&l| l == Label::Error)
-            .count();
+        let flagged = r.predictions.iter().filter(|&&l| l == Label::Error).count();
         assert!(
             flagged < d.graph.node_count() / 5,
             "{flagged} spurious error predictions"

@@ -99,7 +99,14 @@ mod tests {
                 },
             })
             .collect();
-        let r = gedet(&d.graph, &d.constraints, &labeled, &[], &quick_cfg(), &mut rng);
+        let r = gedet(
+            &d.graph,
+            &d.constraints,
+            &labeled,
+            &[],
+            &quick_cfg(),
+            &mut rng,
+        );
         let truth: HashSet<usize> = split
             .test
             .iter()

@@ -40,12 +40,7 @@ impl Default for RahaConfig {
 /// Raha is a *relational* system: the paper applies it to per-node-type
 /// tables and does not share the graph rule set Σ with it, so its strategy
 /// library holds only the relational detectors (outliers + string noise).
-pub fn raha(
-    g: &Graph,
-    labeled: &[Example],
-    cfg: &RahaConfig,
-    rng: &mut Rng,
-) -> DetectionResult {
+pub fn raha(g: &Graph, labeled: &[Example], cfg: &RahaConfig, rng: &mut Rng) -> DetectionResult {
     let lib = DetectorLibrary::new()
         .with(ZScoreDetector::default())
         .with(IqrDetector::default())
@@ -180,11 +175,7 @@ mod tests {
         );
         let mut rng = Rng::seed_from_u64(11);
         let r = raha(&d.graph, &[], &RahaConfig::default(), &mut rng);
-        let flagged = r
-            .predictions
-            .iter()
-            .filter(|&&l| l == Label::Error)
-            .count();
+        let flagged = r.predictions.iter().filter(|&&l| l == Label::Error).count();
         assert!(flagged > 0, "activation fallback never fires");
     }
 

@@ -31,10 +31,15 @@ mod tests {
 
     #[test]
     fn flags_union_of_violations() {
-        let d = prepare(DatasetId::Species, 0.03, &ErrorGenConfig {
-            node_error_rate: 0.1,
-            ..Default::default()
-        }, 1);
+        let d = prepare(
+            DatasetId::Species,
+            0.03,
+            &ErrorGenConfig {
+                node_error_rate: 0.1,
+                ..Default::default()
+            },
+            1,
+        );
         let r = viodet(&d.graph, &d.constraints);
         // Some flags exist and each flagged node indeed violates a rule.
         let flagged: Vec<usize> = (0..d.graph.node_count())
@@ -54,23 +59,37 @@ mod tests {
     fn low_recall_on_diversified_errors() {
         // The paper's observation: VioDet recall is low because errors are
         // diversified — only constraint violations are caught.
-        let d = prepare(DatasetId::Species, 0.05, &ErrorGenConfig {
-            node_error_rate: 0.1,
-            ..Default::default()
-        }, 2);
+        let d = prepare(
+            DatasetId::Species,
+            0.05,
+            &ErrorGenConfig {
+                node_error_rate: 0.1,
+                ..Default::default()
+            },
+            2,
+        );
         let r = viodet(&d.graph, &d.constraints);
         let all: Vec<usize> = (0..d.graph.node_count()).collect();
         let truth: HashSet<usize> = d.truth.erroneous_nodes().clone();
         let prf = Prf::from_sets(&r.predicted_errors(&all), &truth);
-        assert!(prf.recall < 0.6, "recall {:.3} unexpectedly high", prf.recall);
+        assert!(
+            prf.recall < 0.6,
+            "recall {:.3} unexpectedly high",
+            prf.recall
+        );
     }
 
     #[test]
     fn clean_graph_nearly_silent() {
-        let d = prepare(DatasetId::Species, 0.03, &ErrorGenConfig {
-            node_error_rate: 0.0,
-            ..Default::default()
-        }, 3);
+        let d = prepare(
+            DatasetId::Species,
+            0.03,
+            &ErrorGenConfig {
+                node_error_rate: 0.0,
+                ..Default::default()
+            },
+            3,
+        );
         let r = viodet(&d.graph, &d.constraints);
         let flagged = (0..d.graph.node_count())
             .filter(|&v| r.predictions[v] == Label::Error)

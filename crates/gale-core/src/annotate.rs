@@ -181,8 +181,7 @@ pub fn annotate(
                     .collect();
                 if population.len() >= 8 {
                     let below = population.iter().filter(|&&p| p < x).count();
-                    numeric_percentiles
-                        .push((attr, below as f64 / population.len() as f64));
+                    numeric_percentiles.push((attr, below as f64 / population.len() as f64));
                 }
             }
             Annotation {
@@ -425,8 +424,16 @@ mod tests {
                 .map(|(_, p)| *p)
                 .expect("population percentile present")
         };
-        assert!(pct_of(&anns[0]) > 0.9, "max value percentile {}", pct_of(&anns[0]));
-        assert!(pct_of(&anns[1]) < 0.1, "min value percentile {}", pct_of(&anns[1]));
+        assert!(
+            pct_of(&anns[0]) > 0.9,
+            "max value percentile {}",
+            pct_of(&anns[0])
+        );
+        assert!(
+            pct_of(&anns[1]) < 0.1,
+            "min value percentile {}",
+            pct_of(&anns[1])
+        );
         // Rendered output mentions the percentile line.
         assert!(anns[0].render(&g).contains("percentile"));
     }

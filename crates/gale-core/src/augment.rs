@@ -123,12 +123,7 @@ mod tests {
 
     #[test]
     fn synthetic_rows_differ_from_real_rows() {
-        let d = prepare(
-            DatasetId::UserGroup1,
-            0.05,
-            &ErrorGenConfig::default(),
-            5,
-        );
+        let d = prepare(DatasetId::UserGroup1, 0.05, &ErrorGenConfig::default(), 5);
         let mut rng = Rng::seed_from_u64(6);
         let aug = g_augment(&d.graph, &d.constraints, &quick_cfg(), &mut rng);
         // The mean synthetic row should differ from the mean real row:

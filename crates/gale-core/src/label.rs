@@ -178,7 +178,14 @@ mod tests {
     fn sample_rate() {
         let mut p = ExamplePool::new();
         for i in 0..100 {
-            p.insert(i, if i % 4 == 0 { Label::Error } else { Label::Correct });
+            p.insert(
+                i,
+                if i % 4 == 0 {
+                    Label::Error
+                } else {
+                    Label::Correct
+                },
+            );
         }
         let mut rng = Rng::seed_from_u64(1);
         let s = p.sample(0.3, &mut rng);

@@ -24,7 +24,7 @@ pub mod strategies;
 pub mod typicality;
 
 pub use annotate::{annotate, AnnotateConfig, Annotation};
-pub use augment::{g_augment, Augmented, AugmentConfig};
+pub use augment::{g_augment, AugmentConfig, Augmented};
 pub use calibrate::calibrated_predictions;
 pub use label::{Example, ExamplePool, Label};
 pub use memo::MemoCache;

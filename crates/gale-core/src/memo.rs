@@ -89,9 +89,8 @@ impl MemoCache {
                 let mut changed = 0usize;
                 for r in 0..h.rows() {
                     let row = prev.row(r);
-                    let scale = row.iter().map(|x| x.abs()).sum::<f64>()
-                        / row.len().max(1) as f64
-                        + 0.05;
+                    let scale =
+                        row.iter().map(|x| x.abs()).sum::<f64>() / row.len().max(1) as f64 + 0.05;
                     let budget = self.tolerance * scale;
                     let same = row
                         .iter()

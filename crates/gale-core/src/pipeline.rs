@@ -205,8 +205,7 @@ pub fn run_gale(
     }
     let t1 = Instant::now();
     let mut sgan = Sgan::new(x_r.cols(), &cfg.sgan, &mut rng);
-    let targets: Vec<(usize, usize)> =
-        ExamplePool::targets(&pool.examples().collect::<Vec<_>>());
+    let targets: Vec<(usize, usize)> = ExamplePool::targets(&pool.examples().collect::<Vec<_>>());
     let stats0 = sgan.train(x_r, x_s, &targets, &val_targets, &mut rng);
     history.push(IterationRecord {
         iteration: 0,
@@ -244,8 +243,7 @@ pub fn run_gale(
         if unlabeled.is_empty() {
             break;
         }
-        let labeled: Vec<(NodeId, Label)> =
-            pool.examples().map(|e| (e.node, e.label)).collect();
+        let labeled: Vec<(NodeId, Label)> = pool.examples().map(|e| (e.node, e.label)).collect();
         let inputs = SelectionInputs {
             ctx: TypicalityContext {
                 embeddings: &h,
@@ -289,7 +287,10 @@ pub fn run_gale(
         let mut v_t_i: Vec<Example> = pool.sample(cfg.eta, &mut rng);
         for (q, l) in q_i.iter().zip(&new_labels) {
             pool.insert(*q, *l);
-            v_t_i.push(Example { node: *q, label: *l });
+            v_t_i.push(Example {
+                node: *q,
+                label: *l,
+            });
         }
 
         // Incremental discriminator refresh (SGAND).
@@ -393,7 +394,15 @@ mod tests {
             strategy,
             ..quick_cfg(seed)
         };
-        let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &val, &mut oracle, &cfg);
+        let outcome = run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &[],
+            &val,
+            &mut oracle,
+            &cfg,
+        );
         let truth_set: HashSet<NodeId> = split
             .test
             .iter()
@@ -427,7 +436,10 @@ mod tests {
         for w in outcome.history.windows(2) {
             assert!(w[1].pool_size >= w[0].pool_size);
         }
-        assert_eq!(outcome.pool.len(), outcome.history.last().unwrap().pool_size);
+        assert_eq!(
+            outcome.pool.len(),
+            outcome.history.last().unwrap().pool_size
+        );
     }
 
     #[test]
@@ -449,7 +461,15 @@ mod tests {
                 memoization,
                 ..quick_cfg(17)
             };
-            run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut oracle, &cfg)
+            run_gale(
+                &d.graph,
+                &d.constraints,
+                &split,
+                &[],
+                &[],
+                &mut oracle,
+                &cfg,
+            )
         };
         let with = run(true);
         let without = run(false);

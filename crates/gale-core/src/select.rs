@@ -57,11 +57,29 @@ pub fn qselect(
         in_q[pick] = true;
         let picked_node = unlabeled[pick];
         selected.push(picked_node);
-        // Update diversity sums against the new member.
-        for (i, &v) in unlabeled.iter().enumerate() {
-            if !in_q[i] {
-                div_sum[i] += memo.distance(embeddings, v, picked_node);
+        // Update diversity sums against the new member. The memoized path
+        // stays sequential (the cache is the speedup there); the
+        // unmemoized path recomputes every distance, so it fans out over
+        // candidate chunks — each slot is written by exactly one chunk,
+        // keeping results thread-count independent.
+        if memo.enabled {
+            for (i, &v) in unlabeled.iter().enumerate() {
+                if !in_q[i] {
+                    div_sum[i] += memo.distance(embeddings, v, picked_node);
+                }
             }
+        } else {
+            gale_tensor::par::par_chunks_mut(&mut div_sum, 1, |start, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    let i = start + off;
+                    if !in_q[i] {
+                        *slot += gale_tensor::distance::euclidean(
+                            embeddings.row(unlabeled[i]),
+                            embeddings.row(picked_node),
+                        );
+                    }
+                }
+            });
         }
     }
     selected
@@ -198,8 +216,7 @@ mod tests {
         // Lemma 1: 2-approximation. Verify empirically against brute force.
         for seed in 0..5 {
             let (h, u, t) = random_instance(9, 3, 100 + seed);
-            let typ_map: HashMap<usize, f64> =
-                u.iter().copied().zip(t.iter().copied()).collect();
+            let typ_map: HashMap<usize, f64> = u.iter().copied().zip(t.iter().copied()).collect();
             let mut memo = MemoCache::new(true, 1e-9);
             memo.update_embeddings(&h);
             let q = qselect(&h, &u, &t, 4, 0.7, &mut memo);

@@ -16,8 +16,8 @@
 //! refreshes only `D` when the example set changes.
 
 use gale_nn::{
-    feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam,
-    Layer, Mlp,
+    feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam, Layer,
+    Mlp,
 };
 use gale_tensor::{Matrix, Rng};
 
@@ -186,7 +186,12 @@ impl Sgan {
         // examples (weighted), the mechanism that lifts recall when real
         // error labels are scarce.
         let syn_targets: Vec<(usize, usize)> = (0..n_syn)
-            .map(|i| (n_lab + n_unsup + i, crate::label::Label::Error.class_index()))
+            .map(|i| {
+                (
+                    n_lab + n_unsup + i,
+                    crate::label::Label::Error.class_index(),
+                )
+            })
             .collect();
         let (l_syn, grad_syn) = softmax_cross_entropy(&logits, &syn_targets);
 
@@ -228,7 +233,13 @@ impl Sgan {
     }
 
     /// One generator update via feature matching. Returns `L(G)`.
-    fn g_step(&mut self, x_r: &Matrix, x_s: &Matrix, real_rows: &[usize], fake_rows: &[usize]) -> f64 {
+    fn g_step(
+        &mut self,
+        x_r: &Matrix,
+        x_s: &Matrix,
+        real_rows: &[usize],
+        fake_rows: &[usize],
+    ) -> f64 {
         if fake_rows.is_empty() || real_rows.is_empty() {
             return 0.0;
         }
@@ -509,10 +520,7 @@ mod tests {
         let fake1 = sgan.generate(&x_s);
         let h_fake1 = sgan.embeddings(&fake1);
         let (fm1, _) = feature_matching_loss(&h_real1, &h_fake1);
-        assert!(
-            fm1 < fm0 * 2.0,
-            "feature matching exploded: {fm0} -> {fm1}"
-        );
+        assert!(fm1 < fm0 * 2.0, "feature matching exploded: {fm0} -> {fm1}");
     }
 
     #[test]

@@ -68,11 +68,9 @@ pub fn select_queries(
             let idx = rng.sample_indices(inputs.unlabeled.len(), k);
             idx.into_iter().map(|i| inputs.unlabeled[i]).collect()
         }
-        QueryStrategy::Entropy => {
-            top_k_by(inputs.unlabeled, k, |v| {
-                stats::entropy(&[inputs.class_probs[(v, 0)], inputs.class_probs[(v, 1)]])
-            })
-        }
+        QueryStrategy::Entropy => top_k_by(inputs.unlabeled, k, |v| {
+            stats::entropy(&[inputs.class_probs[(v, 0)], inputs.class_probs[(v, 1)]])
+        }),
         QueryStrategy::Margin => {
             // Smallest margin = most uncertain; rank by negative margin.
             top_k_by(inputs.unlabeled, k, |v| {
@@ -84,8 +82,7 @@ pub fn select_queries(
         }
         QueryStrategy::DiversifiedTypicality => {
             let k_prime = (inputs.k_prime_factor.max(1) * k).min(inputs.unlabeled.len());
-            let scores =
-                typicality_scores(&inputs.ctx, inputs.unlabeled, k_prime, memo, rng);
+            let scores = typicality_scores(&inputs.ctx, inputs.unlabeled, k_prime, memo, rng);
             // Make λ dimensionless and budget-invariant: normalize by the
             // mean pairwise embedding distance (sampled) and by k, so the
             // total diversity contribution of a full batch stays on the
@@ -230,7 +227,13 @@ mod tests {
             s,
             probs,
             predicted: (0..n)
-                .map(|i| if i >= 10 { Label::Error } else { Label::Correct })
+                .map(|i| {
+                    if i >= 10 {
+                        Label::Error
+                    } else {
+                        Label::Correct
+                    }
+                })
                 .collect(),
             labeled: vec![(0, Label::Correct), (19, Label::Error)],
             unlabeled: (1..19).collect(),
@@ -288,10 +291,7 @@ mod tests {
         let q = select_queries(QueryStrategy::Entropy, &inputs(&f), &mut memo, &mut rng);
         // Most uncertain nodes are those with P(error) near 0.5: 8..12.
         for v in q {
-            assert!(
-                (6..=14).contains(&v),
-                "entropy picked a confident node {v}"
-            );
+            assert!((6..=14).contains(&v), "entropy picked a confident node {v}");
         }
     }
 

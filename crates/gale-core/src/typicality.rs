@@ -72,9 +72,13 @@ pub fn clustering_typicality(
         },
         rng,
     );
-    let scores = (0..unlabeled.len())
-        .map(|i| 1.0 / (1.0 + km.distance_to_centroid(&points, i)))
-        .collect();
+    // Per-point centroid distances are independent; fan out over chunks.
+    let mut scores = vec![0.0f64; unlabeled.len()];
+    gale_tensor::par::par_chunks_mut(&mut scores, 1, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            *slot = 1.0 / (1.0 + km.distance_to_centroid(&points, start + off));
+        }
+    });
     (scores, km)
 }
 
@@ -83,10 +87,7 @@ pub fn clustering_typicality(
 /// Follows Section V-A: soft labels via label propagation from the current
 /// examples; per-class mean influence via two PPR smoothings; conflict at
 /// `v` is the smoothed opposite-class influence evaluated at `v`.
-pub fn topological_typicality(
-    ctx: &TypicalityContext<'_>,
-    unlabeled: &[usize],
-) -> Vec<f64> {
+pub fn topological_typicality(ctx: &TypicalityContext<'_>, unlabeled: &[usize]) -> Vec<f64> {
     topological_typicality_full(ctx, unlabeled).0
 }
 
@@ -106,13 +107,12 @@ pub fn topological_typicality_full(
         y0[(node, label.class_index())] = 1.0;
     }
     let (_, soft) = soft_labels(ctx.s_norm, &y0, &ctx.propagation);
-    let soft_class =
-        |v: usize| -> usize {
-            match soft[v] {
-                usize::MAX => ctx.predicted[v].class_index(),
-                c => c,
-            }
-        };
+    let soft_class = |v: usize| -> usize {
+        match soft[v] {
+            usize::MAX => ctx.predicted[v].class_index(),
+            c => c,
+        }
+    };
 
     // Class membership C_l: unlabeled nodes with predicted label l.
     let mut class_members: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
@@ -138,10 +138,7 @@ pub fn topological_typicality_full(
         .iter()
         .map(|&v| {
             let other = 1 - soft_class(v);
-            let c = conflict[other]
-                .as_ref()
-                .map(|vec| vec[v])
-                .unwrap_or(0.0);
+            let c = conflict[other].as_ref().map(|vec| vec[v]).unwrap_or(0.0);
             (1.0 - c).clamp(0.0, 1.0)
         })
         .collect();
@@ -345,8 +342,7 @@ mod tests {
         let scores = typicality_scores(&ctx, &unlabeled, 3, &mut memo, &mut rng);
         for i in 0..unlabeled.len() {
             assert!(
-                (scores.combined[i] - scores.clustering[i] * scores.topological[i]).abs()
-                    < 1e-12
+                (scores.combined[i] - scores.clustering[i] * scores.topological[i]).abs() < 1e-12
             );
         }
     }

@@ -3,7 +3,9 @@
 
 use crate::generator::{generate, AttrSpec, GeneratedGraph, GraphSpec, NaturalNoise};
 use crate::vocab;
-use gale_detect::{discover_constraints, inject_errors, Constraint, DiscoveryConfig, ErrorGenConfig, GroundTruth};
+use gale_detect::{
+    discover_constraints, inject_errors, Constraint, DiscoveryConfig, ErrorGenConfig, GroundTruth,
+};
 use gale_graph::Graph;
 use gale_tensor::Rng;
 
@@ -354,8 +356,14 @@ mod tests {
 
     #[test]
     fn ug1_and_ug2_differ_in_cities() {
-        let a = generate(&DatasetId::UserGroup1.spec(0.05), &mut Rng::seed_from_u64(4));
-        let b = generate(&DatasetId::UserGroup2.spec(0.05), &mut Rng::seed_from_u64(4));
+        let a = generate(
+            &DatasetId::UserGroup1.spec(0.05),
+            &mut Rng::seed_from_u64(4),
+        );
+        let b = generate(
+            &DatasetId::UserGroup2.spec(0.05),
+            &mut Rng::seed_from_u64(4),
+        );
         let city_a = a.graph.schema.find_attr("city").unwrap();
         let city_b = b.graph.schema.find_attr("city").unwrap();
         let ta = a.graph.schema.find_node_type("user_g1").unwrap();

@@ -138,9 +138,7 @@ pub fn attribute_features(g: &Graph, token_dim: usize) -> Matrix {
                             // Local deviation against neighbor values.
                             let nbr_vals: Vec<f64> = neighbors[id]
                                 .iter()
-                                .filter_map(|&u| {
-                                    g.node(u).get(a).and_then(|w| w.as_f64())
-                                })
+                                .filter_map(|&u| g.node(u).get(a).and_then(|w| w.as_f64()))
                                 .collect();
                             x[(id, col + 2)] = if nbr_vals.len() >= 2 {
                                 ((v - stats::mean(&nbr_vals)) / sd).clamp(-10.0, 10.0)
@@ -472,7 +470,12 @@ mod tests {
 
     #[test]
     fn full_pipeline_shapes() {
-        let d = prepare(DatasetId::MachineLearning, 0.05, &ErrorGenConfig::default(), 1);
+        let d = prepare(
+            DatasetId::MachineLearning,
+            0.05,
+            &ErrorGenConfig::default(),
+            1,
+        );
         let mut rng = Rng::seed_from_u64(9);
         let cfg = FeaturizeConfig {
             gae: GaeConfig {

@@ -152,7 +152,10 @@ fn value_hash(s: &str) -> usize {
 /// Generates a graph from a spec, deterministically for a given RNG state.
 pub fn generate(spec: &GraphSpec, rng: &mut Rng) -> GeneratedGraph {
     assert!(spec.nodes > 0, "generate: need at least one node");
-    assert!(spec.communities > 0, "generate: need at least one community");
+    assert!(
+        spec.communities > 0,
+        "generate: need at least one community"
+    );
     let mut g = Graph::new();
     let t = g.schema.node_type(&spec.node_type);
     let attr_ids: Vec<_> = spec
@@ -199,9 +202,7 @@ pub fn generate(spec: &GraphSpec, rng: &mut Rng) -> GeneratedGraph {
                         // Legitimate heavy-tail draw (2.5-4σ): enough to fool
                         // naive outlier detectors, but milder than injected
                         // outliers (6-10σ) so a learned model can separate.
-                        (2.5 + rng.f64() * 1.5)
-                            * noise
-                            * if rng.chance(0.5) { 1.0 } else { -1.0 }
+                        (2.5 + rng.f64() * 1.5) * noise * if rng.chance(0.5) { 1.0 } else { -1.0 }
                     } else {
                         0.0
                     };
@@ -213,9 +214,8 @@ pub fn generate(spec: &GraphSpec, rng: &mut Rng) -> GeneratedGraph {
                     // Names repeat across nodes (like real first/last names
                     // or species binomials), so value dictionaries exist and
                     // misspellings are detectable in principle.
-                    let parts: Vec<String> = (0..*words)
-                        .map(|_| rng.choose(vocab).clone())
-                        .collect();
+                    let parts: Vec<String> =
+                        (0..*words).map(|_| rng.choose(vocab).clone()).collect();
                     AttrValue::Text(parts.join(" "))
                 }
             };
@@ -325,13 +325,17 @@ mod tests {
         let spec = species_like_spec(50, 60);
         let gen = generate(&spec, &mut Rng::seed_from_u64(2));
         let g = &gen.graph;
-        assert_eq!(g.schema.attr_kind(g.schema.find_attr("name").unwrap()), AttrKind::Text);
+        assert_eq!(
+            g.schema.attr_kind(g.schema.find_attr("name").unwrap()),
+            AttrKind::Text
+        );
         assert_eq!(
             g.schema.attr_kind(g.schema.find_attr("order").unwrap()),
             AttrKind::Categorical
         );
         assert_eq!(
-            g.schema.attr_kind(g.schema.find_attr("population").unwrap()),
+            g.schema
+                .attr_kind(g.schema.find_attr("population").unwrap()),
             AttrKind::Numeric
         );
         assert!((g.avg_attrs() - 4.0).abs() < 1e-9);

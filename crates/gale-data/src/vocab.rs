@@ -7,11 +7,30 @@
 
 /// Botanical/zoological order names (DBP species analogue).
 pub const ORDERS: &[&str] = &[
-    "Malvales", "Fabales", "Rosales", "Asterales", "Poales", "Lamiales",
-    "Brassicales", "Sapindales", "Myrtales", "Gentianales", "Ericales",
-    "Caryophyllales", "Ranunculales", "Asparagales", "Liliales", "Pinales",
-    "Lepidoptera", "Coleoptera", "Diptera", "Hymenoptera", "Hemiptera",
-    "Odonata", "Orthoptera", "Passeriformes",
+    "Malvales",
+    "Fabales",
+    "Rosales",
+    "Asterales",
+    "Poales",
+    "Lamiales",
+    "Brassicales",
+    "Sapindales",
+    "Myrtales",
+    "Gentianales",
+    "Ericales",
+    "Caryophyllales",
+    "Ranunculales",
+    "Asparagales",
+    "Liliales",
+    "Pinales",
+    "Lepidoptera",
+    "Coleoptera",
+    "Diptera",
+    "Hymenoptera",
+    "Hemiptera",
+    "Odonata",
+    "Orthoptera",
+    "Passeriformes",
 ];
 
 /// Kingdom names, grouped so each order maps deterministically to one.
@@ -19,62 +38,143 @@ pub const KINGDOMS: &[&str] = &["plantae", "animalia", "fungi", "protista"];
 
 /// Latin-ish species epithets for name generation.
 pub const EPITHETS: &[&str] = &[
-    "alba", "rubra", "verde", "minor", "major", "vulgaris", "officinalis",
-    "sylvatica", "campestris", "montana", "aquatica", "arvensis", "nigra",
-    "lutea", "grandis", "parva", "elegans", "robusta", "gracilis", "communis",
+    "alba",
+    "rubra",
+    "verde",
+    "minor",
+    "major",
+    "vulgaris",
+    "officinalis",
+    "sylvatica",
+    "campestris",
+    "montana",
+    "aquatica",
+    "arvensis",
+    "nigra",
+    "lutea",
+    "grandis",
+    "parva",
+    "elegans",
+    "robusta",
+    "gracilis",
+    "communis",
 ];
 
 /// Genus-like stems.
 pub const GENERA: &[&str] = &[
-    "cavanillesia", "quercus", "acer", "salix", "betula", "pinus", "abies",
-    "rosa", "malva", "viola", "iris", "lilium", "carex", "festuca", "poa",
-    "papilio", "morpho", "danaus", "vanessa", "pieris", "apis", "bombus",
+    "cavanillesia",
+    "quercus",
+    "acer",
+    "salix",
+    "betula",
+    "pinus",
+    "abies",
+    "rosa",
+    "malva",
+    "viola",
+    "iris",
+    "lilium",
+    "carex",
+    "festuca",
+    "poa",
+    "papilio",
+    "morpho",
+    "danaus",
+    "vanessa",
+    "pieris",
+    "apis",
+    "bombus",
 ];
 
 /// Academic venue names (OAG analogue).
 pub const VENUES: &[&str] = &[
-    "ICDE", "SIGMOD", "VLDB", "KDD", "ICML", "NeurIPS", "ICLR", "AAAI",
-    "IJCAI", "WWW", "WSDM", "CIKM", "EDBT", "ICDM", "SDM", "ECML", "UAI",
-    "COLT", "ACL", "EMNLP", "CVPR", "ICCV", "SIGIR", "RecSys",
+    "ICDE", "SIGMOD", "VLDB", "KDD", "ICML", "NeurIPS", "ICLR", "AAAI", "IJCAI", "WWW", "WSDM",
+    "CIKM", "EDBT", "ICDM", "SDM", "ECML", "UAI", "COLT", "ACL", "EMNLP", "CVPR", "ICCV", "SIGIR",
+    "RecSys",
 ];
 
 /// Research fields, grouped so venues map deterministically onto them.
 pub const FIELDS: &[&str] = &[
-    "databases", "data mining", "machine learning", "natural language",
-    "computer vision", "information retrieval",
+    "databases",
+    "data mining",
+    "machine learning",
+    "natural language",
+    "computer vision",
+    "information retrieval",
 ];
 
 /// Paper-title stock words.
 pub const TITLE_WORDS: &[&str] = &[
-    "learning", "graphs", "efficient", "scalable", "neural", "deep",
-    "adversarial", "detection", "queries", "optimization", "embedding",
-    "attention", "transformers", "clustering", "sampling", "distributed",
-    "streaming", "indexes", "joins", "provenance", "cleaning", "repair",
+    "learning",
+    "graphs",
+    "efficient",
+    "scalable",
+    "neural",
+    "deep",
+    "adversarial",
+    "detection",
+    "queries",
+    "optimization",
+    "embedding",
+    "attention",
+    "transformers",
+    "clustering",
+    "sampling",
+    "distributed",
+    "streaming",
+    "indexes",
+    "joins",
+    "provenance",
+    "cleaning",
+    "repair",
 ];
 
 /// City names (Yelp analogue).
 pub const CITIES: &[&str] = &[
-    "Phoenix", "Las Vegas", "Toronto", "Charlotte", "Pittsburgh",
-    "Montreal", "Madison", "Cleveland", "Edinburgh", "Stuttgart",
-    "Champaign", "Urbana", "Scottsdale", "Henderson", "Tempe", "Mesa",
+    "Phoenix",
+    "Las Vegas",
+    "Toronto",
+    "Charlotte",
+    "Pittsburgh",
+    "Montreal",
+    "Madison",
+    "Cleveland",
+    "Edinburgh",
+    "Stuttgart",
+    "Champaign",
+    "Urbana",
+    "Scottsdale",
+    "Henderson",
+    "Tempe",
+    "Mesa",
 ];
 
 /// Yelp-ish business categories.
 pub const CATEGORIES: &[&str] = &[
-    "restaurants", "plumbers", "electricians", "cafes", "bars", "salons",
-    "dentists", "mechanics", "bakeries", "gyms", "florists", "movers",
+    "restaurants",
+    "plumbers",
+    "electricians",
+    "cafes",
+    "bars",
+    "salons",
+    "dentists",
+    "mechanics",
+    "bakeries",
+    "gyms",
+    "florists",
+    "movers",
 ];
 
 /// Personal-name stems for user names.
 pub const FIRST_NAMES: &[&str] = &[
-    "alex", "sam", "jordan", "taylor", "casey", "morgan", "riley", "jamie",
-    "avery", "quinn", "dana", "reese", "skyler", "devon", "kendall", "logan",
+    "alex", "sam", "jordan", "taylor", "casey", "morgan", "riley", "jamie", "avery", "quinn",
+    "dana", "reese", "skyler", "devon", "kendall", "logan",
 ];
 
 /// Surname stems.
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "garcia", "chen", "mueller", "rossi", "tanaka", "kowalski",
-    "johnson", "brown", "davis", "martin", "lopez", "gonzalez", "wilson",
+    "smith", "garcia", "chen", "mueller", "rossi", "tanaka", "kowalski", "johnson", "brown",
+    "davis", "martin", "lopez", "gonzalez", "wilson",
 ];
 
 #[cfg(test)]

@@ -304,7 +304,7 @@ mod tests {
         let data = [
             ("A1", "avengers", "marvel", 2012),
             ("A2", "avengers", "marvel", 2015),
-            ("A3", "avengers", "dc", 2018),    // FD violation (studio)
+            ("A3", "avengers", "dc", 2018), // FD violation (studio)
             ("B1", "batman", "dc", 2015),
             ("B2", "batman", "dc", 2015),
         ];

@@ -2,14 +2,12 @@
 //! can be … simulated by invoking and ensembling a set of user-defined
 //! classifiers called *base detectors*").
 
-use gale_graph::{AttrId, Graph, NodeId};
 use gale_graph::value::AttrValue;
-use serde::{Deserialize, Serialize};
-
+use gale_graph::{AttrId, Graph, NodeId};
 /// The class a base detector belongs to. The paper's built-in library covers
 /// constraint-based, outlier, and string-error detectors (Section VII), which
 /// mirror the three injected error types of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DetectorClass {
     /// Violations of data constraints (GFD-style rules).
     Constraint,

@@ -252,9 +252,9 @@ mod tests {
         let rules = discover_constraints(&g, &DiscoveryConfig::default());
         let fr = g.schema.find_attr("franchise").unwrap();
         let st = g.schema.find_attr("studio").unwrap();
-        let fd = rules.iter().find(|r| {
-            matches!(r, Constraint::TypeFd { lhs, rhs, .. } if *lhs == fr && *rhs == st)
-        });
+        let fd = rules
+            .iter()
+            .find(|r| matches!(r, Constraint::TypeFd { lhs, rhs, .. } if *lhs == fr && *rhs == st));
         let Some(Constraint::TypeFd {
             bindings,
             confidence,

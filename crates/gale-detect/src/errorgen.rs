@@ -12,11 +12,10 @@ use crate::constraints::{Constraint, EdgeRelation};
 use gale_graph::value::AttrValue;
 use gale_graph::{AttrId, AttrKind, Graph, NodeId, NodeTypeId};
 use gale_tensor::{stats, Rng};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The three injected error types of the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ErrorKind {
     /// A value perturbed to violate a data constraint in Σ.
     ConstraintViolation,
@@ -36,7 +35,7 @@ impl ErrorKind {
 }
 
 /// Error-injection configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ErrorGenConfig {
     /// Probability a node is chosen as erroneous (paper default 0.01).
     pub node_error_rate: f64,
@@ -146,8 +145,7 @@ struct Population {
 impl Population {
     fn gather(g: &Graph) -> Self {
         let mut numeric_vals: HashMap<(NodeTypeId, AttrId), Vec<f64>> = HashMap::new();
-        let mut dict_counts: HashMap<(NodeTypeId, AttrId), HashMap<String, usize>> =
-            HashMap::new();
+        let mut dict_counts: HashMap<(NodeTypeId, AttrId), HashMap<String, usize>> = HashMap::new();
         for (_, node) in g.nodes() {
             for (attr, v) in node.attrs() {
                 match g.schema.attr_kind(attr) {
@@ -575,11 +573,7 @@ mod tests {
                 &[
                     ("franchise", AttrKind::Categorical, fr.into()),
                     ("studio", AttrKind::Categorical, st.into()),
-                    (
-                        "score",
-                        AttrKind::Numeric,
-                        (7.0 + rng.gauss() * 0.5).into(),
-                    ),
+                    ("score", AttrKind::Numeric, (7.0 + rng.gauss() * 0.5).into()),
                     (
                         "name",
                         AttrKind::Text,

@@ -95,10 +95,7 @@ impl DetectorLibrary {
             .iter()
             .enumerate()
             .map(|(i, nodes)| {
-                let class_total = class_nodes
-                    .get(&classes[i])
-                    .map(|s| s.len())
-                    .unwrap_or(0);
+                let class_total = class_nodes.get(&classes[i]).map(|s| s.len()).unwrap_or(0);
                 if class_total == 0 {
                     0.0
                 } else {
@@ -219,7 +216,11 @@ mod tests {
             let id = g.add_node_with(
                 "film",
                 &[
-                    ("score", AttrKind::Numeric, (7.0 + (i % 4) as f64 * 0.2).into()),
+                    (
+                        "score",
+                        AttrKind::Numeric,
+                        (7.0 + (i % 4) as f64 * 0.2).into(),
+                    ),
                     (
                         "genre",
                         AttrKind::Categorical,

@@ -256,10 +256,7 @@ mod tests {
         let mut bad = 0;
         for i in 0..30 {
             let score = 7.0 + (i % 5) as f64 * 0.25;
-            let id = g.add_node_with(
-                "film",
-                &[("score", AttrKind::Numeric, score.into())],
-            );
+            let id = g.add_node_with("film", &[("score", AttrKind::Numeric, score.into())]);
             if i > 0 {
                 g.add_edge_named(id - 1, id, "rel");
             }
@@ -301,7 +298,11 @@ mod tests {
         for i in 0..30 {
             g.add_node_with(
                 "film",
-                &[("score", AttrKind::Numeric, (7.0 + (i % 5) as f64 * 0.25).into())],
+                &[(
+                    "score",
+                    AttrKind::Numeric,
+                    (7.0 + (i % 5) as f64 * 0.25).into(),
+                )],
             );
         }
         assert!(ZScoreDetector::default().detect(&g).is_empty());
@@ -407,9 +408,7 @@ impl BaseDetector for RareValueDetector {
                             node: id,
                             attr: a,
                             confidence: 0.4,
-                            message: format!(
-                                "value '{v}' occurs only {c} time(s) among {total}"
-                            ),
+                            message: format!("value '{v}' occurs only {c} time(s) among {total}"),
                         });
                     }
                 }
@@ -445,7 +444,10 @@ mod rare_value_tests {
     fn small_slices_skipped() {
         let mut g = Graph::new();
         for i in 0..5 {
-            g.add_node_with("t", &[("cat", AttrKind::Categorical, format!("v{i}").into())]);
+            g.add_node_with(
+                "t",
+                &[("cat", AttrKind::Categorical, format!("v{i}").into())],
+            );
         }
         assert!(RareValueDetector::default().detect(&g).is_empty());
     }

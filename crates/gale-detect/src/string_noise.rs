@@ -346,7 +346,10 @@ mod tests {
     #[test]
     fn normal_strings_survive_garbage_detector() {
         let g = species_graph();
-        let d = GarbageStringDetector { threshold_sigmas: 3.0 }.detect(&g);
+        let d = GarbageStringDetector {
+            threshold_sigmas: 3.0,
+        }
+        .detect(&g);
         assert!(d.is_empty(), "false positives: {d:?}");
     }
 

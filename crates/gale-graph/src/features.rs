@@ -38,7 +38,11 @@ impl FeatureRepr {
         let mut x = Matrix::zeros(n, dim);
         for v in 0..n {
             let row = f(v);
-            assert_eq!(row.len(), dim, "FeatureRepr::from_fn: row {v} has wrong dim");
+            assert_eq!(
+                row.len(),
+                dim,
+                "FeatureRepr::from_fn: row {v} has wrong dim"
+            );
             x.set_row(v, &row);
         }
         FeatureRepr::new(graph, x)

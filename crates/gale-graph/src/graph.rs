@@ -3,13 +3,12 @@
 use crate::schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
 use crate::value::AttrValue;
 use gale_tensor::SparseMatrix;
-use serde::{Deserialize, Serialize};
 
 /// Index of a node within its graph.
 pub type NodeId = usize;
 
 /// A node: a typed tuple of attribute values.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Node {
     /// The node's type within the schema.
     pub node_type: NodeTypeId,
@@ -59,10 +58,58 @@ impl Node {
     pub fn attr_count(&self) -> usize {
         self.attrs.len()
     }
+
+    /// JSON representation: `{"node_type": t, "attrs": [[id, value], ...]}`
+    /// with attrs in ascending id order (their storage order).
+    pub fn to_json_value(&self) -> gale_json::Value {
+        let mut obj = gale_json::Map::new();
+        obj.insert("node_type", gale_json::Value::Int(self.node_type as i64));
+        obj.insert(
+            "attrs",
+            gale_json::Value::Array(
+                self.attrs
+                    .iter()
+                    .map(|(a, v)| {
+                        gale_json::Value::Array(vec![
+                            gale_json::Value::Int(*a as i64),
+                            v.to_json_value(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        gale_json::Value::Object(obj)
+    }
+
+    /// Inverse of [`Node::to_json_value`].
+    pub fn from_json_value(v: &gale_json::Value) -> Result<Node, gale_json::Error> {
+        let node_type = v
+            .get("node_type")
+            .and_then(|t| t.as_u64())
+            .ok_or_else(|| gale_json::Error::new("node: missing integer \"node_type\""))?
+            as NodeTypeId;
+        let mut node = Node::new(node_type);
+        let attrs = v
+            .get("attrs")
+            .and_then(|a| a.as_array())
+            .ok_or_else(|| gale_json::Error::new("node: missing array \"attrs\""))?;
+        for pair in attrs {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| gale_json::Error::new("node: attr entry not an [id, value] pair"))?;
+            let id = pair[0]
+                .as_u64()
+                .ok_or_else(|| gale_json::Error::new("node: attr id not an integer"))?
+                as AttrId;
+            node.set(id, AttrValue::from_json_value(&pair[1])?);
+        }
+        Ok(node)
+    }
 }
 
 /// A typed edge between two nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Edge {
     /// Source node index.
     pub src: NodeId,
@@ -72,11 +119,36 @@ pub struct Edge {
     pub edge_type: EdgeTypeId,
 }
 
+impl Edge {
+    /// JSON representation: `{"src": s, "dst": d, "edge_type": t}`.
+    pub fn to_json_value(&self) -> gale_json::Value {
+        let mut obj = gale_json::Map::new();
+        obj.insert("src", gale_json::Value::Int(self.src as i64));
+        obj.insert("dst", gale_json::Value::Int(self.dst as i64));
+        obj.insert("edge_type", gale_json::Value::Int(self.edge_type as i64));
+        gale_json::Value::Object(obj)
+    }
+
+    /// Inverse of [`Edge::to_json_value`].
+    pub fn from_json_value(v: &gale_json::Value) -> Result<Edge, gale_json::Error> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(|x| x.as_u64())
+                .ok_or_else(|| gale_json::Error::new(format!("edge: missing integer {key:?}")))
+        };
+        Ok(Edge {
+            src: field("src")? as NodeId,
+            dst: field("dst")? as NodeId,
+            edge_type: field("edge_type")? as EdgeTypeId,
+        })
+    }
+}
+
 /// An attributed heterogeneous graph with its schema.
 ///
 /// Edges are stored as given (directed records); most analyses view the
 /// topology as undirected via [`Graph::adjacency`].
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Graph {
     /// Interned naming context for types and attributes.
     pub schema: Schema,
@@ -225,8 +297,7 @@ impl Graph {
         if self.nodes.is_empty() {
             return 0.0;
         }
-        self.nodes.iter().map(|n| n.attr_count()).sum::<usize>() as f64
-            / self.nodes.len() as f64
+        self.nodes.iter().map(|n| n.attr_count()).sum::<usize>() as f64 / self.nodes.len() as f64
     }
 
     /// Collects the domain (distinct canonical values with counts) of an
@@ -247,6 +318,57 @@ impl Graph {
             }
         }
         counts
+    }
+
+    /// JSON representation: `{"schema": ..., "nodes": [...], "edges": [...]}`.
+    pub fn to_json_value(&self) -> gale_json::Value {
+        let mut obj = gale_json::Map::new();
+        obj.insert("schema", self.schema.to_json_value());
+        obj.insert(
+            "nodes",
+            gale_json::Value::Array(self.nodes.iter().map(Node::to_json_value).collect()),
+        );
+        obj.insert(
+            "edges",
+            gale_json::Value::Array(self.edges.iter().map(Edge::to_json_value).collect()),
+        );
+        gale_json::Value::Object(obj)
+    }
+
+    /// Inverse of [`Graph::to_json_value`]. The schema's lookup indices come
+    /// back empty; callers (see [`crate::io::from_json`]) rebuild them.
+    pub fn from_json_value(v: &gale_json::Value) -> Result<Graph, gale_json::Error> {
+        let schema = Schema::from_json_value(
+            v.get("schema")
+                .ok_or_else(|| gale_json::Error::new("graph: missing \"schema\""))?,
+        )?;
+        let nodes = v
+            .get("nodes")
+            .and_then(|n| n.as_array())
+            .ok_or_else(|| gale_json::Error::new("graph: missing array \"nodes\""))?
+            .iter()
+            .map(Node::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let edges = v
+            .get("edges")
+            .and_then(|e| e.as_array())
+            .ok_or_else(|| gale_json::Error::new("graph: missing array \"edges\""))?
+            .iter()
+            .map(Edge::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        for e in &edges {
+            if e.src >= nodes.len() || e.dst >= nodes.len() {
+                return Err(gale_json::Error::new(format!(
+                    "graph: edge endpoint out of range ({}, {})",
+                    e.src, e.dst
+                )));
+            }
+        }
+        Ok(Graph {
+            schema,
+            nodes,
+            edges,
+        })
     }
 }
 
@@ -288,9 +410,15 @@ mod tests {
         let mut g = Graph::new();
         let id = g.add_node_with("film", &[("name", AttrKind::Text, "X".into())]);
         let name_attr = g.schema.find_attr("name").unwrap();
-        assert_eq!(g.node(id).get(name_attr), Some(&AttrValue::Text("X".into())));
+        assert_eq!(
+            g.node(id).get(name_attr),
+            Some(&AttrValue::Text("X".into()))
+        );
         g.node_mut(id).set(name_attr, "Y".into());
-        assert_eq!(g.node(id).get(name_attr), Some(&AttrValue::Text("Y".into())));
+        assert_eq!(
+            g.node(id).get(name_attr),
+            Some(&AttrValue::Text("Y".into()))
+        );
         assert_eq!(g.node(id).attr_count(), 1);
         assert_eq!(g.node_mut(id).remove(name_attr), Some("Y".into()));
         assert_eq!(g.node(id).attr_count(), 0);
@@ -357,10 +485,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let (g, _) = films();
-        let json = serde_json::to_string(&g).unwrap();
-        let back: Graph = serde_json::from_str(&json).unwrap();
+        let json = g.to_json_value().to_string();
+        let back = Graph::from_json_value(&gale_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back.node_count(), g.node_count());
         assert_eq!(back.edge_count(), g.edge_count());
     }

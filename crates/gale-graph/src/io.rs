@@ -1,7 +1,7 @@
 //! Graph persistence: JSON save/load with schema-index restoration.
 //!
-//! `Graph` derives `Serialize`/`Deserialize`, but the schema's lookup
-//! indices are skipped during serialization; these helpers wrap the round
+//! `Graph` converts to and from `gale_json::Value`, but the schema's lookup
+//! indices are excluded from the JSON form; these helpers wrap the round
 //! trip so a loaded graph is immediately usable.
 
 use crate::graph::Graph;
@@ -10,12 +10,13 @@ use std::path::Path;
 
 /// Serializes a graph to pretty-printed JSON.
 pub fn to_json(g: &Graph) -> String {
-    serde_json::to_string_pretty(g).expect("graph serialization cannot fail")
+    g.to_json_value().to_string_pretty()
 }
 
 /// Deserializes a graph from JSON, rebuilding the schema indices.
-pub fn from_json(json: &str) -> Result<Graph, serde_json::Error> {
-    let mut g: Graph = serde_json::from_str(json)?;
+pub fn from_json(json: &str) -> Result<Graph, gale_json::Error> {
+    let value = gale_json::from_str(json)?;
+    let mut g = Graph::from_json_value(&value)?;
     g.schema.rebuild_indices();
     Ok(g)
 }

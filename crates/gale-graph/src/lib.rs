@@ -18,9 +18,7 @@ pub mod value;
 
 pub use features::FeatureRepr;
 pub use graph::{Edge, Graph, Node, NodeId};
-pub use propagation::{
-    ppr_single, ppr_smooth, ppr_smooth_matrix, soft_labels, PropagationConfig,
-};
+pub use propagation::{ppr_single, ppr_smooth, ppr_smooth_matrix, soft_labels, PropagationConfig};
 pub use schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
 pub use traversal::{
     bfs_distances, connected_components, degree_assortativity, induced_subgraph,

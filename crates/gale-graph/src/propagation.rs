@@ -53,11 +53,7 @@ pub fn ppr_smooth(s_norm: &SparseMatrix, v: &[f64], cfg: &PropagationConfig) -> 
 }
 
 /// Applies `P` column-wise to a dense matrix (e.g. a label matrix `Y`).
-pub fn ppr_smooth_matrix(
-    s_norm: &SparseMatrix,
-    m: &Matrix,
-    cfg: &PropagationConfig,
-) -> Matrix {
+pub fn ppr_smooth_matrix(s_norm: &SparseMatrix, m: &Matrix, cfg: &PropagationConfig) -> Matrix {
     assert_eq!(s_norm.rows(), m.rows(), "ppr_smooth_matrix: size mismatch");
     let alpha = cfg.alpha;
     let mut term = m.clone();
@@ -165,11 +161,8 @@ mod tests {
     fn ppr_matches_closed_form_on_tiny_graph() {
         // Verify the truncated series against the dense inverse
         // α (I − (1−α) S)^{-1} on a 3-node path.
-        let a = SparseMatrix::from_triplets(
-            3,
-            3,
-            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        );
+        let a =
+            SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         let s = a.sym_normalized_with_self_loops();
         let alpha = 0.2;
         let cfg = PropagationConfig {

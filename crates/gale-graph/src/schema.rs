@@ -4,7 +4,6 @@
 //! and 584 edge types), so all type and attribute names are interned to small
 //! integer ids and resolved through a [`Schema`].
 
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a node type (e.g. `film`, `author`).
@@ -17,7 +16,7 @@ pub type AttrId = u32;
 /// The declared kind of an attribute, used by detectors and featurization to
 /// choose the right treatment (z-scores for numerics, dictionaries for
 /// categoricals, token embeddings for text).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AttrKind {
     /// Continuous or ordinal numbers.
     Numeric,
@@ -27,17 +26,37 @@ pub enum AttrKind {
     Text,
 }
 
+impl AttrKind {
+    /// Canonical JSON string for this kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AttrKind::Numeric => "Numeric",
+            AttrKind::Categorical => "Categorical",
+            AttrKind::Text => "Text",
+        }
+    }
+
+    /// Parses the canonical string form produced by [`AttrKind::as_str`].
+    pub fn from_str_name(s: &str) -> Option<AttrKind> {
+        match s {
+            "Numeric" => Some(AttrKind::Numeric),
+            "Categorical" => Some(AttrKind::Categorical),
+            "Text" => Some(AttrKind::Text),
+            _ => None,
+        }
+    }
+}
+
 /// Interned naming context shared by a graph and everything that analyses it.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Schema {
     node_types: Vec<String>,
     edge_types: Vec<String>,
     attrs: Vec<(String, AttrKind)>,
-    #[serde(skip)]
+    // Lookup indices are derived state: excluded from the JSON form and
+    // rebuilt via `rebuild_indices` after deserialization.
     node_type_index: HashMap<String, NodeTypeId>,
-    #[serde(skip)]
     edge_type_index: HashMap<String, EdgeTypeId>,
-    #[serde(skip)]
     attr_index: HashMap<String, AttrId>,
 }
 
@@ -142,7 +161,96 @@ impl Schema {
             .collect()
     }
 
-    /// Rebuilds the lookup indices after deserialization (serde skips them).
+    /// JSON representation: `{"node_types": [...], "edge_types": [...],
+    /// "attrs": [[name, kind], ...]}`. Lookup indices are derived state and
+    /// are not serialized; call [`Schema::rebuild_indices`] after loading.
+    pub fn to_json_value(&self) -> gale_json::Value {
+        let mut obj = gale_json::Map::new();
+        obj.insert(
+            "node_types",
+            gale_json::Value::Array(
+                self.node_types
+                    .iter()
+                    .map(|n| gale_json::Value::Str(n.clone()))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "edge_types",
+            gale_json::Value::Array(
+                self.edge_types
+                    .iter()
+                    .map(|n| gale_json::Value::Str(n.clone()))
+                    .collect(),
+            ),
+        );
+        obj.insert(
+            "attrs",
+            gale_json::Value::Array(
+                self.attrs
+                    .iter()
+                    .map(|(name, kind)| {
+                        gale_json::Value::Array(vec![
+                            gale_json::Value::Str(name.clone()),
+                            gale_json::Value::Str(kind.as_str().to_string()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        gale_json::Value::Object(obj)
+    }
+
+    /// Inverse of [`Schema::to_json_value`]. The lookup indices come back
+    /// empty; call [`Schema::rebuild_indices`] before name lookups.
+    pub fn from_json_value(v: &gale_json::Value) -> Result<Schema, gale_json::Error> {
+        let str_list = |key: &str| -> Result<Vec<String>, gale_json::Error> {
+            v.get(key)
+                .and_then(|a| a.as_array())
+                .ok_or_else(|| gale_json::Error::new(format!("schema: missing array {key:?}")))?
+                .iter()
+                .map(|s| {
+                    s.as_str().map(str::to_string).ok_or_else(|| {
+                        gale_json::Error::new(format!("schema: {key} entry not a string"))
+                    })
+                })
+                .collect()
+        };
+        let node_types = str_list("node_types")?;
+        let edge_types = str_list("edge_types")?;
+        let attrs = v
+            .get("attrs")
+            .and_then(|a| a.as_array())
+            .ok_or_else(|| gale_json::Error::new("schema: missing array \"attrs\""))?
+            .iter()
+            .map(|pair| {
+                let pair = pair.as_array().filter(|p| p.len() == 2).ok_or_else(|| {
+                    gale_json::Error::new("schema: attr entry not a [name, kind] pair")
+                })?;
+                let name = pair[0]
+                    .as_str()
+                    .ok_or_else(|| gale_json::Error::new("schema: attr name not a string"))?;
+                let kind = pair[1]
+                    .as_str()
+                    .and_then(AttrKind::from_str_name)
+                    .ok_or_else(|| {
+                        gale_json::Error::new(format!("schema: unknown attr kind {}", pair[1]))
+                    })?;
+                Ok((name.to_string(), kind))
+            })
+            .collect::<Result<Vec<_>, gale_json::Error>>()?;
+        Ok(Schema {
+            node_types,
+            edge_types,
+            attrs,
+            node_type_index: HashMap::new(),
+            edge_type_index: HashMap::new(),
+            attr_index: HashMap::new(),
+        })
+    }
+
+    /// Rebuilds the lookup indices after deserialization (the JSON form
+    /// skips them).
     pub fn rebuild_indices(&mut self) {
         self.node_type_index = self
             .node_types
@@ -215,13 +323,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip_rebuilds_indices() {
+    fn json_roundtrip_rebuilds_indices() {
         let mut s = Schema::new();
         s.node_type("film");
         s.edge_type("subsequent");
         s.attr("year", AttrKind::Numeric);
-        let json = serde_json::to_string(&s).unwrap();
-        let mut back: Schema = serde_json::from_str(&json).unwrap();
+        let json = s.to_json_value().to_string();
+        let mut back = Schema::from_json_value(&gale_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back.find_node_type("film"), None); // indices skipped
         back.rebuild_indices();
         assert_eq!(back.find_node_type("film"), Some(0));

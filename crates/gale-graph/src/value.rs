@@ -4,11 +4,10 @@
 //! whose values may be numbers, strings, or `null` (a missing value — itself
 //! a possible error). [`AttrValue`] is that value domain.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A single attribute value on a node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// A missing value. Distinct from an absent attribute: `Null` means the
     /// attribute exists but carries no value (a frequent error type).
@@ -92,6 +91,33 @@ impl AttrValue {
                     toks
                 }
             }
+        }
+    }
+}
+
+impl AttrValue {
+    /// JSON representation: `Null`→`null`, `Int`→integer, `Float`→float
+    /// (floats always carry a decimal point, so typing survives the round
+    /// trip), `Text`→string.
+    pub fn to_json_value(&self) -> gale_json::Value {
+        match self {
+            AttrValue::Null => gale_json::Value::Null,
+            AttrValue::Int(i) => gale_json::Value::Int(*i),
+            AttrValue::Float(f) => gale_json::Value::Float(*f),
+            AttrValue::Text(s) => gale_json::Value::Str(s.clone()),
+        }
+    }
+
+    /// Inverse of [`AttrValue::to_json_value`].
+    pub fn from_json_value(v: &gale_json::Value) -> Result<AttrValue, gale_json::Error> {
+        match v {
+            gale_json::Value::Null => Ok(AttrValue::Null),
+            gale_json::Value::Int(i) => Ok(AttrValue::Int(*i)),
+            gale_json::Value::Float(f) => Ok(AttrValue::Float(*f)),
+            gale_json::Value::Str(s) => Ok(AttrValue::Text(s.clone())),
+            other => Err(gale_json::Error::new(format!(
+                "invalid attribute value: {other}"
+            ))),
         }
     }
 }
@@ -183,15 +209,23 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let vals = vec![
             AttrValue::Null,
             AttrValue::Int(7),
             AttrValue::Float(3.25),
+            AttrValue::Float(2.0), // integral float must stay a float
             AttrValue::Text("species".into()),
         ];
-        let json = serde_json::to_string(&vals).unwrap();
-        let back: Vec<AttrValue> = serde_json::from_str(&json).unwrap();
+        let json =
+            gale_json::Value::Array(vals.iter().map(|v| v.to_json_value()).collect()).to_string();
+        let parsed = gale_json::from_str(&json).unwrap();
+        let back: Vec<AttrValue> = parsed
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| AttrValue::from_json_value(v).unwrap())
+            .collect();
         assert_eq!(vals, back);
     }
 }

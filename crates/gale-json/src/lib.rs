@@ -1,0 +1,557 @@
+//! # gale-json
+//!
+//! A deliberately small, std-only JSON library: a [`Value`] tree, a strict
+//! recursive-descent parser, compact and pretty printers, and a [`json!`]
+//! construction macro. It exists so the workspace builds hermetically (no
+//! crates.io dependencies); it covers exactly the surface the GALE harness
+//! needs — experiment result documents and graph persistence — rather than
+//! the full generality of `serde_json`.
+//!
+//! Integers and floats are kept distinct ([`Value::Int`] vs
+//! [`Value::Float`]) so round trips preserve `AttrValue` typing: `2` parses
+//! to `Int(2)`, and `Float(2.0)` prints as `2.0` (never bare `2`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod parse;
+
+pub use parse::from_str;
+
+/// A parse or decode error, with 1-based line/column for parse failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// An insertion-ordered string-keyed map of JSON values.
+///
+/// Backed by a `Vec` — objects in this workspace are small (a handful of
+/// keys), so linear lookup beats hashing and keeps output order stable.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// An empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Inserts (or replaces) a key, returning the previous value if any.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) -> Option<Value> {
+        let key = key.into();
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterator over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (no decimal point or exponent in the source).
+    Int(i64),
+    /// A floating-point number. Always printed with a `.` or exponent so it
+    /// re-parses as a float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// Shared sentinel returned when indexing misses (mirrors `serde_json`).
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of both integer and float values.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Signed-integer view (floats do not coerce).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Unsigned-integer view of non-negative integers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array view.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects; `None` on other kinds or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Element lookup on arrays; `None` on other kinds or out of range.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        self.as_array().and_then(|a| a.get(idx))
+    }
+
+    /// Compact one-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::Float(f) => out.push_str(&format_float(*f)),
+            Value::Str(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    item.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push(']');
+            }
+            Value::Object(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, depth + 1);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                newline_indent(out, indent, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Formats a float so it re-parses as a float: non-finite values become
+/// `null` (JSON has no NaN/Inf), and integral values keep a trailing `.0`.
+fn format_float(f: f64) -> String {
+    if !f.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{f}");
+    if s.bytes().all(|b| b.is_ascii_digit() || b == b'-') {
+        format!("{s}.0")
+    } else {
+        s
+    }
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+/// Serializes a value compactly (API mirror of `serde_json::to_string`).
+pub fn to_string(v: &Value) -> String {
+    v.to_string_compact()
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(v: &Value) -> String {
+    v.to_string_pretty()
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::Int(v as i64)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::Int(v as i64)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Float(v as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::Str(v.clone())
+    }
+}
+impl From<Map> for Value {
+    fn from(v: Map) -> Value {
+        Value::Object(v)
+    }
+}
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Value {
+        Value::Array(vec![a.into(), b.into()])
+    }
+}
+impl<A: Into<Value>, B: Into<Value>, C: Into<Value>> From<(A, B, C)> for Value {
+    fn from((a, b, c): (A, B, C)) -> Value {
+        Value::Array(vec![a.into(), b.into(), c.into()])
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax, interpolating Rust
+/// expressions in value position (anything with an `Into<Value>` impl).
+///
+/// ```
+/// use gale_json::json;
+/// let v = json!({ "id": "table4", "scale": 0.5, "rows": [1, 2, 3] });
+/// assert_eq!(v["id"].as_str(), Some("table4"));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([]) => { $crate::Value::Array(Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_array_internal!(items () $($tt)+);
+        $crate::Value::Array(items)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut map = $crate::Map::new();
+        $crate::json_object_internal!(map $($tt)+);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Implementation detail of [`json!`]: munches object entries.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // Entry start: grab the key, then accumulate value tokens.
+    ($map:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_object_internal!(@val $map $key () $($rest)*);
+    };
+    // Trailing comma / done.
+    ($map:ident ,) => {};
+    ($map:ident) => {};
+    // Value ends at a top-level comma.
+    (@val $map:ident $key:literal ($($val:tt)*) , $($rest:tt)*) => {
+        $map.insert($key, $crate::json!($($val)*));
+        $crate::json_object_internal!($map $($rest)*);
+    };
+    // Value runs to the end of input.
+    (@val $map:ident $key:literal ($($val:tt)*)) => {
+        $map.insert($key, $crate::json!($($val)*));
+    };
+    // Otherwise keep accumulating.
+    (@val $map:ident $key:literal ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_object_internal!(@val $map $key ($($val)* $next) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`json!`]: appends an array element. A function
+/// rather than a direct `push` so macro expansions stay lint-clean.
+#[doc(hidden)]
+pub fn __array_push(items: &mut Vec<Value>, v: Value) {
+    items.push(v);
+}
+
+/// Implementation detail of [`json!`]: munches array elements.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($items:ident ($($val:tt)+) , $($rest:tt)*) => {
+        $crate::__array_push(&mut $items, $crate::json!($($val)+));
+        $crate::json_array_internal!($items () $($rest)*);
+    };
+    ($items:ident ($($val:tt)+)) => {
+        $crate::__array_push(&mut $items, $crate::json!($($val)+));
+    };
+    ($items:ident ()) => {};
+    ($items:ident ($($val:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_array_internal!($items ($($val)* $next) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_nested_documents() {
+        let rows = vec![json!({ "f1": 0.5 }), json!({ "f1": 0.75 })];
+        let n = 12usize;
+        let v = json!({
+            "id": "table4",
+            "scale": 0.5 * 2.0,
+            "nodes": n,
+            "ok": true,
+            "missing": null,
+            "rows": rows,
+            "inline": [1, 2.5, "x"],
+        });
+        assert_eq!(v["id"].as_str(), Some("table4"));
+        assert_eq!(v["scale"].as_f64(), Some(1.0));
+        assert_eq!(v["nodes"].as_u64(), Some(12));
+        assert_eq!(v["ok"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+        assert_eq!(v["rows"].as_array().unwrap().len(), 2);
+        assert_eq!(v["rows"][1]["f1"].as_f64(), Some(0.75));
+        assert_eq!(v["inline"][0], Value::Int(1));
+        assert_eq!(v["inline"][1], Value::Float(2.5));
+        assert_eq!(v["inline"][2].as_str(), Some("x"));
+    }
+
+    #[test]
+    fn missing_members_index_to_null() {
+        let v = json!({ "a": 1 });
+        assert!(v["nope"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+        assert!(v[3].is_null());
+    }
+
+    #[test]
+    fn float_formatting_keeps_floatness() {
+        assert_eq!(format_float(2.0), "2.0");
+        assert_eq!(format_float(-3.0), "-3.0");
+        assert_eq!(format_float(2.5), "2.5");
+        assert_eq!(format_float(f64::NAN), "null");
+        assert_eq!(format_float(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn compact_and_pretty_roundtrip() {
+        let v = json!({ "a": [1, 2], "b": { "c": "hi\n\"there\"" }, "d": 2.0 });
+        for text in [v.to_string_compact(), v.to_string_pretty()] {
+            let back = from_str(&text).unwrap();
+            assert_eq!(back, v, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let v = json!({ "z": 1, "a": 2, "m": 3 });
+        let keys: Vec<&String> = v.as_object().unwrap().iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["z", "a", "m"]);
+    }
+
+    #[test]
+    fn map_insert_replaces() {
+        let mut m = Map::new();
+        assert!(m.insert("k", json!(1)).is_none());
+        assert_eq!(m.insert("k", json!(2)), Some(Value::Int(1)));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("k"), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn escapes_render_and_parse() {
+        let v = Value::Str("a\"b\\c\nd\te\u{08}\u{0c}\u{01}".to_string());
+        let text = v.to_string_compact();
+        assert_eq!(from_str(&text).unwrap(), v);
+    }
+}

@@ -228,6 +228,9 @@ mod tests {
         let x = Matrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
         let y = bn.forward(&x, true);
         let mean = y.mean_rows()[0];
-        assert!((mean + 1.0).abs() < 1e-9, "mean should equal beta, got {mean}");
+        assert!(
+            (mean + 1.0).abs() < 1e-9,
+            "mean should equal beta, got {mean}"
+        );
     }
 }

@@ -20,7 +20,10 @@ pub struct Dropout {
 impl Dropout {
     /// Creates a dropout layer with drop probability `p` in `[0, 1)`.
     pub fn new(p: f64, rng: Rng) -> Self {
-        assert!((0.0..1.0).contains(&p), "Dropout: p must be in [0,1), got {p}");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "Dropout: p must be in [0,1), got {p}"
+        );
         Dropout {
             p,
             rng,

@@ -177,10 +177,7 @@ mod tests {
         // Intra-clique reconstruction beats the cross pair (0, 9).
         let intra = Gae::edge_probability(&z, 0, 1);
         let cross = Gae::edge_probability(&z, 0, 9);
-        assert!(
-            intra > cross,
-            "intra {intra} should exceed cross {cross}"
-        );
+        assert!(intra > cross, "intra {intra} should exceed cross {cross}");
         assert!(intra > 0.5, "intra edge prob {intra}");
     }
 

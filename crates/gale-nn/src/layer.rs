@@ -47,9 +47,21 @@ pub fn input_gradient_error(layer: &mut dyn Layer, x: &Matrix, eps: f64) -> f64 
         for c in 0..x.cols() {
             let orig = xp[(r, c)];
             xp[(r, c)] = orig + eps;
-            let lp = 0.5 * layer.forward(&xp, false).data().iter().map(|v| v * v).sum::<f64>();
+            let lp = 0.5
+                * layer
+                    .forward(&xp, false)
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>();
             xp[(r, c)] = orig - eps;
-            let lm = 0.5 * layer.forward(&xp, false).data().iter().map(|v| v * v).sum::<f64>();
+            let lm = 0.5
+                * layer
+                    .forward(&xp, false)
+                    .data()
+                    .iter()
+                    .map(|v| v * v)
+                    .sum::<f64>();
             xp[(r, c)] = orig;
             let numeric = (lp - lm) / (2.0 * eps);
             max_err = max_err.max((numeric - analytic[(r, c)]).abs());

@@ -10,10 +10,7 @@ use gale_tensor::Matrix;
 /// the mean loss over the selected rows and the gradient dL/dlogits (zero on
 /// unselected rows) — the masked form GALE uses because only labeled nodes
 /// contribute to `L_s`.
-pub fn softmax_cross_entropy(
-    logits: &Matrix,
-    targets: &[(usize, usize)],
-) -> (f64, Matrix) {
+pub fn softmax_cross_entropy(logits: &Matrix, targets: &[(usize, usize)]) -> (f64, Matrix) {
     let mut grad = Matrix::zeros(logits.rows(), logits.cols());
     if targets.is_empty() {
         return (0.0, grad);
@@ -22,7 +19,10 @@ pub fn softmax_cross_entropy(
     let inv = 1.0 / targets.len() as f64;
     let mut loss = 0.0;
     for &(row, class) in targets {
-        assert!(class < logits.cols(), "softmax_cross_entropy: class {class}");
+        assert!(
+            class < logits.cols(),
+            "softmax_cross_entropy: class {class}"
+        );
         let p = probs[(row, class)].max(1e-12);
         loss -= p.ln();
         for c in 0..logits.cols() {
@@ -130,12 +130,7 @@ mod tests {
     use super::*;
     use gale_tensor::Rng;
 
-    fn numeric_grad(
-        logits: &Matrix,
-        f: &dyn Fn(&Matrix) -> f64,
-        r: usize,
-        c: usize,
-    ) -> f64 {
+    fn numeric_grad(logits: &Matrix, f: &dyn Fn(&Matrix) -> f64, r: usize, c: usize) -> f64 {
         let eps = 1e-6;
         let mut lp = logits.clone();
         lp[(r, c)] += eps;

@@ -66,7 +66,11 @@ pub fn normalize_l2(a: &mut [f64]) {
 pub fn levenshtein(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
-    let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+    let (short, long) = if a.len() <= b.len() {
+        (&a, &b)
+    } else {
+        (&b, &a)
+    };
     if short.is_empty() {
         return long.len();
     }
@@ -90,6 +94,46 @@ pub fn edit_similarity(a: &str, b: &str) -> f64 {
         return 1.0;
     }
     1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+/// `n x n` matrix of Euclidean distances between the rows of `points`,
+/// computed in parallel over row blocks. Row `i` is filled by exactly one
+/// chunk, so the result is identical on any thread count.
+pub fn pairwise_euclidean(points: &crate::Matrix) -> crate::Matrix {
+    let n = points.rows();
+    let mut out = crate::Matrix::zeros(n, n);
+    crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
+        let first_row = start / n.max(1);
+        for (b, orow) in block.chunks_mut(n).enumerate() {
+            let i = first_row + b;
+            for (j, o) in orow.iter_mut().enumerate() {
+                *o = euclidean(points.row(i), points.row(j));
+            }
+        }
+    });
+    out
+}
+
+/// For every row `i` of `points`, the minimum Euclidean distance to any of
+/// the rows indexed by `anchors` (`+inf` when `anchors` is empty). Used by
+/// diversified query selection to measure how far each candidate sits from
+/// the already-picked set. Parallel over row chunks; each output element is
+/// written by exactly one chunk, so results are thread-count independent.
+pub fn min_distance_to_anchors(points: &crate::Matrix, anchors: &[usize]) -> Vec<f64> {
+    let n = points.rows();
+    let mut out = vec![f64::INFINITY; n];
+    crate::par::par_chunks_mut(&mut out, 1, |start, chunk| {
+        for (off, slot) in chunk.iter_mut().enumerate() {
+            let i = start + off;
+            for &a in anchors {
+                let d = euclidean(points.row(i), points.row(a));
+                if d < *slot {
+                    *slot = d;
+                }
+            }
+        }
+    });
+    out
 }
 
 #[cfg(test)]
@@ -139,7 +183,10 @@ mod tests {
 
     #[test]
     fn levenshtein_symmetric() {
-        assert_eq!(levenshtein("graph", "graphs"), levenshtein("graphs", "graph"));
+        assert_eq!(
+            levenshtein("graph", "graphs"),
+            levenshtein("graphs", "graph")
+        );
     }
 
     #[test]

@@ -76,30 +76,52 @@ pub fn kmeans(points: &Matrix, cfg: &KMeansConfig, rng: &mut Rng) -> KMeansResul
 
     for it in 0..cfg.max_iter {
         iterations = it + 1;
-        // Assignment step.
-        inertia = 0.0;
-        for i in 0..n {
-            let (mut best, mut best_d) = (0usize, f64::INFINITY);
-            for c in 0..k {
-                let dist = squared_euclidean(points.row(i), centroids.row(c));
-                if dist < best_d {
-                    best = c;
-                    best_d = dist;
+        // Assignment step: each point is independent, so point chunks
+        // parallelize with identical results on any schedule.
+        crate::par::par_chunks_mut(&mut assignments, 1, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let i = start + off;
+                let (mut best, mut best_d) = (0usize, f64::INFINITY);
+                for c in 0..k {
+                    let dist = squared_euclidean(points.row(i), centroids.row(c));
+                    if dist < best_d {
+                        best = c;
+                        best_d = dist;
+                    }
                 }
+                *slot = best;
             }
-            assignments[i] = best;
-            inertia += best_d;
-        }
-        // Update step.
-        let mut sums = Matrix::zeros(k, d);
-        let mut counts = vec![0usize; k];
-        for i in 0..n {
-            let c = assignments[i];
-            counts[c] += 1;
-            for (s, &p) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
-                *s += p;
-            }
-        }
+        });
+        // Accumulation step: per-chunk partial inertia/sums/counts, merged
+        // in ascending chunk order so the float addition order is fixed.
+        let (total_inertia, sums, counts) = crate::par::par_map_reduce(
+            n,
+            |range| {
+                let mut inertia = 0.0;
+                let mut sums = Matrix::zeros(k, d);
+                let mut counts = vec![0usize; k];
+                for i in range {
+                    let c = assignments[i];
+                    inertia += squared_euclidean(points.row(i), centroids.row(c));
+                    counts[c] += 1;
+                    for (s, &p) in sums.row_mut(c).iter_mut().zip(points.row(i)) {
+                        *s += p;
+                    }
+                }
+                (inertia, sums, counts)
+            },
+            |(ia, mut sa, mut ca), (ib, sb, cb)| {
+                for (a, b) in sa.data_mut().iter_mut().zip(sb.data()) {
+                    *a += b;
+                }
+                for (a, b) in ca.iter_mut().zip(&cb) {
+                    *a += b;
+                }
+                (ia + ib, sa, ca)
+            },
+        )
+        .expect("kmeans: n > 0");
+        inertia = total_inertia;
         let mut movement = 0.0;
         for c in 0..k {
             if counts[c] == 0 {
@@ -143,9 +165,13 @@ fn plus_plus_init(points: &Matrix, k: usize, rng: &mut Rng) -> Matrix {
     let first = rng.below(n);
     centroids.set_row(0, points.row(first));
 
-    let mut dist2: Vec<f64> = (0..n)
-        .map(|i| squared_euclidean(points.row(i), centroids.row(0)))
-        .collect();
+    let mut dist2 = vec![0.0f64; n];
+    let c0 = centroids.row(0).to_vec();
+    crate::par::par_chunks_mut(&mut dist2, 1, |start, chunk| {
+        for (off, d) in chunk.iter_mut().enumerate() {
+            *d = squared_euclidean(points.row(start + off), &c0);
+        }
+    });
     for c in 1..k {
         let total: f64 = dist2.iter().sum();
         let next = if total <= 0.0 {
@@ -154,12 +180,15 @@ fn plus_plus_init(points: &Matrix, k: usize, rng: &mut Rng) -> Matrix {
             rng.weighted(&dist2)
         };
         centroids.set_row(c, points.row(next));
-        for i in 0..n {
-            let d = squared_euclidean(points.row(i), centroids.row(c));
-            if d < dist2[i] {
-                dist2[i] = d;
+        let cr = centroids.row(c).to_vec();
+        crate::par::par_chunks_mut(&mut dist2, 1, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let d = squared_euclidean(points.row(start + off), &cr);
+                if d < *slot {
+                    *slot = d;
+                }
             }
-        }
+        });
     }
     centroids
 }

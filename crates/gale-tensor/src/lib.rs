@@ -10,7 +10,10 @@
 //! explicit [`rng::Rng`]) and predictable performance (CSR propagation is
 //! O(|E|), dense kernels are cache-friendly row-major loops).
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `par` module needs a scoped allowance
+// for its two audited unsafe blocks (lifetime-erased job dispatch and
+// disjoint slice splitting); everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Index-based loops are the clearer idiom in the dense math kernels below.
 #![allow(clippy::needless_range_loop)]
@@ -19,6 +22,7 @@ pub mod distance;
 pub mod kmeans;
 pub mod linalg;
 pub mod matrix;
+pub mod par;
 pub mod pca;
 pub mod rng;
 pub mod sparse;

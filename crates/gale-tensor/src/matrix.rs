@@ -215,19 +215,23 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.rows, other.cols);
         let n = other.cols;
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            let orow = &mut out.data[i * n..(i + 1) * n];
-            for (k, &aik) in arow.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let brow = &other.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    orow[j] += aik * brow[j];
+        // Output rows are independent, so row blocks parallelize with
+        // bitwise-identical results on any schedule.
+        crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
+            let first_row = start / n.max(1);
+            for (b, orow) in block.chunks_mut(n).enumerate() {
+                let arow = self.row(first_row + b);
+                for (k, &aik) in arow.iter().enumerate() {
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        orow[j] += aik * brow[j];
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -240,19 +244,26 @@ impl Matrix {
         );
         let mut out = Matrix::zeros(self.cols, other.cols);
         let n = other.cols;
-        for k in 0..self.rows {
-            let arow = self.row(k);
-            let brow = other.row(k);
-            for (i, &aki) in arow.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let orow = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    orow[j] += aki * brow[j];
+        let cols = self.cols;
+        // Loop order is i-outer so output rows are independent; each
+        // element still accumulates in ascending k, which keeps results
+        // bitwise identical to the k-outer sequential formulation.
+        crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
+            let first_row = start / n.max(1);
+            for (b, orow) in block.chunks_mut(n).enumerate() {
+                let i = first_row + b;
+                for k in 0..self.rows {
+                    let aki = self.data[k * cols + i];
+                    if aki == 0.0 {
+                        continue;
+                    }
+                    let brow = &other.data[k * n..(k + 1) * n];
+                    for j in 0..n {
+                        orow[j] += aki * brow[j];
+                    }
                 }
             }
-        }
+        });
         out
     }
 
@@ -264,17 +275,21 @@ impl Matrix {
             self.rows, self.cols, other.rows, other.cols
         );
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let mut s = 0.0;
-                for k in 0..self.cols {
-                    s += arow[k] * brow[k];
+        let n = other.rows;
+        crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
+            let first_row = start / n.max(1);
+            for (b, orow) in block.chunks_mut(n).enumerate() {
+                let arow = self.row(first_row + b);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = other.row(j);
+                    let mut s = 0.0;
+                    for k in 0..self.cols {
+                        s += arow[k] * brow[k];
+                    }
+                    *o = s;
                 }
-                out[(i, j)] = s;
             }
-        }
+        });
         out
     }
 
@@ -282,13 +297,7 @@ impl Matrix {
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec: width mismatch");
         (0..self.rows)
-            .map(|r| {
-                self.row(r)
-                    .iter()
-                    .zip(v)
-                    .map(|(a, b)| a * b)
-                    .sum::<f64>()
-            })
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum::<f64>())
             .collect()
     }
 
@@ -523,7 +532,12 @@ impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a + b)
+            .collect();
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -536,7 +550,12 @@ impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: &Matrix) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(a, b)| a - b)
+            .collect();
         Matrix {
             rows: self.rows,
             cols: self.cols,

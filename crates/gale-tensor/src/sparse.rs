@@ -30,7 +30,10 @@ impl SparseMatrix {
     ) -> Self {
         let mut by_row: Vec<Vec<(usize, f64)>> = vec![Vec::new(); rows];
         for (r, c, v) in triplets {
-            assert!(r < rows && c < cols, "from_triplets: ({r},{c}) out of range");
+            assert!(
+                r < rows && c < cols,
+                "from_triplets: ({r},{c}) out of range"
+            );
             by_row[r].push((c, v));
         }
         let mut indptr = Vec::with_capacity(rows + 1);
@@ -335,11 +338,8 @@ mod tests {
     #[test]
     fn sym_normalization_rows_bounded() {
         // A path graph 0-1-2.
-        let a = SparseMatrix::from_triplets(
-            3,
-            3,
-            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        );
+        let a =
+            SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         let s = a.sym_normalized_with_self_loops();
         // Symmetry is preserved.
         let d = s.to_dense();
@@ -361,11 +361,8 @@ mod tests {
 
     #[test]
     fn rw_normalization_is_row_stochastic() {
-        let a = SparseMatrix::from_triplets(
-            3,
-            3,
-            [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)],
-        );
+        let a =
+            SparseMatrix::from_triplets(3, 3, [(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0)]);
         let p = a.rw_normalized_with_self_loops();
         for r in 0..3 {
             let sum: f64 = p.row_iter(r).map(|(_, v)| v).sum();

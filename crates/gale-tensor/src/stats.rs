@@ -71,9 +71,10 @@ pub fn tukey_fences(xs: &[f64], k: f64) -> (f64, f64) {
 /// Min and max of a non-empty slice.
 pub fn min_max(xs: &[f64]) -> (f64, f64) {
     assert!(!xs.is_empty(), "min_max: empty slice");
-    xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    })
+    xs.iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        })
 }
 
 /// Pearson correlation of two equal-length samples; 0.0 when degenerate.

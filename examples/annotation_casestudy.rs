@@ -36,12 +36,11 @@ fn main() {
 
     // Pick interesting nodes to annotate: one detector-flagged erroneous
     // node, one undetectable erroneous node, and one clean node.
-    let flagged_err = (0..g.node_count())
-        .find(|&v| d.truth.is_erroneous(v) && report.is_flagged(v));
-    let hidden_err = (0..g.node_count())
-        .find(|&v| d.truth.is_erroneous(v) && !report.is_flagged(v));
-    let clean = (0..g.node_count())
-        .find(|&v| !d.truth.is_erroneous(v) && !report.is_flagged(v));
+    let flagged_err =
+        (0..g.node_count()).find(|&v| d.truth.is_erroneous(v) && report.is_flagged(v));
+    let hidden_err =
+        (0..g.node_count()).find(|&v| d.truth.is_erroneous(v) && !report.is_flagged(v));
+    let clean = (0..g.node_count()).find(|&v| !d.truth.is_erroneous(v) && !report.is_flagged(v));
 
     // A couple of labeled examples so the "most influential labeled node"
     // and soft labels have something to work with.
@@ -78,7 +77,10 @@ fn main() {
             .find(|e| e.node == v)
             .map(|e| (&e.original, &e.corrupted))
         {
-            println!("  (ground truth: '{}' was corrupted to '{}')", orig.0, orig.1);
+            println!(
+                "  (ground truth: '{}' was corrupted to '{}')",
+                orig.0, orig.1
+            );
         }
         let anns = annotate(
             &[v],

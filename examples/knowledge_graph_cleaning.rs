@@ -49,7 +49,15 @@ fn main() {
         .collect();
 
     let mut ensemble = EnsembleOracle::new();
-    let auto = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut ensemble, &cfg);
+    let auto = run_gale(
+        &d.graph,
+        &d.constraints,
+        &split,
+        &[],
+        &[],
+        &mut ensemble,
+        &cfg,
+    );
     let prf = Prf::from_sets(&auto.predicted_errors(&split.test), &truth_test);
     println!(
         "fully automatic (ensemble oracle):  P {:.3} R {:.3} F1 {:.3}",
@@ -72,10 +80,7 @@ fn main() {
     let mut repaired = 0usize;
     let mut correct_repairs = 0usize;
     let mut graph = d.graph.clone();
-    let flagged: Vec<NodeId> = outcome
-        .predicted_errors(&split.test)
-        .into_iter()
-        .collect();
+    let flagged: Vec<NodeId> = outcome.predicted_errors(&split.test).into_iter().collect();
     for &v in flagged.iter().take(200) {
         for (attr, fix, source) in lib.suggest_corrections(&d.graph, &report, v) {
             let before = graph.node(v).get(attr).cloned();

@@ -59,7 +59,11 @@ fn annotations_cover_the_four_types_for_detectable_errors() {
         assert!((total - 1.0).abs() < 1e-9, "distribution sums to {total}");
         // Type 1: connected nodes have a non-empty soft subgraph.
         if !d.graph.neighbor_lists()[a.node].is_empty() {
-            assert!(!a.soft_subgraph.is_empty(), "node {} has no subgraph", a.node);
+            assert!(
+                !a.soft_subgraph.is_empty(),
+                "node {} has no subgraph",
+                a.node
+            );
         }
         if !a.corrections.is_empty() {
             with_corrections += 1;
@@ -139,7 +143,10 @@ fn most_influential_labeled_node_is_topologically_close() {
     let neighbor = nbrs[query][0];
     let labeled: Vec<(NodeId, Label)> = vec![
         (neighbor, Label::Correct),
-        ((query + d.graph.node_count() / 2) % d.graph.node_count(), Label::Error),
+        (
+            (query + d.graph.node_count() / 2) % d.graph.node_count(),
+            Label::Error,
+        ),
     ];
     let anns = annotate(
         &[query],

@@ -30,10 +30,7 @@ fn generators_track_table3_proportions_across_scales() {
 fn every_dataset_mines_usable_constraints() {
     for id in DatasetId::ALL {
         let d = prepare(id, 0.08, &ErrorGenConfig::default(), 5);
-        assert!(
-            !d.constraints.is_empty(),
-            "{id:?}: no constraints mined"
-        );
+        assert!(!d.constraints.is_empty(), "{id:?}: no constraints mined");
         // At least one rule has high confidence.
         assert!(
             d.constraints.iter().any(|c| c.confidence() >= 0.9),
@@ -72,8 +69,14 @@ fn detectable_rate_controls_library_recall() {
         recalls[0] < recalls[1] && recalls[1] < recalls[2],
         "recall not monotone in detectable rate: {recalls:?}"
     );
-    assert!(recalls[2] > 0.6, "fully detectable errors mostly caught: {recalls:?}");
-    assert!(recalls[0] < 0.35, "undetectable errors largely invisible: {recalls:?}");
+    assert!(
+        recalls[2] > 0.6,
+        "fully detectable errors mostly caught: {recalls:?}"
+    );
+    assert!(
+        recalls[0] < 0.35,
+        "undetectable errors largely invisible: {recalls:?}"
+    );
 }
 
 #[test]
@@ -111,7 +114,12 @@ fn featurization_is_scale_stable() {
     let cfg = FeaturizeConfig::default();
     let mut dims = Vec::new();
     for &scale in &[0.05f64, 0.15] {
-        let d = prepare(DatasetId::MachineLearning, scale, &ErrorGenConfig::default(), 3);
+        let d = prepare(
+            DatasetId::MachineLearning,
+            scale,
+            &ErrorGenConfig::default(),
+            3,
+        );
         let mut rng = Rng::seed_from_u64(3);
         let fr = featurize(&d.graph, &d.constraints, &cfg, &mut rng);
         dims.push(fr.dim());

@@ -38,14 +38,19 @@ fn full_pipeline_produces_sane_outcome() {
     let (d, split) = prepare_small(1);
     let mut oracle = GroundTruthOracle::new(&d.truth);
     let cfg = quick_cfg(1);
-    let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut oracle, &cfg);
+    let outcome = run_gale(
+        &d.graph,
+        &d.constraints,
+        &split,
+        &[],
+        &[],
+        &mut oracle,
+        &cfg,
+    );
 
     assert_eq!(outcome.predictions.len(), d.graph.node_count());
     assert_eq!(outcome.error_scores.len(), d.graph.node_count());
-    assert!(outcome
-        .error_scores
-        .iter()
-        .all(|s| (0.0..=1.0).contains(s)));
+    assert!(outcome.error_scores.iter().all(|s| (0.0..=1.0).contains(s)));
     // Budget bound: at most (1 + iterations) * k queries (cold start + loop).
     assert!(outcome.queries_issued <= (cfg.iterations + 1) * cfg.local_budget);
     // Every query the oracle answered is in the pool with its true label.
@@ -156,11 +161,16 @@ fn every_strategy_completes_the_loop() {
             strategy,
             ..quick_cfg(5)
         };
-        let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut oracle, &cfg);
-        assert!(
-            outcome.queries_issued > 0,
-            "{strategy:?} issued no queries"
+        let outcome = run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &[],
+            &[],
+            &mut oracle,
+            &cfg,
         );
+        assert!(outcome.queries_issued > 0, "{strategy:?} issued no queries");
         assert_eq!(outcome.history.len(), cfg.iterations);
     }
 }

@@ -65,10 +65,7 @@ fn pipeline_survives_clean_graph_no_errors() {
     let outcome = run_gale(&g, &[], &split, &[], &[], &mut oracle, &quick_cfg());
     // Everything labeled correct by the oracle; the pool still grows.
     assert!(!outcome.pool.is_empty());
-    assert!(outcome
-        .pool
-        .examples()
-        .all(|e| e.label == Label::Correct));
+    assert!(outcome.pool.examples().all(|e| e.label == Label::Correct));
 }
 
 #[test]
