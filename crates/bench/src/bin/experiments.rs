@@ -5,11 +5,15 @@
 //! experiments [--scale S] [--seed N] [--quick] [--out FILE.json] <exp...>
 //!   exp: table2 table3 table4 fig7a fig7b fig7c fig7d fig7e fig7f
 //!        errdist casestudy all
+//! experiments report <results.json>    # render embedded run reports
+//! experiments trace-check <trace.jsonl> # validate a telemetry trace
 //! ```
 //!
 //! `--scale` shrinks the Table III dataset sizes (default 0.15; 1.0 matches
 //! the paper). `--quick` uses reduced model sizes for smoke runs. Results
-//! print as text tables and optionally accumulate into a JSON file.
+//! print as text tables and optionally accumulate into a JSON file. With
+//! `GALE_OBS=1` a JSONL trace is written (see `gale-obs`) and the output
+//! document gains a `metrics` snapshot.
 
 use gale_bench::*;
 use std::io::Write as _;
@@ -56,8 +60,8 @@ fn parse_args() -> Args {
             "--quick" => args.quick = true,
             "--out" => args.out = it.next(),
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: experiments [--scale S] [--seed N] [--quick] [--out FILE] <exp...|all>"
+                gale_obs::warn!(
+                    "usage: experiments [--scale S] [--seed N] [--quick] [--out FILE] <exp...|all>\n       experiments report <results.json>\n       experiments trace-check <trace.jsonl>"
                 );
                 std::process::exit(0);
             }
@@ -70,8 +74,113 @@ fn parse_args() -> Args {
     args
 }
 
+/// Recursively collects every embedded run report in a result document.
+fn collect_run_reports(v: &gale_json::Value, out: &mut Vec<gale_obs::RunReport>) {
+    match v {
+        gale_json::Value::Object(map) => {
+            if map.get("title").is_some() && map.get("columns").is_some() {
+                if let Ok(rep) = gale_obs::RunReport::from_json(v) {
+                    out.push(rep);
+                    return;
+                }
+            }
+            for (_, child) in map.iter() {
+                collect_run_reports(child, out);
+            }
+        }
+        gale_json::Value::Array(items) => {
+            for child in items {
+                collect_run_reports(child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// `experiments report <results.json>`: renders every run report embedded
+/// in a results document as an aligned text table.
+fn cmd_report(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            gale_obs::warn!("report: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let doc = match gale_json::from_str(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            gale_obs::warn!("report: {path} is not valid JSON: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut reports = Vec::new();
+    collect_run_reports(&doc, &mut reports);
+    if reports.is_empty() {
+        gale_obs::warn!("report: no run reports found in {path}");
+        std::process::exit(1);
+    }
+    for rep in &reports {
+        gale_obs::info!("{}", rep.render());
+    }
+    gale_obs::info!("[{} run report(s) in {path}]", reports.len());
+    std::process::exit(0);
+}
+
+/// `experiments trace-check <trace.jsonl>`: asserts every line of a
+/// telemetry trace parses as JSON. Exit 2 on the first malformed line.
+fn cmd_trace_check(path: &str) -> ! {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            gale_obs::warn!("trace-check: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut spans = 0usize;
+    let mut events = 0usize;
+    let mut other = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match gale_json::from_str(line) {
+            Ok(v) => match v["t"].as_str() {
+                Some("span") => spans += 1,
+                Some("event") => events += 1,
+                _ => other += 1,
+            },
+            Err(e) => {
+                gale_obs::warn!("trace-check: {path}:{}: {e}", i + 1);
+                std::process::exit(2);
+            }
+        }
+    }
+    gale_obs::info!(
+        "trace-check: {path} ok ({spans} spans, {events} events, {other} other records)"
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    match args.exps.first().map(String::as_str) {
+        Some("report") => {
+            let path = args.exps.get(1).cloned().unwrap_or_else(|| {
+                gale_obs::warn!("usage: experiments report <results.json>");
+                std::process::exit(2);
+            });
+            cmd_report(&path);
+        }
+        Some("trace-check") => {
+            let path = args.exps.get(1).cloned().unwrap_or_else(|| {
+                gale_obs::warn!("usage: experiments trace-check <trace.jsonl>");
+                std::process::exit(2);
+            });
+            cmd_trace_check(&path);
+        }
+        _ => {}
+    }
     let knobs = if args.quick {
         Knobs::quick()
     } else {
@@ -100,6 +209,7 @@ fn main() {
     let mut results = Vec::new();
     for exp in selected {
         let started = std::time::Instant::now();
+        let exp_span = gale_obs::span!("bench.experiment", name = exp);
         let (text, json) = match exp {
             "table2" => table2(),
             "table3" => table3(args.scale, args.seed),
@@ -115,27 +225,32 @@ fn main() {
             "ablation" => ablation(args.scale, args.seed, &knobs),
             "noise" => noise(args.scale, args.seed, &knobs),
             other => {
-                eprintln!("unknown experiment '{other}' (see --help)");
+                gale_obs::warn!("unknown experiment '{other}' (see --help)");
                 std::process::exit(2);
             }
         };
-        println!("{text}");
-        println!(
+        let _ = exp_span.finish();
+        gale_obs::info!("{text}");
+        gale_obs::info!(
             "[{exp} finished in {:.1}s]\n",
             started.elapsed().as_secs_f64()
         );
         results.push(json);
     }
     if let Some(path) = args.out {
-        let doc = gale_json::json!({
-            "scale": args.scale,
-            "seed": args.seed,
-            "quick": args.quick,
-            "experiments": results,
-        });
+        let mut doc = gale_json::Map::new();
+        doc.insert("scale", gale_json::Value::from(args.scale));
+        doc.insert("seed", gale_json::Value::from(args.seed));
+        doc.insert("quick", gale_json::Value::from(args.quick));
+        doc.insert("experiments", gale_json::Value::Array(results));
+        if gale_obs::enabled() {
+            doc.insert("metrics", gale_obs::metrics::snapshot_json());
+        }
+        let doc = gale_json::Value::Object(doc);
         let mut f = std::fs::File::create(&path).expect("create output file");
         f.write_all(gale_json::to_string_pretty(&doc).as_bytes())
             .expect("write output file");
-        eprintln!("results written to {path}");
+        gale_obs::warn!("results written to {path}");
     }
+    gale_obs::trace::flush();
 }

@@ -331,7 +331,9 @@ pub fn fig7e(scale: f64, seed: u64, knobs: &Knobs) -> (String, gale_json::Value)
             .iter()
             .skip(1)
             .map(|r| {
-                cum += r.select_time.as_secs_f64() + r.train_time.as_secs_f64();
+                cum += r.select_time.as_secs_f64()
+                    + r.annotate_time.as_secs_f64()
+                    + r.train_time.as_secs_f64();
                 cum
             })
             .collect();

@@ -19,6 +19,7 @@ fn median_eval(evals: &[MethodEval]) -> MethodEval {
         seconds: get(|e| e.seconds),
         select_seconds: get(|e| e.select_seconds),
         queries: evals[0].queries,
+        run_report: evals[0].run_report.clone(),
     }
 }
 
@@ -126,6 +127,7 @@ mod tests {
             seconds: 1.0,
             select_seconds: 0.0,
             queries: 3,
+            run_report: None,
         };
         let m = median_eval(&[mk(0.1, 0.9), mk(0.5, 0.1), mk(0.9, 0.5)]);
         assert_eq!(m.precision, 0.5);

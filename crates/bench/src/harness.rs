@@ -328,11 +328,14 @@ pub struct MethodEval {
     pub select_seconds: f64,
     /// Queries issued to the oracle (GALE family; 0 otherwise).
     pub queries: usize,
+    /// Per-iteration run report (GALE family; `None` otherwise). Serialized
+    /// into result documents so `experiments report` can render it later.
+    pub run_report: Option<gale_json::Value>,
 }
 
 impl From<&MethodEval> for gale_json::Value {
     fn from(e: &MethodEval) -> gale_json::Value {
-        gale_json::json!({
+        let mut v = gale_json::json!({
             "method": format!("{:?}", e.method),
             "precision": e.precision,
             "recall": e.recall,
@@ -340,7 +343,11 @@ impl From<&MethodEval> for gale_json::Value {
             "seconds": e.seconds,
             "select_seconds": e.select_seconds,
             "queries": e.queries,
-        })
+        });
+        if let (gale_json::Value::Object(map), Some(rep)) = (&mut v, &e.run_report) {
+            map.insert("run_report", rep.clone());
+        }
+        v
     }
 }
 
@@ -375,14 +382,14 @@ pub fn gale_config(
 pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> MethodEval {
     let seed = prep.scenario.seed ^ 0xbeef;
     let started = Instant::now();
-    let (prf, select_seconds, queries) = match method {
+    let (prf, select_seconds, queries, run_report) = match method {
         Method::VioDet => {
             let r = viodet(&prep.data.graph, &prep.data.constraints);
-            (prep.evaluate(&r), 0.0, 0)
+            (prep.evaluate(&r), 0.0, 0, None)
         }
         Method::Alad => {
             let r = alad(&prep.data.graph, &prep.val_examples, &AladConfig::default());
-            (prep.evaluate(&r), 0.0, 0)
+            (prep.evaluate(&r), 0.0, 0, None)
         }
         Method::Raha => {
             let mut rng = Rng::seed_from_u64(seed);
@@ -392,7 +399,7 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
                 &RahaConfig::default(),
                 &mut rng,
             );
-            (prep.evaluate(&r), 0.0, 0)
+            (prep.evaluate(&r), 0.0, 0, None)
         }
         Method::Gcn => {
             let mut rng = Rng::seed_from_u64(seed);
@@ -409,7 +416,7 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
                 &knobs.gcn,
                 &mut rng,
             );
-            (prep.evaluate(&r), 0.0, 0)
+            (prep.evaluate(&r), 0.0, 0, None)
         }
         Method::GeDet => {
             let mut rng = Rng::seed_from_u64(seed);
@@ -425,7 +432,7 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
                 &cfg,
                 &mut rng,
             );
-            (prep.evaluate(&r), 0.0, 0)
+            (prep.evaluate(&r), 0.0, 0, None)
         }
         Method::GaleEnt | Method::GaleRan | Method::GaleKme | Method::Gale | Method::UGale => {
             let (total, k) = paper_budget(prep.scenario.dataset, prep.scenario.scale);
@@ -443,7 +450,8 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
             );
             let select = outcome.total_select_time().as_secs_f64();
             let queries = outcome.queries_issued;
-            (prep.evaluate_gale(&outcome), select, queries)
+            let report = outcome.run_report().to_json();
+            (prep.evaluate_gale(&outcome), select, queries, Some(report))
         }
     };
     MethodEval {
@@ -454,6 +462,7 @@ pub fn run_method(method: Method, prep: &PreparedScenario, knobs: &Knobs) -> Met
         seconds: started.elapsed().as_secs_f64(),
         select_seconds,
         queries,
+        run_report,
     }
 }
 
@@ -547,6 +556,7 @@ mod tests {
             seconds: 0.1,
             select_seconds: 0.0,
             queries: 0,
+            run_report: None,
         }];
         let t = render_table("Table IV", &evals);
         assert!(t.contains("VioDet"));

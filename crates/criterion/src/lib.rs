@@ -61,6 +61,13 @@ impl Criterion {
     pub fn final_summary(&mut self) {}
 }
 
+/// Flushes buffered telemetry to disk. [`criterion_main!`] calls this after
+/// the last group so bench traces survive process exit (the global sink is
+/// a static and is never dropped).
+pub fn flush_telemetry() {
+    gale_obs::trace::flush();
+}
+
 /// A named benchmark group; IDs are reported as `group/function/param`.
 pub struct BenchmarkGroup<'a> {
     name: String,
@@ -202,13 +209,22 @@ fn run_one(
     let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = times.iter().cloned().fold(0.0f64, f64::max);
     let mean = times.iter().sum::<f64>() / times.len() as f64;
-    println!(
+    // Route through the shared console sink so bench output also lands in
+    // the telemetry trace when GALE_OBS=1.
+    gale_obs::info!(
         "{name:<48} time: [{} {} {}]  ({} samples x {} iters)",
         fmt_time(min),
         fmt_time(mean),
         fmt_time(max),
         samples,
         iters,
+    );
+    gale_obs::event!(
+        "bench.sample",
+        bench = name,
+        mean_s = mean,
+        min_s = min,
+        max_s = max
     );
 }
 
@@ -243,6 +259,7 @@ macro_rules! criterion_main {
             // `cargo bench` passes harness flags (e.g. `--bench`); none apply.
             let _ = ::std::env::args();
             $($group();)+
+            $crate::flush_telemetry();
         }
     };
 }

@@ -116,6 +116,8 @@ impl MemoCache {
         } else {
             changed as f64 / h.rows() as f64
         };
+        gale_obs::counter_add!("memo.updates", 1);
+        gale_obs::counter_add!("memo.dirty_rows", changed as u64);
         changed
     }
 
@@ -126,14 +128,17 @@ impl MemoCache {
             return gale_tensor::distance::euclidean(h.row(i), h.row(j));
         }
         self.lookups += 1;
+        gale_obs::counter_add!("memo.lookups", 1);
         let key = (i.min(j), i.max(j));
         let (vi, vj) = (self.versions[key.0], self.versions[key.1]);
         if let Some(&(ci, cj, d)) = self.distances.get(&key) {
             if ci == vi && cj == vj {
                 self.hits += 1;
+                gale_obs::counter_add!("memo.hits", 1);
                 return d;
             }
         }
+        gale_obs::counter_add!("memo.misses", 1);
         let d = gale_tensor::distance::euclidean(h.row(i), h.row(j));
         self.distances.insert(key, (vi, vj, d));
         d

@@ -79,8 +79,15 @@ pub struct IterationRecord {
     pub pool_size: usize,
     /// Discriminator loss after the update.
     pub d_loss: f64,
-    /// Wall-clock spent selecting queries.
+    /// Generator loss after the update (0 on SGAND iterations, which leave
+    /// the generator untouched).
+    pub g_loss: f64,
+    /// Wall-clock spent selecting queries (embeddings + typicality +
+    /// clustering; excludes annotation).
     pub select_time: Duration,
+    /// Wall-clock spent annotating the queries (soft-label propagation,
+    /// detector reports, oracle consultation).
+    pub annotate_time: Duration,
     /// Wall-clock spent updating the model.
     pub train_time: Duration,
     /// Fraction of embedding rows that changed beyond the memo tolerance
@@ -134,9 +141,65 @@ impl GaleOutcome {
         self.history.iter().map(|r| r.select_time).sum()
     }
 
+    /// Sum of per-iteration annotation times (soft labels + detector
+    /// reports + oracle).
+    pub fn total_annotate_time(&self) -> Duration {
+        self.history.iter().map(|r| r.annotate_time).sum()
+    }
+
     /// Sum of per-iteration training times.
     pub fn total_train_time(&self) -> Duration {
         self.history.iter().map(|r| r.train_time).sum()
+    }
+
+    /// Structured run summary: one row per iteration plus run totals.
+    /// Embedded in experiment result documents and rendered by the
+    /// `report` subcommand of the experiments binary.
+    pub fn run_report(&self) -> gale_obs::RunReport {
+        use gale_obs::Value;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut rep = gale_obs::RunReport::new(
+            "GALE run",
+            &[
+                "iter",
+                "queries",
+                "pool",
+                "d_loss",
+                "g_loss",
+                "select_ms",
+                "annotate_ms",
+                "train_ms",
+                "changed_frac",
+            ],
+        );
+        for r in &self.history {
+            rep.push_row(vec![
+                Value::from(r.iteration),
+                Value::from(r.queries.len()),
+                Value::from(r.pool_size),
+                Value::from(r.d_loss),
+                Value::from(r.g_loss),
+                Value::from(ms(r.select_time)),
+                Value::from(ms(r.annotate_time)),
+                Value::from(ms(r.train_time)),
+                Value::from(r.changed_fraction),
+            ]);
+        }
+        rep.total("iterations", self.history.len());
+        rep.total("queries_issued", self.queries_issued);
+        rep.total("memo_hit_rate", self.memo_hit_rate);
+        rep.total("typicality_reuses", self.typicality_reuses);
+        rep.total("total_select_ms", ms(self.total_select_time()));
+        rep.total("total_annotate_ms", ms(self.total_annotate_time()));
+        rep.total("total_train_ms", ms(self.total_train_time()));
+        rep.total("total_ms", ms(self.total_time));
+        if gale_obs::enabled() {
+            rep.total(
+                "par_utilization",
+                gale_obs::metrics::gauge("par.utilization").get(),
+            );
+        }
+        rep
     }
 }
 
@@ -159,6 +222,12 @@ pub fn run_gale(
     oracle: &mut dyn Oracle,
     cfg: &GaleConfig,
 ) -> GaleOutcome {
+    let run_span = gale_obs::span!(
+        "gale.run",
+        iterations = cfg.iterations,
+        local_budget = cfg.local_budget,
+        seed = cfg.seed,
+    );
     let started = Instant::now();
     let mut rng = Rng::seed_from_u64(cfg.seed);
     let mut history = Vec::new();
@@ -179,7 +248,8 @@ pub fn run_gale(
     let val_targets = ExamplePool::targets(val_examples);
 
     // --- Cold start (Fig. 3 lines 2-6). -----------------------------------
-    let t0 = Instant::now();
+    let iter_span = gale_obs::span!("gale.iteration", iter = 0usize);
+    let sel_span = gale_obs::span!("gale.select", iter = 0usize);
     let unlabeled: Vec<NodeId> = split
         .train
         .iter()
@@ -187,6 +257,8 @@ pub fn run_gale(
         .filter(|v| !pool.contains(*v))
         .collect();
     let q0 = cold_start_queries(x_r, &unlabeled, cfg.local_budget, &mut rng);
+    let select_time0 = sel_span.finish();
+    let ann_span = gale_obs::span!("gale.annotate", iter = 0usize);
     let soft_none: Vec<Option<Label>> = vec![None; g.node_count()];
     let ann0 = annotate(
         &q0,
@@ -198,30 +270,37 @@ pub fn run_gale(
         &soft_none,
         &cfg.annotate,
     );
-    let select_time0 = t0.elapsed();
     let labels0 = oracle.label_batch(&ann0);
+    gale_obs::counter_add!("gale.oracle.queries", q0.len() as u64);
     for (q, l) in q0.iter().zip(&labels0) {
         pool.insert(*q, *l);
     }
-    let t1 = Instant::now();
+    let annotate_time0 = ann_span.finish();
+    let train_span = gale_obs::span!("gale.train", iter = 0usize);
     let mut sgan = Sgan::new(x_r.cols(), &cfg.sgan, &mut rng);
     let targets: Vec<(usize, usize)> = ExamplePool::targets(&pool.examples().collect::<Vec<_>>());
     let stats0 = sgan.train(x_r, x_s, &targets, &val_targets, &mut rng);
+    let train_time0 = train_span.finish();
+    gale_obs::counter_add!("gale.iterations", 1);
     history.push(IterationRecord {
         iteration: 0,
         queries: q0,
         pool_size: pool.len(),
         d_loss: stats0.d_loss,
+        g_loss: stats0.g_loss,
         select_time: select_time0,
-        train_time: t1.elapsed(),
+        annotate_time: annotate_time0,
+        train_time: train_time0,
         changed_fraction: 1.0,
     });
+    let _ = iter_span.finish();
     let mut queries_issued = cfg.local_budget.min(unlabeled.len());
     let mut last_annotations = ann0;
 
     // --- Iterative improvement (Fig. 3 lines 7-13). -----------------------
     for iter in 1..cfg.iterations.max(1) {
-        let t_sel = Instant::now();
+        let iter_span = gale_obs::span!("gale.iteration", iter = iter);
+        let sel_span = gale_obs::span!("gale.select", iter = iter);
         let h = sgan.embeddings(x_r);
         memo.update_embeddings(&h);
         let probs = sgan.class_probs(x_r);
@@ -241,6 +320,8 @@ pub fn run_gale(
             .filter(|v| !pool.contains(*v))
             .collect();
         if unlabeled.is_empty() {
+            let _ = sel_span.finish();
+            let _ = iter_span.finish();
             break;
         }
         let labeled: Vec<(NodeId, Label)> = pool.examples().map(|e| (e.node, e.label)).collect();
@@ -259,6 +340,8 @@ pub fn run_gale(
             k_prime_factor: cfg.k_prime_factor,
         };
         let q_i = select_queries(cfg.strategy, &inputs, &mut memo, &mut rng);
+        let select_time = sel_span.finish();
+        let ann_span = gale_obs::span!("gale.annotate", iter = iter);
         // Soft labels for annotation (one propagation per iteration).
         let mut y0 = Matrix::zeros(g.node_count(), 2);
         for &(node, label) in &labeled {
@@ -279,10 +362,9 @@ pub fn run_gale(
             &soft,
             &cfg.annotate,
         );
-        let select_time = t_sel.elapsed();
-
         // Consult the oracle; build V_T^i = sample(V_T, η) ∪ O(Q̃^i).
         let new_labels = oracle.label_batch(&anns);
+        gale_obs::counter_add!("gale.oracle.queries", q_i.len() as u64);
         queries_issued += q_i.len();
         let mut v_t_i: Vec<Example> = pool.sample(cfg.eta, &mut rng);
         for (q, l) in q_i.iter().zip(&new_labels) {
@@ -292,20 +374,26 @@ pub fn run_gale(
                 label: *l,
             });
         }
+        let annotate_time = ann_span.finish();
 
         // Incremental discriminator refresh (SGAND).
-        let t_train = Instant::now();
+        let train_span = gale_obs::span!("gale.train", iter = iter);
         let targets = ExamplePool::targets(&v_t_i);
         let stats = sgan.update_discriminator(x_r, x_s, &targets, &mut rng);
+        let train_time = train_span.finish();
+        gale_obs::counter_add!("gale.iterations", 1);
         history.push(IterationRecord {
             iteration: iter,
             queries: q_i,
             pool_size: pool.len(),
             d_loss: stats.d_loss,
+            g_loss: stats.g_loss,
             select_time,
-            train_time: t_train.elapsed(),
+            annotate_time,
+            train_time,
             changed_fraction: memo.last_changed_fraction,
         });
+        let _ = iter_span.finish();
         last_annotations = anns;
     }
 
@@ -315,7 +403,7 @@ pub fn run_gale(
     let error_scores: Vec<f64> = (0..g.node_count()).map(|v| probs[(v, 0)]).collect();
     let predictions = crate::calibrate::calibrated_predictions(&error_scores, val_examples);
 
-    GaleOutcome {
+    let outcome = GaleOutcome {
         predictions,
         error_scores,
         pool,
@@ -325,7 +413,16 @@ pub fn run_gale(
         typicality_reuses: memo.typicality_reuses,
         last_annotations,
         total_time: started.elapsed(),
+    };
+    let _ = run_span
+        .field("queries_issued", outcome.queries_issued)
+        .field("memo_hit_rate", outcome.memo_hit_rate)
+        .finish();
+    if gale_obs::enabled() {
+        gale_obs::event!("gale.run_report", report = outcome.run_report().to_json());
+        gale_obs::trace::flush();
     }
+    outcome
 }
 
 #[cfg(test)]

@@ -297,6 +297,12 @@ impl Sgan {
             };
             stats.g_loss = self.g_step(x_r, x_s, &unsup_rows, &fake_rows);
             stats.d_loss = self.d_step(x_r, x_s, targets, &unsup_rows, &fake_rows, rng);
+            gale_obs::event!(
+                "sgan.epoch",
+                epoch = epoch,
+                d_loss = stats.d_loss,
+                g_loss = stats.g_loss,
+            );
             self.d_opt.decay_lr(self.cfg.lr_decay);
             self.g_opt.decay_lr(self.cfg.lr_decay);
 
@@ -339,6 +345,11 @@ impl Sgan {
                 Vec::new()
             };
             stats.d_loss = self.d_step(x_r, x_s, targets, &unsup_rows, &fake_rows, rng);
+            gale_obs::event!(
+                "sgan.incremental_epoch",
+                epoch = epoch,
+                d_loss = stats.d_loss,
+            );
         }
         self.d_opt.lr = full_lr;
         stats

@@ -88,19 +88,50 @@ impl Default for Mlp {
 
 impl Layer for Mlp {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let live = gale_obs::enabled();
+        let t = if live {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         self.taps.clear();
         let mut cur = x.clone();
         for layer in &mut self.layers {
             cur = layer.forward(&cur, train);
             self.taps.push(cur.clone());
         }
+        if let Some(t) = t {
+            gale_obs::hist_record!(
+                "nn.forward_us",
+                gale_obs::metrics::buckets::TIME_US,
+                t.elapsed().as_micros() as f64
+            );
+        }
         cur
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let live = gale_obs::enabled();
+        let t = if live {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        if live {
+            let norm = grad_out.frobenius_norm();
+            gale_obs::hist_record!("nn.grad_norm", gale_obs::metrics::buckets::NORM, norm);
+            gale_obs::gauge_set!("nn.grad_norm.last", norm);
+        }
         let mut grad = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
             grad = layer.backward(&grad);
+        }
+        if let Some(t) = t {
+            gale_obs::hist_record!(
+                "nn.backward_us",
+                gale_obs::metrics::buckets::TIME_US,
+                t.elapsed().as_micros() as f64
+            );
         }
         grad
     }

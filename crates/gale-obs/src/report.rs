@@ -1,0 +1,245 @@
+//! Run reports: a per-iteration table plus run-level totals.
+//!
+//! A [`RunReport`] is the structured summary a GALE run (or any harness
+//! phase) emits alongside its raw metrics: one row per iteration, a list
+//! of named totals, JSON round-trippable so it survives inside
+//! `results_*.json`, and renderable as an aligned text table for the
+//! `report` subcommand of the experiments binary.
+
+use gale_json::{Map, Value};
+
+/// A titled table of per-iteration rows plus named run totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report title (e.g. the run or method name).
+    pub title: String,
+    /// Column headers, one per cell in each row.
+    pub columns: Vec<String>,
+    /// Table body; each row has `columns.len()` cells.
+    pub rows: Vec<Vec<Value>>,
+    /// Named run-level totals, rendered below the table.
+    pub totals: Vec<(String, Value)>,
+}
+
+impl RunReport {
+    /// Creates an empty report with the given title and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        RunReport {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            totals: Vec::new(),
+        }
+    }
+
+    /// Appends a row. Panics if the cell count does not match the headers.
+    pub fn push_row(&mut self, cells: Vec<Value>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells but the report has {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Appends a named run-level total.
+    pub fn total(&mut self, name: impl Into<String>, v: impl Into<Value>) {
+        self.totals.push((name.into(), v.into()));
+    }
+
+    /// Serializes to the JSON shape embedded in result documents:
+    /// `{"title", "columns", "rows", "totals"}`.
+    pub fn to_json(&self) -> Value {
+        let mut totals = Map::new();
+        for (k, v) in &self.totals {
+            totals.insert(k.clone(), v.clone());
+        }
+        let mut obj = Map::new();
+        obj.insert("title", Value::from(self.title.clone()));
+        obj.insert(
+            "columns",
+            Value::Array(self.columns.iter().map(Value::from).collect()),
+        );
+        obj.insert(
+            "rows",
+            Value::Array(self.rows.iter().map(|r| Value::Array(r.clone())).collect()),
+        );
+        obj.insert("totals", Value::Object(totals));
+        Value::Object(obj)
+    }
+
+    /// Rebuilds a report from [`RunReport::to_json`] output. Used by the
+    /// `report` subcommand to render tables found inside result documents.
+    pub fn from_json(v: &Value) -> Result<RunReport, String> {
+        let obj = v.as_object().ok_or("run report must be a JSON object")?;
+        let title = obj
+            .get("title")
+            .and_then(Value::as_str)
+            .ok_or("run report missing string 'title'")?
+            .to_string();
+        let columns: Vec<String> = obj
+            .get("columns")
+            .and_then(Value::as_array)
+            .ok_or("run report missing array 'columns'")?
+            .iter()
+            .map(|c| {
+                c.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string column header".to_string())
+            })
+            .collect::<Result<_, _>>()?;
+        let mut rows = Vec::new();
+        for row in obj
+            .get("rows")
+            .and_then(Value::as_array)
+            .ok_or("run report missing array 'rows'")?
+        {
+            let cells = row
+                .as_array()
+                .ok_or("run report row must be an array")?
+                .clone();
+            if cells.len() != columns.len() {
+                return Err(format!(
+                    "run report row has {} cells, expected {}",
+                    cells.len(),
+                    columns.len()
+                ));
+            }
+            rows.push(cells);
+        }
+        let mut totals = Vec::new();
+        if let Some(t) = obj.get("totals") {
+            let t = t
+                .as_object()
+                .ok_or("run report 'totals' must be an object")?;
+            for (k, v) in t.iter() {
+                totals.push((k.clone(), v.clone()));
+            }
+        }
+        Ok(RunReport {
+            title,
+            columns,
+            rows,
+            totals,
+        })
+    }
+
+    /// Renders the report as an aligned text table: title, header row,
+    /// separator, body rows, then `name: value` totals.
+    pub fn render(&self) -> String {
+        let cell = |v: &Value| -> String {
+            match v {
+                Value::Float(f) => format!("{f:.4}"),
+                Value::Str(s) => s.clone(),
+                other => other.to_string_compact(),
+            }
+        };
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let body: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(cell).collect())
+            .collect();
+        for row in &body {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let line = |cells: &[String]| {
+            let mut s = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                // Right-align so numeric columns line up.
+                s.push_str(&" ".repeat(widths[i].saturating_sub(c.len())));
+                s.push_str(c);
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.columns));
+        out.push_str(&line(
+            &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        ));
+        for row in &body {
+            out.push_str(&line(row));
+        }
+        for (k, v) in &self.totals {
+            out.push_str(&format!("{k}: {}\n", cell(v)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("gale run", &["iter", "queries", "d_loss"]);
+        r.push_row(vec![
+            Value::from(0usize),
+            Value::from(5usize),
+            Value::from(0.75),
+        ]);
+        r.push_row(vec![
+            Value::from(1usize),
+            Value::from(5usize),
+            Value::from(0.5),
+        ]);
+        r.total("oracle_queries", 10usize);
+        r.total("memo_hit_rate", 0.25);
+        r
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let r = sample();
+        let j = r.to_json();
+        let text = j.to_string_compact();
+        let back = RunReport::from_json(&gale_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        assert!(RunReport::from_json(&Value::Int(3)).is_err());
+        let missing = gale_json::json!({ "title": "x" });
+        assert!(RunReport::from_json(&missing).is_err());
+        let ragged = gale_json::json!({
+            "title": "x",
+            "columns": ["a", "b"],
+            "rows": [[1]],
+            "totals": {},
+        });
+        assert!(RunReport::from_json(&ragged).unwrap_err().contains("cells"));
+    }
+
+    #[test]
+    fn render_aligns_columns_and_lists_totals() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "gale run");
+        assert!(lines[1].contains("iter") && lines[1].contains("d_loss"));
+        assert!(lines[2].chars().all(|c| c == '-' || c == ' '));
+        assert!(lines[3].contains("0.7500"));
+        assert!(text.contains("oracle_queries: 10"));
+        assert!(text.contains("memo_hit_rate: 0.2500"));
+        // Every body line has equal width (alignment held).
+        let w = lines[1].len();
+        assert!(lines[2..5].iter().all(|l| l.len() == w), "{text}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn push_row_rejects_wrong_arity() {
+        let mut r = RunReport::new("x", &["a", "b"]);
+        r.push_row(vec![Value::from(1)]);
+    }
+}

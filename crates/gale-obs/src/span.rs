@@ -1,0 +1,226 @@
+//! Nested wall-clock spans and point-in-time events.
+//!
+//! A [`Span`] measures a phase and, when telemetry is enabled, emits one
+//! JSONL record on finish. Nesting is tracked per thread: each span
+//! records its parent's id and its depth, so a trace reconstructs the full
+//! phase tree (`gale.run` > `gale.iteration` > `gale.select` > ...).
+//!
+//! Record schema (one JSON object per line):
+//!
+//! ```json
+//! {"t":"span","name":"gale.select","id":7,"parent":5,"depth":2,
+//!  "thread":"main","start_us":123,"us":4567,"iter":3}
+//! {"t":"event","name":"sgan.epoch","thread":"main","at_us":99,
+//!  "epoch":12,"d_loss":0.7}
+//! ```
+//!
+//! `start_us`/`at_us` are offsets from the process's first telemetry
+//! timestamp; extra keys are the user fields.
+
+use gale_json::{Map, Value};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Microseconds since the process's first telemetry timestamp.
+fn epoch_us() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+thread_local! {
+    /// `(current span id, current depth)` for the running thread.
+    static CURRENT: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+}
+
+fn thread_label() -> String {
+    std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
+}
+
+/// A live span. Construct with [`crate::span!`]; always measures wall
+/// clock (so phase durations exist with telemetry off), emits a trace
+/// record only when telemetry was enabled at creation.
+#[must_use = "a span measures the scope it lives in; bind it with `let`"]
+pub struct Span {
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    id: u64,
+    parent: u64,
+    depth: u32,
+    fields: Vec<(&'static str, Value)>,
+    live: bool,
+    closed: bool,
+}
+
+/// Opens a span (the [`crate::span!`] macro's backend).
+pub fn open(name: &'static str) -> Span {
+    let live = crate::enabled();
+    let (id, parent, depth, start_us) = if live {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = CURRENT.with(|c| c.get());
+        CURRENT.with(|c| c.set((id, depth + 1)));
+        (id, parent, depth, epoch_us())
+    } else {
+        (0, 0, 0, 0)
+    };
+    Span {
+        name,
+        start: Instant::now(),
+        start_us,
+        id,
+        parent,
+        depth,
+        fields: Vec::new(),
+        live,
+        closed: false,
+    }
+}
+
+impl Span {
+    /// Attaches a key-value field (kept only when the span is live).
+    pub fn field(mut self, key: &'static str, v: impl Into<Value>) -> Self {
+        if self.live {
+            self.fields.push((key, v.into()));
+        }
+        self
+    }
+
+    /// Wall clock since the span opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span, emitting its trace record if live, and returns the
+    /// measured duration.
+    pub fn finish(mut self) -> Duration {
+        let d = self.elapsed();
+        self.close();
+        d
+    }
+
+    fn close(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if !self.live {
+            return;
+        }
+        CURRENT.with(|c| c.set((self.parent, self.depth)));
+        let mut obj = Map::new();
+        obj.insert("t", Value::from("span"));
+        obj.insert("name", Value::from(self.name));
+        obj.insert("id", Value::from(self.id));
+        obj.insert("parent", Value::from(self.parent));
+        obj.insert("depth", Value::from(self.depth as u64));
+        obj.insert("thread", Value::from(thread_label()));
+        obj.insert("start_us", Value::from(self.start_us));
+        obj.insert("us", Value::from(self.start.elapsed().as_micros() as u64));
+        for (k, v) in self.fields.drain(..) {
+            obj.insert(k, v);
+        }
+        crate::trace::write_line(&Value::Object(obj).to_string_compact());
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Emits an event record (the [`crate::event!`] macro's backend). Callers
+/// gate on [`crate::enabled`].
+pub fn emit_event(name: &str, fields: Vec<(&'static str, Value)>) {
+    let (parent, _) = CURRENT.with(|c| c.get());
+    let mut obj = Map::new();
+    obj.insert("t", Value::from("event"));
+    obj.insert("name", Value::from(name));
+    obj.insert("thread", Value::from(thread_label()));
+    obj.insert("at_us", Value::from(epoch_us()));
+    if parent != 0 {
+        obj.insert("span", Value::from(parent));
+    }
+    for (k, v) in fields {
+        obj.insert(k, v);
+    }
+    crate::trace::write_line(&Value::Object(obj).to_string_compact());
+}
+
+/// A minimal always-on stopwatch for phase timing where no trace record is
+/// wanted: [`SpanTimer::elapsed`] mirrors [`Span::elapsed`] without any
+/// telemetry coupling.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer(Instant);
+
+impl SpanTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        SpanTimer(Instant::now())
+    }
+
+    /// Wall clock since start.
+    pub fn elapsed(&self) -> Duration {
+        self.0.elapsed()
+    }
+}
+
+impl Default for SpanTimer {
+    fn default() -> Self {
+        SpanTimer::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spans_nest_and_emit_with_fields() {
+        let _g = crate::test_guard();
+        let buf = crate::trace::capture_to_memory();
+        crate::set_enabled(true);
+        {
+            let _outer = crate::span!("test.outer", iter = 1usize);
+            let inner = crate::span!("test.inner", k = "v");
+            let _ = inner.finish();
+        }
+        crate::event!("test.event", x = 2.5);
+        crate::set_enabled(false);
+        let lines = buf.lock().unwrap().clone();
+        assert_eq!(lines.len(), 3, "inner span, outer span, event");
+        let inner = gale_json::from_str(&lines[0]).unwrap();
+        let outer = gale_json::from_str(&lines[1]).unwrap();
+        let event = gale_json::from_str(&lines[2]).unwrap();
+        assert_eq!(inner["t"].as_str(), Some("span"));
+        assert_eq!(inner["name"].as_str(), Some("test.inner"));
+        assert_eq!(inner["k"].as_str(), Some("v"));
+        assert_eq!(outer["name"].as_str(), Some("test.outer"));
+        assert_eq!(outer["iter"].as_u64(), Some(1));
+        // Nesting: inner's parent is outer's id, one level deeper.
+        assert_eq!(inner["parent"], outer["id"]);
+        assert_eq!(
+            inner["depth"].as_u64().unwrap(),
+            outer["depth"].as_u64().unwrap() + 1
+        );
+        assert_eq!(event["t"].as_str(), Some("event"));
+        assert_eq!(event["x"].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn disabled_spans_still_measure_but_emit_nothing() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        let buf = crate::trace::capture_to_memory();
+        let sp = crate::span!("test.silent", n = 9usize);
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let d = sp.finish();
+        assert!(d >= std::time::Duration::from_millis(1));
+        assert!(buf.lock().unwrap().is_empty());
+    }
+}

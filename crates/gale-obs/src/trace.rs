@@ -1,0 +1,117 @@
+//! The JSONL trace sink.
+//!
+//! One line per record, written through a process-global sink. The sink is
+//! opened lazily on the first write: a buffered file at `GALE_OBS_PATH`
+//! (default `gale_trace.jsonl`, truncated per process). Tests install an
+//! in-memory sink with [`capture_to_memory`]; a failed file open degrades
+//! to a null sink so telemetry can never take a run down.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Default trace file name when `GALE_OBS_PATH` is unset.
+pub const DEFAULT_PATH: &str = "gale_trace.jsonl";
+
+enum Sink {
+    File(BufWriter<File>),
+    Memory(Arc<Mutex<Vec<String>>>),
+    Null,
+}
+
+fn sink() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    SINK.get_or_init(|| Mutex::new(None))
+}
+
+/// The trace path telemetry will write to: `GALE_OBS_PATH` or
+/// [`DEFAULT_PATH`].
+pub fn default_path() -> String {
+    std::env::var("GALE_OBS_PATH").unwrap_or_else(|_| DEFAULT_PATH.to_string())
+}
+
+fn open_default() -> Sink {
+    match File::create(default_path()) {
+        Ok(f) => Sink::File(BufWriter::new(f)),
+        Err(_) => Sink::Null,
+    }
+}
+
+/// Appends one line to the trace. Callers gate on [`crate::enabled`]; the
+/// line must already be a complete JSON document.
+pub fn write_line(line: &str) {
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    let s = guard.get_or_insert_with(open_default);
+    match s {
+        Sink::File(w) => {
+            if writeln!(w, "{line}").is_err() {
+                *s = Sink::Null;
+            }
+        }
+        Sink::Memory(buf) => buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(line.to_string()),
+        Sink::Null => {}
+    }
+}
+
+/// Flushes buffered trace output to disk. Call at the end of a run (the
+/// pipeline and the experiment harness both do).
+pub fn flush() {
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(Sink::File(w)) = guard.as_mut() {
+        let _ = w.flush();
+    }
+}
+
+/// Replaces the sink with an in-memory buffer and returns a handle to it.
+/// Intended for tests: captured lines are full JSONL records.
+pub fn capture_to_memory() -> Arc<Mutex<Vec<String>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(Sink::Memory(Arc::clone(&buf)));
+    buf
+}
+
+/// Redirects the trace to a specific file (truncating it), overriding
+/// `GALE_OBS_PATH`.
+pub fn write_to_path(path: &str) -> std::io::Result<()> {
+    let f = File::create(path)?;
+    let mut guard = sink().lock().unwrap_or_else(|e| e.into_inner());
+    *guard = Some(Sink::File(BufWriter::new(f)));
+    Ok(())
+}
+
+/// Console + trace logging backend for [`crate::info!`] / [`crate::warn!`]:
+/// prints to stdout (info) or stderr (warn), and mirrors the message into
+/// the trace as a `log` event when telemetry is enabled.
+pub fn log(level: &str, msg: String) {
+    if level == "warn" {
+        eprintln!("{msg}");
+    } else {
+        println!("{msg}");
+    }
+    if crate::enabled() {
+        crate::span::emit_event(
+            "log",
+            vec![
+                ("level", gale_json::Value::from(level)),
+                ("msg", gale_json::Value::from(msg)),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn memory_sink_captures_lines() {
+        let _g = crate::test_guard();
+        let buf = super::capture_to_memory();
+        super::write_line("{\"t\":\"test\"}");
+        super::flush();
+        let lines = buf.lock().unwrap();
+        assert_eq!(lines.as_slice(), ["{\"t\":\"test\"}"]);
+    }
+}

@@ -29,13 +29,23 @@
 //! Nested calls (a parallel region invoked from inside another parallel
 //! region) degrade gracefully to sequential execution on the calling
 //! worker, so kernels can use `par` freely without deadlock risk.
+//!
+//! # Telemetry
+//!
+//! With `GALE_OBS=1` every top-level job records `par.jobs`, `par.chunks`,
+//! `par.busy_us`, per-worker `par.worker.{i}.busy_us` / `.chunks`, and a
+//! `par.utilization` gauge (busy time over participant wall-time).
+//! Sequential fallbacks count into `par.sequential`. Telemetry reads the
+//! clock but never touches the chunking or arithmetic, so the determinism
+//! contract holds with it on or off.
 #![allow(unsafe_code)]
 
 use std::cell::Cell;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
 
 /// Upper bound on chunks per loop; a fixed constant so chunk boundaries
 /// never depend on the machine.
@@ -115,18 +125,34 @@ struct Job {
     participants: Arc<AtomicUsize>,
     max_extra: usize,
     done: Arc<(Mutex<()>, Condvar)>,
+    /// Nanoseconds all participants spent inside chunk bodies (telemetry;
+    /// only written when `gale_obs::enabled()`).
+    busy_ns: Arc<AtomicU64>,
 }
 
 impl Job {
-    /// Claims and executes chunks until none remain.
-    fn execute(&self) {
+    /// Claims and executes chunks until none remain. Returns this
+    /// participant's `(busy_ns, chunks)` tally — zeros with telemetry off.
+    fn execute(&self) -> (u64, u64) {
+        let live = gale_obs::enabled();
+        let mut my_busy = 0u64;
+        let mut my_chunks = 0u64;
         loop {
             let i = self.next.fetch_add(1, Ordering::Relaxed);
             if i >= self.total {
-                return;
+                return (my_busy, my_chunks);
             }
+            let t = if live { Some(Instant::now()) } else { None };
             if catch_unwind(AssertUnwindSafe(|| (self.func)(i))).is_err() {
                 self.panicked.store(true, Ordering::Relaxed);
+            }
+            if let Some(t) = t {
+                let ns = t.elapsed().as_nanos() as u64;
+                my_busy += ns;
+                my_chunks += 1;
+                // Added before the `remaining` release below, so the
+                // caller's acquire load sees a complete busy total.
+                self.busy_ns.fetch_add(ns, Ordering::Relaxed);
             }
             if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                 // Last chunk: wake the caller. Taking the mutex first
@@ -158,13 +184,13 @@ fn spawn_workers() {
         for w in 0..workers {
             std::thread::Builder::new()
                 .name(format!("gale-par-{w}"))
-                .spawn(worker_loop)
+                .spawn(move || worker_loop(w))
                 .expect("spawn gale-par worker");
         }
     });
 }
 
-fn worker_loop() {
+fn worker_loop(w: usize) {
     IN_PARALLEL.with(|f| f.set(true));
     let pool = pool();
     let mut seen = 0u64;
@@ -183,7 +209,13 @@ fn worker_loop() {
         };
         // Honor per-call thread caps: only `max_extra` workers join in.
         if job.participants.fetch_add(1, Ordering::Relaxed) < job.max_extra {
-            job.execute();
+            let (busy_ns, chunks) = job.execute();
+            if chunks > 0 {
+                // Per-worker tallies; the registry lookup is once per job,
+                // not per chunk, and only happens with telemetry on.
+                gale_obs::metrics::counter(&format!("par.worker.{w}.busy_us")).add(busy_ns / 1_000);
+                gale_obs::metrics::counter(&format!("par.worker.{w}.chunks")).add(chunks);
+            }
         }
     }
 }
@@ -195,6 +227,7 @@ fn worker_loop() {
 pub fn par_run(total: usize, f: &(dyn Fn(usize) + Sync)) {
     let threads = current_threads();
     if total <= 1 || threads <= 1 || IN_PARALLEL.with(|p| p.get()) {
+        gale_obs::counter_add!("par.sequential", 1);
         for i in 0..total {
             f(i);
         }
@@ -204,11 +237,13 @@ pub fn par_run(total: usize, f: &(dyn Fn(usize) + Sync)) {
     let pool = pool();
     let Ok(_busy) = pool.busy.try_lock() else {
         // Another thread is mid-submission; stay sequential.
+        gale_obs::counter_add!("par.sequential", 1);
         for i in 0..total {
             f(i);
         }
         return;
     };
+    let t_wall = Instant::now();
 
     // SAFETY (lifetime erasure): this function does not return until
     // `remaining` hits zero, i.e. until no thread will touch `func` again,
@@ -224,6 +259,7 @@ pub fn par_run(total: usize, f: &(dyn Fn(usize) + Sync)) {
         participants: Arc::new(AtomicUsize::new(0)),
         max_extra: threads - 1,
         done: Arc::new((Mutex::new(()), Condvar::new())),
+        busy_ns: Arc::new(AtomicU64::new(0)),
     };
     {
         let mut st = pool.state.lock().unwrap();
@@ -234,7 +270,7 @@ pub fn par_run(total: usize, f: &(dyn Fn(usize) + Sync)) {
 
     // The caller participates, flagged so nested regions stay sequential.
     IN_PARALLEL.with(|p| p.set(true));
-    job.execute();
+    let (caller_busy, caller_chunks) = job.execute();
     IN_PARALLEL.with(|p| p.set(false));
 
     let (done_lock, done_cv) = &*job.done;
@@ -247,6 +283,25 @@ pub fn par_run(total: usize, f: &(dyn Fn(usize) + Sync)) {
     let mut st = pool.state.lock().unwrap();
     st.job = None;
     drop(st);
+
+    if gale_obs::enabled() {
+        // Utilization: fraction of participant wall-time spent inside
+        // chunk bodies. `participants` counts workers that *tried* to
+        // join; only `max_extra` of them actually executed, plus the
+        // caller.
+        let wall_ns = t_wall.elapsed().as_nanos().max(1) as u64;
+        let executing = job.participants.load(Ordering::Relaxed).min(job.max_extra) as u64 + 1;
+        let busy_ns = job.busy_ns.load(Ordering::Relaxed);
+        gale_obs::counter_add!("par.jobs", 1);
+        gale_obs::counter_add!("par.chunks", total as u64);
+        gale_obs::counter_add!("par.busy_us", busy_ns / 1_000);
+        gale_obs::counter_add!("par.caller.busy_us", caller_busy / 1_000);
+        gale_obs::counter_add!("par.caller.chunks", caller_chunks);
+        gale_obs::gauge_set!(
+            "par.utilization",
+            (busy_ns as f64 / (wall_ns as f64 * executing as f64)).min(1.0)
+        );
+    }
 
     if job.panicked.load(Ordering::Relaxed) {
         panic!("a gale_tensor::par task panicked");

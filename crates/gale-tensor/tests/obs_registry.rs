@@ -1,0 +1,62 @@
+//! Registry concurrency: counters, gauges, and histograms hammered from
+//! the `gale_tensor::par` worker pool at 8 threads.
+//!
+//! One `#[test]` in its own integration binary, so the process-global
+//! registry and enabled flag see exactly one scenario.
+
+#[test]
+fn registry_consistent_under_parallel_load() {
+    gale_obs::set_enabled(true);
+    // Keep the trace off disk.
+    let _trace = gale_obs::trace::capture_to_memory();
+
+    const CHUNKS: usize = 64;
+    const PER_CHUNK: usize = 250;
+    gale_tensor::par::with_threads(8, || {
+        gale_tensor::par::par_run(CHUNKS, &|c| {
+            for k in 0..PER_CHUNK {
+                gale_obs::counter_add!("t.par.count", 1);
+                gale_obs::hist_record!(
+                    "t.par.hist",
+                    gale_obs::metrics::buckets::UNIT,
+                    (k % 100) as f64 / 100.0
+                );
+                gale_obs::gauge_set!("t.par.gauge", c as f64);
+            }
+        });
+    });
+
+    let expected = (CHUNKS * PER_CHUNK) as u64;
+    assert_eq!(gale_obs::metrics::counter("t.par.count").get(), expected);
+
+    let h = gale_obs::metrics::histogram("t.par.hist", gale_obs::metrics::buckets::UNIT).snapshot();
+    assert_eq!(h.count, expected, "histogram lost observations");
+    assert_eq!(h.nan, 0);
+    assert_eq!(h.buckets.iter().sum::<u64>() + h.overflow, expected);
+    // The CAS-accumulated sum must equal the exact sum up to accumulation
+    // order (every recorded value is representable; only order varies).
+    let per_chunk: f64 = (0..PER_CHUNK).map(|k| (k % 100) as f64 / 100.0).sum();
+    let expect_sum = per_chunk * CHUNKS as f64;
+    assert!(
+        (h.sum - expect_sum).abs() < 1e-6 * expect_sum,
+        "sum {} vs {expect_sum}",
+        h.sum
+    );
+
+    // Gauge holds the last write of *some* chunk.
+    let g = gale_obs::metrics::gauge("t.par.gauge").get();
+    assert!(g >= 0.0 && g < CHUNKS as f64, "gauge {g}");
+
+    // The pool's own instrumentation saw the job.
+    assert!(gale_obs::metrics::counter("par.jobs").get() >= 1);
+    assert!(gale_obs::metrics::counter("par.chunks").get() >= CHUNKS as u64);
+    let util = gale_obs::metrics::gauge("par.utilization").get();
+    assert!((0.0..=1.0).contains(&util), "utilization {util}");
+
+    // Snapshot contains all three kinds and encodes to valid JSON.
+    let json = gale_obs::metrics::snapshot_json();
+    assert_eq!(json["t.par.count"].as_u64(), Some(expected));
+    assert_eq!(json["t.par.hist"]["count"].as_u64(), Some(expected));
+    let reparsed = gale_json::from_str(&json.to_string_compact()).unwrap();
+    assert_eq!(reparsed, json);
+}

@@ -111,6 +111,56 @@ fn pairwise_distance_identical_across_thread_counts() {
     }
 }
 
+#[test]
+fn telemetry_does_not_change_kernel_output() {
+    // Instrumentation must be observation-only: enabling gale-obs cannot
+    // perturb a single bit of any parallel kernel's output.
+    let kernels = || {
+        let mut rng = Rng::seed_from_u64(2024);
+        let a = Matrix::randn(120, 48, 1.0, &mut rng);
+        let b = Matrix::randn(48, 60, 1.0, &mut rng);
+        let points = Matrix::randn(400, 8, 1.0, &mut rng);
+        let mut km_rng = Rng::seed_from_u64(11);
+        let km = kmeans(
+            &points,
+            &KMeansConfig {
+                k: 9,
+                ..Default::default()
+            },
+            &mut km_rng,
+        );
+        (
+            a.matmul(&b),
+            pairwise_euclidean(&points),
+            min_distance_to_anchors(&points, &[0, 199, 399]),
+            km,
+        )
+    };
+
+    gale_obs::set_enabled(false);
+    let off = with_threads(8, kernels);
+
+    gale_obs::set_enabled(true);
+    let trace = gale_obs::trace::capture_to_memory();
+    let on = with_threads(8, kernels);
+    gale_obs::set_enabled(false);
+
+    assert_eq!(bits(on.0.data()), bits(off.0.data()), "matmul");
+    assert_eq!(bits(on.1.data()), bits(off.1.data()), "pairwise");
+    assert_eq!(bits(&on.2), bits(&off.2), "anchors");
+    assert_eq!(on.3.assignments, off.3.assignments, "kmeans assignments");
+    assert_eq!(
+        bits(on.3.centroids.data()),
+        bits(off.3.centroids.data()),
+        "kmeans centroids"
+    );
+    assert_eq!(on.3.inertia.to_bits(), off.3.inertia.to_bits(), "inertia");
+
+    // The instrumented run actually recorded pool telemetry.
+    assert!(gale_obs::metrics::counter("par.chunks").get() > 0);
+    drop(trace);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
