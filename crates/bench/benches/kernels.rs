@@ -1,0 +1,266 @@
+//! Criterion bench for the compute kernels: register-tiled dense GEMM,
+//! parallel CSR SpMM, and pairwise distances, each against the naive
+//! sequential formulation they replaced.
+//!
+//! Unlike the other benches this target has a custom `main`: after the
+//! groups run it drains the shim's result registry, derives throughput
+//! per kernel, and writes `BENCH_kernels.json` at the repo root (override
+//! with `GALE_BENCH_OUT`). When a committed baseline is present and the
+//! run is not in smoke mode, matmul/SpMM throughput is gated: a mean
+//! regression of more than 15% versus the baseline fails the process
+//! (skip with `GALE_BENCH_NO_GATE=1`).
+
+use criterion::{black_box, take_results, BenchmarkId, Criterion};
+use gale_json::{json, Value};
+use gale_tensor::par::with_threads;
+use gale_tensor::{Matrix, Rng, SparseMatrix};
+
+/// Naive i-j-k matmul — the pre-tiling kernel, pinned to one thread.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for k in 0..a.cols() {
+                acc += a[(i, k)] * b[(k, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Naive sequential CSR * dense row loop.
+fn naive_spmm(s: &SparseMatrix, d: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(s.rows(), d.cols());
+    for r in 0..s.rows() {
+        for (c, v) in s.row_iter(r) {
+            for j in 0..d.cols() {
+                out[(r, j)] += v * d[(c, j)];
+            }
+        }
+    }
+    out
+}
+
+/// Naive all-pairs Euclidean distances.
+fn naive_pairwise(points: &Matrix) -> Matrix {
+    let n = points.rows();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            out[(i, j)] = gale_tensor::distance::euclidean(points.row(i), points.row(j));
+        }
+    }
+    out
+}
+
+fn bench_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let mut rng = Rng::seed_from_u64(n as u64);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |be, _| {
+            be.iter(|| black_box(with_threads(1, || naive_matmul(&a, &b))));
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", n), &n, |be, _| {
+            be.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    // The largest size runs the tiled kernel only; the naive reference gets
+    // too slow to keep in the smoke budget.
+    let mut rng = Rng::seed_from_u64(512);
+    let a = Matrix::randn(512, 512, 1.0, &mut rng);
+    let b = Matrix::randn(512, 512, 1.0, &mut rng);
+    group.bench_with_input(BenchmarkId::new("tiled", 512usize), &512, |be, _| {
+        be.iter(|| black_box(a.matmul(&b)));
+    });
+    group.finish();
+}
+
+fn bench_spmm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmm");
+    group.sample_size(10);
+    for &(rows, density) in &[(2000usize, 0.005f64), (4000, 0.002)] {
+        let mut rng = Rng::seed_from_u64(rows as u64);
+        let mut triplets = Vec::new();
+        for r in 0..rows {
+            for c in 0..rows {
+                if rng.f64() < density {
+                    triplets.push((r, c, rng.gauss()));
+                }
+            }
+        }
+        let s = SparseMatrix::from_triplets(rows, rows, triplets);
+        let d = Matrix::randn(rows, 32, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", rows), &rows, |be, _| {
+            be.iter(|| black_box(with_threads(1, || naive_spmm(&s, &d))));
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", rows), &rows, |be, _| {
+            be.iter(|| black_box(s.matmul_dense(&d)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pairwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pairwise");
+    group.sample_size(10);
+    let n = 600;
+    let mut rng = Rng::seed_from_u64(9);
+    let points = Matrix::randn(n, 16, 1.0, &mut rng);
+    group.bench_with_input(BenchmarkId::new("naive", n), &n, |be, _| {
+        be.iter(|| black_box(with_threads(1, || naive_pairwise(&points))));
+    });
+    group.bench_with_input(BenchmarkId::new("parallel", n), &n, |be, _| {
+        be.iter(|| black_box(gale_tensor::distance::pairwise_euclidean(&points)));
+    });
+    group.finish();
+}
+
+/// FLOP estimate per kernel id, for throughput derivation. Returns `None`
+/// for kernels whose cost model is not worth pinning down.
+fn flops_for(name: &str) -> Option<f64> {
+    let mut parts = name.split('/');
+    let group = parts.next()?;
+    let _variant = parts.next()?;
+    let n: f64 = parts.next()?.parse().ok()?;
+    match group {
+        "matmul" => Some(2.0 * n * n * n),
+        // Density * n^2 entries, times 2 flops per entry per dense column.
+        "spmm" => {
+            let density = if n >= 4000.0 { 0.002 } else { 0.005 };
+            Some(2.0 * density * n * n * 32.0)
+        }
+        // n^2 distances over 16 dims: sub, mul, add, plus a sqrt (counted 1).
+        "pairwise" => Some(n * n * (3.0 * 16.0 + 1.0)),
+        _ => None,
+    }
+}
+
+/// Default report path: `<repo root>/BENCH_kernels.json`.
+fn default_report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+}
+
+fn main() {
+    let _ = std::env::args();
+    let mut criterion = Criterion::default();
+    bench_dense(&mut criterion);
+    bench_spmm(&mut criterion);
+    bench_pairwise(&mut criterion);
+    criterion.final_summary();
+    // Custom main bypasses criterion_main!, so flush bench traces here.
+    criterion::flush_telemetry();
+
+    let out_path = std::env::var("GALE_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| default_report_path());
+    // The baseline is whatever report was committed at the same path
+    // (override with GALE_BENCH_BASELINE); read it before overwriting.
+    let baseline_path = std::env::var("GALE_BENCH_BASELINE")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| out_path.clone());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+
+    let results = take_results();
+    let mut entries = Vec::new();
+    for r in &results {
+        let mut entry = json!({
+            "name": r.name.clone(),
+            "mean_s": r.mean_s,
+            "min_s": r.min_s,
+            "max_s": r.max_s,
+            "samples": r.samples as f64,
+            "iters": r.iters as f64,
+        });
+        if let (Some(flops), Value::Object(map)) = (flops_for(&r.name), &mut entry) {
+            map.insert("gflops", Value::from(flops / r.mean_s / 1e9));
+        }
+        entries.push(entry);
+    }
+    // Derived speedups: optimized kernel vs the naive reference at the
+    // same size (`group/size` -> naive_mean / optimized_mean).
+    let mean_of = |name: &str| results.iter().find(|r| r.name == name).map(|r| r.mean_s);
+    let mut speedups = gale_json::Map::new();
+    for r in &results {
+        let mut parts = r.name.split('/');
+        let (Some(group), Some(variant), Some(size)) = (parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        if variant == "naive" {
+            continue;
+        }
+        if let Some(naive_mean) = mean_of(&format!("{group}/naive/{size}")) {
+            speedups.insert(
+                format!("{group}/{size}"),
+                Value::from(naive_mean / r.mean_s),
+            );
+        }
+    }
+    let report = json!({
+        "schema": "gale-bench-kernels/v1",
+        "threads": gale_tensor::par::max_threads() as f64,
+        "smoke": criterion::smoke_mode(),
+        "entries": entries,
+        "speedups": Value::Object(speedups),
+    });
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("kernel bench report written to {}", out_path.display());
+
+    // Regression gate: matmul/SpMM optimized-kernel throughput may not drop
+    // more than 15% below the committed baseline. Smoke runs measure one
+    // iteration and are too noisy to gate on.
+    if criterion::smoke_mode() || std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return;
+    }
+    let Some(baseline) = baseline else { return };
+    if baseline.get("smoke").and_then(|v| v.as_bool()) == Some(true) {
+        println!("baseline is a smoke run; skipping the regression gate");
+        return;
+    }
+    let Some(base_entries) = baseline.get("entries").and_then(|v| v.as_array()) else {
+        return;
+    };
+    let mut failures = Vec::new();
+    for r in &results {
+        let gated = r.name.starts_with("matmul/tiled/") || r.name.starts_with("spmm/parallel/");
+        if !gated {
+            continue;
+        }
+        let base_mean = base_entries.iter().find_map(|e| {
+            (e.get("name").and_then(|v| v.as_str()) == Some(r.name.as_str()))
+                .then(|| e.get("mean_s").and_then(|v| v.as_f64()))
+                .flatten()
+        });
+        let Some(base_mean) = base_mean else { continue };
+        // Throughput ratio == baseline time / current time.
+        let ratio = base_mean / r.mean_s;
+        if ratio < 0.85 {
+            failures.push(format!(
+                "{}: {:.3e}s -> {:.3e}s ({:.0}% of baseline throughput)",
+                r.name,
+                base_mean,
+                r.mean_s,
+                ratio * 100.0
+            ));
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "kernel throughput regressed >15% vs {}:",
+            baseline_path.display()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("regression gate passed vs {}", baseline_path.display());
+}

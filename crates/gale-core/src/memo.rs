@@ -59,6 +59,17 @@ pub struct MemoCache {
     pub typicality_reuses: u64,
 }
 
+/// Canonical distance-map key: the unordered pair `(lo, hi)`. All inserts
+/// and lookups go through this one normalization point.
+#[inline]
+fn canonical(i: usize, j: usize) -> (usize, usize) {
+    if i <= j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
 impl MemoCache {
     /// A fresh cache.
     pub fn new(enabled: bool, tolerance: f64) -> Self {
@@ -110,7 +121,11 @@ impl MemoCache {
                 h.rows()
             }
         };
-        self.snapshot = Some(h.clone());
+        // Reuse the snapshot's allocation across iterations.
+        match &mut self.snapshot {
+            Some(snap) => snap.copy_from(h),
+            None => self.snapshot = Some(h.clone()),
+        }
         self.last_changed_fraction = if h.rows() == 0 {
             0.0
         } else {
@@ -129,7 +144,7 @@ impl MemoCache {
         }
         self.lookups += 1;
         gale_obs::counter_add!("memo.lookups", 1);
-        let key = (i.min(j), i.max(j));
+        let key = canonical(i, j);
         let (vi, vj) = (self.versions[key.0], self.versions[key.1]);
         if let Some(&(ci, cj, d)) = self.distances.get(&key) {
             if ci == vi && cj == vj {
@@ -159,6 +174,23 @@ impl MemoCache {
     pub fn store_typicality(&mut self, node: usize, value: f64) {
         if self.enabled {
             self.typicality.insert(node, (self.versions[node], value));
+        }
+    }
+
+    /// Pre-sizes the distance map for an expected number of lookups, so a
+    /// query batch's fan-out never rehashes mid-selection. Sized to the
+    /// *miss* population (`expected` minus entries already present), capped
+    /// by the unordered-pair count when `n` nodes are known.
+    pub fn reserve_queries(&mut self, expected: usize) {
+        if !self.enabled {
+            return;
+        }
+        let n = self.versions.len();
+        let cap = if n > 1 { n * (n - 1) / 2 } else { expected };
+        let want = expected.min(cap).saturating_sub(self.distances.len());
+        if want > 0 {
+            self.distances.reserve(want);
+            gale_obs::counter_add!("memo.reserve", want as u64);
         }
     }
 

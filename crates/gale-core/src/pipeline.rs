@@ -298,10 +298,13 @@ pub fn run_gale(
     let mut last_annotations = ann0;
 
     // --- Iterative improvement (Fig. 3 lines 7-13). -----------------------
+    // The embedding tap is re-extracted every iteration; keep one buffer
+    // alive across the loop instead of allocating a fresh matrix each time.
+    let mut h = Matrix::zeros(0, 0);
     for iter in 1..cfg.iterations.max(1) {
         let iter_span = gale_obs::span!("gale.iteration", iter = iter);
         let sel_span = gale_obs::span!("gale.select", iter = iter);
-        let h = sgan.embeddings(x_r);
+        sgan.embeddings_into(x_r, &mut h);
         memo.update_embeddings(&h);
         let probs = sgan.class_probs(x_r);
         let predicted: Vec<Label> = (0..g.node_count())

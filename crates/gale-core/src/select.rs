@@ -36,6 +36,10 @@ pub fn qselect(
     if k == 0 {
         return Vec::new();
     }
+    // Expected fan-out: every round queries a distance from each remaining
+    // candidate to the freshly-picked node. Reserving up front keeps the
+    // distance map from rehashing mid-selection.
+    memo.reserve_queries(k * unlabeled.len());
     let mut selected: Vec<usize> = Vec::with_capacity(k);
     let mut in_q = vec![false; unlabeled.len()];
     // Running Σ_{q∈Q} d(h(v), h(q)) per candidate.

@@ -97,6 +97,37 @@ pub struct TrainStats {
     pub g_loss: f64,
 }
 
+/// Epoch-persistent scratch buffers: every training step writes the same
+/// storage instead of reallocating its batch blocks and gradients.
+struct SganScratch {
+    labeled_x: Matrix,
+    unsup_x: Matrix,
+    syn_x: Matrix,
+    fake_x: Matrix,
+    combined: Matrix,
+    fake_in: Matrix,
+    real_x: Matrix,
+    grad_h: Matrix,
+    grad_fake_input: Matrix,
+}
+
+impl Default for SganScratch {
+    fn default() -> Self {
+        let empty = || Matrix::zeros(0, 0);
+        SganScratch {
+            labeled_x: empty(),
+            unsup_x: empty(),
+            syn_x: empty(),
+            fake_x: empty(),
+            combined: empty(),
+            fake_in: empty(),
+            real_x: empty(),
+            grad_h: empty(),
+            grad_fake_input: empty(),
+        }
+    }
+}
+
 /// The two-player model.
 pub struct Sgan {
     d: Mlp,
@@ -107,6 +138,7 @@ pub struct Sgan {
     tap: usize,
     cfg: SganConfig,
     input_dim: usize,
+    scratch: SganScratch,
 }
 
 impl Sgan {
@@ -137,6 +169,7 @@ impl Sgan {
             tap,
             cfg: cfg.clone(),
             input_dim,
+            scratch: SganScratch::default(),
         }
     }
 
@@ -159,29 +192,52 @@ impl Sgan {
         rng: &mut Rng,
     ) -> f64 {
         let _ = rng;
-        // Combined input: [labeled | unsup real | synthetic-as-error | fake].
+        // Combined input: [labeled | unsup real | synthetic-as-error | fake],
+        // assembled in persistent scratch buffers.
         let labeled_rows: Vec<usize> = targets.iter().map(|&(r, _)| r).collect();
-        let labeled_x = x_r.select_rows(&labeled_rows);
-        let unsup_x = x_r.select_rows(unsup_rows);
-        let syn_x = x_s.select_rows(fake_rows);
-        let fake_x = if syn_x.rows() > 0 {
-            self.g.forward(&syn_x, true)
+        x_r.select_rows_into(&labeled_rows, &mut self.scratch.labeled_x);
+        x_r.select_rows_into(unsup_rows, &mut self.scratch.unsup_x);
+        x_s.select_rows_into(fake_rows, &mut self.scratch.syn_x);
+        if self.scratch.syn_x.rows() > 0 {
+            let scratch = &mut self.scratch;
+            self.g
+                .forward_into(&scratch.syn_x, true, &mut scratch.fake_x);
         } else {
-            Matrix::zeros(0, self.input_dim)
-        };
-        let combined = labeled_x.vstack(&unsup_x).vstack(&syn_x).vstack(&fake_x);
-        let logits = self.d.forward(&combined, true);
-
+            self.scratch.fake_x.resize(0, self.input_dim);
+        }
         let n_lab = labeled_rows.len();
         let n_unsup = unsup_rows.len();
-        let n_syn = syn_x.rows();
+        let n_syn = self.scratch.syn_x.rows();
+        let n_fake = self.scratch.fake_x.rows();
+        {
+            let scratch = &mut self.scratch;
+            scratch
+                .combined
+                .resize(n_lab + n_unsup + n_syn + n_fake, self.input_dim);
+            let mut r0 = 0;
+            for block in [
+                &scratch.labeled_x,
+                &scratch.unsup_x,
+                &scratch.syn_x,
+                &scratch.fake_x,
+            ] {
+                for r in 0..block.rows() {
+                    scratch
+                        .combined
+                        .row_mut(r0 + r)
+                        .copy_from_slice(block.row(r));
+                }
+                r0 += block.rows();
+            }
+        }
+        let logits = self.d.forward_inplace(&self.scratch.combined, true);
         // Supervised loss on the labeled block.
         let local_targets: Vec<(usize, usize)> = targets
             .iter()
             .enumerate()
             .map(|(i, &(_, c))| (i, c))
             .collect();
-        let (l_sup, grad_sup) = softmax_cross_entropy(&logits, &local_targets);
+        let (l_sup, grad_sup) = softmax_cross_entropy(logits, &local_targets);
         // Augmentation term: synthetic errors are supervised `error`
         // examples (weighted), the mechanism that lifts recall when real
         // error labels are scarce.
@@ -193,7 +249,7 @@ impl Sgan {
                 )
             })
             .collect();
-        let (l_syn, grad_syn) = softmax_cross_entropy(&logits, &syn_targets);
+        let (l_syn, grad_syn) = softmax_cross_entropy(logits, &syn_targets);
 
         // Unsupervised loss: the real blocks vs the generated block.
         let real_logits = logits.select_rows(&(0..n_lab + n_unsup).collect::<Vec<_>>());
@@ -243,29 +299,66 @@ impl Sgan {
         if fake_rows.is_empty() || real_rows.is_empty() {
             return 0.0;
         }
-        let real_x = x_r.select_rows(real_rows);
-        let fake_in = x_s.select_rows(fake_rows);
-        let fake_x = self.g.forward(&fake_in, true);
+        x_r.select_rows_into(real_rows, &mut self.scratch.real_x);
+        x_s.select_rows_into(fake_rows, &mut self.scratch.fake_in);
+        {
+            let scratch = &mut self.scratch;
+            self.g
+                .forward_into(&scratch.fake_in, true, &mut scratch.fake_x);
+        }
+        let n_real = self.scratch.real_x.rows();
         // Forward the real and fake blocks together so both taps come from
         // identical discriminator state.
-        let combined = real_x.vstack(&fake_x);
-        let _ = self.d.forward(&combined, true);
-        let h = self.d.tap(self.tap).clone();
-        let h_real = h.select_rows(&(0..real_x.rows()).collect::<Vec<_>>());
-        let h_fake = h.select_rows(&(real_x.rows()..h.rows()).collect::<Vec<_>>());
+        {
+            let scratch = &mut self.scratch;
+            scratch
+                .combined
+                .resize(n_real + scratch.fake_x.rows(), self.input_dim);
+            for r in 0..n_real {
+                scratch
+                    .combined
+                    .row_mut(r)
+                    .copy_from_slice(scratch.real_x.row(r));
+            }
+            for r in 0..scratch.fake_x.rows() {
+                scratch
+                    .combined
+                    .row_mut(n_real + r)
+                    .copy_from_slice(scratch.fake_x.row(r));
+            }
+        }
+        let _ = self.d.forward_inplace(&self.scratch.combined, true);
+        // Borrow the tap instead of cloning the full n x d embedding block.
+        let h = self.d.tap(self.tap);
+        let h_real = h.select_rows(&(0..n_real).collect::<Vec<_>>());
+        let h_fake = h.select_rows(&(n_real..h.rows()).collect::<Vec<_>>());
+        let (h_rows, h_cols) = h.shape();
         let (loss, grad_h_fake) = feature_matching_loss(&h_real, &h_fake);
 
         // Backprop dL/dh through the discriminator prefix to get dL/d(fake
         // input of D) — zeroing the real block's gradient.
-        let mut grad_h = Matrix::zeros(h.rows(), h.cols());
+        self.scratch.grad_h.resize(h_rows, h_cols);
+        self.scratch.grad_h.fill(0.0);
         for r in 0..h_fake.rows() {
-            let src = grad_h_fake.row(r).to_vec();
-            grad_h.set_row(real_x.rows() + r, &src);
+            self.scratch
+                .grad_h
+                .row_mut(n_real + r)
+                .copy_from_slice(grad_h_fake.row(r));
         }
         self.d.zero_grad(); // discard: D's params are NOT updated here
-        let grad_fake_input = gale_nn::backward_from_tap(&mut self.d, self.tap, &grad_h);
-        let grad_fake_only = grad_fake_input
-            .select_rows(&(real_x.rows()..grad_fake_input.rows()).collect::<Vec<_>>());
+        {
+            let scratch = &mut self.scratch;
+            gale_nn::backward_from_tap_into(
+                &mut self.d,
+                self.tap,
+                &scratch.grad_h,
+                &mut scratch.grad_fake_input,
+            );
+        }
+        let grad_fake_only = self
+            .scratch
+            .grad_fake_input
+            .select_rows(&(n_real..self.scratch.grad_fake_input.rows()).collect::<Vec<_>>());
         self.d.zero_grad();
         self.g.zero_grad();
         let _ = self.g.backward(&grad_fake_only);
@@ -378,8 +471,16 @@ impl Sgan {
     /// Node embeddings `H_n(X)` — the tapped intermediate layer, evaluation
     /// mode. Forwarded to the query-selection module each iteration.
     pub fn embeddings(&mut self, x: &Matrix) -> Matrix {
-        let _ = self.d.forward(x, false);
-        self.d.tap(self.tap).clone()
+        let mut out = Matrix::zeros(0, 0);
+        self.embeddings_into(x, &mut out);
+        out
+    }
+
+    /// [`Sgan::embeddings`] writing into a reusable caller buffer, so the
+    /// per-iteration `n x d` embedding extraction stops allocating.
+    pub fn embeddings_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        let _ = self.d.forward_inplace(x, false);
+        out.copy_from(self.d.tap(self.tap));
     }
 
     /// Per-row probability of the `error` class (classifier scores).

@@ -86,26 +86,39 @@ impl ActivationLayer {
 }
 
 impl Layer for ActivationLayer {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        let out = x.map(|v| self.act.apply(v));
-        self.cached_in = x.clone();
-        self.cached_out = out.clone();
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, train, &mut out);
         out
     }
 
+    fn forward_into(&mut self, x: &Matrix, _train: bool, out: &mut Matrix) {
+        self.cached_in.copy_from(x);
+        self.cached_out.copy_from(x);
+        for v in self.cached_out.data_mut() {
+            *v = self.act.apply(*v);
+        }
+        out.copy_from(&self.cached_out);
+    }
+
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         assert_eq!(
             grad_out.shape(),
             self.cached_in.shape(),
             "ActivationLayer::backward before forward or shape changed"
         );
-        let mut grad_in = grad_out.clone();
+        grad_in.copy_from(grad_out);
         for i in 0..grad_in.data().len() {
             let x = self.cached_in.data()[i];
             let y = self.cached_out.data()[i];
             grad_in.data_mut()[i] *= self.act.derivative(x, y);
         }
-        grad_in
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}

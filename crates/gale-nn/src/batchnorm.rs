@@ -43,10 +43,18 @@ impl BatchNorm {
 
 impl Layer for BatchNorm {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Matrix, train: bool, out: &mut Matrix) {
         let (n, d) = x.shape();
         assert_eq!(d, self.gamma.cols(), "BatchNorm: dim mismatch");
         self.train_pass = train;
-        let (mean, var) = if train && n > 1 {
+        // Batch statistics live in `batch`; eval mode reads the running
+        // statistics directly instead of cloning them.
+        let batch = if train && n > 1 {
             let mean = x.mean_rows();
             let mut var = vec![0.0; d];
             for r in 0..n {
@@ -65,29 +73,39 @@ impl Layer for BatchNorm {
                 self.running_var[c] =
                     self.momentum * self.running_var[c] + (1.0 - self.momentum) * var[c];
             }
-            (mean, var)
+            Some((mean, var))
         } else {
-            (self.running_mean.clone(), self.running_var.clone())
+            None
+        };
+        let (mean, var): (&[f64], &[f64]) = match &batch {
+            Some((m, v)) => (m, v),
+            None => (&self.running_mean, &self.running_var),
         };
 
-        self.std_inv = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
-        let mut x_hat = x.clone();
+        self.std_inv.clear();
+        self.std_inv
+            .extend(var.iter().map(|v| 1.0 / (v + self.eps).sqrt()));
+        self.x_hat.copy_from(x);
         for r in 0..n {
-            for (c, xv) in x_hat.row_mut(r).iter_mut().enumerate() {
+            for (c, xv) in self.x_hat.row_mut(r).iter_mut().enumerate() {
                 *xv = (*xv - mean[c]) * self.std_inv[c];
             }
         }
-        let mut out = x_hat.clone();
+        out.copy_from(&self.x_hat);
         for r in 0..n {
             for (c, o) in out.row_mut(r).iter_mut().enumerate() {
                 *o = *o * self.gamma[(0, c)] + self.beta[(0, c)];
             }
         }
-        self.x_hat = x_hat;
-        out
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         let (n, d) = grad_out.shape();
         assert_eq!(self.x_hat.shape(), (n, d), "BatchNorm::backward shape");
         // Parameter gradients.
@@ -103,18 +121,18 @@ impl Layer for BatchNorm {
         }
         if !self.train_pass || n <= 1 {
             // Eval mode: statistics are constants; dx = g * gamma * std_inv.
-            let mut gi = grad_out.clone();
+            grad_in.copy_from(grad_out);
             for r in 0..n {
-                for (c, v) in gi.row_mut(r).iter_mut().enumerate() {
+                for (c, v) in grad_in.row_mut(r).iter_mut().enumerate() {
                     *v *= self.gamma[(0, c)] * self.std_inv[c];
                 }
             }
-            return gi;
+            return;
         }
         // Train mode: full batch-norm backward.
         // dx_hat = g * gamma
         // dx = (1/n) std_inv * (n dx_hat - sum(dx_hat) - x_hat * sum(dx_hat*x_hat))
-        let mut grad_in = Matrix::zeros(n, d);
+        grad_in.resize(n, d);
         for c in 0..d {
             let gamma = self.gamma[(0, c)];
             let mut sum_dxh = 0.0;
@@ -132,7 +150,6 @@ impl Layer for BatchNorm {
                     * (n as f64 * dxh - sum_dxh - self.x_hat[(r, c)] * sum_dxh_xh);
             }
         }
-        grad_in
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -35,26 +35,43 @@ impl Dropout {
 
 impl Layer for Dropout {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        self.train_pass = train;
-        if !train || self.p == 0.0 {
-            return x.clone();
-        }
-        let keep = 1.0 - self.p;
-        let scale = 1.0 / keep;
-        let mut mask = Matrix::zeros(x.rows(), x.cols());
-        for m in mask.data_mut() {
-            *m = if self.rng.chance(keep) { scale } else { 0.0 };
-        }
-        let out = x.hadamard(&mask);
-        self.mask = mask;
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, train, &mut out);
         out
     }
 
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        if !self.train_pass || self.p == 0.0 {
-            return grad_out.clone();
+    fn forward_into(&mut self, x: &Matrix, train: bool, out: &mut Matrix) {
+        self.train_pass = train;
+        if !train || self.p == 0.0 {
+            out.copy_from(x);
+            return;
         }
-        grad_out.hadamard(&self.mask)
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask.resize(x.rows(), x.cols());
+        for m in self.mask.data_mut() {
+            *m = if self.rng.chance(keep) { scale } else { 0.0 };
+        }
+        out.copy_from(x);
+        for (o, m) in out.data_mut().iter_mut().zip(self.mask.data()) {
+            *o *= m;
+        }
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        grad_in.copy_from(grad_out);
+        if !self.train_pass || self.p == 0.0 {
+            return;
+        }
+        for (g, m) in grad_in.data_mut().iter_mut().zip(self.mask.data()) {
+            *g *= m;
+        }
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}

@@ -83,9 +83,13 @@ impl Gae {
             }
         }
         let mut final_loss = 0.0;
+        // Epoch-persistent buffers: the embedding and its gradient keep
+        // their allocation across epochs.
+        let mut z = Matrix::zeros(0, 0);
+        let mut dz = Matrix::zeros(n, cfg.embed_dim);
         for _ in 0..cfg.epochs {
-            let z = encoder.forward(x, true);
-            let mut dz = Matrix::zeros(n, cfg.embed_dim);
+            encoder.forward_into(x, true, &mut z);
+            dz.fill(0.0);
             let mut loss = 0.0;
             let mut samples = 0usize;
             let mut accumulate = |i: usize, j: usize, y: f64, z: &Matrix, dz: &mut Matrix| {

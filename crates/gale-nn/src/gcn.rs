@@ -21,6 +21,9 @@ pub struct GcnLayer {
     cached_sx: Matrix,
     cached_pre: Matrix,
     cached_out: Matrix,
+    // Backward scratch, reused across steps.
+    scratch_dpre: Matrix,
+    scratch_dxw: Matrix,
 }
 
 impl GcnLayer {
@@ -43,27 +46,17 @@ impl GcnLayer {
             cached_sx: Matrix::zeros(0, 0),
             cached_pre: Matrix::zeros(0, 0),
             cached_out: Matrix::zeros(0, 0),
+            scratch_dpre: Matrix::zeros(0, 0),
+            scratch_dxw: Matrix::zeros(0, 0),
         }
     }
-}
 
-impl Layer for GcnLayer {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
-        assert_eq!(x.rows(), self.s.rows(), "GcnLayer: node count mismatch");
-        let sx = self.s.matmul_dense(x);
-        let mut pre = sx.matmul(&self.w);
-        pre.add_row_broadcast(self.b.row(0));
-        let out = pre.map(|v| self.act.apply(v));
-        self.cached_sx = sx;
-        self.cached_pre = pre;
-        self.cached_out = out.clone();
-        out
-    }
-
-    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+    /// Computes dL/dpre and the parameter gradients shared by both backward
+    /// paths; leaves `S^T (dpre W^T)`'s inner product in `scratch_dxw`.
+    fn backward_common(&mut self, grad_out: &Matrix) {
         // dL/dpre = grad_out * act'(pre)  (elementwise).
-        let mut dpre = grad_out.clone();
-        for i in 0..dpre.data().len() {
+        self.scratch_dpre.copy_from(grad_out);
+        for i in 0..self.scratch_dpre.data().len() {
             let x = self.cached_pre.data()[i];
             let y = self.cached_out.data()[i];
             let d = match self.act {
@@ -85,16 +78,52 @@ impl Layer for GcnLayer {
                 Activation::Sigmoid => y * (1.0 - y),
                 Activation::Identity => 1.0,
             };
-            dpre.data_mut()[i] *= d;
+            self.scratch_dpre.data_mut()[i] *= d;
         }
         // dW += (S X)^T dpre ; db += colsums(dpre);
-        self.gw.axpy(1.0, &self.cached_sx.matmul_tn(&dpre));
-        for (gb, s) in self.gb.row_mut(0).iter_mut().zip(dpre.sum_rows()) {
+        self.cached_sx
+            .matmul_tn_acc(&self.scratch_dpre, &mut self.gw);
+        for (gb, s) in self
+            .gb
+            .row_mut(0)
+            .iter_mut()
+            .zip(self.scratch_dpre.sum_rows())
+        {
             *gb += s;
         }
+        self.scratch_dpre
+            .matmul_nt_into(&self.w, &mut self.scratch_dxw);
+    }
+}
+
+impl Layer for GcnLayer {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_into(x, train, &mut out);
+        out
+    }
+
+    fn forward_into(&mut self, x: &Matrix, _train: bool, out: &mut Matrix) {
+        assert_eq!(x.rows(), self.s.rows(), "GcnLayer: node count mismatch");
+        self.s.spmm_into(x, &mut self.cached_sx);
+        self.cached_sx.matmul_into(&self.w, &mut self.cached_pre);
+        self.cached_pre.add_row_broadcast(self.b.row(0));
+        self.cached_out.copy_from(&self.cached_pre);
+        for v in self.cached_out.data_mut() {
+            *v = self.act.apply(*v);
+        }
+        out.copy_from(&self.cached_out);
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        self.backward_common(grad_out);
         // dX = S^T (dpre W^T) = S (dpre W^T) since S is symmetric.
-        let dxw = dpre.matmul_nt(&self.w);
-        self.s.matmul_dense(&dxw)
+        self.s.matmul_dense(&self.scratch_dxw)
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        self.backward_common(grad_out);
+        self.s.spmm_into(&self.scratch_dxw, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
@@ -109,6 +138,7 @@ pub struct Gcn {
     layer1: GcnLayer,
     layer2: GcnLayer,
     hidden: Matrix,
+    ghidden: Matrix,
 }
 
 impl Gcn {
@@ -127,6 +157,7 @@ impl Gcn {
             layer1: GcnLayer::new(s.clone(), in_dim, hidden_dim, Activation::Relu, rng),
             layer2: GcnLayer::new(s, hidden_dim, out_dim, out_act, rng),
             hidden: Matrix::zeros(0, 0),
+            ghidden: Matrix::zeros(0, 0),
         }
     }
 
@@ -138,15 +169,23 @@ impl Gcn {
 
 impl Layer for Gcn {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let h = self.layer1.forward(x, train);
-        let out = self.layer2.forward(&h, train);
-        self.hidden = h;
-        out
+        self.layer1.forward_into(x, train, &mut self.hidden);
+        self.layer2.forward(&self.hidden, train)
+    }
+
+    fn forward_into(&mut self, x: &Matrix, train: bool, out: &mut Matrix) {
+        self.layer1.forward_into(x, train, &mut self.hidden);
+        self.layer2.forward_into(&self.hidden, train, out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let gh = self.layer2.backward(grad_out);
-        self.layer1.backward(&gh)
+        self.layer2.backward_into(grad_out, &mut self.ghidden);
+        self.layer1.backward(&self.ghidden)
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        self.layer2.backward_into(grad_out, &mut self.ghidden);
+        self.layer1.backward_into(&self.ghidden, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -16,6 +16,21 @@ pub trait Layer {
     /// accumulates dL/d(params) internally.
     fn backward(&mut self, grad_out: &Matrix) -> Matrix;
 
+    /// [`Layer::forward`] writing into a caller-owned buffer, so training
+    /// loops can reuse activation storage across steps. The default
+    /// delegates to `forward` and copies; hot layers override it with a
+    /// genuinely allocation-free path. Results are bitwise identical to
+    /// `forward` either way.
+    fn forward_into(&mut self, x: &Matrix, train: bool, out: &mut Matrix) {
+        out.copy_from(&self.forward(x, train));
+    }
+
+    /// [`Layer::backward`] writing into a caller-owned gradient buffer.
+    /// Same contract as [`Layer::forward_into`].
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        grad_in.copy_from(&self.backward(grad_out));
+    }
+
     /// Visits every `(param, grad)` pair in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
 

@@ -37,5 +37,5 @@ pub use linear::Linear;
 pub use loss::{
     bce_with_logit_grad, feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy,
 };
-pub use mlp::{backward_from_tap, Mlp};
+pub use mlp::{backward_from_tap, backward_from_tap_into, Mlp};
 pub use optim::{Adam, Sgd};

@@ -43,8 +43,31 @@ impl Linear {
     }
 }
 
+impl Linear {
+    /// Shared parameter-gradient accumulation for both backward paths:
+    /// `dW += x^T g` (tiled, accumulating in place) and `db += colsums(g)`.
+    fn accumulate_param_grads(&mut self, grad_out: &Matrix) {
+        assert_eq!(
+            grad_out.rows(),
+            self.cached_in.rows(),
+            "Linear::backward before forward or batch changed"
+        );
+        self.cached_in.matmul_tn_acc(grad_out, &mut self.gw);
+        let col_sums = grad_out.sum_rows();
+        for (gb, s) in self.gb.row_mut(0).iter_mut().zip(&col_sums) {
+            *gb += s;
+        }
+    }
+}
+
 impl Layer for Linear {
-    fn forward(&mut self, x: &Matrix, _train: bool) -> Matrix {
+    fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, train, &mut y);
+        y
+    }
+
+    fn forward_into(&mut self, x: &Matrix, _train: bool, out: &mut Matrix) {
         assert_eq!(
             x.cols(),
             self.w.rows(),
@@ -52,25 +75,20 @@ impl Layer for Linear {
             x.cols(),
             self.w.rows()
         );
-        self.cached_in = x.clone();
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(self.b.row(0));
-        y
+        self.cached_in.copy_from(x);
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(self.b.row(0));
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        assert_eq!(
-            grad_out.rows(),
-            self.cached_in.rows(),
-            "Linear::backward before forward or batch changed"
-        );
         // dW += x^T g ; db += column sums of g ; dx = g W^T.
-        self.gw.axpy(1.0, &self.cached_in.matmul_tn(grad_out));
-        let col_sums = grad_out.sum_rows();
-        for (gb, s) in self.gb.row_mut(0).iter_mut().zip(&col_sums) {
-            *gb += s;
-        }
+        self.accumulate_param_grads(grad_out);
         grad_out.matmul_nt(&self.w)
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
+        self.accumulate_param_grads(grad_out);
+        grad_out.matmul_nt_into(&self.w, grad_in);
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {

@@ -10,8 +10,13 @@ use gale_tensor::{Matrix, Rng};
 /// A sequential stack of layers trained with manual backprop.
 pub struct Mlp {
     layers: Vec<Box<dyn Layer>>,
-    /// Output of each layer from the most recent forward pass.
+    /// Output of each layer from the most recent forward pass. Persistent
+    /// buffers: each forward pass writes into the same storage, so steady
+    /// state training allocates nothing here.
     taps: Vec<Matrix>,
+    /// Ping-pong gradient scratch reused by every backward pass.
+    gbuf_a: Matrix,
+    gbuf_b: Matrix,
 }
 
 impl Mlp {
@@ -20,6 +25,8 @@ impl Mlp {
         Mlp {
             layers: Vec::new(),
             taps: Vec::new(),
+            gbuf_a: Matrix::zeros(0, 0),
+            gbuf_b: Matrix::zeros(0, 0),
         }
     }
 
@@ -78,6 +85,38 @@ impl Mlp {
     pub fn last_hidden_index(&self) -> usize {
         self.layers.len().saturating_sub(2)
     }
+
+    /// Forward pass that returns a borrow of the final tap instead of a
+    /// fresh matrix — the allocation-free path for training loops (the taps
+    /// are persistent buffers reused across calls).
+    pub fn forward_inplace(&mut self, x: &Matrix, train: bool) -> &Matrix {
+        let live = gale_obs::enabled();
+        let t = if live {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let depth = self.layers.len().max(1);
+        if self.taps.len() != depth {
+            self.taps.resize_with(depth, || Matrix::zeros(0, 0));
+        }
+        if self.layers.is_empty() {
+            self.taps[0].copy_from(x);
+        }
+        for i in 0..self.layers.len() {
+            let (prev, cur) = self.taps.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &prev[i - 1] };
+            self.layers[i].forward_into(input, train, &mut cur[0]);
+        }
+        if let Some(t) = t {
+            gale_obs::hist_record!(
+                "nn.forward_us",
+                gale_obs::metrics::buckets::TIME_US,
+                t.elapsed().as_micros() as f64
+            );
+        }
+        self.taps.last().expect("taps sized above")
+    }
 }
 
 impl Default for Mlp {
@@ -88,29 +127,21 @@ impl Default for Mlp {
 
 impl Layer for Mlp {
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix {
-        let live = gale_obs::enabled();
-        let t = if live {
-            Some(std::time::Instant::now())
-        } else {
-            None
-        };
-        self.taps.clear();
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
-            self.taps.push(cur.clone());
-        }
-        if let Some(t) = t {
-            gale_obs::hist_record!(
-                "nn.forward_us",
-                gale_obs::metrics::buckets::TIME_US,
-                t.elapsed().as_micros() as f64
-            );
-        }
-        cur
+        self.forward_inplace(x, train).clone()
+    }
+
+    fn forward_into(&mut self, x: &Matrix, train: bool, out: &mut Matrix) {
+        self.forward_inplace(x, train);
+        out.copy_from(self.taps.last().expect("taps sized by forward_inplace"));
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut grad_in = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut grad_in);
+        grad_in
+    }
+
+    fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         let live = gale_obs::enabled();
         let t = if live {
             Some(std::time::Instant::now())
@@ -122,9 +153,16 @@ impl Layer for Mlp {
             gale_obs::hist_record!("nn.grad_norm", gale_obs::metrics::buckets::NORM, norm);
             gale_obs::gauge_set!("nn.grad_norm.last", norm);
         }
-        let mut grad = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            grad = layer.backward(&grad);
+        match self.layers.len() {
+            0 => grad_in.copy_from(grad_out),
+            n => {
+                self.layers[n - 1].backward_into(grad_out, &mut self.gbuf_a);
+                for i in (0..n - 1).rev() {
+                    self.layers[i].backward_into(&self.gbuf_a, &mut self.gbuf_b);
+                    std::mem::swap(&mut self.gbuf_a, &mut self.gbuf_b);
+                }
+                grad_in.copy_from(&self.gbuf_a);
+            }
         }
         if let Some(t) = t {
             gale_obs::hist_record!(
@@ -133,7 +171,6 @@ impl Layer for Mlp {
                 t.elapsed().as_micros() as f64
             );
         }
-        grad
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
@@ -149,11 +186,21 @@ impl Layer for Mlp {
 /// Used by the generator's feature-matching update, whose loss is defined on
 /// an intermediate discriminator layer rather than on the logits.
 pub fn backward_from_tap(net: &mut Mlp, tap_index: usize, grad: &Matrix) -> Matrix {
-    let mut g = grad.clone();
-    for layer in net.layers[..=tap_index].iter_mut().rev() {
-        g = layer.backward(&g);
-    }
+    let mut g = Matrix::zeros(0, 0);
+    backward_from_tap_into(net, tap_index, grad, &mut g);
     g
+}
+
+/// [`backward_from_tap`] writing into a caller-owned buffer; the
+/// intermediate gradients ping-pong through the network's persistent
+/// scratch, so the pass allocates nothing in steady state.
+pub fn backward_from_tap_into(net: &mut Mlp, tap_index: usize, grad: &Matrix, out: &mut Matrix) {
+    net.gbuf_a.copy_from(grad);
+    for i in (0..=tap_index).rev() {
+        net.layers[i].backward_into(&net.gbuf_a, &mut net.gbuf_b);
+        std::mem::swap(&mut net.gbuf_a, &mut net.gbuf_b);
+    }
+    out.copy_from(&net.gbuf_a);
 }
 
 #[cfg(test)]

@@ -100,8 +100,18 @@ pub fn edit_similarity(a: &str, b: &str) -> f64 {
 /// computed in parallel over row blocks. Row `i` is filled by exactly one
 /// chunk, so the result is identical on any thread count.
 pub fn pairwise_euclidean(points: &crate::Matrix) -> crate::Matrix {
+    let mut out = crate::Matrix::zeros(0, 0);
+    pairwise_euclidean_into(points, &mut out);
+    out
+}
+
+/// [`pairwise_euclidean`] writing into a reusable output buffer (resized in
+/// place; previous contents are discarded).
+pub fn pairwise_euclidean_into(points: &crate::Matrix, out: &mut crate::Matrix) {
     let n = points.rows();
-    let mut out = crate::Matrix::zeros(n, n);
+    out.resize(n, n);
+    gale_obs::counter_add!("kernel.pairwise.calls", 1);
+    gale_obs::counter_add!("kernel.pairwise.flops", (3 * n * n * points.cols()) as u64);
     crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
         let first_row = start / n.max(1);
         for (b, orow) in block.chunks_mut(n).enumerate() {
@@ -111,7 +121,6 @@ pub fn pairwise_euclidean(points: &crate::Matrix) -> crate::Matrix {
             }
         }
     });
-    out
 }
 
 /// For every row `i` of `points`, the minimum Euclidean distance to any of

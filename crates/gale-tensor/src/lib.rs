@@ -19,6 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod distance;
+mod gemm;
 pub mod kmeans;
 pub mod linalg;
 pub mod matrix;
@@ -27,6 +28,7 @@ pub mod pca;
 pub mod rng;
 pub mod sparse;
 pub mod stats;
+pub mod workspace;
 
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use linalg::{solve, sym_eigen, SymEigen};
@@ -34,3 +36,4 @@ pub use matrix::Matrix;
 pub use pca::Pca;
 pub use rng::Rng;
 pub use sparse::SparseMatrix;
+pub use workspace::Workspace;

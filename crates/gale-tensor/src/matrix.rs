@@ -1,10 +1,13 @@
 //! Dense row-major `f64` matrices.
 //!
 //! This is the numeric workhorse underneath GALE's neural layers, PCA, and
-//! clustering. It deliberately stays small and predictable: row-major layout,
-//! `ikj`-ordered matrix multiply for cache friendliness, and no hidden
-//! allocation in the hot in-place operations.
+//! clustering. It deliberately stays small and predictable: row-major
+//! layout, register-tiled matrix multiplies (see [`crate::gemm`]) with an
+//! ascending-`k` determinism guarantee, and `_into` variants of every hot
+//! product so training loops can reuse output buffers instead of
+//! reallocating each step.
 
+use crate::gemm;
 use crate::rng::Rng;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
@@ -156,6 +159,48 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes in place to `rows x cols`, reusing the existing allocation
+    /// when its capacity suffices. Existing contents become unspecified
+    /// (new elements are zero, surviving ones keep stale values) — intended
+    /// for buffers that the caller fully overwrites next, e.g. via the
+    /// `_into` kernels.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every entry to `value` without reallocating.
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Makes `self` an exact copy of `src`, reusing the existing allocation
+    /// when possible (the allocation-free replacement for `clone` in
+    /// steady-state training loops).
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.resize(src.data.len(), 0.0);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Consumes the matrix, returning its backing buffer (for pooling).
+    pub fn into_buffer(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Builds a `rows x cols` matrix on top of a recycled buffer, resizing
+    /// it as needed. Contents are unspecified, as with [`Matrix::resize`].
+    pub fn from_buffer(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+        buf.resize(rows * cols, 0.0);
+        Matrix {
+            rows,
+            cols,
+            data: buf,
+        }
+    }
+
     /// Borrow of row `r` as a slice.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
@@ -179,11 +224,17 @@ impl Matrix {
     /// Copies the rows whose indices appear in `idx` (in order) into a new
     /// matrix. Indices may repeat.
     pub fn select_rows(&self, idx: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(idx.len(), self.cols);
+        let mut out = Matrix::zeros(0, 0);
+        self.select_rows_into(idx, &mut out);
+        out
+    }
+
+    /// [`Matrix::select_rows`] writing into a reusable output buffer.
+    pub fn select_rows_into(&self, idx: &[usize], out: &mut Matrix) {
+        out.resize(idx.len(), self.cols);
         for (i, &r) in idx.iter().enumerate() {
             out.row_mut(i).copy_from_slice(self.row(r));
         }
-        out
     }
 
     /// Overwrites row `r` with the given slice.
@@ -205,92 +256,130 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
-    /// Panics on an inner-dimension mismatch. Uses the `ikj` loop order so
-    /// the innermost loop streams both operands row-major.
+    /// Panics on an inner-dimension mismatch. Runs the register-tiled
+    /// micro-kernel over parallel row blocks; every output element
+    /// accumulates its `k` products in ascending order, so results are
+    /// bitwise identical to the sequential three-loop reference on any
+    /// thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] writing into a reusable output buffer (resized in
+    /// place; previous contents are discarded).
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.resize(self.rows, other.cols);
         let n = other.cols;
+        gemm::record_gemm_counters(self.rows, self.cols, n);
         // Output rows are independent, so row blocks parallelize with
         // bitwise-identical results on any schedule.
         crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
-            let first_row = start / n.max(1);
-            for (b, orow) in block.chunks_mut(n).enumerate() {
-                let arow = self.row(first_row + b);
-                for (k, &aik) in arow.iter().enumerate() {
-                    if aik == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[k * n..(k + 1) * n];
-                    for j in 0..n {
-                        orow[j] += aik * brow[j];
-                    }
-                }
-            }
+            let row0 = start / n.max(1);
+            gemm::gemm_nn_block(
+                &self.data,
+                self.cols,
+                self.cols,
+                &other.data,
+                n,
+                row0,
+                block,
+            );
         });
-        out
     }
 
     /// `self^T * other` without materializing the transpose.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_tn_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_tn`] writing into a reusable output buffer.
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows, other.rows,
             "matmul_tn: {}x{} ^T * {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.resize(self.cols, other.cols);
+        self.matmul_tn_block_dispatch(other, out, false);
+    }
+
+    /// `out += self^T * other` — the gradient-accumulation form (`dW += Xᵀ
+    /// G`). `out` must already have shape `self.cols x other.cols`. Each
+    /// element extends its own ascending-`k` chain starting from the
+    /// existing value, which is bitwise identical to `axpy(1.0, Xᵀ G)`
+    /// whenever `out` starts at zero.
+    pub fn matmul_tn_acc(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, other.rows,
+            "matmul_tn_acc: {}x{} ^T * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        assert_eq!(
+            out.shape(),
+            (self.cols, other.cols),
+            "matmul_tn_acc: output shape mismatch"
+        );
+        self.matmul_tn_block_dispatch(other, out, true);
+    }
+
+    fn matmul_tn_block_dispatch(&self, other: &Matrix, out: &mut Matrix, acc0: bool) {
         let n = other.cols;
-        let cols = self.cols;
-        // Loop order is i-outer so output rows are independent; each
-        // element still accumulates in ascending k, which keeps results
-        // bitwise identical to the k-outer sequential formulation.
+        gemm::record_gemm_counters(self.cols, self.rows, n);
+        // i-outer over output rows (= columns of self) keeps rows
+        // independent; each element still accumulates in ascending k.
         crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
-            let first_row = start / n.max(1);
-            for (b, orow) in block.chunks_mut(n).enumerate() {
-                let i = first_row + b;
-                for k in 0..self.rows {
-                    let aki = self.data[k * cols + i];
-                    if aki == 0.0 {
-                        continue;
-                    }
-                    let brow = &other.data[k * n..(k + 1) * n];
-                    for j in 0..n {
-                        orow[j] += aki * brow[j];
-                    }
-                }
-            }
+            let row0 = start / n.max(1);
+            gemm::gemm_tn_block(
+                &self.data,
+                self.cols,
+                self.rows,
+                &other.data,
+                n,
+                row0,
+                block,
+                acc0,
+            );
         });
-        out
     }
 
     /// `self * other^T` without materializing the transpose.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_nt`] writing into a reusable output buffer.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, other.cols,
             "matmul_nt: {}x{} * {}x{} ^T",
             self.rows, self.cols, other.rows, other.cols
         );
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.resize(self.rows, other.rows);
         let n = other.rows;
+        gemm::record_gemm_counters(self.rows, self.cols, n);
         crate::par::par_chunks_mut(&mut out.data, n.max(1), |start, block| {
-            let first_row = start / n.max(1);
-            for (b, orow) in block.chunks_mut(n).enumerate() {
-                let arow = self.row(first_row + b);
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = other.row(j);
-                    let mut s = 0.0;
-                    for k in 0..self.cols {
-                        s += arow[k] * brow[k];
-                    }
-                    *o = s;
-                }
-            }
+            let row0 = start / n.max(1);
+            gemm::gemm_nt_block(
+                &self.data,
+                self.cols,
+                self.cols,
+                &other.data,
+                n,
+                row0,
+                block,
+            );
         });
-        out
     }
 
     /// Matrix-vector product `self * v`.

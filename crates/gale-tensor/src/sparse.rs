@@ -134,7 +134,19 @@ impl SparseMatrix {
     }
 
     /// Sparse * dense product, producing a dense matrix.
+    ///
+    /// Rows of the output are independent, so the product runs in parallel
+    /// over row blocks; each row's accumulation order is fixed by the CSR
+    /// layout, making the result bitwise identical on any thread count.
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.spmm_into(dense, &mut out);
+        out
+    }
+
+    /// [`SparseMatrix::matmul_dense`] writing into a reusable output buffer
+    /// (resized in place; previous contents are discarded).
+    pub fn spmm_into(&self, dense: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols,
             dense.rows(),
@@ -145,42 +157,74 @@ impl SparseMatrix {
             dense.cols()
         );
         let n = dense.cols();
-        let mut out = Matrix::zeros(self.rows, n);
-        for r in 0..self.rows {
-            let orow = out.row_mut(r);
-            for (c, v) in self.row_iter(r) {
-                let drow = dense.row(c);
-                for j in 0..n {
-                    orow[j] += v * drow[j];
+        out.resize(self.rows, n);
+        gale_obs::counter_add!("kernel.spmm.calls", 1);
+        gale_obs::counter_add!("kernel.spmm.flops", (2 * self.nnz() * n) as u64);
+        gale_obs::counter_add!(
+            "kernel.spmm.bytes",
+            (8 * (2 * self.nnz() + self.nnz() * n + self.rows * n)) as u64
+        );
+        crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
+            let row0 = start / n.max(1);
+            for (b, orow) in block.chunks_mut(n).enumerate() {
+                orow.fill(0.0);
+                for (c, v) in self.row_iter(row0 + b) {
+                    let drow = dense.row(c);
+                    for j in 0..n {
+                        orow[j] += v * drow[j];
+                    }
                 }
             }
-        }
-        out
+        });
     }
 
-    /// Sparse * vector product.
+    /// Sparse * vector product. Parallel over row chunks; each output
+    /// element is produced by exactly one chunk with a fixed accumulation
+    /// order, so results are thread-count independent.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, v.len(), "matvec: width mismatch");
-        (0..self.rows)
-            .map(|r| self.row_iter(r).map(|(c, w)| w * v[c]).sum())
-            .collect()
+        let mut out = vec![0.0; self.rows];
+        crate::par::par_chunks_mut(&mut out, 1, |start, chunk| {
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                *slot = self.row_iter(start + off).map(|(c, w)| w * v[c]).sum();
+            }
+        });
+        out
     }
 
     /// Transposed sparse * vector product (`self^T * v`) without building the
     /// transpose.
+    ///
+    /// Rows scatter into shared output columns, so the parallel path gives
+    /// each chunk of rows its own partial output vector and folds the
+    /// partials on the caller thread in **ascending chunk order**. The
+    /// chunking is a pure function of the row count, so results are bitwise
+    /// identical across thread counts.
     pub fn matvec_t(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, v.len(), "matvec_t: height mismatch");
-        let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let vr = v[r];
-            if vr == 0.0 {
-                continue;
-            }
-            for (c, w) in self.row_iter(r) {
-                out[c] += w * vr;
-            }
-        }
-        out
+        crate::par::par_map_reduce(
+            self.rows,
+            |range| {
+                let mut partial = vec![0.0; self.cols];
+                for r in range {
+                    let vr = v[r];
+                    if vr == 0.0 {
+                        continue;
+                    }
+                    for (c, w) in self.row_iter(r) {
+                        partial[c] += w * vr;
+                    }
+                }
+                partial
+            },
+            |mut acc, partial| {
+                for (a, p) in acc.iter_mut().zip(&partial) {
+                    *a += p;
+                }
+                acc
+            },
+        )
+        .unwrap_or_else(|| vec![0.0; self.cols])
     }
 
     /// Materializes the transpose in CSR form.
