@@ -6,8 +6,9 @@
 //! groups run it drains the shim's result registry, derives throughput
 //! per kernel, and writes `BENCH_kernels.json` at the repo root (override
 //! with `GALE_BENCH_OUT`). When a committed baseline is present and the
-//! run is not in smoke mode, matmul/SpMM throughput is gated: a mean
-//! regression of more than 15% versus the baseline fails the process
+//! run is not in smoke mode, the matmul/SpMM kernels are gated on their
+//! *intra-run speedup over the naive reference*: dropping more than 15%
+//! below the baseline's speedup for the same pair fails the process
 //! (skip with `GALE_BENCH_NO_GATE=1`).
 
 use criterion::{black_box, take_results, BenchmarkId, Criterion};
@@ -145,6 +146,20 @@ fn default_report_path() -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
 }
 
+/// Anchors a relative env-var path at the repo root. Cargo runs bench
+/// binaries with `crates/bench` as the working directory, so a bare
+/// `BENCH_kernels.json` from CI would otherwise resolve two levels deep
+/// and silently miss the committed baseline.
+fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
+    if p.is_absolute() {
+        p
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
 fn main() {
     let _ = std::env::args();
     let mut criterion = Criterion::default();
@@ -156,12 +171,12 @@ fn main() {
     criterion::flush_telemetry();
 
     let out_path = std::env::var("GALE_BENCH_OUT")
-        .map(std::path::PathBuf::from)
+        .map(|p| repo_path(p.into()))
         .unwrap_or_else(|_| default_report_path());
     // The baseline is whatever report was committed at the same path
     // (override with GALE_BENCH_BASELINE); read it before overwriting.
     let baseline_path = std::env::var("GALE_BENCH_BASELINE")
-        .map(std::path::PathBuf::from)
+        .map(|p| repo_path(p.into()))
         .unwrap_or_else(|_| out_path.clone());
     let baseline = std::fs::read_to_string(&baseline_path)
         .ok()
@@ -203,6 +218,12 @@ fn main() {
             );
         }
     }
+    // Snapshot the gated speedups before the map moves into the report.
+    let gated: Vec<(String, f64)> = speedups
+        .iter()
+        .filter(|(key, _)| key.starts_with("matmul/") || key.starts_with("spmm/"))
+        .filter_map(|(key, v)| v.as_f64().map(|s| (key.clone(), s)))
+        .collect();
     let report = json!({
         "schema": "gale-bench-kernels/v1",
         "threads": gale_tensor::par::max_threads() as f64,
@@ -214,47 +235,52 @@ fn main() {
         .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
     println!("kernel bench report written to {}", out_path.display());
 
-    // Regression gate: matmul/SpMM optimized-kernel throughput may not drop
-    // more than 15% below the committed baseline. Smoke runs measure one
-    // iteration and are too noisy to gate on.
+    // Regression gate: each optimized kernel's speedup over the naive
+    // reference *measured in the same run* may not drop more than 15%
+    // below the committed baseline's speedup for the same pair. Intra-run
+    // ratios transfer across machines — a CI runner and the box that
+    // produced the baseline disagree wildly on absolute seconds but agree
+    // on whether the tiled kernel still beats the naive one. Smoke runs
+    // measure one iteration and are too noisy to gate on.
     if criterion::smoke_mode() || std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
         return;
     }
-    let Some(baseline) = baseline else { return };
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {}; skipping the regression gate",
+            baseline_path.display()
+        );
+        return;
+    };
     if baseline.get("smoke").and_then(|v| v.as_bool()) == Some(true) {
         println!("baseline is a smoke run; skipping the regression gate");
         return;
     }
-    let Some(base_entries) = baseline.get("entries").and_then(|v| v.as_array()) else {
+    let Some(base_speedups) = baseline.get("speedups").and_then(|v| v.as_object()) else {
+        println!("baseline has no speedups map; skipping the regression gate");
         return;
     };
     let mut failures = Vec::new();
-    for r in &results {
-        let gated = r.name.starts_with("matmul/tiled/") || r.name.starts_with("spmm/parallel/");
-        if !gated {
+    for (key, current) in &gated {
+        let Some(base) = base_speedups.get(key).and_then(|v| v.as_f64()) else {
+            continue;
+        };
+        // A pair whose baseline speedup is ~1x (e.g. the parallel paths on
+        // a single-core runner) carries no optimization win to protect;
+        // gating it would only flag measurement noise.
+        if base < 1.2 {
             continue;
         }
-        let base_mean = base_entries.iter().find_map(|e| {
-            (e.get("name").and_then(|v| v.as_str()) == Some(r.name.as_str()))
-                .then(|| e.get("mean_s").and_then(|v| v.as_f64()))
-                .flatten()
-        });
-        let Some(base_mean) = base_mean else { continue };
-        // Throughput ratio == baseline time / current time.
-        let ratio = base_mean / r.mean_s;
-        if ratio < 0.85 {
+        if *current < base * 0.85 {
             failures.push(format!(
-                "{}: {:.3e}s -> {:.3e}s ({:.0}% of baseline throughput)",
-                r.name,
-                base_mean,
-                r.mean_s,
-                ratio * 100.0
+                "{key}: speedup {base:.2}x -> {current:.2}x ({:.0}% of baseline)",
+                current / base * 100.0
             ));
         }
     }
     if !failures.is_empty() {
         eprintln!(
-            "kernel throughput regressed >15% vs {}:",
+            "kernel speedup regressed >15% vs {}:",
             baseline_path.display()
         );
         for f in &failures {

@@ -19,6 +19,7 @@ fn bench_kmeans(c: &mut Criterion) {
                         k,
                         max_iter: 30,
                         tol: 1e-5,
+                        pruned: true,
                     },
                     &mut r,
                 ));
@@ -41,6 +42,7 @@ fn bench_kmeans_parallel(c: &mut Criterion) {
         k: 16,
         max_iter: 5,
         tol: 0.0,
+        pruned: true,
     };
     group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, _| {
         b.iter(|| {

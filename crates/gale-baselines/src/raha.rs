@@ -56,6 +56,7 @@ pub fn raha(g: &Graph, labeled: &[Example], cfg: &RahaConfig, rng: &mut Rng) -> 
             k: cfg.clusters.min(n.max(1)),
             max_iter: 50,
             tol: 1e-5,
+            ..KMeansConfig::default()
         },
         rng,
     );
@@ -72,6 +73,9 @@ pub fn raha(g: &Graph, labeled: &[Example], cfg: &RahaConfig, rng: &mut Rng) -> 
     // Activation fallback for unlabeled clusters: a cluster whose mean
     // signature magnitude is high behaves like a "dirty" strategy profile.
     let mut cluster_label = vec![Label::Correct; k];
+    // All clusters' members grouped in one pass over the assignments (the
+    // per-cluster `members(c)` scan is O(n) each, quadratic over the loop).
+    let groups = km.members_by_cluster();
     for c in 0..k {
         let (err, cor) = votes[c];
         if err + cor > 0 {
@@ -81,7 +85,7 @@ pub fn raha(g: &Graph, labeled: &[Example], cfg: &RahaConfig, rng: &mut Rng) -> 
                 Label::Correct
             };
         } else {
-            let members = km.members(c);
+            let members = &groups[c];
             let mean_act: f64 = members
                 .iter()
                 .map(|&v| signatures.row(v).iter().sum::<f64>())

@@ -57,6 +57,13 @@ pub struct MemoCache {
     pub last_changed_fraction: f64,
     /// Number of full typicality recomputations skipped thanks to the cache.
     pub typicality_reuses: u64,
+    /// Cached squared row norms `|h_v|²` for the blocked distance kernels,
+    /// persisting across AL iterations (see [`MemoCache::ensure_row_norms`]).
+    norms: Vec<f64>,
+    /// Version each cached norm was computed at (`u64::MAX` = never).
+    norm_versions: Vec<u64>,
+    /// Number of [`MemoCache::insert_row`] batch-fills performed.
+    pub batch_inserted: u64,
 }
 
 /// Canonical distance-map key: the unordered pair `(lo, hi)`. All inserts
@@ -85,7 +92,96 @@ impl MemoCache {
             selection_state: None,
             last_changed_fraction: 1.0,
             typicality_reuses: 0,
+            norms: Vec::new(),
+            norm_versions: Vec::new(),
+            batch_inserted: 0,
         }
+    }
+
+    /// Brings the cached squared row norms up to date with `h`.
+    ///
+    /// When the cache is enabled, only rows whose dirty version moved since
+    /// their norm was last computed are refreshed — unchanged rows never
+    /// recompute `|x|²` across AL iterations. When disabled (`U_GALE`), all
+    /// norms are recomputed from scratch, preserving the ablation's
+    /// no-cross-iteration-reuse semantics while still using the batched
+    /// kernels. Callers must invoke this before [`MemoCache::fanout_distances`]
+    /// whenever `h` may have changed.
+    pub fn ensure_row_norms(&mut self, h: &Matrix) {
+        if !self.enabled {
+            gale_tensor::distance::row_norms_sq_into(h, &mut self.norms);
+            return;
+        }
+        let n = h.rows();
+        if self.norm_versions.len() != n || self.norms.len() != n {
+            self.norm_versions.clear();
+            self.norm_versions.resize(n, u64::MAX);
+            self.norms.clear();
+            self.norms.resize(n, 0.0);
+        }
+        for r in 0..n {
+            let v = self.version(r);
+            if self.norm_versions[r] != v {
+                self.norms[r] = gale_tensor::distance::row_norm_sq(h.row(r));
+                self.norm_versions[r] = v;
+            }
+        }
+    }
+
+    /// The cached squared row norms (valid after
+    /// [`MemoCache::ensure_row_norms`]).
+    pub fn row_norms(&self) -> &[f64] {
+        &self.norms
+    }
+
+    /// One selection round's distance fan-out: Euclidean distances from
+    /// embedding row `target` to every row in `candidates`, computed by a
+    /// single blocked kernel call instead of `candidates.len()` scalar
+    /// euclidean calls or HashMap round-trips. With the cache enabled the
+    /// whole row is then batch-filled into the distance store via
+    /// [`MemoCache::insert_row`]. Both the memoized and un-memoized paths
+    /// evaluate the identical kernel, so toggling memoization cannot change
+    /// which nodes a selection round picks.
+    pub fn fanout_distances(
+        &mut self,
+        h: &Matrix,
+        candidates: &[usize],
+        target: usize,
+        out: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            self.norms.len(),
+            h.rows(),
+            "fanout_distances: call ensure_row_norms first"
+        );
+        out.clear();
+        out.resize(candidates.len(), 0.0);
+        gale_tensor::distance::indexed_dists_to_row_into(h, &self.norms, candidates, target, out);
+        if self.enabled {
+            self.insert_row(candidates, target, out);
+        }
+    }
+
+    /// Batch-fills the distance store with a fan-out row: `dists[i]` is the
+    /// distance between `candidates[i]` and `target`, stored at both rows'
+    /// current versions (self-pairs are skipped). Stored values come from
+    /// the blocked Gram-trick kernel and agree with the scalar reference
+    /// within its documented 1e-9 relative tolerance, which the paper's
+    /// Section VII memoization explicitly permits.
+    pub fn insert_row(&mut self, candidates: &[usize], target: usize, dists: &[f64]) {
+        if !self.enabled {
+            return;
+        }
+        for (&v, &d) in candidates.iter().zip(dists) {
+            if v == target {
+                continue;
+            }
+            let key = canonical(v, target);
+            let vers = (self.version(key.0), self.version(key.1));
+            self.distances.insert(key, (vers.0, vers.1, d));
+        }
+        self.batch_inserted += 1;
+        gale_obs::counter_add!("memo.batch_inserts", 1);
     }
 
     /// Installs the iteration's embeddings, diffing against the previous
@@ -296,6 +392,76 @@ mod tests {
         h2[(3, 0)] += 1.0;
         memo.update_embeddings(&h2);
         assert_eq!(memo.typicality(3), None, "stale typicality survived");
+    }
+
+    #[test]
+    fn norms_cache_refreshes_only_dirty_rows() {
+        let mut rng = Rng::seed_from_u64(7);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        memo.ensure_row_norms(&h);
+        for r in 0..h.rows() {
+            assert_eq!(
+                memo.row_norms()[r],
+                gale_tensor::distance::row_norm_sq(h.row(r))
+            );
+        }
+        let before = memo.row_norms().to_vec();
+        let mut h2 = h.clone();
+        h2[(0, 0)] += 1.0;
+        memo.update_embeddings(&h2);
+        memo.ensure_row_norms(&h2);
+        assert_eq!(
+            memo.row_norms()[0],
+            gale_tensor::distance::row_norm_sq(h2.row(0))
+        );
+        assert_eq!(&memo.row_norms()[1..], &before[1..]);
+    }
+
+    #[test]
+    fn fanout_matches_scalar_and_fills_store() {
+        let mut rng = Rng::seed_from_u64(8);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        memo.ensure_row_norms(&h);
+        let candidates: Vec<usize> = (0..h.rows()).filter(|&v| v != 3).collect();
+        let mut out = Vec::new();
+        memo.fanout_distances(&h, &candidates, 3, &mut out);
+        for (i, &v) in candidates.iter().enumerate() {
+            let exact = gale_tensor::distance::euclidean(h.row(v), h.row(3));
+            assert!(
+                (out[i] - exact).abs() <= 1e-9 * (1.0 + exact),
+                "candidate {v}: {} vs scalar {exact}",
+                out[i]
+            );
+        }
+        assert_eq!(memo.batch_inserted, 1);
+        // The whole fan-out row is now in the distance store: scalar lookups
+        // hit without recomputation and return the batch-inserted values.
+        memo.lookups = 0;
+        memo.hits = 0;
+        for (i, &v) in candidates.iter().enumerate() {
+            assert_eq!(memo.distance(&h, v, 3), out[i]);
+        }
+        assert_eq!(memo.hits, candidates.len() as u64);
+    }
+
+    #[test]
+    fn disabled_fanout_computes_but_stores_nothing() {
+        let mut rng = Rng::seed_from_u64(9);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(false, 1e-9);
+        memo.update_embeddings(&h);
+        memo.ensure_row_norms(&h);
+        let candidates = [0usize, 2, 5];
+        let mut out = Vec::new();
+        memo.fanout_distances(&h, &candidates, 5, &mut out);
+        let exact = gale_tensor::distance::euclidean(h.row(0), h.row(5));
+        assert!((out[0] - exact).abs() <= 1e-9 * (1.0 + exact));
+        assert_eq!(out[2], 0.0, "self pair");
+        assert_eq!(memo.batch_inserted, 0);
     }
 
     #[test]

@@ -198,6 +198,30 @@ impl GaleOutcome {
                 "par_utilization",
                 gale_obs::metrics::gauge("par.utilization").get(),
             );
+            // Selection-kernel telemetry (DESIGN.md §6b.2): Lloyd iteration
+            // count, distance evaluations skipped by the Hamerly bounds,
+            // distance-store batch fills, and mean qselect round time.
+            rep.total(
+                "kmeans_iters",
+                gale_obs::metrics::counter("kmeans.iters").get() as f64,
+            );
+            rep.total(
+                "kmeans_pruned",
+                gale_obs::metrics::counter("kmeans.pruned").get() as f64,
+            );
+            rep.total(
+                "memo_batch_inserts",
+                gale_obs::metrics::counter("memo.batch_inserts").get() as f64,
+            );
+            rep.total(
+                "select_round_us_mean",
+                gale_obs::metrics::histogram(
+                    "select.round_time",
+                    gale_obs::metrics::buckets::TIME_US,
+                )
+                .snapshot()
+                .mean(),
+            );
         }
         rep
     }

@@ -5,6 +5,19 @@
 //! marginal gain `B'_v(Q) = ½ T(v) + λ Σ_{q∈Q} d(h(v), h(q))`, the standard
 //! 2-approximation for max-sum p-dispersion with a monotone submodular
 //! utility (Borodin et al., the paper's Lemma 1).
+//!
+//! Tie-break rule: when several candidates share the maximal marginal gain,
+//! the one at the **lowest index in the candidate slice wins** — the
+//! ascending argmax scan rejects equal gains (`gain <= best`), so the first
+//! maximum seen is kept. The rule is part of the determinism contract (see
+//! DESIGN.md §6b.2) and holds identically for the memoized, un-memoized,
+//! and `GALE_EXACT_DIST=1` paths.
+//!
+//! Each round's distance fan-out (picked node → every remaining candidate)
+//! is one blocked [`MemoCache::fanout_distances`] kernel call feeding both
+//! the running diversity sums and (when memoization is on) a batch-fill of
+//! the distance store, instead of `n` scalar euclidean calls or `n` HashMap
+//! round-trips.
 
 use crate::memo::MemoCache;
 use gale_tensor::Matrix;
@@ -40,50 +53,71 @@ pub fn qselect(
     // candidate to the freshly-picked node. Reserving up front keeps the
     // distance map from rehashing mid-selection.
     memo.reserve_queries(k * unlabeled.len());
+    // The fan-out kernel reads cached |x|² row norms; refresh them once per
+    // selection (the embeddings cannot change mid-selection).
+    memo.ensure_row_norms(embeddings);
     let mut selected: Vec<usize> = Vec::with_capacity(k);
-    let mut in_q = vec![false; unlabeled.len()];
-    // Running Σ_{q∈Q} d(h(v), h(q)) per candidate.
+    // Running Σ_{q∈Q} d(h(v), h(q)) per candidate. `half_typ` hoists the
+    // `0.5 * T(v)` product out of the argmax so the fused pass below
+    // evaluates the exact gain expression `0.5*T(v) + λ*Σd` bit for bit.
+    // Picked candidates have their entry masked to `-inf`, which makes
+    // every future gain `-inf` — rejected by the `gain <= best` test
+    // without a membership branch in the hot loop.
     let mut div_sum = vec![0.0f64; unlabeled.len()];
+    let mut half_typ: Vec<f64> = typicality.iter().map(|t| 0.5 * t).collect();
+    // One fan-out row per round, parallel to `unlabeled`, reused across
+    // rounds.
+    let mut fan: Vec<f64> = Vec::new();
 
-    for _round in 0..k {
-        let mut best: Option<(usize, f64)> = None;
-        for i in 0..unlabeled.len() {
-            if in_q[i] {
-                continue;
-            }
-            let gain = 0.5 * typicality[i] + lambda * div_sum[i];
-            match best {
-                Some((_, b)) if gain <= b => {}
-                _ => best = Some((i, gain)),
-            }
+    // Round 0 argmax: all diversity sums are zero, so the gain is `½ T(v)`
+    // alone. `gain <= best` rejects equal gains, so ties break to the
+    // lowest candidate index (documented determinism contract, here and
+    // below).
+    let mut best_i = usize::MAX;
+    let mut best_gain = f64::NEG_INFINITY;
+    for (i, &ht) in half_typ.iter().enumerate() {
+        let gain = ht + lambda * 0.0;
+        if gain > best_gain {
+            best_gain = gain;
+            best_i = i;
         }
-        let Some((pick, _)) = best else { break };
-        in_q[pick] = true;
+    }
+
+    while best_i != usize::MAX {
+        let round_start = std::time::Instant::now();
+        let pick = best_i;
+        half_typ[pick] = f64::NEG_INFINITY;
         let picked_node = unlabeled[pick];
         selected.push(picked_node);
-        // Update diversity sums against the new member. The memoized path
-        // stays sequential (the cache is the speedup there); the
-        // unmemoized path recomputes every distance, so it fans out over
-        // candidate chunks — each slot is written by exactly one chunk,
-        // keeping results thread-count independent.
-        if memo.enabled {
-            for (i, &v) in unlabeled.iter().enumerate() {
-                if !in_q[i] {
-                    div_sum[i] += memo.distance(embeddings, v, picked_node);
-                }
+        // Update diversity sums against the new member: one blocked kernel
+        // call covering every candidate, batch-filling the distance store
+        // when memoization is on. Memoized and un-memoized runs evaluate
+        // the identical kernel, so the toggle cannot change selections.
+        memo.fanout_distances(embeddings, unlabeled, picked_node, &mut fan);
+        // Fused merge + next-round argmax: one streaming pass over the
+        // fan-out row folds each candidate's new distance into its running
+        // sum and immediately scores the updated gain, instead of a second
+        // scan re-reading cache lines the kernel sweep just evicted.
+        // Already-selected candidates still accumulate (their masked gains
+        // are `-inf` and never win), preserving the un-fused semantics.
+        best_i = usize::MAX;
+        best_gain = f64::NEG_INFINITY;
+        for i in 0..unlabeled.len() {
+            let s = div_sum[i] + fan[i];
+            div_sum[i] = s;
+            let gain = half_typ[i] + lambda * s;
+            if gain > best_gain {
+                best_gain = gain;
+                best_i = i;
             }
-        } else {
-            gale_tensor::par::par_chunks_mut(&mut div_sum, 1, |start, chunk| {
-                for (off, slot) in chunk.iter_mut().enumerate() {
-                    let i = start + off;
-                    if !in_q[i] {
-                        *slot += gale_tensor::distance::euclidean(
-                            embeddings.row(unlabeled[i]),
-                            embeddings.row(picked_node),
-                        );
-                    }
-                }
-            });
+        }
+        gale_obs::hist_record!(
+            "select.round_time",
+            gale_obs::metrics::buckets::TIME_US,
+            round_start.elapsed().as_secs_f64() * 1e6
+        );
+        if selected.len() == k {
+            break;
         }
     }
     selected
@@ -239,6 +273,23 @@ mod tests {
         let mut memo = MemoCache::new(false, 1e-9);
         assert!(qselect(&h, &u, &t, 0, 0.5, &mut memo).is_empty());
         assert!(qselect(&h, &[], &[], 5, 0.5, &mut memo).is_empty());
+    }
+
+    #[test]
+    fn argmax_ties_break_to_lowest_candidate_index() {
+        // All-equal typicality with λ = 0 makes every round a full tie: the
+        // contract says the lowest candidate index wins each time, so the
+        // selection is simply the candidates in slice order.
+        let (h, u, _) = random_instance(12, 3, 6);
+        let t = vec![1.0; 12];
+        let mut memo = MemoCache::new(false, 1e-9);
+        let q = qselect(&h, &u, &t, 4, 0.0, &mut memo);
+        assert_eq!(q, vec![0, 1, 2, 3]);
+        // Ties break by position in `unlabeled`, not by node id.
+        let u2 = vec![9, 4, 7, 1, 0, 3];
+        let t2 = vec![1.0; 6];
+        let q2 = qselect(&h, &u2, &t2, 3, 0.0, &mut memo);
+        assert_eq!(q2, vec![9, 4, 7]);
     }
 
     #[test]

@@ -146,12 +146,14 @@ fn kmeans_centroid_sample(
             k,
             max_iter: 50,
             tol: 1e-5,
+            ..KMeansConfig::default()
         },
         rng,
     );
     let mut out = Vec::with_capacity(k);
-    for c in 0..km.centroids.rows() {
-        let members = km.members(c);
+    // One pass over the assignments groups every cluster's members, instead
+    // of an O(n) `members(c)` scan per cluster.
+    for members in km.members_by_cluster() {
         let best = members
             .iter()
             .min_by(|&&a, &&b| {

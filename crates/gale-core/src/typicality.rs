@@ -69,6 +69,7 @@ pub fn clustering_typicality(
             k: k_prime.max(1),
             max_iter: 50,
             tol: 1e-5,
+            ..KMeansConfig::default()
         },
         rng,
     );
@@ -169,6 +170,12 @@ pub fn typicality_scores(
     if memo.enabled && memo.last_changed_fraction <= REUSE_THRESHOLD {
         if let Some(state) = memo.selection_state.clone() {
             memo.typicality_reuses += 1;
+            // Changed nodes get their centroid distances from the blocked
+            // row kernel — one call per node — instead of a scalar
+            // per-centroid loop; the norms and scratch row are shared
+            // across all re-scored nodes.
+            let cnorms = gale_tensor::distance::row_norms_sq(&state.centroids);
+            let mut cdist = vec![0.0f64; state.centroids.rows()];
             let combined: Vec<f64> = unlabeled
                 .iter()
                 .map(|&v| {
@@ -177,11 +184,14 @@ pub fn typicality_scores(
                     }
                     // Re-score a changed node against the cached state.
                     let h = ctx.embeddings.row(v);
-                    let mut best = f64::INFINITY;
-                    for c in 0..state.centroids.rows() {
-                        let d = gale_tensor::distance::euclidean(h, state.centroids.row(c));
-                        best = best.min(d);
-                    }
+                    gale_tensor::distance::dists_to_row_into(
+                        &state.centroids,
+                        &cnorms,
+                        h,
+                        gale_tensor::distance::row_norm_sq(h),
+                        &mut cdist,
+                    );
+                    let best = cdist.iter().copied().fold(f64::INFINITY, f64::min);
                     let clus = 1.0 / (1.0 + best);
                     let soft = match state.soft_classes.get(v) {
                         Some(&c) if c <= 1 => c,
@@ -202,6 +212,7 @@ pub fn typicality_scores(
                 assignments: vec![0; unlabeled.len()],
                 inertia: 0.0,
                 iterations: 0,
+                pruned: 0,
             };
             return TypicalityScores {
                 clustering: combined.clone(),
@@ -284,8 +295,7 @@ mod tests {
         assert_eq!(scores.len(), 12);
         assert_eq!(km.centroids.rows(), 2);
         // Node closest to its centroid has the highest score in its cluster.
-        for c in 0..2 {
-            let members = km.members(c);
+        for members in km.members_by_cluster() {
             let best = members
                 .iter()
                 .max_by(|&&a, &&b| scores[a].partial_cmp(&scores[b]).unwrap())

@@ -10,14 +10,17 @@
 //! explicit [`rng::Rng`]) and predictable performance (CSR propagation is
 //! O(|E|), dense kernels are cache-friendly row-major loops).
 
-// `deny` rather than `forbid`: the `par` module needs a scoped allowance
-// for its two audited unsafe blocks (lifetime-erased job dispatch and
-// disjoint slice splitting); everything else stays safe.
+// `deny` rather than `forbid`: `par` (lifetime-erased job dispatch and
+// disjoint slice splitting), `distance::lanes8` (SIMD intrinsics behind
+// runtime feature detection), and `aligned` (raw-slice views over the
+// 64-byte-aligned lane storage) carry scoped allowances for their audited
+// unsafe blocks; everything else stays safe.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 // Index-based loops are the clearer idiom in the dense math kernels below.
 #![allow(clippy::needless_range_loop)]
 
+pub mod aligned;
 pub mod distance;
 mod gemm;
 pub mod kmeans;
@@ -30,6 +33,7 @@ pub mod sparse;
 pub mod stats;
 pub mod workspace;
 
+pub use aligned::AVec;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use linalg::{solve, sym_eigen, SymEigen};
 pub use matrix::Matrix;

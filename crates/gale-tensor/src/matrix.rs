@@ -7,6 +7,7 @@
 //! product so training loops can reuse output buffers instead of
 //! reallocating each step.
 
+use crate::aligned::AVec;
 use crate::gemm;
 use crate::rng::Rng;
 use std::fmt;
@@ -17,7 +18,9 @@ use std::ops::{Add, Mul, Sub};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f64>,
+    // 64-byte-aligned so full-width SIMD row loads in the distance/GEMM
+    // kernels never straddle a cache line (see `crate::aligned`).
+    data: AVec,
 }
 
 impl fmt::Debug for Matrix {
@@ -51,7 +54,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: AVec::from_elem(rows * cols, 0.0),
         }
     }
 
@@ -60,7 +63,7 @@ impl Matrix {
         Matrix {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: AVec::from_elem(rows * cols, value),
         }
     }
 
@@ -85,7 +88,11 @@ impl Matrix {
             rows,
             cols
         );
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: AVec::from_slice(&data),
+        }
     }
 
     /// Builds a matrix from a slice of equal-length rows.
@@ -94,7 +101,7 @@ impl Matrix {
             return Matrix::zeros(0, 0);
         }
         let cols = rows[0].len();
-        let mut data = Vec::with_capacity(rows.len() * cols);
+        let mut data = AVec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
             assert_eq!(r.len(), cols, "from_rows: row {i} has length {}", r.len());
             data.extend_from_slice(r);
@@ -108,7 +115,7 @@ impl Matrix {
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut data = AVec::with_capacity(rows * cols);
         for r in 0..rows {
             for c in 0..cols {
                 data.push(f(r, c));
@@ -186,13 +193,13 @@ impl Matrix {
     }
 
     /// Consumes the matrix, returning its backing buffer (for pooling).
-    pub fn into_buffer(self) -> Vec<f64> {
+    pub fn into_buffer(self) -> AVec {
         self.data
     }
 
     /// Builds a `rows x cols` matrix on top of a recycled buffer, resizing
     /// it as needed. Contents are unspecified, as with [`Matrix::resize`].
-    pub fn from_buffer(rows: usize, cols: usize, mut buf: Vec<f64>) -> Self {
+    pub fn from_buffer(rows: usize, cols: usize, mut buf: AVec) -> Self {
         buf.resize(rows * cols, 0.0);
         Matrix {
             rows,
@@ -396,7 +403,7 @@ impl Matrix {
         let data = self
             .data
             .iter()
-            .zip(&other.data)
+            .zip(other.data.iter())
             .map(|(a, b)| a * b)
             .collect();
         Matrix {
@@ -417,7 +424,7 @@ impl Matrix {
 
     /// Applies `f` to every element in place.
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
-        for x in &mut self.data {
+        for x in self.data.iter_mut() {
             *x = f(*x);
         }
     }
@@ -425,14 +432,14 @@ impl Matrix {
     /// In-place `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f64, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (a, b) in self.data.iter_mut().zip(&other.data) {
+        for (a, b) in self.data.iter_mut().zip(other.data.iter()) {
             *a += alpha * b;
         }
     }
 
     /// In-place multiplication by a scalar.
     pub fn scale_inplace(&mut self, alpha: f64) {
-        for x in &mut self.data {
+        for x in self.data.iter_mut() {
             *x *= alpha;
         }
     }
@@ -532,7 +539,7 @@ impl Matrix {
     /// Vertically stacks `self` above `other`.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "vstack: width mismatch");
-        let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
+        let mut data = AVec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
         Matrix {
@@ -590,7 +597,7 @@ impl Matrix {
             && self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .all(|(a, b)| (a - b).abs() <= tol)
     }
 
@@ -624,7 +631,7 @@ impl Add for &Matrix {
         let data = self
             .data
             .iter()
-            .zip(&rhs.data)
+            .zip(rhs.data.iter())
             .map(|(a, b)| a + b)
             .collect();
         Matrix {
@@ -642,7 +649,7 @@ impl Sub for &Matrix {
         let data = self
             .data
             .iter()
-            .zip(&rhs.data)
+            .zip(rhs.data.iter())
             .map(|(a, b)| a - b)
             .collect();
         Matrix {

@@ -1,0 +1,152 @@
+//! Property tests for the blocked selection kernels (DESIGN.md §6b.2).
+//!
+//! Contract under test:
+//!
+//! * the Gram-trick pairwise and row-fan-out kernels match the scalar
+//!   reference within 1e-9 relative error (scaled by the operand norms) on
+//!   ragged shapes, zero rows, and duplicated rows;
+//! * both kernels are bitwise thread-count invariant (1, 2, 8 threads);
+//! * Hamerly-pruned k-means reproduces the unpruned Lloyd loop exactly —
+//!   identical assignments, iteration counts, and bitwise-equal centroids
+//!   and inertia — on random instances.
+
+use gale_tensor::distance::{
+    dists_to_row_into, indexed_dists_to_row_into, pairwise_sq_into, row_norm_sq, row_norms_sq,
+    squared_euclidean,
+};
+use gale_tensor::par::with_threads;
+use gale_tensor::{kmeans, KMeansConfig, Matrix, Rng, Workspace};
+use proptest::prelude::*;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn bits(data: &[f64]) -> Vec<u64> {
+    data.iter().map(|f| f.to_bits()).collect()
+}
+
+/// Random matrix with the adversarial rows the contract calls out: row 0
+/// zeroed and an exact duplicate pair when the shape allows it.
+fn instance(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let mut m = Matrix::randn(rows, cols, 2.0, rng);
+    if rows > 0 {
+        m.set_row(0, &vec![0.0; cols]);
+    }
+    if rows > 2 {
+        let dup = m.row(rows - 1).to_vec();
+        m.set_row(1, &dup);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn blocked_pairwise_matches_scalar_at_any_thread_count(
+        n in 0usize..28,
+        m in 0usize..28,
+        d in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let x = instance(n, d, &mut rng);
+        let y = instance(m, d, &mut rng);
+        let run = |t: usize| {
+            with_threads(t, || {
+                let mut ws = Workspace::new();
+                let mut out = Matrix::zeros(0, 0);
+                pairwise_sq_into(&x, &y, &mut ws, &mut out);
+                out
+            })
+        };
+        let base = run(1);
+        for t in THREAD_COUNTS {
+            let got = run(t);
+            prop_assert_eq!(bits(got.data()), bits(base.data()));
+        }
+        for i in 0..n {
+            for j in 0..m {
+                let exact = squared_euclidean(x.row(i), y.row(j));
+                let tol = 1e-9 * (1.0 + row_norm_sq(x.row(i)) + row_norm_sq(y.row(j)));
+                prop_assert!(
+                    (base[(i, j)] - exact).abs() <= tol,
+                    "({i},{j}): blocked {} vs scalar {exact}",
+                    base[(i, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn row_fanout_matches_scalar_at_any_thread_count(
+        n in 1usize..40,
+        d in 1usize..33,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let x = instance(n, d, &mut rng);
+        let norms = row_norms_sq(&x);
+        let target = (seed as usize) % n;
+        // Every other row as the candidate subset (including the target
+        // itself when it lands on an even index).
+        let indices: Vec<usize> = (0..n).step_by(2).collect();
+        let run = |t: usize| {
+            with_threads(t, || {
+                let mut all = vec![0.0; n];
+                dists_to_row_into(&x, &norms, x.row(target), norms[target], &mut all);
+                let mut sub = vec![0.0; indices.len()];
+                indexed_dists_to_row_into(&x, &norms, &indices, target, &mut sub);
+                (all, sub)
+            })
+        };
+        let (base_all, base_sub) = run(1);
+        for t in THREAD_COUNTS {
+            let (all, sub) = run(t);
+            prop_assert_eq!(bits(&all), bits(&base_all));
+            prop_assert_eq!(bits(&sub), bits(&base_sub));
+        }
+        // The indexed variant is a gather of the full fan-out.
+        for (pos, &i) in indices.iter().enumerate() {
+            prop_assert_eq!(base_sub[pos].to_bits(), base_all[i].to_bits());
+        }
+        prop_assert_eq!(base_all[target], 0.0);
+        for (i, &got) in base_all.iter().enumerate() {
+            let exact = squared_euclidean(x.row(i), x.row(target)).sqrt();
+            let tol = 1e-9 * (1.0 + row_norm_sq(x.row(i)) + norms[target]);
+            prop_assert!(
+                (got - exact).abs() <= tol,
+                "row {i}: blocked {got} vs scalar {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_kmeans_equals_unpruned_lloyd(
+        n in 2usize..160,
+        d in 1usize..9,
+        k in 1usize..12,
+        seed in 0u64..1000,
+    ) {
+        let mut data_rng = Rng::seed_from_u64(seed);
+        let points = instance(n, d, &mut data_rng);
+        let run = |pruned: bool| {
+            let mut rng = Rng::seed_from_u64(seed ^ 0x9e37);
+            kmeans(
+                &points,
+                &KMeansConfig {
+                    k,
+                    max_iter: 30,
+                    tol: 1e-7,
+                    pruned,
+                },
+                &mut rng,
+            )
+        };
+        let fast = run(true);
+        let slow = run(false);
+        prop_assert_eq!(&fast.assignments, &slow.assignments);
+        prop_assert_eq!(fast.iterations, slow.iterations);
+        prop_assert_eq!(fast.inertia.to_bits(), slow.inertia.to_bits());
+        prop_assert_eq!(bits(fast.centroids.data()), bits(slow.centroids.data()));
+    }
+}
