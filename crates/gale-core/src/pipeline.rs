@@ -46,6 +46,14 @@ pub struct GaleConfig {
     pub annotate: AnnotateConfig,
     /// Master seed.
     pub seed: u64,
+    /// When set, the trained SGAN is checkpointed to `<dir>/final.ckpt` at
+    /// the end of the run (the file served by `gale-serve`). The directory
+    /// is created if missing; write failures are logged, not fatal.
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Also write `<dir>/iter-NNN.ckpt` after every iteration's model
+    /// update, for resuming or inspecting mid-run state. No effect unless
+    /// `checkpoint_dir` is set.
+    pub checkpoint_every_iteration: bool,
 }
 
 impl Default for GaleConfig {
@@ -64,7 +72,27 @@ impl Default for GaleConfig {
             propagation: PropagationConfig::default(),
             annotate: AnnotateConfig::default(),
             seed: 0x9a1e,
+            checkpoint_dir: None,
+            checkpoint_every_iteration: false,
         }
+    }
+}
+
+/// Writes `sgan` to `<checkpoint_dir>/<name>` when persistence is enabled.
+/// Checkpointing is best-effort: a full disk or unwritable directory must
+/// not abort a training run, so failures are logged and swallowed.
+fn save_checkpoint(cfg: &GaleConfig, sgan: &Sgan, name: &str) {
+    let Some(dir) = &cfg.checkpoint_dir else {
+        return;
+    };
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        gale_obs::warn!("checkpoint dir {} not created: {e}", dir.display());
+        return;
+    }
+    let path = dir.join(name);
+    match sgan.save(&path) {
+        Ok(()) => gale_obs::info!("checkpoint written: {}", path.display()),
+        Err(e) => gale_obs::warn!("checkpoint write failed: {e}"),
     }
 }
 
@@ -305,6 +333,9 @@ pub fn run_gale(
     let targets: Vec<(usize, usize)> = ExamplePool::targets(&pool.examples().collect::<Vec<_>>());
     let stats0 = sgan.train(x_r, x_s, &targets, &val_targets, &mut rng);
     let train_time0 = train_span.finish();
+    if cfg.checkpoint_every_iteration {
+        save_checkpoint(cfg, &sgan, "iter-000.ckpt");
+    }
     gale_obs::counter_add!("gale.iterations", 1);
     history.push(IterationRecord {
         iteration: 0,
@@ -408,6 +439,9 @@ pub fn run_gale(
         let targets = ExamplePool::targets(&v_t_i);
         let stats = sgan.update_discriminator(x_r, x_s, &targets, &mut rng);
         let train_time = train_span.finish();
+        if cfg.checkpoint_every_iteration {
+            save_checkpoint(cfg, &sgan, &format!("iter-{iter:03}.ckpt"));
+        }
         gale_obs::counter_add!("gale.iterations", 1);
         history.push(IterationRecord {
             iteration: iter,
@@ -423,6 +457,9 @@ pub fn run_gale(
         let _ = iter_span.finish();
         last_annotations = anns;
     }
+
+    // Persist the final model for serving / resume before scoring it.
+    save_checkpoint(cfg, &sgan, "final.ckpt");
 
     // Final classifier M output, prevalence-calibrated against the
     // validation fold when one is available (argmax otherwise).
@@ -618,6 +655,44 @@ mod tests {
             }
         }
         assert!(outcome.total_select_time() <= outcome.total_time);
+    }
+
+    #[test]
+    fn run_persists_loadable_checkpoints() {
+        let d = prepare(
+            DatasetId::MachineLearning,
+            0.08,
+            &ErrorGenConfig {
+                node_error_rate: 0.12,
+                ..Default::default()
+            },
+            29,
+        );
+        let mut rng = Rng::seed_from_u64(30);
+        let split = DataSplit::paper_default(d.graph.node_count(), &mut rng);
+        let mut oracle = GroundTruthOracle::new(&d.truth);
+        let dir = std::env::temp_dir().join("gale_pipeline_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let cfg = GaleConfig {
+            iterations: 2,
+            checkpoint_dir: Some(dir.clone()),
+            checkpoint_every_iteration: true,
+            ..quick_cfg(29)
+        };
+        let _ = run_gale(
+            &d.graph,
+            &d.constraints,
+            &split,
+            &[],
+            &[],
+            &mut oracle,
+            &cfg,
+        );
+        for name in ["final.ckpt", "iter-000.ckpt", "iter-001.ckpt"] {
+            let restored = Sgan::load(dir.join(name)).expect(name);
+            assert!(restored.input_dim() > 0, "{name} lost the input width");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -15,11 +15,17 @@
 //! [`Sgan::update_discriminator`] is the incremental `SGAND` variant that
 //! refreshes only `D` when the example set changes.
 
+use gale_json::{json, Value};
+use gale_nn::checkpoint::{
+    self, adam_from_json, adam_to_json, envelope, mlp_from_json, mlp_to_json, need, need_array,
+    need_f64, need_usize, open_envelope, CkptError,
+};
 use gale_nn::{
     feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam, Layer,
     Mlp,
 };
 use gale_tensor::{Matrix, Rng};
+use std::path::Path;
 
 /// Class index of synthetic examples in the discriminator output.
 pub const SYNTHETIC_CLASS: usize = 2;
@@ -84,6 +90,63 @@ impl Default for SganConfig {
             incremental_lr_scale: 0.3,
         }
     }
+}
+
+/// Checkpoint `kind` tag of a serialized [`Sgan`] document.
+pub const SGAN_CKPT_KIND: &str = "sgan";
+
+fn usizes_to_json(xs: &[usize]) -> Value {
+    let vals: Vec<Value> = xs.iter().map(|&n| Value::Int(n as i64)).collect();
+    json!(vals)
+}
+
+fn usizes_from_json(v: &Value, key: &str) -> Result<Vec<usize>, CkptError> {
+    need_array(v, key)?
+        .iter()
+        .map(|e| {
+            e.as_u64().map(|n| n as usize).ok_or_else(|| {
+                CkptError::Schema(format!("field `{key}` must hold non-negative integers"))
+            })
+        })
+        .collect()
+}
+
+fn config_to_json(cfg: &SganConfig) -> Value {
+    json!({
+        "d_hidden": usizes_to_json(&cfg.d_hidden),
+        "g_hidden": usizes_to_json(&cfg.g_hidden),
+        "epochs": cfg.epochs,
+        "incremental_epochs": cfg.incremental_epochs,
+        "d_lr": cfg.d_lr,
+        "g_lr": cfg.g_lr,
+        "lr_decay": cfg.lr_decay,
+        "dropout": cfg.dropout,
+        "lambda_unsup": cfg.lambda_unsup,
+        "batch_unsup": cfg.batch_unsup,
+        "early_stop_patience": cfg.early_stop_patience,
+        "syn_label_weight": cfg.syn_label_weight,
+        "weight_decay": cfg.weight_decay,
+        "incremental_lr_scale": cfg.incremental_lr_scale,
+    })
+}
+
+fn config_from_json(v: &Value) -> Result<SganConfig, CkptError> {
+    Ok(SganConfig {
+        d_hidden: usizes_from_json(v, "d_hidden")?,
+        g_hidden: usizes_from_json(v, "g_hidden")?,
+        epochs: need_usize(v, "epochs")?,
+        incremental_epochs: need_usize(v, "incremental_epochs")?,
+        d_lr: need_f64(v, "d_lr")?,
+        g_lr: need_f64(v, "g_lr")?,
+        lr_decay: need_f64(v, "lr_decay")?,
+        dropout: need_f64(v, "dropout")?,
+        lambda_unsup: need_f64(v, "lambda_unsup")?,
+        batch_unsup: need_usize(v, "batch_unsup")?,
+        early_stop_patience: need_usize(v, "early_stop_patience")?,
+        syn_label_weight: need_f64(v, "syn_label_weight")?,
+        weight_decay: need_f64(v, "weight_decay")?,
+        incremental_lr_scale: need_f64(v, "incremental_lr_scale")?,
+    })
 }
 
 /// Statistics from a training run.
@@ -453,10 +516,36 @@ impl Sgan {
         self.d.forward(x, false)
     }
 
+    /// Full 3-class probabilities {error, correct, synthetic} in evaluation
+    /// mode, written into a reusable caller buffer.
+    ///
+    /// This is the serving path: one batched forward through the
+    /// discriminator's `_into` kernels followed by an in-place softmax that
+    /// mirrors [`Matrix::softmax_rows`] operation-for-operation, so scores
+    /// served out-of-process are bitwise equal to in-process evaluation.
+    pub fn probs3_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        out.copy_from(self.d.forward_inplace(x, false));
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                z += *v;
+            }
+            if z > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= z;
+                }
+            }
+        }
+    }
+
     /// Class probabilities over {error, correct}, renormalized after
     /// dropping the synthetic class — the classifier `M` of Section III.
     pub fn class_probs(&mut self, x: &Matrix) -> Matrix {
-        let probs = self.logits(x).softmax_rows();
+        let mut probs = Matrix::zeros(0, 0);
+        self.probs3_into(x, &mut probs);
         let mut out = Matrix::zeros(x.rows(), 2);
         for r in 0..x.rows() {
             let pe = probs[(r, 0)];
@@ -492,6 +581,59 @@ impl Sgan {
     /// Generates fake encodings from synthetic inputs (diagnostics).
     pub fn generate(&mut self, x_s: &Matrix) -> Matrix {
         self.g.forward(x_s, false)
+    }
+
+    /// Serializes the full model — both players, both Adam optimizers, the
+    /// embedding tap, and every hyperparameter — as a checkpoint document
+    /// (`kind: "sgan"`). Training resumes exactly from a restored copy.
+    pub fn to_json(&self) -> Result<Value, CkptError> {
+        let body = json!({
+            "input_dim": self.input_dim,
+            "tap": self.tap,
+            "config": config_to_json(&self.cfg),
+            "d": mlp_to_json(&self.d)?,
+            "g": mlp_to_json(&self.g)?,
+            "d_opt": adam_to_json(&self.d_opt),
+            "g_opt": adam_to_json(&self.g_opt),
+        });
+        Ok(envelope(SGAN_CKPT_KIND, &body))
+    }
+
+    /// Rebuilds a model from a document produced by [`Sgan::to_json`].
+    pub fn from_json(doc: &Value) -> Result<Sgan, CkptError> {
+        let v = open_envelope(doc, SGAN_CKPT_KIND)?;
+        let input_dim = need_usize(v, "input_dim")?;
+        let tap = need_usize(v, "tap")?;
+        let cfg = config_from_json(need(v, "config")?)?;
+        let d = mlp_from_json(need(v, "d")?)?;
+        let g = mlp_from_json(need(v, "g")?)?;
+        if tap >= d.depth() {
+            return Err(CkptError::Schema(format!(
+                "tap index {tap} out of range for a depth-{} discriminator",
+                d.depth()
+            )));
+        }
+        Ok(Sgan {
+            d,
+            g,
+            d_opt: adam_from_json(need(v, "d_opt")?)?,
+            g_opt: adam_from_json(need(v, "g_opt")?)?,
+            tap,
+            cfg,
+            input_dim,
+            scratch: SganScratch::default(),
+        })
+    }
+
+    /// Writes a checkpoint file at `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CkptError> {
+        checkpoint::write_file(path.as_ref(), &self.to_json()?)
+    }
+
+    /// Loads a checkpoint file written by [`Sgan::save`]. Corrupt,
+    /// truncated, or version-mismatched files surface as a typed error.
+    pub fn load(path: impl AsRef<Path>) -> Result<Sgan, CkptError> {
+        Sgan::from_json(&checkpoint::read_file(path.as_ref())?)
     }
 }
 
@@ -659,6 +801,126 @@ mod tests {
             "early stopping never fired ({} epochs)",
             stats.epochs_run
         );
+    }
+
+    #[test]
+    fn probs3_mirrors_softmax_rows_bitwise() {
+        let mut rng = Rng::seed_from_u64(208);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 60, 5);
+        let targets: Vec<(usize, usize)> = (0..60)
+            .step_by(4)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(5, &small_cfg(), &mut rng);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+        let reference = sgan.logits(&x_r).softmax_rows();
+        let mut probs = Matrix::zeros(0, 0);
+        sgan.probs3_into(&x_r, &mut probs);
+        assert_eq!(probs.shape(), (60, 3));
+        for (a, b) in reference.data().iter().zip(probs.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trip_is_byte_identical_and_resumes() {
+        let mut rng = Rng::seed_from_u64(209);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 80, 5);
+        let targets: Vec<(usize, usize)> = (0..80)
+            .step_by(5)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let cfg = SganConfig {
+            epochs: 20,
+            ..small_cfg()
+        };
+        let mut sgan = Sgan::new(5, &cfg, &mut rng);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+
+        let text1 = sgan.to_json().unwrap().to_string_compact();
+        let mut restored = Sgan::from_json(&gale_json::from_str(&text1).unwrap()).unwrap();
+        let text2 = restored.to_json().unwrap().to_string_compact();
+        assert_eq!(text1, text2, "save -> load -> save must be byte-identical");
+
+        // Served scores must be bitwise equal to the in-process model.
+        let (mut p1, mut p2) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+        sgan.probs3_into(&x_r, &mut p1);
+        restored.probs3_into(&x_r, &mut p2);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // Training must resume identically: one SGAND refresh on each copy
+        // from identical RNG state produces bitwise-equal scores.
+        let mut r1 = Rng::seed_from_u64(77);
+        let mut r2 = Rng::seed_from_u64(77);
+        let _ = sgan.update_discriminator(&x_r, &x_s, &targets, &mut r1);
+        let _ = restored.update_discriminator(&x_r, &x_s, &targets, &mut r2);
+        sgan.probs3_into(&x_r, &mut p1);
+        restored.probs3_into(&x_r, &mut p2);
+        for (a, b) in p1.data().iter().zip(p2.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_documents() {
+        let mut rng = Rng::seed_from_u64(210);
+        let sgan = Sgan::new(4, &small_cfg(), &mut rng);
+        let good = sgan.to_json().unwrap();
+
+        let mut wrong_kind = good.clone();
+        if let Value::Object(m) = &mut wrong_kind {
+            m.insert("kind", Value::Str("mlp".into()));
+        }
+        assert!(matches!(
+            Sgan::from_json(&wrong_kind),
+            Err(CkptError::Kind { .. })
+        ));
+
+        let mut wrong_version = good.clone();
+        if let Value::Object(m) = &mut wrong_version {
+            m.insert("version", Value::Int(42));
+        }
+        assert!(matches!(
+            Sgan::from_json(&wrong_version),
+            Err(CkptError::Version { .. })
+        ));
+
+        let mut bad_tap = good.clone();
+        if let Value::Object(m) = &mut bad_tap {
+            m.insert("tap", Value::Int(999));
+        }
+        assert!(matches!(
+            Sgan::from_json(&bad_tap),
+            Err(CkptError::Schema(_))
+        ));
+
+        let mut clobbered = good.clone();
+        if let Value::Object(m) = &mut clobbered {
+            m.insert("g_opt", Value::Null);
+        }
+        assert!(matches!(
+            Sgan::from_json(&clobbered),
+            Err(CkptError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn checkpoint_file_round_trip() {
+        let dir = std::env::temp_dir().join("gale_sgan_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sgan.ckpt");
+        let mut rng = Rng::seed_from_u64(211);
+        let sgan = Sgan::new(3, &small_cfg(), &mut rng);
+        sgan.save(&path).unwrap();
+        let restored = Sgan::load(&path).unwrap();
+        assert_eq!(restored.input_dim(), 3);
+        assert!(matches!(
+            Sgan::load(dir.join("absent.ckpt")),
+            Err(CkptError::Io { .. })
+        ));
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Bit-exact `f64` encoding for JSON documents.
+//!
+//! JSON has no NaN or infinity, and decimal round trips — while exact for
+//! finite values printed with Rust's shortest-representation formatter —
+//! cannot carry NaN payloads at all. Checkpoints need every parameter bit
+//! preserved, so tensors are stored as the raw IEEE-754 bit pattern in
+//! lowercase hex: 16 hex digits per `f64`, most-significant nibble first,
+//! concatenated into one string per tensor. `1.0` encodes as
+//! `"3ff0000000000000"`, `-0.0` as `"8000000000000000"`, and every NaN
+//! keeps its payload.
+
+use crate::{Error, Value};
+
+/// Number of hex digits in one encoded `f64`.
+pub const HEX_DIGITS_PER_F64: usize = 16;
+
+/// Encodes one `f64` as 16 lowercase hex digits of its bit pattern.
+pub fn f64_to_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Decodes a 16-hex-digit bit pattern back into the identical `f64`.
+pub fn f64_from_hex(s: &str) -> Result<f64, Error> {
+    if s.len() != HEX_DIGITS_PER_F64 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(Error::new(format!(
+            "hexfloat: expected {HEX_DIGITS_PER_F64} hex digits, got {:?}",
+            truncate_for_error(s)
+        )));
+    }
+    let bits = u64::from_str_radix(s, 16).map_err(|e| {
+        Error::new(format!(
+            "hexfloat: bad hex {:?}: {e}",
+            truncate_for_error(s)
+        ))
+    })?;
+    Ok(f64::from_bits(bits))
+}
+
+/// Encodes a slice of `f64` values as one concatenated hex string value.
+pub fn encode_f64s(values: &[f64]) -> Value {
+    let mut out = String::with_capacity(values.len() * HEX_DIGITS_PER_F64);
+    for &v in values {
+        use std::fmt::Write as _;
+        let _ = write!(out, "{:016x}", v.to_bits());
+    }
+    Value::Str(out)
+}
+
+/// Decodes a concatenated hex string value back into the identical values.
+///
+/// Fails (never panics) on non-string values, lengths that are not a
+/// multiple of 16, and non-hex characters.
+pub fn decode_f64s(v: &Value) -> Result<Vec<f64>, Error> {
+    let s = v
+        .as_str()
+        .ok_or_else(|| Error::new("hexfloat: expected a hex string value"))?;
+    if s.len() % HEX_DIGITS_PER_F64 != 0 {
+        return Err(Error::new(format!(
+            "hexfloat: string length {} is not a multiple of {HEX_DIGITS_PER_F64}",
+            s.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(s.len() / HEX_DIGITS_PER_F64);
+    for chunk in s.as_bytes().chunks(HEX_DIGITS_PER_F64) {
+        // Chunks are in-bounds ASCII slices by the length check above.
+        let text = std::str::from_utf8(chunk)
+            .map_err(|_| Error::new("hexfloat: non-ASCII bytes in hex string"))?;
+        out.push(f64_from_hex(text)?);
+    }
+    Ok(out)
+}
+
+fn truncate_for_error(s: &str) -> String {
+    if s.len() <= 24 {
+        s.to_string()
+    } else {
+        let mut end = 24;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_patterns() {
+        assert_eq!(f64_to_hex(1.0), "3ff0000000000000");
+        assert_eq!(f64_to_hex(0.0), "0000000000000000");
+        assert_eq!(f64_to_hex(-0.0), "8000000000000000");
+        assert_eq!(f64_from_hex("3ff0000000000000").unwrap(), 1.0);
+        // -0.0 round-trips with its sign bit.
+        let z = f64_from_hex("8000000000000000").unwrap();
+        assert_eq!(z, 0.0);
+        assert!(z.is_sign_negative());
+    }
+
+    #[test]
+    fn non_finite_and_payloads() {
+        for bits in [
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            f64::NAN.to_bits(),
+            0x7ff8_0000_dead_beef, // NaN with payload
+            0x7ff0_0000_0000_0001, // signalling NaN
+            0x0000_0000_0000_0001, // smallest subnormal
+            0x000f_ffff_ffff_ffff, // largest subnormal
+        ] {
+            let v = f64::from_bits(bits);
+            let back = f64_from_hex(&f64_to_hex(v)).unwrap();
+            assert_eq!(back.to_bits(), bits, "bits {bits:#018x}");
+        }
+    }
+
+    #[test]
+    fn slice_round_trip() {
+        let vals = [1.5, -2.25, f64::NAN, f64::INFINITY, -0.0, 1e-310];
+        let enc = encode_f64s(&vals);
+        let dec = decode_f64s(&enc).unwrap();
+        assert_eq!(dec.len(), vals.len());
+        for (a, b) in vals.iter().zip(&dec) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_slice_round_trips() {
+        let enc = encode_f64s(&[]);
+        assert_eq!(decode_f64s(&enc).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors() {
+        assert!(f64_from_hex("zzzz").is_err());
+        assert!(f64_from_hex("3ff00000000000000").is_err()); // 17 digits
+        assert!(f64_from_hex("3ff000000000000g").is_err());
+        assert!(decode_f64s(&Value::Int(3)).is_err());
+        assert!(decode_f64s(&Value::Str("abc".into())).is_err()); // ragged
+        assert!(decode_f64s(&Value::Str("g".repeat(16))).is_err());
+    }
+}

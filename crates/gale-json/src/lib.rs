@@ -16,8 +16,10 @@
 
 use std::fmt;
 
+pub mod hexfloat;
 pub mod parse;
 
+pub use hexfloat::{decode_f64s, encode_f64s, f64_from_hex, f64_to_hex};
 pub use parse::from_str;
 
 /// A parse or decode error, with 1-based line/column for parse failures.

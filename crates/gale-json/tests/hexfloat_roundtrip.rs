@@ -1,0 +1,78 @@
+//! Round-trip property tests for the bit-exact f64 hex codec.
+//!
+//! Values are generated as raw `u64` bit patterns, so the sweep covers the
+//! full IEEE-754 space uniformly — normals, subnormals, ±0, infinities, and
+//! NaNs with arbitrary payloads — rather than just floats reachable from a
+//! uniform `[0,1)` draw.
+
+use gale_json::hexfloat::{decode_f64s, encode_f64s, f64_from_hex, f64_to_hex};
+use proptest::prelude::*;
+use proptest::{collection, Strategy};
+
+/// Strategy over raw bit patterns biased toward the interesting corners of
+/// the f64 space: one draw picks a class, the second fills in free bits.
+fn bit_pattern() -> impl Strategy<Value = u64> {
+    (0usize..6, 0u64..u64::MAX).prop_map(|(class, raw)| match class {
+        // Arbitrary bits: mostly normals, occasionally anything else.
+        0 => raw,
+        // Subnormals: zero exponent, nonzero mantissa.
+        1 => (raw & 0x800f_ffff_ffff_ffff) | 1,
+        // Signed zeros.
+        2 => raw & 0x8000_0000_0000_0000,
+        // Infinities.
+        3 => (raw & 0x8000_0000_0000_0000) | 0x7ff0_0000_0000_0000,
+        // NaNs with arbitrary payloads (mantissa forced nonzero).
+        4 => (raw & 0x800f_ffff_ffff_ffff) | 0x7ff0_0000_0000_0000 | 1,
+        // Small-magnitude normals near the subnormal boundary.
+        _ => (raw & 0x800f_ffff_ffff_ffff) | 0x0010_0000_0000_0000,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn scalar_round_trip_is_bit_exact(bits in bit_pattern()) {
+        let v = f64::from_bits(bits);
+        let hex = f64_to_hex(v);
+        prop_assert_eq!(hex.len(), 16);
+        let back = f64_from_hex(&hex);
+        prop_assert!(back.is_ok(), "decode failed for {hex}");
+        prop_assert_eq!(back.unwrap().to_bits(), bits);
+    }
+
+    #[test]
+    fn slice_round_trip_is_bit_exact(patterns in collection::vec(bit_pattern(), 0usize..64)) {
+        let vals: Vec<f64> = patterns.iter().map(|&b| f64::from_bits(b)).collect();
+        let enc = encode_f64s(&vals);
+        let dec = decode_f64s(&enc);
+        prop_assert!(dec.is_ok());
+        let dec = dec.unwrap();
+        prop_assert_eq!(dec.len(), vals.len());
+        for (orig, got) in patterns.iter().zip(&dec) {
+            prop_assert_eq!(*orig, got.to_bits());
+        }
+    }
+
+    #[test]
+    fn encoding_is_canonical(bits in bit_pattern()) {
+        // One value, one encoding: re-encoding a decoded value reproduces
+        // the exact string, so checkpoints re-serialize byte-identically.
+        let hex = f64_to_hex(f64::from_bits(bits));
+        let again = f64_to_hex(f64_from_hex(&hex).unwrap());
+        prop_assert_eq!(hex, again);
+    }
+
+    #[test]
+    fn truncated_strings_error_not_panic(
+        patterns in collection::vec(bit_pattern(), 1usize..8),
+        cut in 1usize..16,
+    ) {
+        let vals: Vec<f64> = patterns.iter().map(|&b| f64::from_bits(b)).collect();
+        let enc = encode_f64s(&vals);
+        let s = enc.as_str().unwrap();
+        // Cut mid-value so the length is no longer a multiple of 16.
+        let truncated = gale_json::Value::Str(s[..s.len() - cut].to_string());
+        prop_assert!(decode_f64s(&truncated).is_err());
+    }
+}

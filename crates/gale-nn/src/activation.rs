@@ -1,5 +1,6 @@
 //! Element-wise activation layers.
 
+use crate::checkpoint::LayerState;
 use crate::layer::Layer;
 use gale_tensor::Matrix;
 
@@ -22,6 +23,29 @@ pub enum Activation {
 const LEAKY_SLOPE: f64 = 0.2;
 
 impl Activation {
+    /// Stable identifier used by the checkpoint format.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::LeakyRelu => "leaky_relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Identity => "identity",
+        }
+    }
+
+    /// Inverse of [`Activation::name`]; `None` for unknown identifiers.
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "relu" => Activation::Relu,
+            "leaky_relu" => Activation::LeakyRelu,
+            "tanh" => Activation::Tanh,
+            "sigmoid" => Activation::Sigmoid,
+            "identity" => Activation::Identity,
+            _ => return None,
+        })
+    }
+
     /// Applies the activation to a scalar.
     #[inline]
     pub fn apply(self, x: f64) -> f64 {
@@ -83,6 +107,11 @@ impl ActivationLayer {
             cached_out: Matrix::zeros(0, 0),
         }
     }
+
+    /// The wrapped activation function.
+    pub fn activation(&self) -> Activation {
+        self.act
+    }
 }
 
 impl Layer for ActivationLayer {
@@ -122,6 +151,10 @@ impl Layer for ActivationLayer {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn state(&self) -> Option<LayerState> {
+        Some(LayerState::Activation { act: self.act })
+    }
 }
 
 #[cfg(test)]

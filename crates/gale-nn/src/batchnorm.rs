@@ -1,6 +1,7 @@
 //! Batch normalization (per-feature), as used inside the paper's generator
 //! and discriminator stacks.
 
+use crate::checkpoint::LayerState;
 use crate::layer::Layer;
 use gale_tensor::Matrix;
 
@@ -34,6 +35,41 @@ impl BatchNorm {
             running_var: vec![1.0; dim],
             momentum: 0.9,
             eps: 1e-5,
+            x_hat: Matrix::zeros(0, 0),
+            std_inv: Vec::new(),
+            train_pass: false,
+        }
+    }
+
+    /// Rebuilds a layer from checkpointed parameters and running statistics.
+    /// All per-feature inputs must agree on the dimensionality.
+    pub fn from_parts(
+        gamma: Matrix,
+        beta: Matrix,
+        running_mean: Vec<f64>,
+        running_var: Vec<f64>,
+        momentum: f64,
+        eps: f64,
+    ) -> Self {
+        let d = gamma.cols();
+        assert_eq!(gamma.rows(), 1, "BatchNorm::from_parts: gamma must be 1xd");
+        assert_eq!(
+            beta.shape(),
+            (1, d),
+            "BatchNorm::from_parts: beta shape {:?} != (1, {d})",
+            beta.shape()
+        );
+        assert_eq!(running_mean.len(), d, "BatchNorm::from_parts: mean len");
+        assert_eq!(running_var.len(), d, "BatchNorm::from_parts: var len");
+        BatchNorm {
+            g_gamma: Matrix::zeros(1, d),
+            g_beta: Matrix::zeros(1, d),
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+            momentum,
+            eps,
             x_hat: Matrix::zeros(0, 0),
             std_inv: Vec::new(),
             train_pass: false,
@@ -155,6 +191,17 @@ impl Layer for BatchNorm {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
         f(&mut self.gamma, &mut self.g_gamma);
         f(&mut self.beta, &mut self.g_beta);
+    }
+
+    fn state(&self) -> Option<LayerState> {
+        Some(LayerState::BatchNorm {
+            gamma: self.gamma.clone(),
+            beta: self.beta.clone(),
+            running_mean: self.running_mean.clone(),
+            running_var: self.running_var.clone(),
+            momentum: self.momentum,
+            eps: self.eps,
+        })
     }
 }
 

@@ -3,6 +3,7 @@
 //! The paper's G and D both include "regularization layers e.g. dropout
 //! layers to prevent overfitting" (Section IV).
 
+use crate::checkpoint::LayerState;
 use crate::layer::Layer;
 use gale_tensor::{Matrix, Rng};
 
@@ -75,6 +76,15 @@ impl Layer for Dropout {
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {}
+
+    fn state(&self) -> Option<LayerState> {
+        let (rng_state, cached_gauss) = self.rng.state();
+        Some(LayerState::Dropout {
+            p: self.p,
+            rng_state,
+            cached_gauss,
+        })
+    }
 }
 
 #[cfg(test)]

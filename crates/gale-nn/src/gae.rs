@@ -45,9 +45,19 @@ impl Default for GaeConfig {
 
 /// A trained graph autoencoder.
 pub struct Gae {
-    encoder: Gcn,
+    pub(crate) encoder: Gcn,
     /// Final reconstruction loss per edge sample.
     pub final_loss: f64,
+}
+
+impl Gae {
+    /// Rebuilds a GAE from a checkpointed encoder.
+    pub fn from_parts(encoder: Gcn, final_loss: f64) -> Self {
+        Gae {
+            encoder,
+            final_loss,
+        }
+    }
 }
 
 impl Gae {

@@ -13,11 +13,11 @@ use std::sync::Arc;
 /// One graph-convolution layer: `Z = act(S X W + b)`.
 pub struct GcnLayer {
     s: Arc<SparseMatrix>,
-    w: Matrix,
-    b: Matrix,
+    pub(crate) w: Matrix,
+    pub(crate) b: Matrix,
     gw: Matrix,
     gb: Matrix,
-    act: Activation,
+    pub(crate) act: Activation,
     cached_sx: Matrix,
     cached_pre: Matrix,
     cached_out: Matrix,
@@ -42,6 +42,35 @@ impl GcnLayer {
             b: Matrix::zeros(1, out_dim),
             gw: Matrix::zeros(in_dim, out_dim),
             gb: Matrix::zeros(1, out_dim),
+            act,
+            cached_sx: Matrix::zeros(0, 0),
+            cached_pre: Matrix::zeros(0, 0),
+            cached_out: Matrix::zeros(0, 0),
+            scratch_dpre: Matrix::zeros(0, 0),
+            scratch_dxw: Matrix::zeros(0, 0),
+        }
+    }
+
+    /// Rebuilds a layer from checkpointed parameters over the given graph
+    /// operator. `b` must be a `1 x out_dim` row matching `w`.
+    pub fn from_parts(s: Arc<SparseMatrix>, w: Matrix, b: Matrix, act: Activation) -> Self {
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (1, w.cols()),
+            "GcnLayer::from_parts: bias shape {:?} does not fit weights {:?}",
+            b.shape(),
+            w.shape()
+        );
+        let (gw, gb) = (
+            Matrix::zeros(w.rows(), w.cols()),
+            Matrix::zeros(1, b.cols()),
+        );
+        GcnLayer {
+            s,
+            w,
+            b,
+            gw,
+            gb,
             act,
             cached_sx: Matrix::zeros(0, 0),
             cached_pre: Matrix::zeros(0, 0),
@@ -135,8 +164,8 @@ impl Layer for GcnLayer {
 /// A two-layer GCN encoder, the standard architecture for semi-supervised
 /// node classification (and the encoder of the GAE).
 pub struct Gcn {
-    layer1: GcnLayer,
-    layer2: GcnLayer,
+    pub(crate) layer1: GcnLayer,
+    pub(crate) layer2: GcnLayer,
     hidden: Matrix,
     ghidden: Matrix,
 }
@@ -164,6 +193,21 @@ impl Gcn {
     /// Hidden representation from the most recent forward pass.
     pub fn hidden(&self) -> &Matrix {
         &self.hidden
+    }
+
+    /// Rebuilds a two-layer GCN from checkpointed layers.
+    pub fn from_parts(layer1: GcnLayer, layer2: GcnLayer) -> Self {
+        assert_eq!(
+            layer1.w.cols(),
+            layer2.w.rows(),
+            "Gcn::from_parts: layer widths disagree"
+        );
+        Gcn {
+            layer1,
+            layer2,
+            hidden: Matrix::zeros(0, 0),
+            ghidden: Matrix::zeros(0, 0),
+        }
     }
 }
 

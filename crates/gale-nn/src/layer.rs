@@ -4,10 +4,14 @@
 //! gradients from `backward`; optimizers visit `(parameter, gradient)` pairs
 //! in a stable order through [`Layer::visit_params`].
 
+use crate::checkpoint::LayerState;
 use gale_tensor::Matrix;
 
 /// A differentiable network layer with manually implemented backprop.
-pub trait Layer {
+///
+/// `Send` is a supertrait so whole models can move into a serving thread;
+/// every layer is plain owned data, so the bound costs implementors nothing.
+pub trait Layer: Send {
     /// Forward pass. `train` enables stochastic behaviour (dropout) and
     /// batch statistics (batch norm).
     fn forward(&mut self, x: &Matrix, train: bool) -> Matrix;
@@ -33,6 +37,12 @@ pub trait Layer {
 
     /// Visits every `(param, grad)` pair in a stable order.
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix));
+
+    /// Serializable snapshot of this layer for checkpointing, or `None` for
+    /// layer types without checkpoint support (the default).
+    fn state(&self) -> Option<LayerState> {
+        None
+    }
 
     /// Clears accumulated parameter gradients.
     fn zero_grad(&mut self) {

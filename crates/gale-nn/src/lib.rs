@@ -16,6 +16,7 @@
 
 pub mod activation;
 pub mod batchnorm;
+pub mod checkpoint;
 pub mod dropout;
 pub mod embedding;
 pub mod gae;
@@ -28,6 +29,7 @@ pub mod optim;
 
 pub use activation::{Activation, ActivationLayer};
 pub use batchnorm::BatchNorm;
+pub use checkpoint::{CkptError, LayerState};
 pub use dropout::Dropout;
 pub use embedding::HashEmbedder;
 pub use gae::{Gae, GaeConfig};

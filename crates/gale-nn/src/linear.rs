@@ -1,5 +1,6 @@
 //! Fully-connected (dense) layer with bias.
 
+use crate::checkpoint::LayerState;
 use crate::layer::Layer;
 use gale_tensor::{Matrix, Rng};
 
@@ -40,6 +41,34 @@ impl Linear {
     /// Read access to the weights (inspection/serialization).
     pub fn weights(&self) -> &Matrix {
         &self.w
+    }
+
+    /// Read access to the bias row (inspection/serialization).
+    pub fn bias(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Rebuilds a layer from explicit weights and bias (checkpoint load).
+    /// `b` must be a `1 x out_dim` row matching `w`'s column count.
+    pub fn from_parts(w: Matrix, b: Matrix) -> Self {
+        assert_eq!(
+            (b.rows(), b.cols()),
+            (1, w.cols()),
+            "Linear::from_parts: bias shape {:?} does not fit weights {:?}",
+            b.shape(),
+            w.shape()
+        );
+        let (gw, gb) = (
+            Matrix::zeros(w.rows(), w.cols()),
+            Matrix::zeros(1, b.cols()),
+        );
+        Linear {
+            w,
+            b,
+            gw,
+            gb,
+            cached_in: Matrix::zeros(0, 0),
+        }
     }
 }
 
@@ -94,6 +123,13 @@ impl Layer for Linear {
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Matrix, &mut Matrix)) {
         f(&mut self.w, &mut self.gw);
         f(&mut self.b, &mut self.gb);
+    }
+
+    fn state(&self) -> Option<LayerState> {
+        Some(LayerState::Linear {
+            w: self.w.clone(),
+            b: self.b.clone(),
+        })
     }
 }
 

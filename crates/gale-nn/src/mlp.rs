@@ -2,6 +2,7 @@
 
 use crate::activation::{Activation, ActivationLayer};
 use crate::batchnorm::BatchNorm;
+use crate::checkpoint::LayerState;
 use crate::dropout::Dropout;
 use crate::layer::Layer;
 use crate::linear::Linear;
@@ -34,6 +35,17 @@ impl Mlp {
     pub fn push(mut self, layer: impl Layer + 'static) -> Self {
         self.layers.push(Box::new(layer));
         self
+    }
+
+    /// Appends an already-boxed layer (checkpoint reconstruction path).
+    pub fn push_boxed(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Serializable snapshot of each layer, in stack order. `None` entries
+    /// mark layer types without checkpoint support.
+    pub fn layer_states(&self) -> Vec<Option<LayerState>> {
+        self.layers.iter().map(|l| l.state()).collect()
     }
 
     /// Convenience constructor: dense layers of the given sizes with the

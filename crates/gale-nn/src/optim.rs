@@ -8,12 +8,12 @@ use gale_tensor::Matrix;
 pub struct Adam {
     /// Current learning rate.
     pub lr: f64,
-    beta1: f64,
-    beta2: f64,
-    eps: f64,
-    t: u64,
+    pub(crate) beta1: f64,
+    pub(crate) beta2: f64,
+    pub(crate) eps: f64,
+    pub(crate) t: u64,
     /// First/second moment estimates, in `visit_params` order.
-    state: Vec<(Matrix, Matrix)>,
+    pub(crate) state: Vec<(Matrix, Matrix)>,
 }
 
 impl Adam {

@@ -325,6 +325,72 @@ pub fn snapshot_json() -> Value {
     Value::Object(root)
 }
 
+/// Formats a sample value for the text exposition (Prometheus spells the
+/// non-finite values `+Inf`/`-Inf`/`NaN`).
+fn render_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Maps a registry name onto the Prometheus metric-name alphabet
+/// (`[a-zA-Z0-9_:]`): every other character becomes `_`.
+fn render_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders every registered metric in the Prometheus text exposition
+/// format: a `# TYPE` line per metric, cumulative `_bucket{le=...}` series
+/// plus `_sum`/`_count` for histograms. This is the payload served by
+/// `gale-serve`'s `GET /metrics`.
+pub fn render_text() -> String {
+    let mut out = String::new();
+    for (name, snap) in snapshot() {
+        let name = render_name(&name);
+        match snap {
+            MetricSnapshot::Counter(c) => {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {c}\n"));
+            }
+            MetricSnapshot::Gauge(g) => {
+                out.push_str(&format!(
+                    "# TYPE {name} gauge\n{name} {}\n",
+                    render_value(g)
+                ));
+            }
+            MetricSnapshot::Histogram(h) => {
+                out.push_str(&format!("# TYPE {name} histogram\n"));
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                    cumulative += count;
+                    out.push_str(&format!(
+                        "{name}_bucket{{le=\"{}\"}} {cumulative}\n",
+                        render_value(*bound)
+                    ));
+                }
+                cumulative += h.overflow;
+                out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+                out.push_str(&format!("{name}_sum {}\n", render_value(h.sum)));
+                out.push_str(&format!("{name}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
 /// Canonical fixed bucket sets.
 pub mod buckets {
     /// Wall-clock durations in microseconds, ~1 µs to 10 s.
@@ -424,6 +490,25 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn histogram_rejects_unsorted_bounds() {
         let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn render_text_exposes_all_metric_kinds() {
+        counter("test.render.requests").add(3);
+        gauge("test.render.depth").set(2.5);
+        let h = histogram("test.render.latency", &[1.0, 10.0]);
+        h.record(0.5);
+        h.record(5.0);
+        h.record(50.0);
+        let text = render_text();
+        assert!(text.contains("# TYPE test_render_requests counter\ntest_render_requests 3\n"));
+        assert!(text.contains("# TYPE test_render_depth gauge\ntest_render_depth 2.5\n"));
+        // Histogram buckets are cumulative and end with the +Inf series.
+        assert!(text.contains("test_render_latency_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("test_render_latency_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("test_render_latency_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("test_render_latency_sum 55.5\n"));
+        assert!(text.contains("test_render_latency_count 3\n"));
     }
 
     #[test]

@@ -1,0 +1,302 @@
+//! The micro-batching queue between HTTP connection threads and the single
+//! scorer thread that owns the model.
+//!
+//! Connection threads [`Batcher::submit`] feature rows into a *bounded*
+//! queue; when it is full the submission fails immediately and the caller
+//! sheds load with `503`. The scorer pops the first waiting job, then
+//! lingers up to `max_wait_us` coalescing more jobs until `max_batch` rows
+//! are in hand, and runs **one** forward pass over the combined batch
+//! through [`Sgan::probs3_into`]. Batch and output matrices come from a
+//! [`Workspace`] pool, so steady-state serving does not allocate.
+//!
+//! Shutdown is the natural channel protocol: when every submitter handle is
+//! dropped the scorer drains whatever is still queued — each job gets its
+//! reply — and exits. No job is ever dropped on the floor.
+
+use crate::metrics;
+use gale_core::Sgan;
+use gale_tensor::Workspace;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Row budget per forward pass; the collector stops coalescing once the
+    /// batch holds at least this many rows.
+    pub max_batch: usize,
+    /// How long the collector lingers for more work after the first job of
+    /// a batch arrives, in microseconds.
+    pub max_wait_us: u64,
+    /// Bounded queue capacity in *jobs*; submissions beyond it are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 64,
+            max_wait_us: 2_000,
+            queue_capacity: 128,
+        }
+    }
+}
+
+/// One queued scoring request: `rows` feature rows, flattened row-major.
+struct ScoreJob {
+    features: Vec<f64>,
+    rows: usize,
+    enqueued: Instant,
+    reply: mpsc::Sender<Vec<f64>>,
+}
+
+/// Why a submission was rejected.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — retry later.
+    Overloaded,
+    /// The scorer has shut down; no further work is accepted.
+    Stopped,
+}
+
+/// Cloneable submission handle onto the scorer's queue.
+#[derive(Clone)]
+pub struct Batcher {
+    tx: SyncSender<ScoreJob>,
+    depth: Arc<AtomicI64>,
+}
+
+impl Batcher {
+    /// Creates the queue. Feed the receiver half to [`run_scorer`].
+    pub fn new(cfg: &BatchConfig) -> (Batcher, BatchReceiver) {
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+        let depth = Arc::new(AtomicI64::new(0));
+        (
+            Batcher {
+                tx,
+                depth: depth.clone(),
+            },
+            BatchReceiver { rx, depth },
+        )
+    }
+
+    /// Enqueues `rows` feature rows (flattened row-major) and returns the
+    /// channel the scored probabilities arrive on: `rows * 3` values, one
+    /// `{error, correct, synthetic}` triple per row.
+    pub fn submit(
+        &self,
+        features: Vec<f64>,
+        rows: usize,
+    ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
+        metrics::requests().add(1);
+        let (reply, reply_rx) = mpsc::channel();
+        let job = ScoreJob {
+            features,
+            rows,
+            enqueued: Instant::now(),
+            reply,
+        };
+        // Count the job *before* sending: the scorer may pop (and
+        // decrement) it the instant `try_send` returns, and the gauge must
+        // never observe that decrement before this increment.
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        metrics::queue_depth().set(d as f64);
+        match self.tx.try_send(job) {
+            Ok(()) => Ok(reply_rx),
+            Err(e) => {
+                let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                metrics::queue_depth().set(d as f64);
+                match e {
+                    TrySendError::Full(_) => {
+                        metrics::shed().add(1);
+                        Err(SubmitError::Overloaded)
+                    }
+                    TrySendError::Disconnected(_) => Err(SubmitError::Stopped),
+                }
+            }
+        }
+    }
+}
+
+/// The scorer's half of the queue (exists so `run_scorer` can decrement the
+/// shared depth gauge as it pops).
+pub struct BatchReceiver {
+    rx: Receiver<ScoreJob>,
+    depth: Arc<AtomicI64>,
+}
+
+impl BatchReceiver {
+    fn note_pop(&self) {
+        let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+        metrics::queue_depth().set(d as f64);
+    }
+}
+
+/// Runs the scoring loop until every [`Batcher`] handle is dropped, then
+/// drains the queue and returns the model (so a caller can checkpoint or
+/// inspect it after shutdown).
+pub fn run_scorer(mut model: Sgan, rx: BatchReceiver, cfg: &BatchConfig) -> Sgan {
+    let dim = model.input_dim();
+    let mut ws = Workspace::new();
+    let mut jobs: Vec<ScoreJob> = Vec::new();
+    loop {
+        // Block for the batch's first job; a disconnect here means every
+        // submitter is gone and the queue is empty — clean exit.
+        let first = match rx.rx.recv() {
+            Ok(job) => job,
+            Err(_) => break,
+        };
+        rx.note_pop();
+        let mut total_rows = first.rows;
+        jobs.push(first);
+        // Linger, coalescing until the row budget or the deadline.
+        let deadline = Instant::now() + Duration::from_micros(cfg.max_wait_us);
+        while total_rows < cfg.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.rx.recv_timeout(deadline - now) {
+                Ok(job) => {
+                    rx.note_pop();
+                    total_rows += job.rows;
+                    jobs.push(job);
+                }
+                Err(_) => break, // timeout or disconnect: score what we have
+            }
+        }
+
+        // One batched forward through the pooled buffers.
+        let mut batch = ws.take(total_rows, dim);
+        let mut offset = 0usize;
+        for job in &jobs {
+            batch.data_mut()[offset..offset + job.features.len()].copy_from_slice(&job.features);
+            offset += job.features.len();
+        }
+        let mut probs = ws.take(total_rows, 3);
+        model.probs3_into(&batch, &mut probs);
+        metrics::batches().add(1);
+        metrics::rows().add(total_rows as u64);
+        metrics::batch_rows().record(total_rows as f64);
+        let (hits, misses) = ws.stats();
+        metrics::pool_hits().set(hits as f64);
+        metrics::pool_misses().set(misses as f64);
+
+        // Scatter the rows back to their requesters.
+        let mut row0 = 0usize;
+        for job in jobs.drain(..) {
+            let slice = probs.data()[row0 * 3..(row0 + job.rows) * 3].to_vec();
+            row0 += job.rows;
+            metrics::latency_us().record(job.enqueued.elapsed().as_secs_f64() * 1e6);
+            // A vanished client (closed connection) is not an error.
+            let _ = job.reply.send(slice);
+        }
+        ws.give(batch);
+        ws.give(probs);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_core::SganConfig;
+    use gale_tensor::{Matrix, Rng};
+
+    fn tiny_model(dim: usize) -> Sgan {
+        let mut rng = Rng::seed_from_u64(31);
+        Sgan::new(
+            dim,
+            &SganConfig {
+                d_hidden: vec![8, 4],
+                g_hidden: vec![8],
+                ..Default::default()
+            },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let (batcher, _rx) = Batcher::new(&BatchConfig {
+            queue_capacity: 2,
+            ..Default::default()
+        });
+        // No scorer is draining, so the third submit must shed immediately.
+        assert!(batcher.submit(vec![0.0], 1).is_ok());
+        assert!(batcher.submit(vec![0.0], 1).is_ok());
+        assert_eq!(
+            batcher.submit(vec![0.0], 1).unwrap_err(),
+            SubmitError::Overloaded
+        );
+    }
+
+    #[test]
+    fn submit_after_scorer_exit_reports_stopped() {
+        let (batcher, rx) = Batcher::new(&BatchConfig::default());
+        drop(rx);
+        assert_eq!(
+            batcher.submit(vec![0.0, 0.0], 1).unwrap_err(),
+            SubmitError::Stopped
+        );
+    }
+
+    #[test]
+    fn scored_rows_match_in_process_model_bitwise() {
+        let dim = 5;
+        let cfg = BatchConfig::default();
+        let (batcher, rx) = Batcher::new(&cfg);
+        let scorer = {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_scorer(tiny_model(dim), rx, &cfg))
+        };
+
+        let mut rng = Rng::seed_from_u64(32);
+        let x = Matrix::randn(7, dim, 1.0, &mut rng);
+        let reply = batcher.submit(x.data().to_vec(), 7).unwrap();
+        let served = reply.recv().unwrap();
+        drop(batcher);
+        let mut model = scorer.join().unwrap();
+
+        let mut expect = Matrix::zeros(0, 0);
+        model.probs3_into(&x, &mut expect);
+        assert_eq!(served.len(), 7 * 3);
+        for (a, b) in expect.data().iter().zip(&served) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn drain_answers_every_queued_job() {
+        let dim = 3;
+        let cfg = BatchConfig {
+            max_batch: 4,
+            max_wait_us: 500,
+            queue_capacity: 64,
+        };
+        let (batcher, rx) = Batcher::new(&cfg);
+        let mut rng = Rng::seed_from_u64(33);
+        let replies: Vec<_> = (0..20)
+            .map(|_| {
+                let row: Vec<f64> = (0..dim).map(|_| rng.gauss()).collect();
+                batcher.submit(row, 1).unwrap()
+            })
+            .collect();
+        // Start the scorer only after the queue is loaded, then drop the
+        // submitter: the scorer must still answer every job before exiting.
+        let scorer = {
+            let cfg = cfg.clone();
+            std::thread::spawn(move || run_scorer(tiny_model(dim), rx, &cfg))
+        };
+        drop(batcher);
+        for reply in replies {
+            let probs = reply.recv().expect("drained job must be answered");
+            assert_eq!(probs.len(), 3);
+            let total: f64 = probs.iter().sum();
+            assert!((total - 1.0).abs() < 1e-9, "not a distribution: {probs:?}");
+        }
+        let _ = scorer.join().unwrap();
+    }
+}

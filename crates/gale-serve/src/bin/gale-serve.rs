@@ -1,0 +1,167 @@
+//! The `gale-serve` command-line entry point.
+//!
+//! Two subcommands:
+//!
+//! - `gale-serve train-demo --out model.ckpt [--dim N] [--seed S]` — trains
+//!   a small SGAN on synthetic two-cluster data and writes a checkpoint, so
+//!   the serving path can be exercised without a full pipeline run.
+//! - `gale-serve serve --ckpt model.ckpt [--addr HOST:PORT] [--max-batch N]
+//!   [--max-wait-us U] [--queue-capacity N]` — loads the checkpoint and
+//!   serves `/score`, `/healthz`, and `/metrics` until `POST
+//!   /admin/shutdown` drains it.
+
+use gale_core::{Sgan, SganConfig};
+use gale_serve::{serve, BatchConfig, ServeConfig};
+use gale_tensor::{Matrix, Rng};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("train-demo") => train_demo(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gale-serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gale-serve: micro-batching inference server for GALE checkpoints
+
+USAGE:
+  gale-serve train-demo --out PATH [--dim N] [--seed S]
+  gale-serve serve --ckpt PATH [--addr HOST:PORT] [--max-batch N]
+                   [--max-wait-us U] [--queue-capacity N]
+                   [--retry-after-secs S]
+";
+
+/// Pulls `--flag value` pairs out of `args`; rejects unknown flags.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !allowed.contains(&flag.as_str()) {
+            return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        flags.push((flag.clone(), value.clone()));
+    }
+    Ok(flags)
+}
+
+fn find<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(f, _)| f == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match find(flags, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag `{name}` got unparseable value `{raw}`")),
+    }
+}
+
+fn train_demo(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--out", "--dim", "--seed"])?;
+    let out = find(&flags, "--out").ok_or("train-demo requires --out PATH")?;
+    let dim: usize = parse_num(&flags, "--dim", 8)?;
+    let seed: u64 = parse_num(&flags, "--seed", 7)?;
+
+    // Two Gaussian clusters: "correct" nodes near the origin, "errors"
+    // shifted along every axis — enough signal for a demo discriminator.
+    let mut rng = Rng::seed_from_u64(seed);
+    let n = 128usize;
+    let mut x = Matrix::randn(n, dim, 1.0, &mut rng);
+    let mut targets = Vec::with_capacity(n / 2);
+    for r in 0..n {
+        let erroneous = r % 2 == 0;
+        if erroneous {
+            for c in 0..dim {
+                x[(r, c)] += 2.5;
+            }
+        }
+        if r < n / 2 {
+            targets.push((r, usize::from(!erroneous)));
+        }
+    }
+
+    let cfg = SganConfig {
+        d_hidden: vec![16, 8],
+        g_hidden: vec![16],
+        epochs: 60,
+        ..Default::default()
+    };
+    let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+    let x_s = Matrix::zeros(0, dim);
+    let stats = sgan.train(&x, &x_s, &targets, &[], &mut rng);
+    gale_obs::info!(
+        "trained demo model: {} epochs, d_loss {:.4}",
+        stats.epochs_run,
+        stats.d_loss
+    );
+    sgan.save(out)
+        .map_err(|e| format!("checkpoint write failed: {e}"))?;
+    gale_obs::info!("checkpoint written to {out}");
+    Ok(())
+}
+
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--ckpt",
+            "--addr",
+            "--max-batch",
+            "--max-wait-us",
+            "--queue-capacity",
+            "--retry-after-secs",
+        ],
+    )?;
+    let ckpt = find(&flags, "--ckpt").ok_or("serve requires --ckpt PATH")?;
+    let cfg = ServeConfig {
+        addr: find(&flags, "--addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        batch: BatchConfig {
+            max_batch: parse_num(&flags, "--max-batch", BatchConfig::default().max_batch)?,
+            max_wait_us: parse_num(&flags, "--max-wait-us", BatchConfig::default().max_wait_us)?,
+            queue_capacity: parse_num(
+                &flags,
+                "--queue-capacity",
+                BatchConfig::default().queue_capacity,
+            )?,
+        },
+        retry_after_secs: parse_num(&flags, "--retry-after-secs", 1u32)?,
+    };
+
+    let model = Sgan::load(ckpt).map_err(|e| format!("cannot load `{ckpt}`: {e}"))?;
+    gale_obs::info!(
+        "loaded checkpoint `{ckpt}` (input_dim {})",
+        model.input_dim()
+    );
+    let handle = serve(model, &cfg).map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
+    handle.wait();
+    gale_obs::info!("gale-serve drained and stopped");
+    Ok(())
+}

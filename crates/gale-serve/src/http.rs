@@ -1,0 +1,194 @@
+//! A deliberately minimal HTTP/1.1 layer: just enough request parsing and
+//! response writing for the inference endpoints, over std TCP streams.
+//!
+//! Every response closes the connection (`Connection: close`), which keeps
+//! the state machine trivial — clients open one connection per request.
+//! Header and body sizes are capped so a misbehaving client cannot make the
+//! server buffer unbounded input.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum accepted size of the request head (request line + headers).
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Maximum accepted request body size.
+pub const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request path, query string included.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (including a peer that hung up mid-request).
+    Io(std::io::Error),
+    /// The bytes on the wire are not a well-formed HTTP/1.1 request, or
+    /// exceed the size caps.
+    Malformed(String),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "io error: {e}"),
+            HttpError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+        }
+    }
+}
+
+impl From<std::io::Error> for HttpError {
+    fn from(e: std::io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Reads one request from the stream: request line, headers, and a
+/// `Content-Length`-delimited body.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    // Accumulate until the blank line terminating the head.
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::Malformed("request head too large".into()));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(HttpError::Malformed("connection closed mid-head".into())),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head)
+        .map_err(|_| HttpError::Malformed("request head is not UTF-8".into()))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => {
+            return Err(HttpError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed(format!("bad content-length {value:?}")))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Malformed(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte cap"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// Writes a full response and flushes. `extra_headers` lets callers attach
+/// fields like `Retry-After`.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Writes a JSON response.
+pub fn write_json(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, &str)],
+    body: &gale_json::Value,
+) -> std::io::Result<()> {
+    write_response(
+        stream,
+        status,
+        reason,
+        "application/json",
+        extra_headers,
+        body.to_string_compact().as_bytes(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        let out = read_request(&mut stream);
+        writer.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_request_with_body() {
+        let req = round_trip(b"POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/score");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_request_without_body() {
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(round_trip(b"nonsense\r\n\r\n").is_err());
+        assert!(round_trip(b"GET /x SMTP/9\r\n\r\n").is_err());
+        assert!(round_trip(b"GET /x HTTP/1.1\r\nContent-Length: zebra\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! `gale-serve`: a std-only micro-batching inference server for
+//! checkpointed GALE SGAN discriminators.
+//!
+//! The server loads a [`gale_core::Sgan`] from a `gale-checkpoint` file and
+//! exposes three endpoints over plain HTTP/1.1:
+//!
+//! - `POST /score` — a JSON batch of feature rows, answered with per-class
+//!   probabilities, renormalized error scores, and error/correct verdicts.
+//!   Scores are bitwise-identical to calling the discriminator in process.
+//! - `GET /healthz` — liveness plus the model's expected input dimension.
+//! - `GET /metrics` — the whole `gale-obs` metric registry in Prometheus
+//!   text format (request/shed counts, queue depth, batch-size and latency
+//!   histograms).
+//!
+//! Requests are coalesced by the [`batcher`] into single forward passes;
+//! the bounded queue sheds excess load with `503` + `Retry-After`, and
+//! shutdown drains every accepted request before the process exits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod http;
+pub mod metrics;
+pub mod server;
+
+pub use batcher::{BatchConfig, Batcher, SubmitError};
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,59 @@
+//! Serving metrics, registered in the global `gale-obs` registry.
+//!
+//! Handles here are fetched with *direct* registry calls, not the
+//! `enabled()`-gated macros: `/metrics` must report live numbers whether or
+//! not trace telemetry is switched on. The handles are `&'static`, so the
+//! hot path is a relaxed atomic op with no lock.
+
+use gale_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+
+/// Batch-size buckets: powers of two up to a generous batch cap.
+pub const BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+
+/// `/score` requests accepted into the queue or shed.
+pub fn requests() -> &'static Counter {
+    counter("serve.requests")
+}
+
+/// Requests rejected with `503` because the queue was full.
+pub fn shed() -> &'static Counter {
+    counter("serve.shed")
+}
+
+/// Batched forward passes executed.
+pub fn batches() -> &'static Counter {
+    counter("serve.batches")
+}
+
+/// Feature rows scored (across all batches).
+pub fn rows() -> &'static Counter {
+    counter("serve.rows")
+}
+
+/// Jobs currently waiting in the micro-batch queue.
+pub fn queue_depth() -> &'static Gauge {
+    gauge("serve.queue_depth")
+}
+
+/// Scorer buffer-pool hits (batches served without allocating). Mirrored
+/// from [`gale_tensor::Workspace::stats`] so the allocation-free
+/// steady-state contract is visible in `/metrics` even with trace
+/// telemetry off: hits keep growing while misses plateau.
+pub fn pool_hits() -> &'static Gauge {
+    gauge("serve.pool_hits")
+}
+
+/// Scorer buffer-pool misses (batches that had to allocate).
+pub fn pool_misses() -> &'static Gauge {
+    gauge("serve.pool_misses")
+}
+
+/// Rows per executed batch.
+pub fn batch_rows(/* first call fixes the buckets */) -> &'static Histogram {
+    histogram("serve.batch_rows", BATCH_BUCKETS)
+}
+
+/// Per-request latency from enqueue to reply, microseconds.
+pub fn latency_us() -> &'static Histogram {
+    histogram("serve.latency_us", gale_obs::metrics::buckets::TIME_US)
+}

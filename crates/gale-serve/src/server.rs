@@ -1,0 +1,361 @@
+//! The TCP accept loop, request routing, and graceful-shutdown protocol.
+//!
+//! Threading model: one accept thread polls a non-blocking listener and
+//! spawns a short-lived thread per connection (connections are one
+//! request/response each). All scoring funnels through the [`Batcher`] into
+//! the single scorer thread. [`ServerHandle::shutdown`] (or a
+//! `POST /admin/shutdown`) flips a flag; the accept loop stops taking new
+//! connections, joins every in-flight handler, and drops the queue — the
+//! scorer then drains every queued job before exiting, so no accepted
+//! request goes unanswered.
+
+use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::http::{self, HttpError, Request};
+use gale_core::Sgan;
+use gale_json::{json, Value};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port `0` to let the OS pick one.
+    pub addr: String,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// Value of the `Retry-After` header on shed (`503`) responses,
+    /// seconds.
+    pub retry_after_secs: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            batch: BatchConfig::default(),
+            retry_after_secs: 1,
+        }
+    }
+}
+
+/// Shared per-connection context.
+struct Ctx {
+    batcher: Batcher,
+    shutdown: Arc<AtomicBool>,
+    input_dim: usize,
+    retry_after: String,
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] or [`ServerHandle::wait`] signals shutdown
+/// but does not wait for the drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    scorer: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address actually bound (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful shutdown and blocks until every accepted
+    /// request has been answered and both threads have exited.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down on its own (via
+    /// `POST /admin/shutdown`), draining as in [`ServerHandle::shutdown`].
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.scorer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Boots the server around a loaded model and returns once it is
+/// listening.
+pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let (batcher, queue_rx) = Batcher::new(&cfg.batch);
+    let ctx = Arc::new(Ctx {
+        batcher,
+        shutdown: shutdown.clone(),
+        input_dim: model.input_dim(),
+        retry_after: cfg.retry_after_secs.to_string(),
+    });
+
+    let scorer = {
+        let batch_cfg = cfg.batch.clone();
+        std::thread::spawn(move || {
+            let _ = crate::batcher::run_scorer(model, queue_rx, &batch_cfg);
+        })
+    };
+    let accept = {
+        let shutdown = shutdown.clone();
+        std::thread::spawn(move || accept_loop(listener, ctx, shutdown))
+    };
+    gale_obs::info!("gale-serve listening on http://{addr}");
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        accept: Some(accept),
+        scorer: Some(scorer),
+    })
+}
+
+fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, shutdown: Arc<AtomicBool>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let ctx = ctx.clone();
+                handlers.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                gale_obs::warn!("gale-serve accept error: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        handlers.retain(|h| !h.is_finished());
+    }
+    // Drain: finish in-flight connections, then drop the queue handle so
+    // the scorer answers everything still queued and exits.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    // A stalled or hostile peer must not pin the drain forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(HttpError::Malformed(msg)) => {
+            let _ = http::write_json(&mut stream, 400, "Bad Request", &[], &json!({"error": msg}));
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    let outcome = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/score") => score(&mut stream, ctx, &request),
+        ("GET", "/healthz") => http::write_json(
+            &mut stream,
+            200,
+            "OK",
+            &[],
+            &json!({
+                "status": "ok",
+                "kind": "sgan",
+                "input_dim": ctx.input_dim,
+            }),
+        ),
+        ("GET", "/metrics") => http::write_response(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &[],
+            gale_obs::metrics::render_text().as_bytes(),
+        ),
+        ("POST", "/admin/shutdown") => {
+            let ack = http::write_json(&mut stream, 200, "OK", &[], &json!({"status": "draining"}));
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            ack
+        }
+        ("POST" | "GET", "/score" | "/healthz" | "/metrics" | "/admin/shutdown") => {
+            http::write_json(
+                &mut stream,
+                405,
+                "Method Not Allowed",
+                &[],
+                &json!({"error": "method not allowed"}),
+            )
+        }
+        _ => http::write_json(
+            &mut stream,
+            404,
+            "Not Found",
+            &[],
+            &json!({"error": "no such endpoint"}),
+        ),
+    };
+    if let Err(e) = outcome {
+        gale_obs::warn!("gale-serve response write failed: {e}");
+    }
+}
+
+fn score(stream: &mut TcpStream, ctx: &Ctx, request: &Request) -> std::io::Result<()> {
+    let (features, rows) = match parse_features(&request.body, ctx.input_dim) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return http::write_json(stream, 400, "Bad Request", &[], &json!({"error": msg}))
+        }
+    };
+    let reply = match ctx.batcher.submit(features, rows) {
+        Ok(reply) => reply,
+        Err(SubmitError::Overloaded) => {
+            return http::write_json(
+                stream,
+                503,
+                "Service Unavailable",
+                &[("Retry-After", ctx.retry_after.as_str())],
+                &json!({"error": "queue full, retry later"}),
+            );
+        }
+        Err(SubmitError::Stopped) => {
+            return http::write_json(
+                stream,
+                503,
+                "Service Unavailable",
+                &[],
+                &json!({"error": "server is shutting down"}),
+            );
+        }
+    };
+    match reply.recv() {
+        Ok(probs) => http::write_json(stream, 200, "OK", &[], &score_body(&probs, rows)),
+        Err(_) => http::write_json(
+            stream,
+            500,
+            "Internal Server Error",
+            &[],
+            &json!({"error": "scorer dropped the request"}),
+        ),
+    }
+}
+
+/// Parses a `/score` body: `{"features": [[...], ...]}` (a batch) or
+/// `{"features": [...]}` (one row). Every row must hold exactly
+/// `input_dim` finite numbers.
+fn parse_features(body: &[u8], input_dim: usize) -> Result<(Vec<f64>, usize), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = gale_json::from_str(text).map_err(|e| format!("body is not valid JSON: {e}"))?;
+    let features = doc
+        .get("features")
+        .and_then(Value::as_array)
+        .ok_or("`features` must be an array")?;
+    if features.is_empty() {
+        return Err("`features` is empty".to_string());
+    }
+    // Normalize a bare row into a one-row batch.
+    let rows: Vec<&Vec<Value>> = if features[0].as_array().is_some() {
+        features
+            .iter()
+            .map(|r| r.as_array().ok_or("rows must all be arrays".to_string()))
+            .collect::<Result<_, _>>()?
+    } else {
+        vec![features]
+    };
+    let mut flat = Vec::with_capacity(rows.len() * input_dim);
+    for row in &rows {
+        if row.len() != input_dim {
+            return Err(format!(
+                "row has {} features, model wants {input_dim}",
+                row.len()
+            ));
+        }
+        for v in row.iter() {
+            let x = v.as_f64().ok_or("features must be numbers")?;
+            if !x.is_finite() {
+                return Err("features must be finite".to_string());
+            }
+            flat.push(x);
+        }
+    }
+    Ok((flat, rows.len()))
+}
+
+/// Builds the `/score` response from `rows * 3` probabilities: the raw
+/// 3-class rows, the two-class error score (synthetic class dropped and
+/// renormalized, matching `Sgan::class_probs`), and the verdict string.
+fn score_body(probs: &[f64], rows: usize) -> Value {
+    let mut prob_rows = Vec::with_capacity(rows);
+    let mut error_scores = Vec::with_capacity(rows);
+    let mut verdicts = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let (pe, pc, ps) = (probs[r * 3], probs[r * 3 + 1], probs[r * 3 + 2]);
+        prob_rows.push(Value::Array(vec![
+            Value::from(pe),
+            Value::from(pc),
+            Value::from(ps),
+        ]));
+        error_scores.push(Value::from(pe / (pe + pc).max(1e-12)));
+        verdicts.push(Value::from(if pe > pc { "error" } else { "correct" }));
+    }
+    json!({
+        "probs": Value::Array(prob_rows),
+        "error_scores": Value::Array(error_scores),
+        "verdicts": Value::Array(verdicts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_batch_and_single_row() {
+        let (flat, rows) = parse_features(br#"{"features": [[1, 2.5], [3, 4]]}"#, 2).unwrap();
+        assert_eq!(rows, 2);
+        assert_eq!(flat, vec![1.0, 2.5, 3.0, 4.0]);
+        let (flat, rows) = parse_features(br#"{"features": [7, 8]}"#, 2).unwrap();
+        assert_eq!(rows, 1);
+        assert_eq!(flat, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_bodies() {
+        for (body, dim) in [
+            (&b"not json"[..], 2),
+            (br#"{"rows": [[1, 2]]}"#, 2),
+            (br#"{"features": []}"#, 2),
+            (br#"{"features": [[1, 2, 3]]}"#, 2),
+            (br#"{"features": [[1, "x"]]}"#, 2),
+            (br#"{"features": [[1, null]]}"#, 2),
+            (br#"{"features": [[1, 2], [3]]}"#, 2),
+        ] {
+            assert!(parse_features(body, dim).is_err(), "accepted {body:?}");
+        }
+    }
+
+    #[test]
+    fn score_body_reports_verdicts_and_renormalized_scores() {
+        let probs = [0.6, 0.2, 0.2, 0.1, 0.7, 0.2];
+        let body = score_body(&probs, 2);
+        let verdicts = body.get("verdicts").unwrap().as_array().unwrap();
+        assert_eq!(verdicts[0].as_str(), Some("error"));
+        assert_eq!(verdicts[1].as_str(), Some("correct"));
+        let scores = body.get("error_scores").unwrap().as_array().unwrap();
+        assert!((scores[0].as_f64().unwrap() - 0.75).abs() < 1e-12);
+        assert!((scores[1].as_f64().unwrap() - 0.125).abs() < 1e-12);
+    }
+}

@@ -11,9 +11,11 @@ use std::collections::HashSet;
 
 fn eval(name: &str, predicted: &HashSet<NodeId>, truth: &HashSet<NodeId>) {
     let prf = Prf::from_sets(predicted, truth);
-    println!(
+    gale_obs::info!(
         "{name:<22} P {:.3}  R {:.3}  F1 {:.3}",
-        prf.precision, prf.recall, prf.f1
+        prf.precision,
+        prf.recall,
+        prf.f1
     );
 }
 
@@ -29,7 +31,7 @@ fn main() {
     );
     let mut rng = Rng::seed_from_u64(99);
     let split = DataSplit::paper_default(d.graph.node_count(), &mut rng);
-    println!(
+    gale_obs::info!(
         "auditing a citation graph: {} papers, {} citations, {} erroneous",
         d.graph.node_count(),
         d.graph.edge_count(),
@@ -112,14 +114,14 @@ fn main() {
     );
 
     // Where did the budget go? Show the query mix per iteration.
-    println!("\nquery batches (iteration: labeled error / total):");
+    gale_obs::info!("\nquery batches (iteration: labeled error / total):");
     for rec in &outcome.history {
         let errs = rec
             .queries
             .iter()
             .filter(|&&q| d.truth.is_erroneous(q))
             .count();
-        println!(
+        gale_obs::info!(
             "  iter {}: {errs}/{} queries were true errors (pool -> {})",
             rec.iteration,
             rec.queries.len(),

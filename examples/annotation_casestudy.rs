@@ -22,7 +22,7 @@ fn main() {
         7,
     );
     let g = &d.graph;
-    println!(
+    gale_obs::info!(
         "species graph: {} nodes, {} edges, {} erroneous",
         g.node_count(),
         g.edge_count(),
@@ -65,10 +65,10 @@ fn main() {
         ("clean node", clean),
     ] {
         let Some(v) = node else { continue };
-        println!("\n=== {title} (node {v}) ===");
+        gale_obs::info!("\n=== {title} (node {v}) ===");
         // Show the node's attributes first.
         for (attr, value) in g.node(v).attrs() {
-            println!("  {} = {}", g.schema.attr_name(attr), value);
+            gale_obs::info!("  {} = {}", g.schema.attr_name(attr), value);
         }
         if let Some(orig) = d
             .truth
@@ -77,9 +77,10 @@ fn main() {
             .find(|e| e.node == v)
             .map(|e| (&e.original, &e.corrupted))
         {
-            println!(
+            gale_obs::info!(
                 "  (ground truth: '{}' was corrupted to '{}')",
-                orig.0, orig.1
+                orig.0,
+                orig.1
             );
         }
         let anns = annotate(

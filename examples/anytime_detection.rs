@@ -51,14 +51,19 @@ fn main() {
         })
         .collect();
 
-    println!(
+    gale_obs::info!(
         "citation graph: {} nodes, {} erroneous; 15 initial labels, k = 10 per iteration\n",
         d.graph.node_count(),
         d.truth.error_count()
     );
-    println!(
+    gale_obs::info!(
         "{:>10} {:>8} {:>8} {:>8} {:>8} {:>10}",
-        "iterations", "queries", "P", "R", "F1", "time(s)"
+        "iterations",
+        "queries",
+        "P",
+        "R",
+        "F1",
+        "time(s)"
     );
     for iterations in [1usize, 2, 4, 6, 8] {
         let mut cfg = GaleConfig {
@@ -80,7 +85,7 @@ fn main() {
             &cfg,
         );
         let prf = Prf::from_sets(&outcome.predicted_errors(&split.test), &truth_test);
-        println!(
+        gale_obs::info!(
             "{iterations:>10} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>10.2}",
             outcome.queries_issued,
             prf.precision,
@@ -89,5 +94,7 @@ fn main() {
             outcome.total_time.as_secs_f64()
         );
     }
-    println!("\nthe model is usable after any row; extra iterations refine the decision boundary");
+    gale_obs::info!(
+        "\nthe model is usable after any row; extra iterations refine the decision boundary"
+    );
 }

@@ -20,7 +20,7 @@ fn main() {
         },
         2024,
     );
-    println!(
+    gale_obs::info!(
         "Species knowledge graph: {} nodes, {} edges, {} injected erroneous nodes",
         d.graph.node_count(),
         d.graph.edge_count(),
@@ -59,16 +59,20 @@ fn main() {
         &cfg,
     );
     let prf = Prf::from_sets(&auto.predicted_errors(&split.test), &truth_test);
-    println!(
+    gale_obs::info!(
         "fully automatic (ensemble oracle):  P {:.3} R {:.3} F1 {:.3}",
-        prf.precision, prf.recall, prf.f1
+        prf.precision,
+        prf.recall,
+        prf.f1
     );
     let mut exact = GroundTruthOracle::new(&d.truth);
     let outcome = run_gale(&d.graph, &d.constraints, &split, &[], &[], &mut exact, &cfg);
     let prf = Prf::from_sets(&outcome.predicted_errors(&split.test), &truth_test);
-    println!(
+    gale_obs::info!(
         "expert-labeled (exact oracle):      P {:.3} R {:.3} F1 {:.3}\n",
-        prf.precision, prf.recall, prf.f1
+        prf.precision,
+        prf.recall,
+        prf.f1
     );
 
     // ------------------------------------------------------------------
@@ -93,7 +97,7 @@ fn main() {
                 }
             }
             if repaired <= 5 {
-                println!(
+                gale_obs::info!(
                     "repair node {v}: {} '{}' -> '{}' (via {source})",
                     graph.schema.attr_name(attr),
                     before.map(|b| b.to_string()).unwrap_or_default(),
@@ -102,7 +106,7 @@ fn main() {
             }
         }
     }
-    println!(
+    gale_obs::info!(
         "\napplied {repaired} suggested corrections; {correct_repairs} exactly restored the ground-truth value"
     );
 }

@@ -34,7 +34,7 @@ fn main() {
             g.add_edge_named(id - franchises.len().min(id), id, "subsequent");
         }
     }
-    println!(
+    gale_obs::info!(
         "built a graph with {} nodes / {} edges",
         g.node_count(),
         g.edge_count()
@@ -44,9 +44,9 @@ fn main() {
     // 2. Mine the constraint set Σ from the clean graph, then pollute it.
     // ------------------------------------------------------------------
     let constraints = discover_constraints(&g, &DiscoveryConfig::default());
-    println!("mined {} constraints, e.g.:", constraints.len());
+    gale_obs::info!("mined {} constraints, e.g.:", constraints.len());
     for c in constraints.iter().take(3) {
-        println!("  {}", c.describe(&g));
+        gale_obs::info!("  {}", c.describe(&g));
     }
     let truth = inject_errors(
         &mut g,
@@ -57,7 +57,7 @@ fn main() {
         },
         &mut rng,
     );
-    println!("injected errors into {} nodes", truth.error_count());
+    gale_obs::info!("injected errors into {} nodes", truth.error_count());
 
     // ------------------------------------------------------------------
     // 3. Run GALE: active adversarial detection with a simulated oracle.
@@ -83,11 +83,14 @@ fn main() {
         .filter(|&v| truth.is_erroneous(v))
         .collect();
     let prf = Prf::from_sets(&outcome.predicted_errors(&split.test), &truth_test);
-    println!(
+    gale_obs::info!(
         "\nGALE after {} oracle queries: precision {:.3}, recall {:.3}, F1 {:.3}",
-        outcome.queries_issued, prf.precision, prf.recall, prf.f1
+        outcome.queries_issued,
+        prf.precision,
+        prf.recall,
+        prf.f1
     );
-    println!(
+    gale_obs::info!(
         "(example pool grew to {} labeled nodes; memo hit rate {:.2})",
         outcome.pool.len(),
         outcome.memo_hit_rate

@@ -1,0 +1,143 @@
+//! Workspace-level property tests for the checkpoint format: byte-identical
+//! re-serialization, bitwise-equal restored forward passes regardless of
+//! kernel thread count, and typed errors (never panics) on damaged files.
+
+use gale_core::{Sgan, SganConfig};
+use gale_nn::checkpoint::CkptError;
+use gale_tensor::{par, Matrix, Rng};
+use proptest::prelude::*;
+use proptest::{collection, ProptestConfig};
+use std::path::PathBuf;
+
+/// Builds a model with a couple of real training epochs behind it, so the
+/// checkpoint carries non-trivial batch-norm running stats and Adam moments.
+fn trained_model(dim: usize, d_hidden: &[usize], seed: u64) -> Sgan {
+    let mut rng = Rng::seed_from_u64(seed);
+    let cfg = SganConfig {
+        d_hidden: d_hidden.to_vec(),
+        g_hidden: vec![4],
+        epochs: 2,
+        ..Default::default()
+    };
+    let mut sgan = Sgan::new(dim, &cfg, &mut rng);
+    let x_r = Matrix::randn(16, dim, 1.0, &mut rng);
+    let x_s = Matrix::randn(6, dim, 1.0, &mut rng);
+    let targets = [(0, 0), (1, 1), (2, 0), (3, 1)];
+    let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+    sgan
+}
+
+fn serialize(model: &Sgan) -> String {
+    model.to_json().unwrap().to_string_compact()
+}
+
+fn restore(text: &str) -> Sgan {
+    Sgan::from_json(&gale_json::from_str(text).unwrap()).unwrap()
+}
+
+fn scratch_path(name: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gale-ckpt-props-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{case}.ckpt"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn save_load_save_is_byte_identical(
+        dim in 2usize..6,
+        d_hidden in collection::vec(2usize..9, 1usize..3),
+        seed in 0u64..(1 << 32),
+    ) {
+        let model = trained_model(dim, &d_hidden, seed);
+        let first = serialize(&model);
+        let second = serialize(&restore(&first));
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn restored_forward_is_bitwise_equal_at_any_thread_count(
+        dim in 2usize..6,
+        d_hidden in collection::vec(2usize..9, 1usize..3),
+        seed in 0u64..(1 << 32),
+    ) {
+        let mut model = trained_model(dim, &d_hidden, seed);
+        let mut restored = restore(&serialize(&model));
+        let x = Matrix::randn(9, dim, 1.0, &mut Rng::seed_from_u64(seed ^ 0x5eed));
+        let mut expect = Matrix::zeros(0, 0);
+        model.probs3_into(&x, &mut expect);
+        for threads in [1usize, 2, 8] {
+            let got = par::with_threads(threads, || {
+                let mut out = Matrix::zeros(0, 0);
+                restored.probs3_into(&x, &mut out);
+                out
+            });
+            for (a, b) in expect.data().iter().zip(got.data()) {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "restored forward diverged at {} threads", threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn damaged_checkpoints_error_instead_of_panicking(
+        seed in 0u64..(1 << 32),
+        cut in 1usize..200,
+        flip_pos in 0usize..usize::MAX,
+        flip_to in 0usize..256,
+    ) {
+        let model = trained_model(3, &[5, 3], seed);
+        let path = scratch_path("damaged", seed);
+        model.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body = text.trim_end();
+
+        // Truncation always breaks the object nesting, so it must be a
+        // typed error — from the raw text and from a file on disk alike.
+        let truncated = &body[..body.len().saturating_sub(cut).max(1)];
+        prop_assert!(gale_json::from_str(truncated).is_err());
+        std::fs::write(&path, truncated).unwrap();
+        prop_assert!(Sgan::load(&path).is_err());
+
+        // A single flipped byte may or may not stay parseable; either way
+        // the load path must return, not panic.
+        let mut bytes = body.as_bytes().to_vec();
+        let at = flip_pos % bytes.len();
+        bytes[at] = flip_to as u8;
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = Sgan::load(&path);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn future_format_versions_are_rejected_with_a_version_error() {
+    let model = trained_model(3, &[5, 3], 77);
+    let text = serialize(&model);
+    let bumped = text.replacen("\"version\":1", "\"version\":99", 1);
+    assert_ne!(text, bumped, "version field not found in serialized form");
+    match Sgan::from_json(&gale_json::from_str(&bumped).unwrap()) {
+        Err(CkptError::Version { found, supported }) => {
+            assert_eq!(found, 99);
+            assert_eq!(supported, 1);
+        }
+        Err(other) => panic!("expected a version error, got {other}"),
+        Ok(_) => panic!("version 99 checkpoint was accepted"),
+    }
+}
+
+#[test]
+fn wrong_kind_is_rejected_with_a_kind_error() {
+    let model = trained_model(3, &[5, 3], 78);
+    let text = serialize(&model);
+    let swapped = text.replacen("\"kind\":\"sgan\"", "\"kind\":\"mlp\"", 1);
+    assert_ne!(text, swapped, "kind field not found in serialized form");
+    match Sgan::from_json(&gale_json::from_str(&swapped).unwrap()) {
+        Err(CkptError::Kind { .. }) => {}
+        Err(other) => panic!("expected a kind error, got {other}"),
+        Ok(_) => panic!("mlp-kind checkpoint was accepted as an sgan"),
+    }
+}
