@@ -1,0 +1,553 @@
+//! The `gale-loadgen` command-line entry point.
+//!
+//! - `gale-loadgen run --addr HOST:PORT [--concurrency N] [--duration-secs S]
+//!   [--warmup-secs S] [--rows N] [--reload-ckpt PATH --reload-at-secs S]` —
+//!   drives a live server with closed-loop keep-alive workers and prints a
+//!   JSON report. With `--reload-ckpt`, fires `POST /admin/reload` mid-run
+//!   and fails unless the swap dropped zero requests.
+//! - `gale-loadgen bench [--smoke]` — the committed serving benchmark:
+//!   boots the sibling `gale-serve` binary in three configurations
+//!   (blocking single-shard, event-loop single-shard, event-loop
+//!   four-shard), measures each, checks a hot reload under four-shard
+//!   load, writes `BENCH_serve.json` at the repo root (override with
+//!   `GALE_BENCH_SERVE_OUT`), and gates the intra-run speedups and p99
+//!   ratio against the committed baseline (override with
+//!   `GALE_BENCH_SERVE_BASELINE`; skip with `GALE_BENCH_NO_GATE=1`).
+//!
+//! Intra-run ratios — event-loop throughput over blocking throughput
+//! measured in the same run — transfer across machines the way absolute
+//! requests/sec never do, which is what makes the committed report a
+//! meaningful CI gate.
+
+use gale_json::{json, Value};
+use gale_loadgen::{one_shot, render_post, run, wait_healthy, LoadConfig, LoadReport};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("gale-loadgen: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gale-loadgen: closed-loop load generator and serving benchmark for gale-serve
+
+USAGE:
+  gale-loadgen run --addr HOST:PORT [--concurrency N] [--duration-secs S]
+                   [--warmup-secs S] [--rows N]
+                   [--reload-ckpt PATH --reload-at-secs S]
+  gale-loadgen bench [--smoke]
+";
+
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !allowed.contains(&flag.as_str()) {
+            return Err(format!("unknown flag `{flag}`\n{USAGE}"));
+        }
+        if flag == "--smoke" {
+            flags.push((flag.clone(), "1".to_string()));
+            continue;
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        flags.push((flag.clone(), value.clone()));
+    }
+    Ok(flags)
+}
+
+fn find<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags
+        .iter()
+        .rev()
+        .find(|(f, _)| f == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn parse_num<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    default: T,
+) -> Result<T, String> {
+    match find(flags, name) {
+        None => Ok(default),
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("flag `{name}` got unparseable value `{raw}`")),
+    }
+}
+
+fn report_json(name: &str, r: &LoadReport) -> Value {
+    json!({
+        "name": name,
+        "throughput_rps": r.throughput_rps,
+        "ok": r.ok as f64,
+        "shed": r.shed as f64,
+        "errors": r.errors as f64,
+        "reconnects": r.reconnects as f64,
+        "elapsed_s": r.elapsed_s,
+        "mean_us": r.mean_us,
+        "p50_us": r.p50_us,
+        "p99_us": r.p99_us,
+        "p999_us": r.p999_us,
+        "versions": Value::Array(r.versions.iter().map(|&v| Value::Int(v as i64)).collect()),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// `run`: drive an already-running server
+// ---------------------------------------------------------------------------
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(
+        args,
+        &[
+            "--addr",
+            "--concurrency",
+            "--duration-secs",
+            "--warmup-secs",
+            "--rows",
+            "--reload-ckpt",
+            "--reload-at-secs",
+        ],
+    )?;
+    let addr = find(&flags, "--addr").ok_or("run requires --addr HOST:PORT")?;
+    let dim = wait_healthy(addr, Duration::from_secs(5))?;
+    let cfg = LoadConfig {
+        addr: addr.to_string(),
+        concurrency: parse_num(&flags, "--concurrency", 8usize)?.max(1),
+        duration: Duration::from_secs_f64(parse_num(&flags, "--duration-secs", 4.0f64)?),
+        warmup: Duration::from_secs_f64(parse_num(&flags, "--warmup-secs", 1.0f64)?),
+        rows: parse_num(&flags, "--rows", 4usize)?.max(1),
+        dim,
+    };
+    let reload_ckpt = find(&flags, "--reload-ckpt").map(str::to_string);
+    let reload_at = Duration::from_secs_f64(parse_num(&flags, "--reload-at-secs", 1.0f64)?);
+
+    let report = match reload_ckpt {
+        None => run(&cfg),
+        Some(ckpt) => run_with_reload(&cfg, &ckpt, reload_at)?,
+    };
+    println!(
+        "{}",
+        gale_json::to_string_pretty(&report_json("run", &report))
+    );
+    if report.errors > 0 {
+        return Err(format!("{} request(s) failed", report.errors));
+    }
+    Ok(())
+}
+
+/// Runs the closed loop while a side thread fires `/admin/reload` at
+/// `reload_at` into the run; the swap must answer 200 and the run must
+/// finish with zero errors and zero shed (every request either scored by
+/// the old model or the new one, never dropped in between).
+fn run_with_reload(
+    cfg: &LoadConfig,
+    ckpt: &str,
+    reload_at: Duration,
+) -> Result<LoadReport, String> {
+    let ckpt = std::fs::canonicalize(ckpt)
+        .map_err(|e| format!("cannot resolve `{ckpt}`: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let addr = cfg.addr.clone();
+    let reloader = std::thread::spawn(move || -> Result<(), String> {
+        std::thread::sleep(reload_at);
+        let body = json!({"ckpt": ckpt.as_str()}).to_string();
+        let (status, reply) = one_shot(&addr, &render_post(&addr, "/admin/reload", &body))
+            .map_err(|e| format!("reload request failed: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "reload answered {status}: {}",
+                String::from_utf8_lossy(&reply)
+            ));
+        }
+        Ok(())
+    });
+    let report = run(cfg);
+    reloader.join().expect("reloader thread panicked")?;
+    if report.errors > 0 || report.shed > 0 {
+        return Err(format!(
+            "reload under load dropped traffic: {} errors, {} shed",
+            report.errors, report.shed
+        ));
+    }
+    if report.versions.len() < 2 {
+        return Err(format!(
+            "reload never became visible: versions seen {:?}",
+            report.versions
+        ));
+    }
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// `bench`: the committed BENCH_serve.json pipeline
+// ---------------------------------------------------------------------------
+
+struct Leg {
+    name: &'static str,
+    mode: &'static str,
+    shards: usize,
+}
+
+const LEGS: [Leg; 3] = [
+    Leg {
+        name: "blocking/1",
+        mode: "blocking",
+        shards: 1,
+    },
+    Leg {
+        name: "evloop/1",
+        mode: "evloop",
+        shards: 1,
+    },
+    Leg {
+        name: "evloop/4",
+        mode: "evloop",
+        shards: 4,
+    },
+];
+
+fn repo_path(p: PathBuf) -> PathBuf {
+    if p.is_absolute() {
+        p
+    } else {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(p)
+    }
+}
+
+fn smoke_mode(flags: &[(String, String)]) -> bool {
+    find(flags, "--smoke").is_some() || std::env::var("GALE_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+/// The sibling `gale-serve` binary (same target directory as this one).
+fn serve_binary() -> Result<PathBuf, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = me.parent().ok_or("current_exe has no parent")?;
+    let path = dir.join("gale-serve");
+    if path.exists() {
+        Ok(path)
+    } else {
+        Err(format!(
+            "{} not found — build it first: cargo build --release -p gale-serve",
+            path.display()
+        ))
+    }
+}
+
+/// An OS-assigned free loopback port (bind, read, drop).
+fn free_port() -> Result<u16, String> {
+    let listener =
+        std::net::TcpListener::bind("127.0.0.1:0").map_err(|e| format!("port probe: {e}"))?;
+    Ok(listener
+        .local_addr()
+        .map_err(|e| format!("port probe: {e}"))?
+        .port())
+}
+
+/// Boots `gale-serve` pinned to one internal thread (`GALE_THREADS=1`), so
+/// shard scaling — not intra-op parallelism — is what the benchmark
+/// measures.
+fn spawn_server(
+    binary: &Path,
+    ckpt: &Path,
+    addr: &str,
+    mode: &str,
+    shards: usize,
+) -> Result<std::process::Child, String> {
+    std::process::Command::new(binary)
+        .args([
+            "serve",
+            "--ckpt",
+            &ckpt.to_string_lossy(),
+            "--addr",
+            addr,
+            "--mode",
+            mode,
+            "--shards",
+            &shards.to_string(),
+            // The default 2ms batching linger is tuned for open-loop
+            // traffic; under a closed loop it dominates every leg's
+            // latency and masks the architectural differences the bench
+            // exists to measure.
+            "--max-wait-us",
+            "200",
+        ])
+        .env("GALE_THREADS", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", binary.display()))
+}
+
+fn stop_server(addr: &str, mut child: std::process::Child) -> Result<(), String> {
+    let shutdown = render_post(addr, "/admin/shutdown", "");
+    if one_shot(addr, &shutdown).is_err() {
+        let _ = child.kill();
+    }
+    let status = child
+        .wait()
+        .map_err(|e| format!("waiting for gale-serve: {e}"))?;
+    if status.success() {
+        Ok(())
+    } else {
+        Err(format!("gale-serve exited with {status}"))
+    }
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--smoke"])?;
+    let smoke = smoke_mode(&flags);
+    let binary = serve_binary()?;
+    let scratch = std::env::temp_dir().join(format!("gale-loadgen-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("mkdir {}: {e}", scratch.display()))?;
+
+    // Two demo checkpoints with the same input dimension: one to boot
+    // with, one to hot-swap to under load.
+    let ckpt_a = scratch.join("bench-a.ckpt");
+    let ckpt_b = scratch.join("bench-b.ckpt");
+    for (path, seed) in [(&ckpt_a, "7"), (&ckpt_b, "8")] {
+        let status = std::process::Command::new(&binary)
+            .args([
+                "train-demo",
+                "--out",
+                &path.to_string_lossy(),
+                "--seed",
+                seed,
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::inherit())
+            .status()
+            .map_err(|e| format!("train-demo: {e}"))?;
+        if !status.success() {
+            return Err(format!("train-demo exited with {status}"));
+        }
+    }
+
+    let (warmup, duration) = if smoke {
+        (Duration::from_millis(200), Duration::from_millis(800))
+    } else {
+        (Duration::from_secs(1), Duration::from_secs(4))
+    };
+
+    // Throughput legs.
+    let mut entries = Vec::new();
+    let mut measured: Vec<(&str, LoadReport)> = Vec::new();
+    for leg in &LEGS {
+        let addr = format!("127.0.0.1:{}", free_port()?);
+        let child = spawn_server(&binary, &ckpt_a, &addr, leg.mode, leg.shards)?;
+        let dim = wait_healthy(&addr, Duration::from_secs(10))?;
+        let report = run(&LoadConfig {
+            addr: addr.clone(),
+            concurrency: 8,
+            duration,
+            warmup,
+            rows: 4,
+            dim,
+        });
+        stop_server(&addr, child)?;
+        eprintln!(
+            "{:<12} {:>9.0} req/s  p50 {:>6.0}us  p99 {:>7.0}us  ({} ok, {} shed, {} errors)",
+            leg.name,
+            report.throughput_rps,
+            report.p50_us,
+            report.p99_us,
+            report.ok,
+            report.shed,
+            report.errors
+        );
+        if report.errors > 0 {
+            return Err(format!(
+                "leg {} had {} failed requests",
+                leg.name, report.errors
+            ));
+        }
+        if report.ok == 0 {
+            return Err(format!("leg {} completed zero requests", leg.name));
+        }
+        entries.push(report_json(leg.name, &report));
+        measured.push((leg.name, report));
+    }
+
+    // Reload-under-load leg: four shards, hot swap mid-run, zero drops.
+    let reload_report = {
+        let addr = format!("127.0.0.1:{}", free_port()?);
+        let child = spawn_server(&binary, &ckpt_a, &addr, "evloop", 4)?;
+        let dim = wait_healthy(&addr, Duration::from_secs(10))?;
+        let cfg = LoadConfig {
+            addr: addr.clone(),
+            concurrency: 4,
+            duration,
+            warmup,
+            rows: 4,
+            dim,
+        };
+        let result = run_with_reload(&cfg, &ckpt_b.to_string_lossy(), warmup + duration / 3);
+        stop_server(&addr, child)?;
+        let report = result?;
+        eprintln!(
+            "reload/evloop/4: versions {:?}, {} ok, 0 shed, 0 errors",
+            report.versions, report.ok
+        );
+        entries.push(report_json("reload/evloop/4", &report));
+        report
+    };
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    // Intra-run ratios: each leg vs the blocking single-shard baseline,
+    // plus the pure shard-scaling ratio.
+    let rps = |name: &str| {
+        measured
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r.throughput_rps)
+            .unwrap_or(0.0)
+    };
+    let p99 = |name: &str| {
+        measured
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, r)| r.p99_us)
+            .unwrap_or(0.0)
+    };
+    let mut speedups = gale_json::Map::new();
+    speedups.insert(
+        "evloop/1",
+        Value::from(rps("evloop/1") / rps("blocking/1").max(1e-9)),
+    );
+    speedups.insert(
+        "evloop/4",
+        Value::from(rps("evloop/4") / rps("blocking/1").max(1e-9)),
+    );
+    speedups.insert(
+        "shards/4v1",
+        Value::from(rps("evloop/4") / rps("evloop/1").max(1e-9)),
+    );
+    let p99_ratio = p99("evloop/4") / p99("blocking/1").max(1e-9);
+
+    let out_path = std::env::var("GALE_BENCH_SERVE_OUT")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| repo_path("BENCH_serve.json".into()));
+    let baseline_path = std::env::var("GALE_BENCH_SERVE_BASELINE")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| out_path.clone());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+
+    let report = json!({
+        "schema": "gale-bench-serve/v1",
+        "smoke": smoke,
+        "concurrency": 8,
+        "rows_per_request": 4,
+        "entries": Value::Array(entries),
+        "speedups": Value::Object(speedups),
+        "p99_ratio_evloop4_vs_blocking1": p99_ratio,
+        "reload_versions": Value::Array(
+            reload_report.versions.iter().map(|&v| Value::Int(v as i64)).collect()
+        ),
+    });
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    println!("serve bench report written to {}", out_path.display());
+
+    gate(&report, baseline.as_ref(), &baseline_path, smoke)
+}
+
+/// The regression gate, mirroring the selection-bench contract: intra-run
+/// speedups may not drop more than 15% below the committed baseline (pairs
+/// whose baseline is under the 1.2x floor carry no win to protect and are
+/// skipped — on a single-core box `shards/4v1` sits at ~1x and the floor
+/// keeps it ungated until a multi-core runner commits a real ratio), and
+/// the evloop-vs-blocking p99 ratio may not grow more than 25%.
+fn gate(
+    report: &Value,
+    baseline: Option<&Value>,
+    baseline_path: &Path,
+    smoke: bool,
+) -> Result<(), String> {
+    if smoke || std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return Ok(());
+    }
+    let Some(baseline) = baseline else {
+        println!(
+            "no baseline at {}; skipping the regression gate",
+            baseline_path.display()
+        );
+        return Ok(());
+    };
+    if baseline.get("smoke").and_then(Value::as_bool) == Some(true) {
+        println!("baseline is a smoke run; skipping the regression gate");
+        return Ok(());
+    }
+    let Some(base_speedups) = baseline.get("speedups").and_then(Value::as_object) else {
+        println!("baseline has no speedups map; skipping the regression gate");
+        return Ok(());
+    };
+    let current_speedups = report
+        .get("speedups")
+        .and_then(Value::as_object)
+        .expect("report always has speedups");
+    let mut failures = Vec::new();
+    for (key, base) in base_speedups.iter() {
+        let (Some(base), Some(current)) = (
+            base.as_f64(),
+            current_speedups.get(key).and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        if base < 1.2 {
+            continue;
+        }
+        if current < base * 0.85 {
+            failures.push(format!(
+                "{key}: speedup {base:.2}x -> {current:.2}x ({:.0}% of baseline)",
+                current / base * 100.0
+            ));
+        }
+    }
+    if let (Some(base_p99), Some(current_p99)) = (
+        baseline
+            .get("p99_ratio_evloop4_vs_blocking1")
+            .and_then(Value::as_f64),
+        report
+            .get("p99_ratio_evloop4_vs_blocking1")
+            .and_then(Value::as_f64),
+    ) {
+        if current_p99 > base_p99 * 1.25 {
+            failures.push(format!(
+                "p99 ratio (evloop/4 vs blocking/1): {base_p99:.3} -> {current_p99:.3} (>25% worse)"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("regression gate passed vs {}", baseline_path.display());
+        Ok(())
+    } else {
+        Err(format!(
+            "serving performance regressed vs {}:\n  {}",
+            baseline_path.display(),
+            failures.join("\n  ")
+        ))
+    }
+}

@@ -1,0 +1,52 @@
+//! The load generator against a real in-process event-loop server: the
+//! closed loop must complete requests over keep-alive connections with
+//! zero errors, and the reported version set must match the model actually
+//! serving.
+
+use gale_core::{Sgan, SganConfig};
+use gale_loadgen::{run, wait_healthy, LoadConfig};
+use gale_serve::{serve, ServeConfig};
+use gale_tensor::Rng;
+use std::time::Duration;
+
+#[test]
+fn closed_loop_drives_an_event_loop_server_without_errors() {
+    let dim = 6;
+    let mut rng = Rng::seed_from_u64(97);
+    let model = Sgan::new(
+        dim,
+        &SganConfig {
+            d_hidden: vec![8, 4],
+            g_hidden: vec![8],
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        ..Default::default()
+    };
+    let handle = serve(model, &cfg).unwrap();
+    let addr = handle.addr().to_string();
+
+    let dim_seen = wait_healthy(&addr, Duration::from_secs(5)).unwrap();
+    assert_eq!(dim_seen, dim);
+
+    let report = run(&LoadConfig {
+        addr: addr.clone(),
+        concurrency: 3,
+        duration: Duration::from_millis(400),
+        warmup: Duration::from_millis(100),
+        rows: 2,
+        dim,
+    });
+    assert_eq!(report.errors, 0, "closed loop hit errors: {report:?}");
+    assert!(report.ok > 0, "no requests completed: {report:?}");
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.p99_us >= report.p50_us);
+    // Keep-alive: three workers, three connections, no churn.
+    assert_eq!(report.reconnects, 0, "{report:?}");
+    assert_eq!(report.versions, vec![1], "{report:?}");
+    handle.shutdown();
+}

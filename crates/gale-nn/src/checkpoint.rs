@@ -612,13 +612,25 @@ pub fn read_file(path: &Path) -> Result<Value, CkptError> {
     gale_json::from_str(&text).map_err(|e| CkptError::Parse(e.to_string()))
 }
 
-/// Serializes a checkpoint document compactly and writes it to disk.
+/// Serializes a checkpoint document compactly and writes it to disk
+/// atomically: the bytes land in a `.tmp` sibling first and are renamed
+/// over `path` only once fully written. A reader — in particular a serving
+/// process asked to hot-reload the file a trainer is re-emitting — sees
+/// either the old complete checkpoint or the new one, never a torn write.
 pub fn write_file(path: &Path, v: &Value) -> Result<(), CkptError> {
-    let mut text = v.to_string_compact();
-    text.push('\n');
-    std::fs::write(path, text).map_err(|e| CkptError::Io {
+    let io_err = |e: std::io::Error| CkptError::Io {
         path: path.display().to_string(),
         detail: e.to_string(),
+    };
+    let mut text = v.to_string_compact();
+    text.push('\n');
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, text).map_err(io_err)?;
+    std::fs::rename(&tmp, path).map_err(|e| {
+        let _ = std::fs::remove_file(&tmp);
+        io_err(e)
     })
 }
 

@@ -60,6 +60,25 @@ impl Gauge {
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
     }
+
+    /// Adds `delta` (may be negative) atomically via compare-exchange, so
+    /// concurrent adders never lose an update the way racing `set(get() +
+    /// d)` pairs would. The accumulation order under concurrency is
+    /// unspecified, which is fine for reporting-only values.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
 }
 
 /// A histogram over fixed, ascending bucket upper bounds.
@@ -177,6 +196,33 @@ impl HistogramSnapshot {
         } else {
             self.sum / self.count as f64
         }
+    }
+
+    /// Estimated quantile `q` in `[0, 1]` from the bucket counts, with
+    /// linear interpolation inside the bucket holding the target rank
+    /// (the standard Prometheus `histogram_quantile` estimator). Returns
+    /// 0 when empty. Observations in the overflow bucket clamp to the
+    /// last finite bound — an overflow-heavy histogram under-reports high
+    /// quantiles, which is exactly why serving buckets extend well past
+    /// expected latencies.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let prev = cumulative;
+            cumulative += n;
+            if (cumulative as f64) >= rank {
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let inside = rank - prev as f64;
+                return lo + (hi - lo) * (inside / n.max(1) as f64);
+            }
+        }
+        // Target rank sits in the overflow bucket: clamp to the last bound.
+        *self.bounds.last().expect("histograms have bounds")
     }
 }
 

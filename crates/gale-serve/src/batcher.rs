@@ -1,24 +1,40 @@
-//! The micro-batching queue between HTTP connection threads and the single
-//! scorer thread that owns the model.
+//! The sharded micro-batching layer between connection handling and the
+//! scorer threads that own the model replicas.
 //!
-//! Connection threads [`Batcher::submit`] feature rows into a *bounded*
-//! queue; when it is full the submission fails immediately and the caller
-//! sheds load with `503`. The scorer pops the first waiting job, then
-//! lingers up to `max_wait_us` coalescing more jobs until `max_batch` rows
-//! are in hand, and runs **one** forward pass over the combined batch
-//! through [`Sgan::probs3_into`]. Batch and output matrices come from a
+//! A [`ShardPool`] holds `N` scorer shards. Every shard owns a full model
+//! replica — replicas are built from one parsed checkpoint document, and
+//! checkpoints restore bit-exactly, so all shards score bitwise-identically
+//! — plus a *bounded* job queue. [`ShardPool::submit`] dispatches to the
+//! shard with the least queue depth, breaking ties round-robin; when every
+//! queue is full the submission fails immediately and the caller sheds load
+//! with `503`. Each shard pops the first waiting job, lingers up to
+//! `max_wait_us` coalescing more jobs until `max_batch` rows are in hand,
+//! and runs **one** forward pass over the combined batch through
+//! [`Sgan::probs3_into`]. Batch and output matrices come from a per-shard
 //! [`Workspace`] pool, so steady-state serving does not allocate.
 //!
-//! Shutdown is the natural channel protocol: when every submitter handle is
-//! dropped the scorer drains whatever is still queued — each job gets its
+//! Hot reload rides a second, unbounded control channel per shard: a
+//! [`ShardPool::reload`] parses and validates the new checkpoint *once*,
+//! builds one replica per shard (all-or-nothing — a checkpoint that fails
+//! to decode swaps nothing), and sends each shard a swap message. Shards
+//! apply swaps only **between** batches, so every row of any single batch
+//! is scored by exactly one model version, and no request is ever dropped:
+//! jobs queued across the swap simply score on whichever version their
+//! batch runs under.
+//!
+//! Shutdown is the natural channel protocol: when every submit handle is
+//! dropped each shard drains whatever is still queued — every job gets its
 //! reply — and exits. No job is ever dropped on the floor.
 
 use crate::metrics;
 use gale_core::Sgan;
+use gale_nn::checkpoint::{self, CkptError};
 use gale_tensor::Workspace;
-use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::Arc;
+use std::path::Path;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Micro-batching knobs.
@@ -30,7 +46,8 @@ pub struct BatchConfig {
     /// How long the collector lingers for more work after the first job of
     /// a batch arrives, in microseconds.
     pub max_wait_us: u64,
-    /// Bounded queue capacity in *jobs*; submissions beyond it are shed.
+    /// Bounded queue capacity in *jobs*, per shard; submissions beyond it
+    /// are shed.
     pub queue_capacity: usize,
 }
 
@@ -49,106 +66,344 @@ struct ScoreJob {
     features: Vec<f64>,
     rows: usize,
     enqueued: Instant,
-    reply: mpsc::Sender<Vec<f64>>,
+    reply: mpsc::Sender<ScoreReply>,
+}
+
+/// A scored batch slice headed back to its requester.
+#[derive(Debug)]
+pub struct ScoreReply {
+    /// Monotonic model generation that scored these rows. Every row in the
+    /// reply was scored by exactly this version.
+    pub version: u64,
+    /// `rows * 3` probabilities, one `{error, correct, synthetic}` triple
+    /// per row.
+    pub probs: Vec<f64>,
 }
 
 /// Why a submission was rejected.
 #[derive(Debug, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The queue is at capacity — retry later.
+    /// Every shard queue is at capacity — retry later.
     Overloaded,
-    /// The scorer has shut down; no further work is accepted.
+    /// The pool has shut down; no further work is accepted.
     Stopped,
 }
 
-/// Cloneable submission handle onto the scorer's queue.
-#[derive(Clone)]
-pub struct Batcher {
+/// Why a hot reload did not happen. Whatever the cause, the shards keep
+/// serving the model they already had.
+#[derive(Debug)]
+pub enum ReloadError {
+    /// The checkpoint could not be read or decoded (typed, never a panic).
+    Ckpt(CkptError),
+    /// The checkpoint holds a model with a different input dimension than
+    /// the one being served; swapping it in would break every client.
+    DimMismatch {
+        /// Input dimension the pool serves.
+        expected: usize,
+        /// Input dimension found in the checkpoint.
+        found: usize,
+    },
+    /// The pool is shutting down; shards are no longer accepting swaps.
+    PoolDown,
+}
+
+impl std::fmt::Display for ReloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReloadError::Ckpt(e) => write!(f, "{e}"),
+            ReloadError::DimMismatch { expected, found } => write!(
+                f,
+                "checkpoint input_dim {found} does not match the served model's {expected}"
+            ),
+            ReloadError::PoolDown => write!(f, "pool is shutting down"),
+        }
+    }
+}
+
+impl From<CkptError> for ReloadError {
+    fn from(e: CkptError) -> Self {
+        ReloadError::Ckpt(e)
+    }
+}
+
+/// Control messages delivered outside the job queue (never shed).
+enum Ctrl {
+    /// Replace the shard's model between batches.
+    Swap {
+        model: Box<Sgan>,
+        version: u64,
+        ack: Sender<()>,
+    },
+}
+
+/// One shard's submission handles.
+struct Shard {
     tx: SyncSender<ScoreJob>,
+    ctrl: Sender<Ctrl>,
     depth: Arc<AtomicI64>,
 }
 
-impl Batcher {
-    /// Creates the queue. Feed the receiver half to [`run_scorer`].
-    pub fn new(cfg: &BatchConfig) -> (Batcher, BatchReceiver) {
-        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
-        let depth = Arc::new(AtomicI64::new(0));
-        (
-            Batcher {
+/// The sharded scorer pool. Cloned freely via `Arc`; dropping the last
+/// handle disconnects every shard queue, which drains and exits.
+pub struct ShardPool {
+    shards: Vec<Shard>,
+    rr: AtomicUsize,
+    version: AtomicU64,
+    input_dim: usize,
+    /// Serializes reloads so versions are assigned in order.
+    reload_lock: Mutex<()>,
+}
+
+impl ShardPool {
+    /// Spawns `shards` scorer threads around replicas of `model` and
+    /// returns the pool plus the thread handles (join them after dropping
+    /// the pool to wait for the drain).
+    ///
+    /// Replica construction round-trips the model through its checkpoint
+    /// document, which restores bit-exactly — every shard scores any row
+    /// bitwise-identically to every other.
+    pub fn spawn(
+        model: Sgan,
+        shards: usize,
+        cfg: &BatchConfig,
+    ) -> (Arc<ShardPool>, Vec<JoinHandle<()>>) {
+        metrics::register_all();
+        let shards = shards.max(1);
+        let input_dim = model.input_dim();
+        let doc = if shards > 1 {
+            Some(
+                model
+                    .to_json()
+                    .expect("serializing a live model cannot fail"),
+            )
+        } else {
+            None
+        };
+        let mut handles = Vec::with_capacity(shards);
+        let mut slots = Vec::with_capacity(shards);
+        let mut model = Some(model);
+        for i in 0..shards {
+            let replica = match model.take() {
+                Some(m) => m,
+                None => Sgan::from_json(doc.as_ref().expect("doc built for extra shards"))
+                    .expect("re-decoding a just-encoded model cannot fail"),
+            };
+            let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
+            let (ctrl_tx, ctrl_rx) = mpsc::channel();
+            let depth = Arc::new(AtomicI64::new(0));
+            let shard_depth = depth.clone();
+            let batch_cfg = cfg.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("gale-shard-{i}"))
+                    .spawn(move || {
+                        run_shard(
+                            replica,
+                            INITIAL_VERSION,
+                            rx,
+                            ctrl_rx,
+                            shard_depth,
+                            &batch_cfg,
+                        );
+                    })
+                    .expect("spawning a shard thread"),
+            );
+            slots.push(Shard {
                 tx,
-                depth: depth.clone(),
-            },
-            BatchReceiver { rx, depth },
+                ctrl: ctrl_tx,
+                depth,
+            });
+        }
+        metrics::model_version().set(INITIAL_VERSION as f64);
+        (
+            Arc::new(ShardPool {
+                shards: slots,
+                rr: AtomicUsize::new(0),
+                version: AtomicU64::new(INITIAL_VERSION),
+                input_dim,
+                reload_lock: Mutex::new(()),
+            }),
+            handles,
         )
     }
 
-    /// Enqueues `rows` feature rows (flattened row-major) and returns the
-    /// channel the scored probabilities arrive on: `rows * 3` values, one
-    /// `{error, correct, synthetic}` triple per row.
+    /// Input dimension every shard's model expects.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Number of scorer shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current model generation (1 at boot, +1 per successful reload).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues `rows` feature rows (flattened row-major) on the
+    /// least-loaded shard and returns the channel the scored probabilities
+    /// arrive on.
+    ///
+    /// Dispatch is least-depth with a rotating tie-break: among shards at
+    /// the minimum queue depth the winner advances round-robin, so equal
+    /// load spreads instead of piling onto shard zero. If the chosen shard
+    /// fills up between the depth read and the send, the remaining shards
+    /// are tried in rotation before shedding.
     pub fn submit(
         &self,
         features: Vec<f64>,
         rows: usize,
-    ) -> Result<mpsc::Receiver<Vec<f64>>, SubmitError> {
+    ) -> Result<mpsc::Receiver<ScoreReply>, SubmitError> {
         metrics::requests().add(1);
+        let n = self.shards.len();
+        let start = self.rr.fetch_add(1, Ordering::Relaxed) % n;
+        let mut best = start;
+        let mut best_depth = i64::MAX;
+        for off in 0..n {
+            let i = (start + off) % n;
+            let d = self.shards[i].depth.load(Ordering::Relaxed);
+            if d < best_depth {
+                best_depth = d;
+                best = i;
+            }
+        }
         let (reply, reply_rx) = mpsc::channel();
-        let job = ScoreJob {
+        let mut job = ScoreJob {
             features,
             rows,
             enqueued: Instant::now(),
             reply,
         };
-        // Count the job *before* sending: the scorer may pop (and
-        // decrement) it the instant `try_send` returns, and the gauge must
-        // never observe that decrement before this increment.
-        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
-        metrics::queue_depth().set(d as f64);
-        match self.tx.try_send(job) {
-            Ok(()) => Ok(reply_rx),
-            Err(e) => {
-                let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
-                metrics::queue_depth().set(d as f64);
-                match e {
-                    TrySendError::Full(_) => {
-                        metrics::shed().add(1);
-                        Err(SubmitError::Overloaded)
+        let mut stopped = false;
+        for off in 0..n {
+            let i = (best + off) % n;
+            let shard = &self.shards[i];
+            // Count the job *before* sending: the shard may pop (and
+            // decrement) it the instant `try_send` returns, and the gauge
+            // must never observe that decrement before this increment.
+            shard.depth.fetch_add(1, Ordering::Relaxed);
+            metrics::queue_depth().add(1.0);
+            match shard.tx.try_send(job) {
+                Ok(()) => return Ok(reply_rx),
+                Err(e) => {
+                    shard.depth.fetch_sub(1, Ordering::Relaxed);
+                    metrics::queue_depth().add(-1.0);
+                    match e {
+                        TrySendError::Full(j) => job = j,
+                        TrySendError::Disconnected(j) => {
+                            stopped = true;
+                            job = j;
+                        }
                     }
-                    TrySendError::Disconnected(_) => Err(SubmitError::Stopped),
                 }
             }
         }
+        if stopped {
+            Err(SubmitError::Stopped)
+        } else {
+            metrics::shed().add(1);
+            Err(SubmitError::Overloaded)
+        }
+    }
+
+    /// Loads, validates, and atomically swaps a new checkpoint into every
+    /// shard. Runs entirely off the scoring hot path: file IO, JSON
+    /// parsing, and replica construction happen on the calling thread;
+    /// shards only exchange a pointer between batches.
+    ///
+    /// All-or-nothing: any read/decode/validation failure returns the typed
+    /// error *before* any shard has been touched, and the old model keeps
+    /// serving. On success returns the new model generation.
+    pub fn reload(&self, path: impl AsRef<Path>) -> Result<u64, ReloadError> {
+        let _guard = self
+            .reload_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // Parse once, decode once per shard: every replica comes from the
+        // same document, so all shards restore bit-identically.
+        let doc = checkpoint::read_file(path.as_ref())?;
+        let mut replicas = Vec::with_capacity(self.shards.len());
+        for _ in 0..self.shards.len() {
+            replicas.push(Sgan::from_json(&doc)?);
+        }
+        let found = replicas[0].input_dim();
+        if found != self.input_dim {
+            return Err(ReloadError::DimMismatch {
+                expected: self.input_dim,
+                found,
+            });
+        }
+        let new_version = self.version.load(Ordering::SeqCst) + 1;
+        let mut acks = Vec::with_capacity(self.shards.len());
+        for (shard, replica) in self.shards.iter().zip(replicas) {
+            let (ack_tx, ack_rx) = mpsc::channel();
+            shard
+                .ctrl
+                .send(Ctrl::Swap {
+                    model: Box::new(replica),
+                    version: new_version,
+                    ack: ack_tx,
+                })
+                .map_err(|_| ReloadError::PoolDown)?;
+            acks.push(ack_rx);
+        }
+        for ack in acks {
+            ack.recv().map_err(|_| ReloadError::PoolDown)?;
+        }
+        self.version.store(new_version, Ordering::SeqCst);
+        metrics::model_version().set(new_version as f64);
+        metrics::reloads().add(1);
+        Ok(new_version)
     }
 }
 
-/// The scorer's half of the queue (exists so `run_scorer` can decrement the
-/// shared depth gauge as it pops).
-pub struct BatchReceiver {
+/// Model generation a freshly booted pool serves.
+pub const INITIAL_VERSION: u64 = 1;
+
+/// How long a shard sleeps in `recv_timeout` between control-channel polls
+/// while its job queue is idle. Bounds swap latency on an idle server.
+const IDLE_POLL: Duration = Duration::from_millis(2);
+
+/// The scoring loop of one shard. Runs until the pool (every job sender)
+/// is dropped, then drains the queue — each remaining job still gets its
+/// reply — and exits.
+fn run_shard(
+    mut model: Sgan,
+    mut version: u64,
     rx: Receiver<ScoreJob>,
+    ctrl: Receiver<Ctrl>,
     depth: Arc<AtomicI64>,
-}
-
-impl BatchReceiver {
-    fn note_pop(&self) {
-        let d = self.depth.fetch_sub(1, Ordering::Relaxed) - 1;
-        metrics::queue_depth().set(d as f64);
-    }
-}
-
-/// Runs the scoring loop until every [`Batcher`] handle is dropped, then
-/// drains the queue and returns the model (so a caller can checkpoint or
-/// inspect it after shutdown).
-pub fn run_scorer(mut model: Sgan, rx: BatchReceiver, cfg: &BatchConfig) -> Sgan {
+    cfg: &BatchConfig,
+) {
     let dim = model.input_dim();
     let mut ws = Workspace::new();
     let mut jobs: Vec<ScoreJob> = Vec::new();
+    let (mut reported_hits, mut reported_misses) = (0u64, 0u64);
     loop {
-        // Block for the batch's first job; a disconnect here means every
-        // submitter is gone and the queue is empty — clean exit.
-        let first = match rx.rx.recv() {
+        // Swaps apply only here, between batches: every row of any single
+        // batch is scored by exactly one model version.
+        while let Ok(Ctrl::Swap {
+            model: m,
+            version: v,
+            ack,
+        }) = ctrl.try_recv()
+        {
+            model = *m;
+            version = v;
+            let _ = ack.send(());
+        }
+        // Wait briefly for the batch's first job, then re-poll control. A
+        // disconnect means every submitter is gone and the queue is empty —
+        // clean exit.
+        let first = match rx.recv_timeout(IDLE_POLL) {
             Ok(job) => job,
-            Err(_) => break,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
         };
-        rx.note_pop();
+        depth.fetch_sub(1, Ordering::Relaxed);
+        metrics::queue_depth().add(-1.0);
         let mut total_rows = first.rows;
         jobs.push(first);
         // Linger, coalescing until the row budget or the deadline.
@@ -158,9 +413,10 @@ pub fn run_scorer(mut model: Sgan, rx: BatchReceiver, cfg: &BatchConfig) -> Sgan
             if now >= deadline {
                 break;
             }
-            match rx.rx.recv_timeout(deadline - now) {
+            match rx.recv_timeout(deadline - now) {
                 Ok(job) => {
-                    rx.note_pop();
+                    depth.fetch_sub(1, Ordering::Relaxed);
+                    metrics::queue_depth().add(-1.0);
                     total_rows += job.rows;
                     jobs.push(job);
                 }
@@ -181,8 +437,9 @@ pub fn run_scorer(mut model: Sgan, rx: BatchReceiver, cfg: &BatchConfig) -> Sgan
         metrics::rows().add(total_rows as u64);
         metrics::batch_rows().record(total_rows as f64);
         let (hits, misses) = ws.stats();
-        metrics::pool_hits().set(hits as f64);
-        metrics::pool_misses().set(misses as f64);
+        metrics::pool_hits().add(hits - reported_hits);
+        metrics::pool_misses().add(misses - reported_misses);
+        (reported_hits, reported_misses) = (hits, misses);
 
         // Scatter the rows back to their requesters.
         let mut row0 = 0usize;
@@ -191,12 +448,14 @@ pub fn run_scorer(mut model: Sgan, rx: BatchReceiver, cfg: &BatchConfig) -> Sgan
             row0 += job.rows;
             metrics::latency_us().record(job.enqueued.elapsed().as_secs_f64() * 1e6);
             // A vanished client (closed connection) is not an error.
-            let _ = job.reply.send(slice);
+            let _ = job.reply.send(ScoreReply {
+                version,
+                probs: slice,
+            });
         }
         ws.give(batch);
         ws.give(probs);
     }
-    model
 }
 
 #[cfg(test)]
@@ -218,85 +477,211 @@ mod tests {
         )
     }
 
-    #[test]
-    fn full_queue_sheds_instead_of_blocking() {
-        let (batcher, _rx) = Batcher::new(&BatchConfig {
-            queue_capacity: 2,
-            ..Default::default()
-        });
-        // No scorer is draining, so the third submit must shed immediately.
-        assert!(batcher.submit(vec![0.0], 1).is_ok());
-        assert!(batcher.submit(vec![0.0], 1).is_ok());
-        assert_eq!(
-            batcher.submit(vec![0.0], 1).unwrap_err(),
-            SubmitError::Overloaded
-        );
+    fn scratch_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("gale-batcher-tests-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
     }
 
     #[test]
-    fn submit_after_scorer_exit_reports_stopped() {
-        let (batcher, rx) = Batcher::new(&BatchConfig::default());
-        drop(rx);
-        assert_eq!(
-            batcher.submit(vec![0.0, 0.0], 1).unwrap_err(),
-            SubmitError::Stopped
-        );
-    }
-
-    #[test]
-    fn scored_rows_match_in_process_model_bitwise() {
-        let dim = 5;
-        let cfg = BatchConfig::default();
-        let (batcher, rx) = Batcher::new(&cfg);
-        let scorer = {
-            let cfg = cfg.clone();
-            std::thread::spawn(move || run_scorer(tiny_model(dim), rx, &cfg))
+    fn full_queues_shed_instead_of_blocking() {
+        // Per-shard queues of one job, no batching: two heavy requests park
+        // both shards in long forward passes (or sit queued ahead of the
+        // flood), so a burst of light submissions must fill both queues and
+        // shed rather than block. Every interleaving sheds by the eighth
+        // attempt: at most 2 heavies in hand + 2 queued + 2 replacements
+        // queued after a pop.
+        let dim = 2;
+        let cfg = BatchConfig {
+            queue_capacity: 1,
+            max_wait_us: 0,
+            max_batch: 1,
         };
-
-        let mut rng = Rng::seed_from_u64(32);
-        let x = Matrix::randn(7, dim, 1.0, &mut rng);
-        let reply = batcher.submit(x.data().to_vec(), 7).unwrap();
-        let served = reply.recv().unwrap();
-        drop(batcher);
-        let mut model = scorer.join().unwrap();
-
-        let mut expect = Matrix::zeros(0, 0);
-        model.probs3_into(&x, &mut expect);
-        assert_eq!(served.len(), 7 * 3);
-        for (a, b) in expect.data().iter().zip(&served) {
-            assert_eq!(a.to_bits(), b.to_bits());
+        let (pool, handles) = ShardPool::spawn(tiny_model(dim), 2, &cfg);
+        let heavy_rows = 100_000usize;
+        let heavy = vec![0.5f64; heavy_rows * dim];
+        let mut accepted = 0;
+        let mut shed = false;
+        let mut replies = Vec::new();
+        for i in 0..16 {
+            let result = if i < 2 {
+                pool.submit(heavy.clone(), heavy_rows)
+            } else {
+                pool.submit(vec![0.0, 0.0], 1)
+            };
+            match result {
+                Ok(r) => {
+                    accepted += 1;
+                    replies.push(r);
+                }
+                Err(SubmitError::Overloaded) => {
+                    shed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected submit error {e:?}"),
+            }
+        }
+        assert!(
+            shed,
+            "pool never shed after {accepted} accepted submissions"
+        );
+        assert!(accepted >= 2, "the two heavy submissions must be accepted");
+        // Every accepted job is still answered.
+        for r in replies {
+            assert!(r.recv().is_ok());
+        }
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
         }
     }
 
     #[test]
-    fn drain_answers_every_queued_job() {
+    fn scored_rows_match_in_process_model_bitwise_across_shards() {
+        let dim = 5;
+        let cfg = BatchConfig::default();
+        let (pool, handles) = ShardPool::spawn(tiny_model(dim), 3, &cfg);
+
+        let mut rng = Rng::seed_from_u64(32);
+        let x = Matrix::randn(7, dim, 1.0, &mut rng);
+        // Submit the same rows enough times that every shard scores at
+        // least once with high probability; all replies must be bitwise
+        // equal to the in-process forward.
+        let mut model = tiny_model(dim);
+        let mut expect = Matrix::zeros(0, 0);
+        model.probs3_into(&x, &mut expect);
+        for _ in 0..12 {
+            let reply = pool.submit(x.data().to_vec(), 7).unwrap();
+            let served = reply.recv().unwrap();
+            assert_eq!(served.version, INITIAL_VERSION);
+            assert_eq!(served.probs.len(), 7 * 3);
+            for (a, b) in expect.data().iter().zip(&served.probs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn drain_answers_every_queued_job_on_every_shard() {
         let dim = 3;
         let cfg = BatchConfig {
             max_batch: 4,
             max_wait_us: 500,
             queue_capacity: 64,
         };
-        let (batcher, rx) = Batcher::new(&cfg);
+        let (pool, handles) = ShardPool::spawn(tiny_model(dim), 4, &cfg);
         let mut rng = Rng::seed_from_u64(33);
-        let replies: Vec<_> = (0..20)
+        let replies: Vec<_> = (0..40)
             .map(|_| {
                 let row: Vec<f64> = (0..dim).map(|_| rng.gauss()).collect();
-                batcher.submit(row, 1).unwrap()
+                pool.submit(row, 1).unwrap()
             })
             .collect();
-        // Start the scorer only after the queue is loaded, then drop the
-        // submitter: the scorer must still answer every job before exiting.
-        let scorer = {
-            let cfg = cfg.clone();
-            std::thread::spawn(move || run_scorer(tiny_model(dim), rx, &cfg))
-        };
-        drop(batcher);
+        // Drop the pool with jobs still queued: every shard must answer its
+        // whole queue before exiting.
+        drop(pool);
         for reply in replies {
-            let probs = reply.recv().expect("drained job must be answered");
-            assert_eq!(probs.len(), 3);
-            let total: f64 = probs.iter().sum();
-            assert!((total - 1.0).abs() < 1e-9, "not a distribution: {probs:?}");
+            let scored = reply.recv().expect("drained job must be answered");
+            assert_eq!(scored.probs.len(), 3);
+            let total: f64 = scored.probs.iter().sum();
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "not a distribution: {:?}",
+                scored.probs
+            );
         }
-        let _ = scorer.join().unwrap();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reload_swaps_every_shard_and_bumps_the_version() {
+        let dim = 4;
+        let (pool, handles) = ShardPool::spawn(tiny_model(dim), 2, &BatchConfig::default());
+        let mut rng = Rng::seed_from_u64(55);
+        let mut next = Sgan::new(
+            dim,
+            &SganConfig {
+                d_hidden: vec![6],
+                g_hidden: vec![6],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let path = scratch_path("reload-ok.ckpt");
+        next.save(&path).unwrap();
+        assert_eq!(pool.version(), INITIAL_VERSION);
+        let v = pool.reload(&path).unwrap();
+        assert_eq!(v, INITIAL_VERSION + 1);
+        assert_eq!(pool.version(), v);
+
+        // Every shard now scores with the new model, bitwise.
+        let x = Matrix::randn(5, dim, 1.0, &mut rng);
+        let mut expect = Matrix::zeros(0, 0);
+        next.probs3_into(&x, &mut expect);
+        for _ in 0..8 {
+            let got = pool.submit(x.data().to_vec(), 5).unwrap().recv().unwrap();
+            assert_eq!(got.version, v);
+            for (a, b) in expect.data().iter().zip(&got.probs) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn failed_reload_leaves_the_old_model_serving() {
+        let dim = 3;
+        let (pool, handles) = ShardPool::spawn(tiny_model(dim), 2, &BatchConfig::default());
+        let mut reference = tiny_model(dim);
+        let x = Matrix::randn(4, dim, 1.0, &mut Rng::seed_from_u64(7));
+        let mut expect = Matrix::zeros(0, 0);
+        reference.probs3_into(&x, &mut expect);
+
+        // Missing file -> typed Io error.
+        match pool.reload("/definitely/not/a/checkpoint.ckpt") {
+            Err(ReloadError::Ckpt(CkptError::Io { .. })) => {}
+            other => panic!("expected an Io error, got {other:?}"),
+        }
+        // Dimension mismatch -> typed error, no swap.
+        let mut rng = Rng::seed_from_u64(56);
+        let wrong_dim = Sgan::new(
+            dim + 2,
+            &SganConfig {
+                d_hidden: vec![4],
+                g_hidden: vec![4],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let path = scratch_path("reload-wrongdim.ckpt");
+        wrong_dim.save(&path).unwrap();
+        match pool.reload(&path) {
+            Err(ReloadError::DimMismatch { expected, found }) => {
+                assert_eq!(expected, dim);
+                assert_eq!(found, dim + 2);
+            }
+            other => panic!("expected DimMismatch, got {other:?}"),
+        }
+        assert_eq!(pool.version(), INITIAL_VERSION);
+        let got = pool.submit(x.data().to_vec(), 4).unwrap().recv().unwrap();
+        assert_eq!(got.version, INITIAL_VERSION);
+        for (a, b) in expect.data().iter().zip(&got.probs) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

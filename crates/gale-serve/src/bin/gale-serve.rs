@@ -1,18 +1,24 @@
 //! The `gale-serve` command-line entry point.
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! - `gale-serve train-demo --out model.ckpt [--dim N] [--seed S]` — trains
 //!   a small SGAN on synthetic two-cluster data and writes a checkpoint, so
 //!   the serving path can be exercised without a full pipeline run.
-//! - `gale-serve serve --ckpt model.ckpt [--addr HOST:PORT] [--max-batch N]
-//!   [--max-wait-us U] [--queue-capacity N]` — loads the checkpoint and
-//!   serves `/score`, `/healthz`, and `/metrics` until `POST
+//! - `gale-serve serve --ckpt model.ckpt [--addr HOST:PORT] [--shards N]
+//!   [--mode evloop|blocking] [--max-batch N] [--max-wait-us U]
+//!   [--queue-capacity N]` — loads the checkpoint and serves `/score`,
+//!   `/healthz`, `/metrics`, and `/admin/reload` until `POST
 //!   /admin/shutdown` drains it.
+//! - `gale-serve reload --addr HOST:PORT --ckpt PATH` — asks a running
+//!   server to hot-swap to a new checkpoint and reports the new model
+//!   version.
 
 use gale_core::{Sgan, SganConfig};
-use gale_serve::{serve, BatchConfig, ServeConfig};
+use gale_json::json;
+use gale_serve::{serve, BatchConfig, ServeConfig, ServeMode};
 use gale_tensor::{Matrix, Rng};
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -20,6 +26,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("train-demo") => train_demo(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
+        Some("reload") => run_reload(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -36,13 +43,15 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "\
-gale-serve: micro-batching inference server for GALE checkpoints
+gale-serve: sharded micro-batching inference server for GALE checkpoints
 
 USAGE:
   gale-serve train-demo --out PATH [--dim N] [--seed S]
-  gale-serve serve --ckpt PATH [--addr HOST:PORT] [--max-batch N]
+  gale-serve serve --ckpt PATH [--addr HOST:PORT] [--shards N]
+                   [--mode evloop|blocking] [--max-batch N]
                    [--max-wait-us U] [--queue-capacity N]
-                   [--retry-after-secs S]
+                   [--retry-after-secs S] [--keep-alive-secs S]
+  gale-serve reload --addr HOST:PORT --ckpt PATH
 ";
 
 /// Pulls `--flag value` pairs out of `args`; rejects unknown flags.
@@ -132,13 +141,25 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         &[
             "--ckpt",
             "--addr",
+            "--shards",
+            "--mode",
             "--max-batch",
             "--max-wait-us",
             "--queue-capacity",
             "--retry-after-secs",
+            "--keep-alive-secs",
         ],
     )?;
     let ckpt = find(&flags, "--ckpt").ok_or("serve requires --ckpt PATH")?;
+    let mode = match find(&flags, "--mode").unwrap_or("evloop") {
+        "evloop" => ServeMode::EventLoop,
+        "blocking" => ServeMode::Blocking,
+        other => {
+            return Err(format!(
+                "flag `--mode` wants evloop|blocking, got `{other}`"
+            ))
+        }
+    };
     let cfg = ServeConfig {
         addr: find(&flags, "--addr")
             .unwrap_or("127.0.0.1:7878")
@@ -153,6 +174,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             )?,
         },
         retry_after_secs: parse_num(&flags, "--retry-after-secs", 1u32)?,
+        shards: parse_num(&flags, "--shards", 1usize)?.max(1),
+        mode,
+        keep_alive_secs: parse_num(&flags, "--keep-alive-secs", 60u64)?,
     };
 
     let model = Sgan::load(ckpt).map_err(|e| format!("cannot load `{ckpt}`: {e}"))?;
@@ -164,4 +188,44 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     handle.wait();
     gale_obs::info!("gale-serve drained and stopped");
     Ok(())
+}
+
+fn run_reload(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--addr", "--ckpt"])?;
+    let addr = find(&flags, "--addr").ok_or("reload requires --addr HOST:PORT")?;
+    let ckpt = find(&flags, "--ckpt").ok_or("reload requires --ckpt PATH")?;
+    // Ship an absolute path: the server resolves it relative to *its* cwd.
+    let ckpt = std::fs::canonicalize(ckpt)
+        .map_err(|e| format!("cannot resolve `{ckpt}`: {e}"))?
+        .to_string_lossy()
+        .into_owned();
+    let body = json!({"ckpt": ckpt.as_str()}).to_string();
+    let request = format!(
+        "POST /admin/reload HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("cannot connect to `{addr}`: {e}"))?;
+    stream
+        .write_all(request.as_bytes())
+        .map_err(|e| format!("request write failed: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("response read failed: {e}"))?;
+    let status: u32 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {response:?}"))?;
+    let payload = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.trim())
+        .unwrap_or("");
+    if status == 200 {
+        println!("{payload}");
+        Ok(())
+    } else {
+        Err(format!("server answered {status}: {payload}"))
+    }
 }

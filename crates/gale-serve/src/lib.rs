@@ -1,20 +1,31 @@
-//! `gale-serve`: a std-only micro-batching inference server for
-//! checkpointed GALE SGAN discriminators.
+//! `gale-serve`: a std-only, sharded, non-blocking micro-batching
+//! inference server for checkpointed GALE SGAN discriminators.
 //!
-//! The server loads a [`gale_core::Sgan`] from a `gale-checkpoint` file and
-//! exposes three endpoints over plain HTTP/1.1:
+//! The server loads a [`gale_core::Sgan`] from a `gale-checkpoint` file,
+//! replicates it across N scorer shards (each replica bit-exact with the
+//! source checkpoint), and exposes plain HTTP/1.1 endpoints:
 //!
 //! - `POST /score` — a JSON batch of feature rows, answered with per-class
-//!   probabilities, renormalized error scores, and error/correct verdicts.
-//!   Scores are bitwise-identical to calling the discriminator in process.
-//! - `GET /healthz` — liveness plus the model's expected input dimension.
+//!   probabilities, renormalized error scores, error/correct verdicts, and
+//!   the model generation that scored the batch. Scores are
+//!   bitwise-identical to calling the discriminator in process.
+//! - `GET /healthz` — liveness plus input dimension, shard count, and the
+//!   live model version.
 //! - `GET /metrics` — the whole `gale-obs` metric registry in Prometheus
-//!   text format (request/shed counts, queue depth, batch-size and latency
-//!   histograms).
+//!   text format (request/shed/reload counts, queue depth, connection
+//!   count, batch-size and latency histograms).
+//! - `POST /admin/reload` — `{"ckpt": "path"}` loads and validates a new
+//!   checkpoint off the hot path and atomically swaps it into every shard;
+//!   a bad checkpoint is rejected with a typed error and the old model
+//!   keeps serving.
+//! - `POST /admin/shutdown` — graceful drain: every accepted request is
+//!   answered before the process exits.
 //!
-//! Requests are coalesced by the [`batcher`] into single forward passes;
-//! the bounded queue sheds excess load with `503` + `Retry-After`, and
-//! shutdown drains every accepted request before the process exits.
+//! The default front end is a hand-rolled non-blocking event loop (one
+//! thread, keep-alive + pipelined connections); `--mode blocking` keeps
+//! the thread-per-connection baseline. Requests are coalesced per shard by
+//! the [`batcher`] into single forward passes; bounded queues shed excess
+//! load with `503` + `Retry-After`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +35,5 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use batcher::{BatchConfig, Batcher, SubmitError};
-pub use server::{serve, ServeConfig, ServerHandle};
+pub use batcher::{BatchConfig, ReloadError, ScoreReply, ShardPool, SubmitError, INITIAL_VERSION};
+pub use server::{serve, ServeConfig, ServeMode, ServerHandle};

@@ -10,42 +10,64 @@ use gale_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
 /// Batch-size buckets: powers of two up to a generous batch cap.
 pub const BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
 
-/// `/score` requests accepted into the queue or shed.
+/// `/score` requests accepted into a shard queue or shed.
 pub fn requests() -> &'static Counter {
     counter("serve.requests")
 }
 
-/// Requests rejected with `503` because the queue was full.
+/// Requests rejected with `503` because every shard queue was full.
 pub fn shed() -> &'static Counter {
     counter("serve.shed")
 }
 
-/// Batched forward passes executed.
+/// Batched forward passes executed (across all shards).
 pub fn batches() -> &'static Counter {
     counter("serve.batches")
 }
 
-/// Feature rows scored (across all batches).
+/// Feature rows scored (across all shards and batches).
 pub fn rows() -> &'static Counter {
     counter("serve.rows")
 }
 
-/// Jobs currently waiting in the micro-batch queue.
+/// Jobs currently waiting across every shard queue.
 pub fn queue_depth() -> &'static Gauge {
     gauge("serve.queue_depth")
 }
 
-/// Scorer buffer-pool hits (batches served without allocating). Mirrored
-/// from [`gale_tensor::Workspace::stats`] so the allocation-free
-/// steady-state contract is visible in `/metrics` even with trace
-/// telemetry off: hits keep growing while misses plateau.
-pub fn pool_hits() -> &'static Gauge {
-    gauge("serve.pool_hits")
+/// Open client connections held by the event loop.
+pub fn connections() -> &'static Gauge {
+    gauge("serve.connections")
 }
 
-/// Scorer buffer-pool misses (batches that had to allocate).
-pub fn pool_misses() -> &'static Gauge {
-    gauge("serve.pool_misses")
+/// Model generation currently serving (1 at boot, +1 per reload).
+pub fn model_version() -> &'static Gauge {
+    gauge("serve.model_version")
+}
+
+/// Successful `POST /admin/reload` checkpoint swaps.
+pub fn reloads() -> &'static Counter {
+    counter("serve.reloads")
+}
+
+/// Rejected reload attempts (unreadable, corrupt, wrong-version, or
+/// dimension-mismatched checkpoints). The old model kept serving.
+pub fn reload_failures() -> &'static Counter {
+    counter("serve.reload_failures")
+}
+
+/// Scorer buffer-pool hits (batches served without allocating), summed
+/// across shards. Mirrored from [`gale_tensor::Workspace::stats`] so the
+/// allocation-free steady-state contract is visible in `/metrics` even
+/// with trace telemetry off: hits keep growing while misses plateau.
+pub fn pool_hits() -> &'static Counter {
+    counter("serve.pool_hits")
+}
+
+/// Scorer buffer-pool misses (batches that had to allocate), summed
+/// across shards.
+pub fn pool_misses() -> &'static Counter {
+    counter("serve.pool_misses")
 }
 
 /// Rows per executed batch.
@@ -56,4 +78,23 @@ pub fn batch_rows(/* first call fixes the buckets */) -> &'static Histogram {
 /// Per-request latency from enqueue to reply, microseconds.
 pub fn latency_us() -> &'static Histogram {
     histogram("serve.latency_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// Touches every serving series once so `/metrics` exposes them all from
+/// the first scrape — a `serve_shed 0` that has never shed is a signal,
+/// an absent series is a question.
+pub fn register_all() {
+    requests();
+    shed();
+    batches();
+    rows();
+    queue_depth();
+    connections();
+    model_version();
+    reloads();
+    reload_failures();
+    pool_hits();
+    pool_misses();
+    batch_rows();
+    latency_us();
 }

@@ -1,34 +1,68 @@
-//! The TCP accept loop, request routing, and graceful-shutdown protocol.
+//! Connection handling, request routing, hot reload, and the
+//! graceful-shutdown protocol.
 //!
-//! Threading model: one accept thread polls a non-blocking listener and
-//! spawns a short-lived thread per connection (connections are one
-//! request/response each). All scoring funnels through the [`Batcher`] into
-//! the single scorer thread. [`ServerHandle::shutdown`] (or a
-//! `POST /admin/shutdown`) flips a flag; the accept loop stops taking new
-//! connections, joins every in-flight handler, and drops the queue — the
-//! scorer then drains every queued job before exiting, so no accepted
-//! request goes unanswered.
+//! Two connection modes share the shard pool and the endpoint logic:
+//!
+//! * [`ServeMode::EventLoop`] (default) — a single non-blocking thread owns
+//!   the listener and every client socket, hand-rolled poll-style readiness
+//!   over std `TcpStream`s (no mio/tokio, like the rest of the stack).
+//!   Connections are keep-alive and may pipeline requests; responses always
+//!   come back in request order. Scoring replies and reload completions are
+//!   polled without blocking, so thousands of idle connections cost one
+//!   thread.
+//! * [`ServeMode::Blocking`] — the PR-5 architecture, kept as the serving
+//!   baseline `gale-loadgen` benchmarks against: a blocking accept loop
+//!   spawning a short-lived thread per connection, one request per
+//!   connection, `Connection: close`.
+//!
+//! All scoring funnels through the [`ShardPool`]; `POST /admin/reload`
+//! loads a new checkpoint *off* the event loop (a worker thread does the
+//! file IO and validation) and swaps it into every shard between batches.
+//! Shutdown — [`ServerHandle::shutdown`] or `POST /admin/shutdown` — stops
+//! accepting, answers everything already received, and only then lets the
+//! shards drain and exit, so no accepted request goes unanswered no matter
+//! how many shards are racing the listener close.
 
-use crate::batcher::{BatchConfig, Batcher, SubmitError};
+use crate::batcher::{BatchConfig, ReloadError, ScoreReply, ShardPool, SubmitError};
 use crate::http::{self, HttpError, Request};
+use crate::metrics;
 use gale_core::Sgan;
 use gale_json::{json, Value};
+use gale_nn::checkpoint::CkptError;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, TryRecvError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Connection-handling architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// Non-blocking event loop, keep-alive + pipelined HTTP/1.1.
+    EventLoop,
+    /// Blocking thread-per-connection, one request per connection.
+    Blocking,
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; use port `0` to let the OS pick one.
     pub addr: String,
-    /// Micro-batching knobs.
+    /// Micro-batching knobs (per shard).
     pub batch: BatchConfig,
     /// Value of the `Retry-After` header on shed (`503`) responses,
     /// seconds.
     pub retry_after_secs: u32,
+    /// Scorer shards, each owning a bit-exact model replica.
+    pub shards: usize,
+    /// Connection-handling architecture.
+    pub mode: ServeMode,
+    /// Idle keep-alive connections are closed after this many seconds.
+    pub keep_alive_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -37,16 +71,19 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             batch: BatchConfig::default(),
             retry_after_secs: 1,
+            shards: 1,
+            mode: ServeMode::EventLoop,
+            keep_alive_secs: 60,
         }
     }
 }
 
-/// Shared per-connection context.
+/// Shared request-handling context.
 struct Ctx {
-    batcher: Batcher,
+    pool: Arc<ShardPool>,
     shutdown: Arc<AtomicBool>,
-    input_dim: usize,
     retry_after: String,
+    mode: ServeMode,
 }
 
 /// A running server. Dropping the handle without calling
@@ -55,8 +92,7 @@ struct Ctx {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    scorer: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -66,7 +102,7 @@ impl ServerHandle {
     }
 
     /// Initiates a graceful shutdown and blocks until every accepted
-    /// request has been answered and both threads have exited.
+    /// request has been answered and all threads have exited.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
         self.join_threads();
@@ -79,10 +115,7 @@ impl ServerHandle {
     }
 
     fn join_threads(&mut self) {
-        if let Some(h) = self.accept.take() {
-            let _ = h.join();
-        }
-        if let Some(h) = self.scorer.take() {
+        for h in self.threads.drain(..) {
             let _ = h.join();
         }
     }
@@ -101,40 +134,583 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
-    let (batcher, queue_rx) = Batcher::new(&cfg.batch);
+    let (pool, shard_threads) = ShardPool::spawn(model, cfg.shards, &cfg.batch);
     let ctx = Arc::new(Ctx {
-        batcher,
+        pool,
         shutdown: shutdown.clone(),
-        input_dim: model.input_dim(),
         retry_after: cfg.retry_after_secs.to_string(),
+        mode: cfg.mode,
     });
 
-    let scorer = {
-        let batch_cfg = cfg.batch.clone();
-        std::thread::spawn(move || {
-            let _ = crate::batcher::run_scorer(model, queue_rx, &batch_cfg);
-        })
-    };
-    let accept = {
+    let mut threads = Vec::with_capacity(shard_threads.len() + 1);
+    let front = {
         let shutdown = shutdown.clone();
-        std::thread::spawn(move || accept_loop(listener, ctx, shutdown))
+        let keep_alive = Duration::from_secs(cfg.keep_alive_secs.max(1));
+        match cfg.mode {
+            ServeMode::EventLoop => std::thread::Builder::new()
+                .name("gale-serve-loop".into())
+                .spawn(move || event_loop(listener, ctx, shutdown, keep_alive))?,
+            ServeMode::Blocking => std::thread::Builder::new()
+                .name("gale-serve-accept".into())
+                .spawn(move || blocking_accept_loop(listener, ctx, shutdown))?,
+        }
     };
-    gale_obs::info!("gale-serve listening on http://{addr}");
+    threads.push(front);
+    threads.extend(shard_threads);
+    gale_obs::info!(
+        "gale-serve listening on http://{addr} ({} shard{}, {:?} mode)",
+        cfg.shards.max(1),
+        if cfg.shards.max(1) == 1 { "" } else { "s" },
+        cfg.mode
+    );
     Ok(ServerHandle {
         addr,
         shutdown,
-        accept: Some(accept),
-        scorer: Some(scorer),
+        threads,
     })
 }
 
-fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, shutdown: Arc<AtomicBool>) {
+// ---------------------------------------------------------------------------
+// Endpoint logic (shared by both connection modes)
+// ---------------------------------------------------------------------------
+
+/// What handling a request produced: either a finished response or a
+/// reply-pending operation the event loop polls to completion.
+enum Outcome {
+    /// Rendered response, ready to send.
+    Ready(Vec<u8>),
+    /// A scoring job is in flight on some shard.
+    Score {
+        reply: Receiver<ScoreReply>,
+        rows: usize,
+        keep_alive: bool,
+    },
+    /// A reload worker thread is loading and validating a checkpoint.
+    Reload {
+        done: Receiver<Result<u64, ReloadError>>,
+        keep_alive: bool,
+    },
+}
+
+fn handle_request(request: &Request, ctx: &Ctx) -> Outcome {
+    let ka = request.keep_alive;
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/score") => score_request(request, ctx),
+        ("GET", "/healthz") => Outcome::Ready(http::render_json(
+            200,
+            "OK",
+            &[],
+            &json!({
+                "status": "ok",
+                "kind": "sgan",
+                "input_dim": ctx.pool.input_dim(),
+                "model_version": Value::Int(ctx.pool.version() as i64),
+                "shards": ctx.pool.shard_count(),
+                "mode": format!("{:?}", ctx.mode),
+            }),
+            ka,
+        )),
+        ("GET", "/metrics") => Outcome::Ready(http::render_response(
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &[],
+            gale_obs::metrics::render_text().as_bytes(),
+            ka,
+        )),
+        ("POST", "/admin/reload") => reload_request(request, ctx),
+        ("POST", "/admin/shutdown") => {
+            let ack = http::render_json(200, "OK", &[], &json!({"status": "draining"}), ka);
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            Outcome::Ready(ack)
+        }
+        (
+            "POST" | "GET",
+            "/score" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown",
+        ) => Outcome::Ready(http::render_json(
+            405,
+            "Method Not Allowed",
+            &[],
+            &json!({"error": "method not allowed"}),
+            ka,
+        )),
+        _ => Outcome::Ready(http::render_json(
+            404,
+            "Not Found",
+            &[],
+            &json!({"error": "no such endpoint"}),
+            ka,
+        )),
+    }
+}
+
+fn score_request(request: &Request, ctx: &Ctx) -> Outcome {
+    let ka = request.keep_alive;
+    let (features, rows) = match parse_features(&request.body, ctx.pool.input_dim()) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return Outcome::Ready(http::render_json(
+                400,
+                "Bad Request",
+                &[],
+                &json!({"error": msg}),
+                ka,
+            ))
+        }
+    };
+    match ctx.pool.submit(features, rows) {
+        Ok(reply) => Outcome::Score {
+            reply,
+            rows,
+            keep_alive: ka,
+        },
+        Err(SubmitError::Overloaded) => Outcome::Ready(http::render_json(
+            503,
+            "Service Unavailable",
+            &[("Retry-After", ctx.retry_after.as_str())],
+            &json!({"error": "queue full, retry later"}),
+            ka,
+        )),
+        Err(SubmitError::Stopped) => Outcome::Ready(http::render_json(
+            503,
+            "Service Unavailable",
+            &[],
+            &json!({"error": "server is shutting down"}),
+            ka,
+        )),
+    }
+}
+
+/// Spawns the reload worker. File IO, JSON parsing, replica construction,
+/// and the shard swaps all happen on the worker thread — the event loop
+/// (and every scorer) stays on its hot path.
+fn reload_request(request: &Request, ctx: &Ctx) -> Outcome {
+    let ka = request.keep_alive;
+    let path = std::str::from_utf8(&request.body)
+        .ok()
+        .and_then(|text| gale_json::from_str(text).ok())
+        .and_then(|doc| doc.get("ckpt").and_then(Value::as_str).map(str::to_string));
+    let Some(path) = path else {
+        return Outcome::Ready(http::render_json(
+            400,
+            "Bad Request",
+            &[],
+            &json!({"error": "body must be {\"ckpt\": \"path\"}"}),
+            ka,
+        ));
+    };
+    let (tx, done) = mpsc::channel();
+    let pool = ctx.pool.clone();
+    let spawned = std::thread::Builder::new()
+        .name("gale-serve-reload".into())
+        .spawn(move || {
+            let result = pool.reload(&path);
+            match &result {
+                Ok(version) => gale_obs::info!("reloaded checkpoint `{path}` as v{version}"),
+                Err(e) => {
+                    metrics::reload_failures().add(1);
+                    gale_obs::warn!("reload of `{path}` rejected: {e}");
+                }
+            }
+            let _ = tx.send(result);
+        });
+    match spawned {
+        Ok(_) => Outcome::Reload {
+            done,
+            keep_alive: ka,
+        },
+        Err(e) => Outcome::Ready(http::render_json(
+            500,
+            "Internal Server Error",
+            &[],
+            &json!({"error": format!("cannot spawn reload worker: {e}")}),
+            ka,
+        )),
+    }
+}
+
+/// Renders a completed reload as HTTP: the typed [`ReloadError`] surfaces
+/// as a 4xx/5xx, never a panic, and the old model keeps serving.
+fn render_reload_result(result: Result<u64, ReloadError>, keep_alive: bool) -> Vec<u8> {
+    match result {
+        Ok(version) => http::render_json(
+            200,
+            "OK",
+            &[],
+            &json!({"status": "reloaded", "model_version": Value::Int(version as i64)}),
+            keep_alive,
+        ),
+        // An IO error on a path that does not exist is the client naming
+        // the wrong file (404); an IO error on an existing file (refused
+        // permissions, invalid UTF-8 from torn bytes) is a damaged or
+        // unreadable checkpoint like any other decode failure (422).
+        Err(e @ ReloadError::Ckpt(CkptError::Io { .. })) => {
+            let missing = matches!(
+                &e,
+                ReloadError::Ckpt(CkptError::Io { path, .. })
+                    if !std::path::Path::new(path).exists()
+            );
+            let (status, reason) = if missing {
+                (404, "Not Found")
+            } else {
+                (422, "Unprocessable Entity")
+            };
+            http::render_json(
+                status,
+                reason,
+                &[],
+                &json!({"error": e.to_string()}),
+                keep_alive,
+            )
+        }
+        Err(e @ ReloadError::Ckpt(_)) => http::render_json(
+            422,
+            "Unprocessable Entity",
+            &[],
+            &json!({"error": e.to_string()}),
+            keep_alive,
+        ),
+        Err(e @ ReloadError::DimMismatch { .. }) => http::render_json(
+            409,
+            "Conflict",
+            &[],
+            &json!({"error": e.to_string()}),
+            keep_alive,
+        ),
+        Err(e @ ReloadError::PoolDown) => http::render_json(
+            503,
+            "Service Unavailable",
+            &[],
+            &json!({"error": e.to_string()}),
+            keep_alive,
+        ),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop mode
+// ---------------------------------------------------------------------------
+
+/// Cap on unanswered pipelined requests per connection; parsing pauses
+/// (and the socket naturally backpressures) beyond it.
+const MAX_PIPELINE: usize = 32;
+
+/// Read buffer cap per connection: always big enough for one maximal
+/// request, so parsing can make progress, but bounded so a flooding client
+/// cannot balloon memory.
+const RBUF_CAP: usize = http::MAX_HEAD_BYTES + http::MAX_BODY_BYTES + 4096;
+
+/// How long the loop sleeps when a full tick made no progress.
+const IDLE_TICK: Duration = Duration::from_micros(300);
+
+/// How long a drain waits for unresponsive clients to take their answers
+/// before dropping them.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
+
+/// One queued (request-ordered) response slot.
+enum Pending {
+    Ready(Vec<u8>),
+    Score {
+        reply: Receiver<ScoreReply>,
+        rows: usize,
+        keep_alive: bool,
+    },
+    Reload {
+        done: Receiver<Result<u64, ReloadError>>,
+        keep_alive: bool,
+    },
+}
+
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    pending: VecDeque<Pending>,
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// No further requests will be parsed (close requested or protocol
+    /// error); close once everything queued is answered and flushed.
+    no_more_requests: bool,
+    /// Peer closed its write half or errored; stop reading.
+    reading: bool,
+    dead: bool,
+    last_activity: Instant,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            rbuf: Vec::new(),
+            pending: VecDeque::new(),
+            wbuf: Vec::new(),
+            wpos: 0,
+            no_more_requests: false,
+            reading: true,
+            dead: false,
+            last_activity: Instant::now(),
+        }
+    }
+
+    fn flushed(&self) -> bool {
+        self.wpos == self.wbuf.len()
+    }
+
+    fn idle(&self) -> bool {
+        self.pending.is_empty() && self.flushed() && self.rbuf.is_empty()
+    }
+}
+
+fn event_loop(
+    listener: TcpListener,
+    ctx: Arc<Ctx>,
+    shutdown: Arc<AtomicBool>,
+    keep_alive: Duration,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut draining = false;
+    let mut drain_started = Instant::now();
+    loop {
+        let mut progressed = false;
+        if !draining && shutdown.load(Ordering::SeqCst) {
+            draining = true;
+            drain_started = Instant::now();
+        }
+
+        // Accept everything ready (drain mode stops taking new work).
+        if !draining {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => {
+                        gale_obs::warn!("gale-serve accept error: {e}");
+                        break;
+                    }
+                }
+            }
+        }
+
+        let now = Instant::now();
+        for conn in conns.iter_mut() {
+            progressed |= tick_conn(conn, &ctx, draining, &mut scratch);
+            // A shutdown request handled inside this very tick flips the
+            // flag; pick it up before judging idleness below.
+            if !draining && shutdown.load(Ordering::SeqCst) {
+                draining = true;
+                drain_started = now;
+            }
+            if !conn.dead {
+                let done = conn.pending.is_empty() && conn.flushed();
+                // Close when the last reply is flushed and no more requests can
+                // arrive (client half-closed, `Connection: close`, or drain), or
+                // when an idle keep-alive connection outlives its timeout.
+                let finished = (conn.no_more_requests || !conn.reading || draining) && done;
+                let timed_out = !draining
+                    && conn.idle()
+                    && now.duration_since(conn.last_activity) > keep_alive;
+                if finished || timed_out {
+                    conn.dead = true;
+                }
+            }
+        }
+        let before = conns.len();
+        conns.retain(|c| !c.dead);
+        progressed |= conns.len() != before;
+        metrics::connections().set(conns.len() as f64);
+
+        if draining {
+            if conns.is_empty() {
+                break;
+            }
+            if drain_started.elapsed() > DRAIN_DEADLINE {
+                gale_obs::warn!(
+                    "gale-serve drain deadline hit with {} unresponsive connection(s)",
+                    conns.len()
+                );
+                break;
+            }
+        }
+        if !progressed {
+            std::thread::sleep(IDLE_TICK);
+        }
+    }
+    // Dropping `ctx` (the last pool handle outside any in-flight reload
+    // worker) disconnects every shard queue; shards answer whatever is
+    // still queued — nothing is at this point — and exit.
+}
+
+/// One readiness pass over a connection. Returns whether any progress was
+/// made (bytes moved or a response completed).
+fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> bool {
+    let mut progressed = false;
+
+    // Read phase. Drain mode stops reading: requests not yet received by
+    // the time shutdown was requested are not "accepted".
+    if conn.reading && !draining {
+        while conn.rbuf.len() < RBUF_CAP {
+            let space = (RBUF_CAP - conn.rbuf.len()).min(scratch.len());
+            match conn.stream.read(&mut scratch[..space]) {
+                Ok(0) => {
+                    conn.reading = false;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.extend_from_slice(&scratch[..n]);
+                    conn.last_activity = Instant::now();
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    conn.dead = true;
+                    return true;
+                }
+            }
+        }
+    }
+
+    // Parse phase: peel complete pipelined requests off the buffer. Runs
+    // in drain mode too — a request fully received before the drain began
+    // was accepted and must be answered.
+    while !conn.no_more_requests && conn.pending.len() < MAX_PIPELINE {
+        match http::parse_request(&conn.rbuf) {
+            Ok(Some((request, consumed))) => {
+                conn.rbuf.drain(..consumed);
+                let keep = request.keep_alive;
+                let pending = match handle_request(&request, ctx) {
+                    Outcome::Ready(bytes) => Pending::Ready(bytes),
+                    Outcome::Score {
+                        reply,
+                        rows,
+                        keep_alive,
+                    } => Pending::Score {
+                        reply,
+                        rows,
+                        keep_alive,
+                    },
+                    Outcome::Reload { done, keep_alive } => Pending::Reload { done, keep_alive },
+                };
+                conn.pending.push_back(pending);
+                if !keep {
+                    conn.no_more_requests = true;
+                }
+                progressed = true;
+            }
+            Ok(None) => break,
+            Err(HttpError::Malformed(msg)) => {
+                conn.pending.push_back(Pending::Ready(http::render_json(
+                    400,
+                    "Bad Request",
+                    &[],
+                    &json!({"error": msg}),
+                    false,
+                )));
+                conn.no_more_requests = true;
+                conn.reading = false;
+                conn.rbuf.clear();
+                progressed = true;
+                break;
+            }
+            Err(HttpError::Io(_)) => unreachable!("buffer parsing does no IO"),
+        }
+    }
+
+    // Resolve phase: responses leave strictly in request order, so only
+    // the front of the queue can complete.
+    while let Some(front) = conn.pending.front_mut() {
+        let resolved: Option<Vec<u8>> = match front {
+            Pending::Ready(bytes) => Some(std::mem::take(bytes)),
+            Pending::Score {
+                reply,
+                rows,
+                keep_alive,
+            } => match reply.try_recv() {
+                Ok(scored) => Some(http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &score_body(&scored.probs, *rows, scored.version),
+                    *keep_alive,
+                )),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(http::render_json(
+                    500,
+                    "Internal Server Error",
+                    &[],
+                    &json!({"error": "scorer dropped the request"}),
+                    *keep_alive,
+                )),
+            },
+            Pending::Reload { done, keep_alive } => match done.try_recv() {
+                Ok(result) => Some(render_reload_result(result, *keep_alive)),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(http::render_json(
+                    500,
+                    "Internal Server Error",
+                    &[],
+                    &json!({"error": "reload worker died"}),
+                    *keep_alive,
+                )),
+            },
+        };
+        match resolved {
+            Some(bytes) => {
+                conn.wbuf.extend_from_slice(&bytes);
+                conn.pending.pop_front();
+                progressed = true;
+            }
+            None => break,
+        }
+    }
+
+    // Write phase.
+    while conn.wpos < conn.wbuf.len() {
+        match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return true;
+            }
+            Ok(n) => {
+                conn.wpos += n;
+                conn.last_activity = Instant::now();
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                conn.dead = true;
+                return true;
+            }
+        }
+    }
+    if conn.flushed() && !conn.wbuf.is_empty() {
+        conn.wbuf.clear();
+        conn.wpos = 0;
+    }
+    progressed
+}
+
+// ---------------------------------------------------------------------------
+// Blocking mode (the PR-5 baseline)
+// ---------------------------------------------------------------------------
+
+fn blocking_accept_loop(listener: TcpListener, ctx: Arc<Ctx>, shutdown: Arc<AtomicBool>) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let ctx = ctx.clone();
-                handlers.push(std::thread::spawn(move || handle_connection(stream, &ctx)));
+                handlers.push(std::thread::spawn(move || {
+                    handle_blocking_connection(stream, &ctx)
+                }));
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -146,14 +722,14 @@ fn accept_loop(listener: TcpListener, ctx: Arc<Ctx>, shutdown: Arc<AtomicBool>) 
         }
         handlers.retain(|h| !h.is_finished());
     }
-    // Drain: finish in-flight connections, then drop the queue handle so
-    // the scorer answers everything still queued and exits.
+    // Drain: finish in-flight connections; dropping `ctx` afterwards lets
+    // the shards answer everything still queued and exit.
     for h in handlers {
         let _ = h.join();
     }
 }
 
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+fn handle_blocking_connection(mut stream: TcpStream, ctx: &Ctx) {
     // A stalled or hostile peer must not pin the drain forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
@@ -165,93 +741,65 @@ fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
         }
         Err(HttpError::Io(_)) => return,
     };
-    let outcome = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => score(&mut stream, ctx, &request),
-        ("GET", "/healthz") => http::write_json(
-            &mut stream,
-            200,
-            "OK",
-            &[],
-            &json!({
-                "status": "ok",
-                "kind": "sgan",
-                "input_dim": ctx.input_dim,
-            }),
-        ),
-        ("GET", "/metrics") => http::write_response(
-            &mut stream,
-            200,
-            "OK",
-            "text/plain; version=0.0.4",
-            &[],
-            gale_obs::metrics::render_text().as_bytes(),
-        ),
-        ("POST", "/admin/shutdown") => {
-            let ack = http::write_json(&mut stream, 200, "OK", &[], &json!({"status": "draining"}));
-            ctx.shutdown.store(true, Ordering::SeqCst);
-            ack
-        }
-        ("POST" | "GET", "/score" | "/healthz" | "/metrics" | "/admin/shutdown") => {
-            http::write_json(
-                &mut stream,
-                405,
-                "Method Not Allowed",
+    let bytes = match handle_request(&request, ctx) {
+        Outcome::Ready(bytes) => bytes,
+        Outcome::Score { reply, rows, .. } => match reply.recv() {
+            Ok(scored) => http::render_json(
+                200,
+                "OK",
                 &[],
-                &json!({"error": "method not allowed"}),
-            )
-        }
-        _ => http::write_json(
-            &mut stream,
-            404,
-            "Not Found",
-            &[],
-            &json!({"error": "no such endpoint"}),
-        ),
+                &score_body(&scored.probs, rows, scored.version),
+                false,
+            ),
+            Err(_) => http::render_json(
+                500,
+                "Internal Server Error",
+                &[],
+                &json!({"error": "scorer dropped the request"}),
+                false,
+            ),
+        },
+        Outcome::Reload { done, .. } => match done.recv() {
+            Ok(result) => render_reload_result(result, false),
+            Err(_) => http::render_json(
+                500,
+                "Internal Server Error",
+                &[],
+                &json!({"error": "reload worker died"}),
+                false,
+            ),
+        },
     };
-    if let Err(e) = outcome {
+    // Blocking mode is one-request-per-connection: force `close` framing
+    // regardless of what the client asked for.
+    let bytes = force_connection_close(bytes);
+    if let Err(e) = stream.write_all(&bytes).and_then(|_| stream.flush()) {
         gale_obs::warn!("gale-serve response write failed: {e}");
     }
 }
 
-fn score(stream: &mut TcpStream, ctx: &Ctx, request: &Request) -> std::io::Result<()> {
-    let (features, rows) = match parse_features(&request.body, ctx.input_dim) {
-        Ok(parsed) => parsed,
-        Err(msg) => {
-            return http::write_json(stream, 400, "Bad Request", &[], &json!({"error": msg}))
-        }
-    };
-    let reply = match ctx.batcher.submit(features, rows) {
-        Ok(reply) => reply,
-        Err(SubmitError::Overloaded) => {
-            return http::write_json(
-                stream,
-                503,
-                "Service Unavailable",
-                &[("Retry-After", ctx.retry_after.as_str())],
-                &json!({"error": "queue full, retry later"}),
-            );
-        }
-        Err(SubmitError::Stopped) => {
-            return http::write_json(
-                stream,
-                503,
-                "Service Unavailable",
-                &[],
-                &json!({"error": "server is shutting down"}),
-            );
-        }
-    };
-    match reply.recv() {
-        Ok(probs) => http::write_json(stream, 200, "OK", &[], &score_body(&probs, rows)),
-        Err(_) => http::write_json(
-            stream,
-            500,
-            "Internal Server Error",
-            &[],
-            &json!({"error": "scorer dropped the request"}),
-        ),
+/// Rewrites a rendered response's `Connection: keep-alive` header to
+/// `close` (blocking mode never keeps connections open).
+fn force_connection_close(bytes: Vec<u8>) -> Vec<u8> {
+    const KEEP: &[u8] = b"Connection: keep-alive\r\n";
+    if let Some(pos) = bytes
+        .windows(KEEP.len())
+        .position(|w| w == KEEP)
+        .filter(|&pos| pos < http::MAX_HEAD_BYTES)
+    {
+        let mut out = Vec::with_capacity(bytes.len());
+        out.extend_from_slice(&bytes[..pos]);
+        out.extend_from_slice(b"Connection: close\r\n");
+        out.extend_from_slice(&bytes[pos + KEEP.len()..]);
+        out
+    } else {
+        bytes
     }
 }
+
+// ---------------------------------------------------------------------------
+// /score body handling
+// ---------------------------------------------------------------------------
 
 /// Parses a `/score` body: `{"features": [[...], ...]}` (a batch) or
 /// `{"features": [...]}` (one row). Every row must hold exactly
@@ -296,8 +844,10 @@ fn parse_features(body: &[u8], input_dim: usize) -> Result<(Vec<f64>, usize), St
 
 /// Builds the `/score` response from `rows * 3` probabilities: the raw
 /// 3-class rows, the two-class error score (synthetic class dropped and
-/// renormalized, matching `Sgan::class_probs`), and the verdict string.
-fn score_body(probs: &[f64], rows: usize) -> Value {
+/// renormalized, matching `Sgan::class_probs`), the verdict string, and
+/// the model generation that scored the batch (every row of a response
+/// was scored by exactly this version).
+fn score_body(probs: &[f64], rows: usize, version: u64) -> Value {
     let mut prob_rows = Vec::with_capacity(rows);
     let mut error_scores = Vec::with_capacity(rows);
     let mut verdicts = Vec::with_capacity(rows);
@@ -315,6 +865,7 @@ fn score_body(probs: &[f64], rows: usize) -> Value {
         "probs": Value::Array(prob_rows),
         "error_scores": Value::Array(error_scores),
         "verdicts": Value::Array(verdicts),
+        "model_version": Value::Int(version as i64),
     })
 }
 
@@ -350,12 +901,23 @@ mod tests {
     #[test]
     fn score_body_reports_verdicts_and_renormalized_scores() {
         let probs = [0.6, 0.2, 0.2, 0.1, 0.7, 0.2];
-        let body = score_body(&probs, 2);
+        let body = score_body(&probs, 2, 3);
         let verdicts = body.get("verdicts").unwrap().as_array().unwrap();
         assert_eq!(verdicts[0].as_str(), Some("error"));
         assert_eq!(verdicts[1].as_str(), Some("correct"));
         let scores = body.get("error_scores").unwrap().as_array().unwrap();
         assert!((scores[0].as_f64().unwrap() - 0.75).abs() < 1e-12);
         assert!((scores[1].as_f64().unwrap() - 0.125).abs() < 1e-12);
+        assert_eq!(body.get("model_version").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn force_connection_close_rewrites_the_header() {
+        let rendered = http::render_response(200, "OK", "text/plain", &[], b"hi", true);
+        let closed = force_connection_close(rendered);
+        let text = String::from_utf8(closed).unwrap();
+        assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(!text.contains("keep-alive"), "{text}");
+        assert!(text.ends_with("hi"), "{text}");
     }
 }

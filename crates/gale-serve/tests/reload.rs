@@ -1,0 +1,254 @@
+//! Hot-reload edge cases over the real HTTP surface: damaged checkpoints —
+//! truncated, bit-flipped, future-format, wrong-kind, wrong-dimension, or
+//! missing outright — must be rejected with a typed 4xx/5xx and must leave
+//! the old model serving bitwise-identical scores. Damage shapes are
+//! property-generated, mirroring `tests/checkpoint_roundtrip.rs` at the
+//! workspace root.
+
+use gale_core::{Sgan, SganConfig};
+use gale_json::Value;
+use gale_serve::{serve, ServeConfig, ServerHandle};
+use gale_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+use proptest::ProptestConfig;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+const DIM: usize = 5;
+
+fn tiny_model(dim: usize, seed: u64) -> Sgan {
+    let mut rng = Rng::seed_from_u64(seed);
+    Sgan::new(
+        dim,
+        &SganConfig {
+            d_hidden: vec![6, 4],
+            g_hidden: vec![6],
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gale-serve-reload-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One shared 2-shard server for every proptest case (booting per case
+/// would dominate the test's runtime). Never shut down; process exit
+/// reaps it.
+fn shared_server() -> SocketAddr {
+    static SERVER: OnceLock<ServerHandle> = OnceLock::new();
+    SERVER
+        .get_or_init(|| {
+            let cfg = ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                shards: 2,
+                ..Default::default()
+            };
+            serve(tiny_model(DIM, 11), &cfg).unwrap()
+        })
+        .addr()
+}
+
+/// The serialized bytes of the model [`shared_server`] booted with.
+fn good_checkpoint_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = scratch_dir().join("good.ckpt");
+        tiny_model(DIM, 11).save(&path).unwrap();
+        std::fs::read(&path).unwrap()
+    })
+}
+
+fn exchange(addr: SocketAddr, raw: &[u8]) -> (u16, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(raw).unwrap();
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).unwrap();
+    let split = bytes
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("no header terminator");
+    let status = std::str::from_utf8(&bytes[..split])
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("no status code");
+    (status, bytes[split + 4..].to_vec())
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, Vec<u8>) {
+    exchange(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}
+
+fn reload(addr: SocketAddr, ckpt: &std::path::Path) -> (u16, Vec<u8>) {
+    post(
+        addr,
+        "/admin/reload",
+        &format!("{{\"ckpt\": {:?}}}", ckpt.display().to_string()),
+    )
+}
+
+/// Scores a fixed probe batch and returns the raw probability bits plus
+/// the model version that served them.
+fn probe_scores(addr: SocketAddr) -> (Vec<u64>, u64) {
+    let mut rng = Rng::seed_from_u64(0xbeef);
+    let x = Matrix::randn(3, DIM, 1.0, &mut rng);
+    let rows: Vec<String> = (0..x.rows())
+        .map(|r| {
+            let vals: Vec<String> = (0..x.cols()).map(|c| format!("{:?}", x[(r, c)])).collect();
+            format!("[{}]", vals.join(","))
+        })
+        .collect();
+    let (status, body) = post(
+        addr,
+        "/score",
+        &format!("{{\"features\": [{}]}}", rows.join(",")),
+    );
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let doc: Value = gale_json::from_str(std::str::from_utf8(&body).unwrap()).unwrap();
+    let bits = doc
+        .get("probs")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .iter()
+        .flat_map(|row| row.as_array().unwrap().iter())
+        .map(|v| v.as_f64().unwrap().to_bits())
+        .collect();
+    let version = doc.get("model_version").unwrap().as_u64().unwrap();
+    (bits, version)
+}
+
+/// Every damage case must be rejected with the expected class of status
+/// and must not disturb the serving model.
+fn assert_rejected_and_old_model_serving(damaged: &std::path::Path, want_status: &[u16]) {
+    let addr = shared_server();
+    let before = probe_scores(addr);
+    let (status, body) = reload(addr, damaged);
+    assert!(
+        want_status.contains(&status),
+        "wanted one of {want_status:?}, got {status}: {}",
+        String::from_utf8_lossy(&body)
+    );
+    let after = probe_scores(addr);
+    assert_eq!(before, after, "reload rejection disturbed the live model");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Truncation anywhere in the file: parse error (422) — or, when the
+    /// cut lands exactly at a token boundary leaving valid JSON, a schema
+    /// error (still 422).
+    #[test]
+    fn truncated_checkpoints_are_rejected(cut in 1usize..2000) {
+        let good = good_checkpoint_bytes();
+        let cut = cut.min(good.len() - 1);
+        let path = scratch_dir().join(format!("trunc-{cut}.ckpt"));
+        std::fs::write(&path, &good[..good.len() - cut]).unwrap();
+        assert_rejected_and_old_model_serving(&path, &[422]);
+    }
+
+    /// A single corrupted byte: depending on where it lands this is a
+    /// parse error, a schema error, or a format error — every one a 422,
+    /// never a panic or a partial swap.
+    #[test]
+    fn bit_flipped_checkpoints_are_rejected(pos in 0usize..4000, mask in 1usize..256) {
+        let good = good_checkpoint_bytes();
+        let pos = pos.min(good.len() - 1);
+        let mut bytes = good.to_vec();
+        bytes[pos] ^= mask as u8;
+        // Skip the rare flip that keeps the document both parseable and
+        // schema-valid (e.g. a digit flipped to another digit inside a
+        // weight): that is legitimately a *different valid checkpoint*,
+        // not damage this test can detect.
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        if let Ok(doc) = gale_json::from_str(&text) {
+            if Sgan::from_json(&doc).is_ok() {
+                return Ok(());
+            }
+        }
+        let path = scratch_dir().join(format!("flip-{pos}-{mask}.ckpt"));
+        std::fs::write(&path, &bytes).unwrap();
+        assert_rejected_and_old_model_serving(&path, &[422]);
+    }
+
+    /// A checkpoint from a future format version is refused outright.
+    #[test]
+    fn future_version_checkpoints_are_rejected(version in 2i64..1000) {
+        let good = String::from_utf8(good_checkpoint_bytes().to_vec()).unwrap();
+        let bumped = good.replacen("\"version\":1", &format!("\"version\":{version}"), 1);
+        prop_assume!(bumped != good);
+        let path = scratch_dir().join(format!("future-{version}.ckpt"));
+        std::fs::write(&path, bumped).unwrap();
+        assert_rejected_and_old_model_serving(&path, &[422]);
+    }
+}
+
+#[test]
+fn missing_checkpoint_is_a_404() {
+    assert_rejected_and_old_model_serving(&scratch_dir().join("no-such-file.ckpt"), &[404]);
+}
+
+#[test]
+fn wrong_kind_checkpoint_is_rejected() {
+    let good = String::from_utf8(good_checkpoint_bytes().to_vec()).unwrap();
+    let wrong = good.replacen("\"kind\":\"sgan\"", "\"kind\":\"mlp\"", 1);
+    assert_ne!(wrong, good, "kind marker not found in checkpoint");
+    let path = scratch_dir().join("wrong-kind.ckpt");
+    std::fs::write(&path, wrong).unwrap();
+    assert_rejected_and_old_model_serving(&path, &[422]);
+}
+
+#[test]
+fn dimension_mismatch_is_a_409() {
+    let path = scratch_dir().join("wrong-dim.ckpt");
+    tiny_model(DIM + 2, 12).save(&path).unwrap();
+    assert_rejected_and_old_model_serving(&path, &[409]);
+}
+
+#[test]
+fn valid_checkpoint_swaps_and_bumps_the_version() {
+    // Not the shared server: this one mutates serving state.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        ..Default::default()
+    };
+    let handle = serve(tiny_model(DIM, 21), &cfg).unwrap();
+    let addr = handle.addr();
+    let (before_bits, v1) = probe_scores(addr);
+    assert_eq!(v1, 1);
+
+    let path = scratch_dir().join("swap-target.ckpt");
+    let replacement = tiny_model(DIM, 22);
+    replacement.save(&path).unwrap();
+    let (status, body) = reload(addr, &path);
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+
+    let (after_bits, v2) = probe_scores(addr);
+    assert_eq!(v2, 2);
+    assert_ne!(before_bits, after_bits, "swap did not change the model");
+    // The swapped-in model serves bitwise what the checkpoint holds.
+    let mut reference = Sgan::load(&path).unwrap();
+    let mut rng = Rng::seed_from_u64(0xbeef);
+    let x = Matrix::randn(3, DIM, 1.0, &mut rng);
+    let mut expect = Matrix::zeros(0, 0);
+    reference.probs3_into(&x, &mut expect);
+    let expect_bits: Vec<u64> = expect.data().iter().map(|v| v.to_bits()).collect();
+    assert_eq!(after_bits, expect_bits);
+    handle.shutdown();
+}

@@ -75,7 +75,7 @@ fn exchange(addr: SocketAddr, raw: &[u8]) -> Response {
 fn get(addr: SocketAddr, path: &str) -> Response {
     exchange(
         addr,
-        format!("GET {path} HTTP/1.1\r\nHost: t\r\n\r\n").as_bytes(),
+        format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
     )
 }
 
@@ -83,7 +83,7 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> Response {
     exchange(
         addr,
         format!(
-            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
             body.len()
         )
         .as_bytes(),
@@ -249,6 +249,7 @@ fn overload_sheds_with_retry_after() {
             queue_capacity: 1,
         },
         retry_after_secs: 7,
+        ..Default::default()
     };
     let handle = serve(model, &cfg).unwrap();
     let addr = handle.addr();
