@@ -260,7 +260,7 @@ pub fn extract_version(body: &[u8]) -> Option<u64> {
 }
 
 /// Sorted-sample percentile (nearest-rank): `q` in `[0, 1]`.
-fn percentile(sorted_us: &[u64], q: f64) -> f64 {
+pub fn percentile(sorted_us: &[u64], q: f64) -> f64 {
     if sorted_us.is_empty() {
         return 0.0;
     }
@@ -279,6 +279,14 @@ struct WorkerStats {
 
 /// Runs the closed loop and aggregates every worker's samples.
 pub fn run(cfg: &LoadConfig) -> LoadReport {
+    run_samples(cfg).0
+}
+
+/// Like [`run`], but also hands back the sorted raw latency samples so a
+/// caller can pool several passes and take percentiles over the union —
+/// one pass's p99 is a handful of tail samples and mostly measures
+/// scheduler noise.
+pub fn run_samples(cfg: &LoadConfig) -> (LoadReport, Vec<u64>) {
     let start = Instant::now();
     let measure_start = start + cfg.warmup;
     let deadline = measure_start + cfg.duration;
@@ -318,7 +326,7 @@ pub fn run(cfg: &LoadConfig) -> LoadReport {
     report.p50_us = percentile(&latencies, 0.50);
     report.p99_us = percentile(&latencies, 0.99);
     report.p999_us = percentile(&latencies, 0.999);
-    report
+    (report, latencies)
 }
 
 fn worker_loop(

@@ -13,7 +13,14 @@
 //!   when telemetry is disabled.
 //! * **Spans & events** ([`span`]): [`span!`] produces nested, wall-clock
 //!   timed spans with key-value fields; [`event!`] emits point-in-time
-//!   records. Both serialize to a JSONL trace via the [`trace`] sink.
+//!   records. Both serialize to a JSONL trace via the [`trace`] sink, and
+//!   both stamp the current request id ([`span::request_scope`]) so a
+//!   trace filters down to one request's phase tree.
+//! * **Request rings** ([`ring`]): fixed-capacity, non-blocking in-memory
+//!   sinks for per-request [`ring::WideEvent`]s — head-sampled recents
+//!   plus tail-captured slow/errored requests — built for serving paths
+//!   where per-record file IO is unaffordable. Independent of `GALE_OBS`;
+//!   the server switches them with [`ring::configure`].
 //! * **Run reports** ([`report::RunReport`]): a per-iteration table plus
 //!   totals, JSON round-trippable and renderable as an aligned text table.
 //!
@@ -21,8 +28,9 @@
 //!
 //! * `GALE_OBS=1` enables telemetry (anything else disables it). The state
 //!   is read once, lazily; tests override it with [`set_enabled`].
-//! * `GALE_OBS_PATH` sets the JSONL trace path (default
-//!   `gale_trace.jsonl`, truncated per process).
+//! * `GALE_OBS_PATH` sets the JSONL trace path. Unset, the path is
+//!   `gale_trace.<pid>.jsonl` (truncated per process) so concurrent
+//!   processes in one directory never clobber each other's traces.
 //!
 //! ## Overhead contract
 //!
@@ -41,11 +49,13 @@ use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod metrics;
 pub mod report;
+pub mod ring;
 pub mod span;
 pub mod trace;
 
 pub use gale_json::Value;
 pub use report::RunReport;
+pub use ring::{TracePolicy, WideEvent};
 pub use span::{Span, SpanTimer};
 
 const STATE_UNINIT: u8 = 0;

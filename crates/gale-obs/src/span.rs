@@ -34,6 +34,38 @@ fn epoch_us() -> u64 {
 thread_local! {
     /// `(current span id, current depth)` for the running thread.
     static CURRENT: Cell<(u64, u32)> = const { Cell::new((0, 0)) };
+
+    /// Request/trace id in scope on this thread (0 = none). Set with
+    /// [`request_scope`]; spans and events opened inside the scope stamp
+    /// it into their records as `"req"`, so a trace can be filtered down
+    /// to one request's phase tree.
+    static REQUEST: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Restores the previous request id when dropped.
+#[must_use = "the request id is scoped to this guard's lifetime"]
+pub struct RequestScope {
+    prev: u64,
+}
+
+impl Drop for RequestScope {
+    fn drop(&mut self) {
+        REQUEST.with(|r| r.set(self.prev));
+    }
+}
+
+/// Sets the thread's current request id until the returned guard drops.
+/// Spans opened and events emitted inside the scope carry `"req": id`.
+/// Scopes nest; ids come from [`crate::ring::next_request_id`] or any
+/// caller-owned scheme.
+pub fn request_scope(id: u64) -> RequestScope {
+    let prev = REQUEST.with(|r| r.replace(id));
+    RequestScope { prev }
+}
+
+/// The thread's current request id (0 when no scope is active).
+pub fn current_request() -> u64 {
+    REQUEST.with(|r| r.get())
 }
 
 fn thread_label() -> String {
@@ -54,6 +86,7 @@ pub struct Span {
     id: u64,
     parent: u64,
     depth: u32,
+    req: u64,
     fields: Vec<(&'static str, Value)>,
     live: bool,
     closed: bool,
@@ -77,6 +110,7 @@ pub fn open(name: &'static str) -> Span {
         id,
         parent,
         depth,
+        req: if live { current_request() } else { 0 },
         fields: Vec::new(),
         live,
         closed: false,
@@ -123,6 +157,9 @@ impl Span {
         obj.insert("thread", Value::from(thread_label()));
         obj.insert("start_us", Value::from(self.start_us));
         obj.insert("us", Value::from(self.start.elapsed().as_micros() as u64));
+        if self.req != 0 {
+            obj.insert("req", Value::from(self.req));
+        }
         for (k, v) in self.fields.drain(..) {
             obj.insert(k, v);
         }
@@ -147,6 +184,10 @@ pub fn emit_event(name: &str, fields: Vec<(&'static str, Value)>) {
     obj.insert("at_us", Value::from(epoch_us()));
     if parent != 0 {
         obj.insert("span", Value::from(parent));
+    }
+    let req = current_request();
+    if req != 0 {
+        obj.insert("req", Value::from(req));
     }
     for (k, v) in fields {
         obj.insert(k, v);
@@ -210,6 +251,37 @@ mod tests {
         );
         assert_eq!(event["t"].as_str(), Some("event"));
         assert_eq!(event["x"].as_f64(), Some(2.5));
+    }
+
+    #[test]
+    fn request_scope_stamps_spans_and_events_and_restores() {
+        let _g = crate::test_guard();
+        let buf = crate::trace::capture_to_memory();
+        crate::set_enabled(true);
+        assert_eq!(super::current_request(), 0);
+        {
+            let _scope = super::request_scope(42);
+            assert_eq!(super::current_request(), 42);
+            {
+                let _nested = super::request_scope(43);
+                assert_eq!(super::current_request(), 43);
+            }
+            assert_eq!(super::current_request(), 42, "nested scope restores");
+            let sp = crate::span!("test.req_span");
+            let _ = sp.finish();
+            crate::event!("test.req_event", x = 1);
+        }
+        assert_eq!(super::current_request(), 0);
+        let sp = crate::span!("test.no_req_span");
+        let _ = sp.finish();
+        crate::set_enabled(false);
+        let lines = buf.lock().unwrap().clone();
+        let span = gale_json::from_str(&lines[0]).unwrap();
+        let event = gale_json::from_str(&lines[1]).unwrap();
+        let bare = gale_json::from_str(&lines[2]).unwrap();
+        assert_eq!(span["req"].as_u64(), Some(42));
+        assert_eq!(event["req"].as_u64(), Some(42));
+        assert!(bare["req"].as_u64().is_none(), "no scope, no req field");
     }
 
     #[test]

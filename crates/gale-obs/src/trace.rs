@@ -2,16 +2,22 @@
 //!
 //! One line per record, written through a process-global sink. The sink is
 //! opened lazily on the first write: a buffered file at `GALE_OBS_PATH`
-//! (default `gale_trace.jsonl`, truncated per process). Tests install an
-//! in-memory sink with [`capture_to_memory`]; a failed file open degrades
-//! to a null sink so telemetry can never take a run down.
+//! (truncated per process). When `GALE_OBS_PATH` is unset the default path
+//! carries the process id (`gale_trace.<pid>.jsonl`) so two processes
+//! tracing in the same directory — a train run and a server, say — never
+//! clobber each other's traces; set `GALE_OBS_PATH` explicitly to pick a
+//! fixed file name. Tests install an in-memory sink with
+//! [`capture_to_memory`]; a failed file open degrades to a null sink so
+//! telemetry can never take a run down.
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Default trace file name when `GALE_OBS_PATH` is unset.
-pub const DEFAULT_PATH: &str = "gale_trace.jsonl";
+/// Default trace file name prefix when `GALE_OBS_PATH` is unset; the
+/// process id is appended ([`default_path`]) so concurrent processes in
+/// one directory do not truncate each other's traces.
+pub const DEFAULT_PREFIX: &str = "gale_trace";
 
 enum Sink {
     File(BufWriter<File>),
@@ -24,10 +30,13 @@ fn sink() -> &'static Mutex<Option<Sink>> {
     SINK.get_or_init(|| Mutex::new(None))
 }
 
-/// The trace path telemetry will write to: `GALE_OBS_PATH` or
-/// [`DEFAULT_PATH`].
+/// The trace path telemetry will write to: `GALE_OBS_PATH`, or
+/// [`DEFAULT_PREFIX`] suffixed with the process id
+/// (`gale_trace.<pid>.jsonl`) so concurrent processes never truncate each
+/// other's default-path traces.
 pub fn default_path() -> String {
-    std::env::var("GALE_OBS_PATH").unwrap_or_else(|_| DEFAULT_PATH.to_string())
+    std::env::var("GALE_OBS_PATH")
+        .unwrap_or_else(|_| format!("{DEFAULT_PREFIX}.{}.jsonl", std::process::id()))
 }
 
 fn open_default() -> Sink {

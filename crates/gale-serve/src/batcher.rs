@@ -69,7 +69,9 @@ struct ScoreJob {
     reply: mpsc::Sender<ScoreReply>,
 }
 
-/// A scored batch slice headed back to its requester.
+/// A scored batch slice headed back to its requester, stage timings
+/// included so the connection layer can finish the request's wide event
+/// without asking the shard anything.
 #[derive(Debug)]
 pub struct ScoreReply {
     /// Monotonic model generation that scored these rows. Every row in the
@@ -78,6 +80,19 @@ pub struct ScoreReply {
     /// `rows * 3` probabilities, one `{error, correct, synthetic}` triple
     /// per row.
     pub probs: Vec<f64>,
+    /// Shard that ran the forward pass.
+    pub shard: u32,
+    /// Total rows in the coalesced batch this job rode in.
+    pub batch_rows: u32,
+    /// This job's time in the shard queue before being popped,
+    /// microseconds.
+    pub queue_us: u32,
+    /// Popped until the batched forward started (linger + buffer fill),
+    /// microseconds.
+    pub assembly_us: u32,
+    /// The batched forward pass, microseconds (shared by every job in the
+    /// batch).
+    pub forward_us: u32,
 }
 
 /// Why a submission was rejected.
@@ -136,11 +151,42 @@ enum Ctrl {
     },
 }
 
+/// Live per-shard counters, shared between the scorer thread (writer) and
+/// `/debug/queues` (reader). All relaxed: the endpoint reports a consistent
+/// *recent* picture, not a linearized snapshot.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// Jobs popped from the queue and not yet answered.
+    in_flight: AtomicU64,
+    /// Rows in the most recently executed batch.
+    last_batch_rows: AtomicU64,
+    /// Model generation that scored the most recent batch.
+    last_batch_version: AtomicU64,
+    /// Batched forward passes this shard has executed.
+    batches: AtomicU64,
+}
+
+/// One shard's `/debug/queues` row.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSnapshot {
+    /// Jobs waiting in the shard queue.
+    pub depth: i64,
+    /// Jobs popped and not yet answered.
+    pub in_flight: u64,
+    /// Rows in the most recent batch (0 before the first).
+    pub last_batch_rows: u64,
+    /// Version that scored the most recent batch (0 before the first).
+    pub last_batch_version: u64,
+    /// Forward passes executed.
+    pub batches: u64,
+}
+
 /// One shard's submission handles.
 struct Shard {
     tx: SyncSender<ScoreJob>,
     ctrl: Sender<Ctrl>,
     depth: Arc<AtomicI64>,
+    stats: Arc<ShardStats>,
 }
 
 /// The sharded scorer pool. Cloned freely via `Arc`; dropping the last
@@ -191,7 +237,9 @@ impl ShardPool {
             let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
             let (ctrl_tx, ctrl_rx) = mpsc::channel();
             let depth = Arc::new(AtomicI64::new(0));
+            let stats = Arc::new(ShardStats::default());
             let shard_depth = depth.clone();
+            let shard_stats = stats.clone();
             let batch_cfg = cfg.clone();
             handles.push(
                 std::thread::Builder::new()
@@ -200,9 +248,11 @@ impl ShardPool {
                         run_shard(
                             replica,
                             INITIAL_VERSION,
+                            i as u32,
                             rx,
                             ctrl_rx,
                             shard_depth,
+                            shard_stats,
                             &batch_cfg,
                         );
                     })
@@ -212,6 +262,7 @@ impl ShardPool {
                 tx,
                 ctrl: ctrl_tx,
                 depth,
+                stats,
             });
         }
         metrics::model_version().set(INITIAL_VERSION as f64);
@@ -240,6 +291,21 @@ impl ShardPool {
     /// Current model generation (1 at boot, +1 per successful reload).
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::SeqCst)
+    }
+
+    /// A relaxed snapshot of every shard's live counters, in shard order
+    /// (the `GET /debug/queues` payload).
+    pub fn shard_snapshots(&self) -> Vec<ShardSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| ShardSnapshot {
+                depth: s.depth.load(Ordering::Relaxed),
+                in_flight: s.stats.in_flight.load(Ordering::Relaxed),
+                last_batch_rows: s.stats.last_batch_rows.load(Ordering::Relaxed),
+                last_batch_version: s.stats.last_batch_version.load(Ordering::Relaxed),
+                batches: s.stats.batches.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     /// Enqueues `rows` feature rows (flattened row-major) on the
@@ -366,20 +432,29 @@ pub const INITIAL_VERSION: u64 = 1;
 /// while its job queue is idle. Bounds swap latency on an idle server.
 const IDLE_POLL: Duration = Duration::from_millis(2);
 
+/// Clamps a duration to microseconds in a `u32` (saturating: a >71-minute
+/// stage is pinned, not wrapped).
+fn us32(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
+}
+
 /// The scoring loop of one shard. Runs until the pool (every job sender)
 /// is dropped, then drains the queue — each remaining job still gets its
 /// reply — and exits.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     mut model: Sgan,
     mut version: u64,
+    shard_id: u32,
     rx: Receiver<ScoreJob>,
     ctrl: Receiver<Ctrl>,
     depth: Arc<AtomicI64>,
+    stats: Arc<ShardStats>,
     cfg: &BatchConfig,
 ) {
     let dim = model.input_dim();
     let mut ws = Workspace::new();
-    let mut jobs: Vec<ScoreJob> = Vec::new();
+    let mut jobs: Vec<(ScoreJob, Instant)> = Vec::new();
     let (mut reported_hits, mut reported_misses) = (0u64, 0u64);
     loop {
         // Swaps apply only here, between batches: every row of any single
@@ -404,8 +479,9 @@ fn run_shard(
         };
         depth.fetch_sub(1, Ordering::Relaxed);
         metrics::queue_depth().add(-1.0);
+        stats.in_flight.fetch_add(1, Ordering::Relaxed);
         let mut total_rows = first.rows;
-        jobs.push(first);
+        jobs.push((first, Instant::now()));
         // Linger, coalescing until the row budget or the deadline.
         let deadline = Instant::now() + Duration::from_micros(cfg.max_wait_us);
         while total_rows < cfg.max_batch {
@@ -417,8 +493,9 @@ fn run_shard(
                 Ok(job) => {
                     depth.fetch_sub(1, Ordering::Relaxed);
                     metrics::queue_depth().add(-1.0);
+                    stats.in_flight.fetch_add(1, Ordering::Relaxed);
                     total_rows += job.rows;
-                    jobs.push(job);
+                    jobs.push((job, Instant::now()));
                 }
                 Err(_) => break, // timeout or disconnect: score what we have
             }
@@ -427,15 +504,22 @@ fn run_shard(
         // One batched forward through the pooled buffers.
         let mut batch = ws.take(total_rows, dim);
         let mut offset = 0usize;
-        for job in &jobs {
+        for (job, _) in &jobs {
             batch.data_mut()[offset..offset + job.features.len()].copy_from_slice(&job.features);
             offset += job.features.len();
         }
         let mut probs = ws.take(total_rows, 3);
+        let forward_started = Instant::now();
         model.probs3_into(&batch, &mut probs);
+        let forward_us = us32(forward_started.elapsed());
         metrics::batches().add(1);
         metrics::rows().add(total_rows as u64);
         metrics::batch_rows().record(total_rows as f64);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .last_batch_rows
+            .store(total_rows as u64, Ordering::Relaxed);
+        stats.last_batch_version.store(version, Ordering::Relaxed);
         let (hits, misses) = ws.stats();
         metrics::pool_hits().add(hits - reported_hits);
         metrics::pool_misses().add(misses - reported_misses);
@@ -443,14 +527,25 @@ fn run_shard(
 
         // Scatter the rows back to their requesters.
         let mut row0 = 0usize;
-        for job in jobs.drain(..) {
+        for (job, popped) in jobs.drain(..) {
             let slice = probs.data()[row0 * 3..(row0 + job.rows) * 3].to_vec();
             row0 += job.rows;
             metrics::latency_us().record(job.enqueued.elapsed().as_secs_f64() * 1e6);
+            let queue_us = us32(popped.duration_since(job.enqueued));
+            let assembly_us = us32(forward_started.duration_since(popped));
+            metrics::stage_queue_us().record(queue_us as f64);
+            metrics::stage_assembly_us().record(assembly_us as f64);
+            metrics::stage_forward_us().record(forward_us as f64);
+            stats.in_flight.fetch_sub(1, Ordering::Relaxed);
             // A vanished client (closed connection) is not an error.
             let _ = job.reply.send(ScoreReply {
                 version,
                 probs: slice,
+                shard: shard_id,
+                batch_rows: total_rows.min(u32::MAX as usize) as u32,
+                queue_us,
+                assembly_us,
+                forward_us,
             });
         }
         ws.give(batch);

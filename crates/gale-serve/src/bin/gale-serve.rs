@@ -8,8 +8,10 @@
 //! - `gale-serve serve --ckpt model.ckpt [--addr HOST:PORT] [--shards N]
 //!   [--mode evloop|blocking] [--max-batch N] [--max-wait-us U]
 //!   [--queue-capacity N]` — loads the checkpoint and serves `/score`,
-//!   `/healthz`, `/metrics`, and `/admin/reload` until `POST
-//!   /admin/shutdown` drains it.
+//!   `/healthz`, `/metrics`, `/admin/reload`, and the `/debug/{trace,
+//!   slow,queues}` introspection endpoints until `POST /admin/shutdown`
+//!   drains it. `--trace off` switches request tracing off;
+//!   `--trace-sample`/`--trace-slow-us` tune the sampling policy.
 //! - `gale-serve reload --addr HOST:PORT --ckpt PATH` — asks a running
 //!   server to hot-swap to a new checkpoint and reports the new model
 //!   version.
@@ -36,7 +38,7 @@ fn main() -> ExitCode {
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
-            eprintln!("gale-serve: {msg}");
+            gale_obs::warn!("gale-serve: {msg}");
             ExitCode::FAILURE
         }
     }
@@ -51,6 +53,7 @@ USAGE:
                    [--mode evloop|blocking] [--max-batch N]
                    [--max-wait-us U] [--queue-capacity N]
                    [--retry-after-secs S] [--keep-alive-secs S]
+                   [--trace on|off] [--trace-sample N] [--trace-slow-us U]
   gale-serve reload --addr HOST:PORT --ckpt PATH
 ";
 
@@ -148,6 +151,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--queue-capacity",
             "--retry-after-secs",
             "--keep-alive-secs",
+            "--trace",
+            "--trace-sample",
+            "--trace-slow-us",
         ],
     )?;
     let ckpt = find(&flags, "--ckpt").ok_or("serve requires --ckpt PATH")?;
@@ -160,6 +166,12 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             ))
         }
     };
+    let trace = match find(&flags, "--trace").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("flag `--trace` wants on|off, got `{other}`")),
+    };
+    let defaults = ServeConfig::default();
     let cfg = ServeConfig {
         addr: find(&flags, "--addr")
             .unwrap_or("127.0.0.1:7878")
@@ -177,6 +189,9 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         shards: parse_num(&flags, "--shards", 1usize)?.max(1),
         mode,
         keep_alive_secs: parse_num(&flags, "--keep-alive-secs", 60u64)?,
+        trace,
+        trace_sample: parse_num(&flags, "--trace-sample", defaults.trace_sample)?,
+        trace_slow_us: parse_num(&flags, "--trace-slow-us", defaults.trace_slow_us)?,
     };
 
     let model = Sgan::load(ckpt).map_err(|e| format!("cannot load `{ckpt}`: {e}"))?;

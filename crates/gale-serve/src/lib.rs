@@ -20,6 +20,18 @@
 //!   keeps serving.
 //! - `POST /admin/shutdown` — graceful drain: every accepted request is
 //!   answered before the process exits.
+//! - `GET /debug/trace` — drains the head-sampled ring of per-request
+//!   "wide events" (request id, shard, model version, batch size, and the
+//!   seven per-stage timings) plus tracer counters.
+//! - `GET /debug/slow` — snapshots the tail-capture ring: every request
+//!   slower than the configured threshold or answered with an error.
+//! - `GET /debug/queues` — per-shard queue depth, in-flight jobs, last
+//!   batch size and version, and server uptime.
+//!
+//! Every `/score` reply (success or error) carries a process-unique
+//! `request_id`, matching the id in its trace records. Tracing is on by
+//! default (`--trace off` disables it); its overhead against a
+//! tracing-off server is gated in CI at a few percent of p99.
 //!
 //! The default front end is a hand-rolled non-blocking event loop (one
 //! thread, keep-alive + pipelined connections); `--mode blocking` keeps
@@ -35,5 +47,7 @@ pub mod http;
 pub mod metrics;
 pub mod server;
 
-pub use batcher::{BatchConfig, ReloadError, ScoreReply, ShardPool, SubmitError, INITIAL_VERSION};
+pub use batcher::{
+    BatchConfig, ReloadError, ScoreReply, ShardPool, ShardSnapshot, SubmitError, INITIAL_VERSION,
+};
 pub use server::{serve, ServeConfig, ServeMode, ServerHandle};

@@ -6,6 +6,7 @@
 //! hot path is a relaxed atomic op with no lock.
 
 use gale_obs::metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+use std::sync::{Mutex, OnceLock};
 
 /// Batch-size buckets: powers of two up to a generous batch cap.
 pub const BATCH_BUCKETS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
@@ -80,6 +81,94 @@ pub fn latency_us() -> &'static Histogram {
     histogram("serve.latency_us", gale_obs::metrics::buckets::TIME_US)
 }
 
+/// Reading a request off the socket, microseconds.
+pub fn stage_read_us() -> &'static Histogram {
+    histogram("serve.stage_read_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// HTTP head + feature-JSON parsing, microseconds.
+pub fn stage_parse_us() -> &'static Histogram {
+    histogram("serve.stage_parse_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// Shard selection and queue hand-off, microseconds.
+pub fn stage_dispatch_us() -> &'static Histogram {
+    histogram(
+        "serve.stage_dispatch_us",
+        gale_obs::metrics::buckets::TIME_US,
+    )
+}
+
+/// Time a job sat in its shard queue before being popped, microseconds.
+pub fn stage_queue_us() -> &'static Histogram {
+    histogram("serve.stage_queue_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// Popped until the batched forward started (linger + buffer fill),
+/// microseconds.
+pub fn stage_assembly_us() -> &'static Histogram {
+    histogram(
+        "serve.stage_assembly_us",
+        gale_obs::metrics::buckets::TIME_US,
+    )
+}
+
+/// The batched forward pass, microseconds (recorded once per job; jobs in
+/// one batch share the value).
+pub fn stage_forward_us() -> &'static Histogram {
+    histogram(
+        "serve.stage_forward_us",
+        gale_obs::metrics::buckets::TIME_US,
+    )
+}
+
+/// Response rendered until fully flushed to the socket, microseconds.
+pub fn stage_write_us() -> &'static Histogram {
+    histogram("serve.stage_write_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// Whole-request wall clock (first byte read to last byte written),
+/// microseconds. The event-loop counterpart of [`latency_us`], which only
+/// covers enqueue-to-reply inside the shard.
+pub fn request_us() -> &'static Histogram {
+    histogram("serve.request_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// The score-distribution and verdict-mix series of one model generation.
+/// Separate series per version make a reload visible as a distribution
+/// handover in `/metrics` rather than a blur across generations.
+#[derive(Clone, Copy)]
+pub struct VersionSeries {
+    /// Two-class error scores emitted under this version.
+    pub score: &'static Histogram,
+    /// Rows answered `"error"` under this version.
+    pub verdict_error: &'static Counter,
+    /// Rows answered `"correct"` under this version.
+    pub verdict_correct: &'static Counter,
+}
+
+/// The per-version series for `version`, registered on first use. Handles
+/// are cached so steady-state serving takes one small lock per *request*
+/// (not per row) and no registry lookups.
+pub fn version_series(version: u64) -> VersionSeries {
+    static CACHE: OnceLock<Mutex<Vec<(u64, VersionSeries)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let mut cached = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some((_, series)) = cached.iter().find(|(v, _)| *v == version) {
+        return *series;
+    }
+    let series = VersionSeries {
+        score: histogram(
+            &format!("serve.score_v{version}"),
+            gale_obs::metrics::buckets::UNIT,
+        ),
+        verdict_error: counter(&format!("serve.verdict_error_v{version}")),
+        verdict_correct: counter(&format!("serve.verdict_correct_v{version}")),
+    };
+    cached.push((version, series));
+    series
+}
+
 /// Touches every serving series once so `/metrics` exposes them all from
 /// the first scrape — a `serve_shed 0` that has never shed is a signal,
 /// an absent series is a question.
@@ -97,4 +186,12 @@ pub fn register_all() {
     pool_misses();
     batch_rows();
     latency_us();
+    stage_read_us();
+    stage_parse_us();
+    stage_dispatch_us();
+    stage_queue_us();
+    stage_assembly_us();
+    stage_forward_us();
+    stage_write_us();
+    request_us();
 }

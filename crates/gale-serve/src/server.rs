@@ -29,6 +29,7 @@ use crate::metrics;
 use gale_core::Sgan;
 use gale_json::{json, Value};
 use gale_nn::checkpoint::CkptError;
+use gale_obs::ring::{self, TracePolicy, WideEvent};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -63,10 +64,21 @@ pub struct ServeConfig {
     pub mode: ServeMode,
     /// Idle keep-alive connections are closed after this many seconds.
     pub keep_alive_secs: u64,
+    /// Whether per-request tracing (wide events into the `/debug/trace`
+    /// and `/debug/slow` rings) is on. Defaults to on: the overhead is
+    /// CI-gated at a few percent of p99, so it ships enabled.
+    pub trace: bool,
+    /// Head sampling: keep 1 request in this many in the recent ring
+    /// (0 disables head sampling, 1 keeps everything).
+    pub trace_sample: u64,
+    /// Tail capture: requests at or above this total latency (µs) are kept
+    /// in the slow ring regardless of sampling, as are error responses.
+    pub trace_slow_us: u64,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
+        let policy = TracePolicy::default();
         ServeConfig {
             addr: "127.0.0.1:7878".to_string(),
             batch: BatchConfig::default(),
@@ -74,6 +86,9 @@ impl Default for ServeConfig {
             shards: 1,
             mode: ServeMode::EventLoop,
             keep_alive_secs: 60,
+            trace: true,
+            trace_sample: policy.sample_every,
+            trace_slow_us: policy.slow_us,
         }
     }
 }
@@ -84,6 +99,7 @@ struct Ctx {
     shutdown: Arc<AtomicBool>,
     retry_after: String,
     mode: ServeMode,
+    started: Instant,
 }
 
 /// A running server. Dropping the handle without calling
@@ -134,12 +150,21 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    ring::configure(
+        cfg.trace,
+        TracePolicy {
+            sample_every: cfg.trace_sample,
+            seed: 0,
+            slow_us: cfg.trace_slow_us,
+        },
+    );
     let (pool, shard_threads) = ShardPool::spawn(model, cfg.shards, &cfg.batch);
     let ctx = Arc::new(Ctx {
         pool,
         shutdown: shutdown.clone(),
         retry_after: cfg.retry_after_secs.to_string(),
         mode: cfg.mode,
+        started: Instant::now(),
     });
 
     let mut threads = Vec::with_capacity(shard_threads.len() + 1);
@@ -174,16 +199,79 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
 // Endpoint logic (shared by both connection modes)
 // ---------------------------------------------------------------------------
 
+/// Clamps a duration to microseconds in a `u32` (saturating).
+fn us32(d: Duration) -> u32 {
+    d.as_micros().min(u32::MAX as u128) as u32
+}
+
+/// Connection-side timing captured before a request reaches the endpoint
+/// logic. Only built while request tracing is on — with tracing off the
+/// connection loops take no extra clock reads.
+struct ReqTiming {
+    /// When the request's first bytes arrived (start of `total_us`).
+    started: Instant,
+    /// Socket read time already accumulated, first byte to fully buffered.
+    read_us: u32,
+    /// When head parsing began; everything up to the end of feature
+    /// parsing is charged to `parse_us`.
+    parse_started: Instant,
+}
+
+/// A `/score` request's wide event under construction, carried alongside
+/// the response until the last byte is flushed.
+struct TraceState {
+    ev: WideEvent,
+    started: Instant,
+}
+
+/// Completes a wide event once its response has fully left the socket:
+/// stamps write/total timings, feeds the always-live stage histograms,
+/// and offers the record to the trace rings.
+fn finish_trace(mut state: TraceState, write_started: Instant) {
+    state.ev.write_us = us32(write_started.elapsed());
+    state.ev.total_us = state.started.elapsed().as_micros() as u64;
+    metrics::stage_read_us().record(state.ev.read_us as f64);
+    metrics::stage_parse_us().record(state.ev.parse_us as f64);
+    metrics::stage_dispatch_us().record(state.ev.dispatch_us as f64);
+    metrics::stage_write_us().record(state.ev.write_us as f64);
+    metrics::request_us().record(state.ev.total_us as f64);
+    ring::offer(state.ev);
+}
+
+/// Copies a scored reply's shard-side placement and timings into the wide
+/// event.
+fn fill_scored(trace: &mut Option<Box<TraceState>>, scored: &ScoreReply) {
+    if let Some(state) = trace {
+        state.ev.status = 200;
+        state.ev.shard = scored.shard;
+        state.ev.model_version = scored.version;
+        state.ev.batch_rows = scored.batch_rows;
+        state.ev.queue_us = scored.queue_us;
+        state.ev.assembly_us = scored.assembly_us;
+        state.ev.forward_us = scored.forward_us;
+    }
+}
+
+/// Stamps a terminal status into the wide event (no-op when untraced).
+fn set_status(trace: &mut Option<Box<TraceState>>, status: u16) {
+    if let Some(state) = trace {
+        state.ev.status = status;
+    }
+}
+
 /// What handling a request produced: either a finished response or a
 /// reply-pending operation the event loop polls to completion.
 enum Outcome {
-    /// Rendered response, ready to send.
-    Ready(Vec<u8>),
+    /// Rendered response, ready to send; `/score` responses carry their
+    /// wide event so write time can still be attributed.
+    Ready(Vec<u8>, Option<Box<TraceState>>),
     /// A scoring job is in flight on some shard.
     Score {
         reply: Receiver<ScoreReply>,
         rows: usize,
         keep_alive: bool,
+        request_id: u64,
+        trace: Option<Box<TraceState>>,
     },
     /// A reload worker thread is loading and validating a checkpoint.
     Reload {
@@ -192,92 +280,217 @@ enum Outcome {
     },
 }
 
-fn handle_request(request: &Request, ctx: &Ctx) -> Outcome {
+fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Outcome {
     let ka = request.keep_alive;
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => score_request(request, ctx),
-        ("GET", "/healthz") => Outcome::Ready(http::render_json(
-            200,
-            "OK",
-            &[],
-            &json!({
-                "status": "ok",
-                "kind": "sgan",
-                "input_dim": ctx.pool.input_dim(),
-                "model_version": Value::Int(ctx.pool.version() as i64),
-                "shards": ctx.pool.shard_count(),
-                "mode": format!("{:?}", ctx.mode),
-            }),
-            ka,
-        )),
-        ("GET", "/metrics") => Outcome::Ready(http::render_response(
-            200,
-            "OK",
-            "text/plain; version=0.0.4",
-            &[],
-            gale_obs::metrics::render_text().as_bytes(),
-            ka,
-        )),
+        ("POST", "/score") => score_request(request, ctx, timing),
+        ("GET", "/debug/trace") => {
+            let events: Vec<Value> = ring::drain_recent()
+                .iter()
+                .map(WideEvent::to_json)
+                .collect();
+            Outcome::Ready(
+                http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &json!({
+                        "stats": ring::stats_json(),
+                        "trace": Value::Array(events),
+                    }),
+                    ka,
+                ),
+                None,
+            )
+        }
+        ("GET", "/debug/slow") => {
+            let events: Vec<Value> = ring::slow_snapshot()
+                .iter()
+                .map(WideEvent::to_json)
+                .collect();
+            Outcome::Ready(
+                http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &json!({
+                        "slow_threshold_us": ring::policy().slow_us,
+                        "slow": Value::Array(events),
+                    }),
+                    ka,
+                ),
+                None,
+            )
+        }
+        ("GET", "/debug/queues") => {
+            let shards: Vec<Value> = ctx
+                .pool
+                .shard_snapshots()
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    json!({
+                        "shard": i as u64,
+                        "depth": Value::Int(s.depth),
+                        "in_flight": s.in_flight,
+                        "last_batch_rows": s.last_batch_rows,
+                        "last_batch_version": s.last_batch_version,
+                        "batches": s.batches,
+                    })
+                })
+                .collect();
+            Outcome::Ready(
+                http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &json!({
+                        "uptime_secs": ctx.started.elapsed().as_secs(),
+                        "model_version": Value::Int(ctx.pool.version() as i64),
+                        "mode": format!("{:?}", ctx.mode),
+                        "shards": Value::Array(shards),
+                    }),
+                    ka,
+                ),
+                None,
+            )
+        }
+        ("GET", "/healthz") => Outcome::Ready(
+            http::render_json(
+                200,
+                "OK",
+                &[],
+                &json!({
+                    "status": "ok",
+                    "kind": "sgan",
+                    "input_dim": ctx.pool.input_dim(),
+                    "model_version": Value::Int(ctx.pool.version() as i64),
+                    "shards": ctx.pool.shard_count(),
+                    "mode": format!("{:?}", ctx.mode),
+                }),
+                ka,
+            ),
+            None,
+        ),
+        ("GET", "/metrics") => Outcome::Ready(
+            http::render_response(
+                200,
+                "OK",
+                "text/plain; version=0.0.4",
+                &[],
+                gale_obs::metrics::render_text().as_bytes(),
+                ka,
+            ),
+            None,
+        ),
         ("POST", "/admin/reload") => reload_request(request, ctx),
         ("POST", "/admin/shutdown") => {
             let ack = http::render_json(200, "OK", &[], &json!({"status": "draining"}), ka);
             ctx.shutdown.store(true, Ordering::SeqCst);
-            Outcome::Ready(ack)
+            Outcome::Ready(ack, None)
         }
         (
             "POST" | "GET",
-            "/score" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown",
-        ) => Outcome::Ready(http::render_json(
-            405,
-            "Method Not Allowed",
-            &[],
-            &json!({"error": "method not allowed"}),
-            ka,
-        )),
-        _ => Outcome::Ready(http::render_json(
-            404,
-            "Not Found",
-            &[],
-            &json!({"error": "no such endpoint"}),
-            ka,
-        )),
+            "/score" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown"
+            | "/debug/trace" | "/debug/slow" | "/debug/queues",
+        ) => Outcome::Ready(
+            http::render_json(
+                405,
+                "Method Not Allowed",
+                &[],
+                &json!({"error": "method not allowed"}),
+                ka,
+            ),
+            None,
+        ),
+        _ => Outcome::Ready(
+            http::render_json(
+                404,
+                "Not Found",
+                &[],
+                &json!({"error": "no such endpoint"}),
+                ka,
+            ),
+            None,
+        ),
     }
 }
 
-fn score_request(request: &Request, ctx: &Ctx) -> Outcome {
+fn score_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Outcome {
     let ka = request.keep_alive;
-    let (features, rows) = match parse_features(&request.body, ctx.pool.input_dim()) {
+    let request_id = ring::next_request_id();
+    // Spans and events emitted anywhere under this request carry its id.
+    let _scope = gale_obs::span::request_scope(request_id);
+    let parsed = parse_features(&request.body, ctx.pool.input_dim());
+    let mut trace = timing.map(|t| {
+        Box::new(TraceState {
+            started: t.started,
+            ev: WideEvent {
+                request_id,
+                read_us: t.read_us,
+                parse_us: us32(t.parse_started.elapsed()),
+                ..Default::default()
+            },
+        })
+    });
+    let (features, rows) = match parsed {
         Ok(parsed) => parsed,
         Err(msg) => {
-            return Outcome::Ready(http::render_json(
-                400,
-                "Bad Request",
-                &[],
-                &json!({"error": msg}),
-                ka,
-            ))
+            set_status(&mut trace, 400);
+            return Outcome::Ready(
+                http::render_json(
+                    400,
+                    "Bad Request",
+                    &[],
+                    &json!({"error": msg, "request_id": request_id}),
+                    ka,
+                ),
+                trace,
+            );
         }
     };
-    match ctx.pool.submit(features, rows) {
+    if let Some(state) = &mut trace {
+        state.ev.rows = rows.min(u32::MAX as usize) as u32;
+    }
+    let dispatch_started = trace.as_ref().map(|_| Instant::now());
+    let submitted = ctx.pool.submit(features, rows);
+    if let (Some(state), Some(t0)) = (&mut trace, dispatch_started) {
+        state.ev.dispatch_us = us32(t0.elapsed());
+    }
+    match submitted {
         Ok(reply) => Outcome::Score {
             reply,
             rows,
             keep_alive: ka,
+            request_id,
+            trace,
         },
-        Err(SubmitError::Overloaded) => Outcome::Ready(http::render_json(
-            503,
-            "Service Unavailable",
-            &[("Retry-After", ctx.retry_after.as_str())],
-            &json!({"error": "queue full, retry later"}),
-            ka,
-        )),
-        Err(SubmitError::Stopped) => Outcome::Ready(http::render_json(
-            503,
-            "Service Unavailable",
-            &[],
-            &json!({"error": "server is shutting down"}),
-            ka,
-        )),
+        Err(SubmitError::Overloaded) => {
+            set_status(&mut trace, 503);
+            Outcome::Ready(
+                http::render_json(
+                    503,
+                    "Service Unavailable",
+                    &[("Retry-After", ctx.retry_after.as_str())],
+                    &json!({"error": "queue full, retry later", "request_id": request_id}),
+                    ka,
+                ),
+                trace,
+            )
+        }
+        Err(SubmitError::Stopped) => {
+            set_status(&mut trace, 503);
+            Outcome::Ready(
+                http::render_json(
+                    503,
+                    "Service Unavailable",
+                    &[],
+                    &json!({"error": "server is shutting down", "request_id": request_id}),
+                    ka,
+                ),
+                trace,
+            )
+        }
     }
 }
 
@@ -291,13 +504,16 @@ fn reload_request(request: &Request, ctx: &Ctx) -> Outcome {
         .and_then(|text| gale_json::from_str(text).ok())
         .and_then(|doc| doc.get("ckpt").and_then(Value::as_str).map(str::to_string));
     let Some(path) = path else {
-        return Outcome::Ready(http::render_json(
-            400,
-            "Bad Request",
-            &[],
-            &json!({"error": "body must be {\"ckpt\": \"path\"}"}),
-            ka,
-        ));
+        return Outcome::Ready(
+            http::render_json(
+                400,
+                "Bad Request",
+                &[],
+                &json!({"error": "body must be {\"ckpt\": \"path\"}"}),
+                ka,
+            ),
+            None,
+        );
     };
     let (tx, done) = mpsc::channel();
     let pool = ctx.pool.clone();
@@ -319,13 +535,16 @@ fn reload_request(request: &Request, ctx: &Ctx) -> Outcome {
             done,
             keep_alive: ka,
         },
-        Err(e) => Outcome::Ready(http::render_json(
-            500,
-            "Internal Server Error",
-            &[],
-            &json!({"error": format!("cannot spawn reload worker: {e}")}),
-            ka,
-        )),
+        Err(e) => Outcome::Ready(
+            http::render_json(
+                500,
+                "Internal Server Error",
+                &[],
+                &json!({"error": format!("cannot spawn reload worker: {e}")}),
+                ka,
+            ),
+            None,
+        ),
     }
 }
 
@@ -409,11 +628,13 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(10);
 
 /// One queued (request-ordered) response slot.
 enum Pending {
-    Ready(Vec<u8>),
+    Ready(Vec<u8>, Option<Box<TraceState>>),
     Score {
         reply: Receiver<ScoreReply>,
         rows: usize,
         keep_alive: bool,
+        request_id: u64,
+        trace: Option<Box<TraceState>>,
     },
     Reload {
         done: Receiver<Result<u64, ReloadError>>,
@@ -427,6 +648,16 @@ struct Conn {
     pending: VecDeque<Pending>,
     wbuf: Vec<u8>,
     wpos: usize,
+    /// When the first bytes of the oldest unparsed request arrived (only
+    /// tracked while request tracing is on).
+    read_start: Option<Instant>,
+    /// Absolute bytes ever flushed to this socket; write attribution for
+    /// traced responses compares against it.
+    flushed_total: u64,
+    /// Traced responses queued in `wbuf`, as `(absolute end offset,
+    /// trace, when the bytes were queued)`; a response is done writing
+    /// when `flushed_total` passes its end offset.
+    traced_writes: VecDeque<(u64, Box<TraceState>, Instant)>,
     /// No further requests will be parsed (close requested or protocol
     /// error); close once everything queued is answered and flushed.
     no_more_requests: bool,
@@ -444,6 +675,9 @@ impl Conn {
             pending: VecDeque::new(),
             wbuf: Vec::new(),
             wpos: 0,
+            read_start: None,
+            flushed_total: 0,
+            traced_writes: VecDeque::new(),
             no_more_requests: false,
             reading: true,
             dead: false,
@@ -513,9 +747,8 @@ fn event_loop(
                 // arrive (client half-closed, `Connection: close`, or drain), or
                 // when an idle keep-alive connection outlives its timeout.
                 let finished = (conn.no_more_requests || !conn.reading || draining) && done;
-                let timed_out = !draining
-                    && conn.idle()
-                    && now.duration_since(conn.last_activity) > keep_alive;
+                let timed_out =
+                    !draining && conn.idle() && now.duration_since(conn.last_activity) > keep_alive;
                 if finished || timed_out {
                     conn.dead = true;
                 }
@@ -552,6 +785,8 @@ fn event_loop(
 fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> bool {
     let mut progressed = false;
 
+    let tracing = ring::tracing_enabled();
+
     // Read phase. Drain mode stops reading: requests not yet received by
     // the time shutdown was requested are not "accepted".
     if conn.reading && !draining {
@@ -563,8 +798,12 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
                     break;
                 }
                 Ok(n) => {
+                    let now = Instant::now();
+                    if tracing && conn.rbuf.is_empty() {
+                        conn.read_start = Some(now);
+                    }
                     conn.rbuf.extend_from_slice(&scratch[..n]);
-                    conn.last_activity = Instant::now();
+                    conn.last_activity = now;
                     progressed = true;
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -581,20 +820,38 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
     // in drain mode too — a request fully received before the drain began
     // was accepted and must be answered.
     while !conn.no_more_requests && conn.pending.len() < MAX_PIPELINE {
+        let parse_started = if tracing { Some(Instant::now()) } else { None };
         match http::parse_request(&conn.rbuf) {
             Ok(Some((request, consumed))) => {
                 conn.rbuf.drain(..consumed);
+                let timing = parse_started.map(|parse_started| {
+                    let started = conn.read_start.take().unwrap_or(parse_started);
+                    // Whatever is still buffered belongs to the *next*
+                    // pipelined request, which is therefore already here.
+                    if !conn.rbuf.is_empty() {
+                        conn.read_start = Some(Instant::now());
+                    }
+                    ReqTiming {
+                        started,
+                        read_us: us32(parse_started.duration_since(started)),
+                        parse_started,
+                    }
+                });
                 let keep = request.keep_alive;
-                let pending = match handle_request(&request, ctx) {
-                    Outcome::Ready(bytes) => Pending::Ready(bytes),
+                let pending = match handle_request(&request, ctx, timing) {
+                    Outcome::Ready(bytes, trace) => Pending::Ready(bytes, trace),
                     Outcome::Score {
                         reply,
                         rows,
                         keep_alive,
+                        request_id,
+                        trace,
                     } => Pending::Score {
                         reply,
                         rows,
                         keep_alive,
+                        request_id,
+                        trace,
                     },
                     Outcome::Reload { done, keep_alive } => Pending::Reload { done, keep_alive },
                 };
@@ -606,13 +863,10 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
             }
             Ok(None) => break,
             Err(HttpError::Malformed(msg)) => {
-                conn.pending.push_back(Pending::Ready(http::render_json(
-                    400,
-                    "Bad Request",
-                    &[],
-                    &json!({"error": msg}),
-                    false,
-                )));
+                conn.pending.push_back(Pending::Ready(
+                    http::render_json(400, "Bad Request", &[], &json!({"error": msg}), false),
+                    None,
+                ));
                 conn.no_more_requests = true;
                 conn.reading = false;
                 conn.rbuf.clear();
@@ -626,43 +880,68 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
     // Resolve phase: responses leave strictly in request order, so only
     // the front of the queue can complete.
     while let Some(front) = conn.pending.front_mut() {
-        let resolved: Option<Vec<u8>> = match front {
-            Pending::Ready(bytes) => Some(std::mem::take(bytes)),
+        let resolved: Option<(Vec<u8>, Option<Box<TraceState>>)> = match front {
+            Pending::Ready(bytes, trace) => Some((std::mem::take(bytes), trace.take())),
             Pending::Score {
                 reply,
                 rows,
                 keep_alive,
+                request_id,
+                trace,
             } => match reply.try_recv() {
-                Ok(scored) => Some(http::render_json(
-                    200,
-                    "OK",
-                    &[],
-                    &score_body(&scored.probs, *rows, scored.version),
-                    *keep_alive,
-                )),
+                Ok(scored) => {
+                    fill_scored(trace, &scored);
+                    Some((
+                        http::render_json(
+                            200,
+                            "OK",
+                            &[],
+                            &score_body(&scored.probs, *rows, scored.version, *request_id),
+                            *keep_alive,
+                        ),
+                        trace.take(),
+                    ))
+                }
                 Err(TryRecvError::Empty) => None,
-                Err(TryRecvError::Disconnected) => Some(http::render_json(
-                    500,
-                    "Internal Server Error",
-                    &[],
-                    &json!({"error": "scorer dropped the request"}),
-                    *keep_alive,
-                )),
+                Err(TryRecvError::Disconnected) => {
+                    set_status(trace, 500);
+                    Some((
+                        http::render_json(
+                            500,
+                            "Internal Server Error",
+                            &[],
+                            &json!({"error": "scorer dropped the request", "request_id": *request_id}),
+                            *keep_alive,
+                        ),
+                        trace.take(),
+                    ))
+                }
             },
             Pending::Reload { done, keep_alive } => match done.try_recv() {
-                Ok(result) => Some(render_reload_result(result, *keep_alive)),
+                Ok(result) => Some((render_reload_result(result, *keep_alive), None)),
                 Err(TryRecvError::Empty) => None,
-                Err(TryRecvError::Disconnected) => Some(http::render_json(
-                    500,
-                    "Internal Server Error",
-                    &[],
-                    &json!({"error": "reload worker died"}),
-                    *keep_alive,
+                Err(TryRecvError::Disconnected) => Some((
+                    http::render_json(
+                        500,
+                        "Internal Server Error",
+                        &[],
+                        &json!({"error": "reload worker died"}),
+                        *keep_alive,
+                    ),
+                    None,
                 )),
             },
         };
         match resolved {
-            Some(bytes) => {
+            Some((bytes, trace)) => {
+                if let Some(state) = trace {
+                    let queued = (conn.wbuf.len() - conn.wpos) as u64;
+                    conn.traced_writes.push_back((
+                        conn.flushed_total + queued + bytes.len() as u64,
+                        state,
+                        Instant::now(),
+                    ));
+                }
                 conn.wbuf.extend_from_slice(&bytes);
                 conn.pending.pop_front();
                 progressed = true;
@@ -680,6 +959,7 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
             }
             Ok(n) => {
                 conn.wpos += n;
+                conn.flushed_total += n as u64;
                 conn.last_activity = Instant::now();
                 progressed = true;
             }
@@ -690,6 +970,17 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
                 return true;
             }
         }
+    }
+    // Any traced response whose last byte has now left the socket is
+    // finished: stamp write/total timings and offer the wide event.
+    while conn
+        .traced_writes
+        .front()
+        .is_some_and(|(end, _, _)| *end <= conn.flushed_total)
+    {
+        let (_, state, write_started) = conn.traced_writes.pop_front().expect("front checked");
+        finish_trace(*state, write_started);
+        progressed = true;
     }
     if conn.flushed() && !conn.wbuf.is_empty() {
         conn.wbuf.clear();
@@ -733,6 +1024,8 @@ fn handle_blocking_connection(mut stream: TcpStream, ctx: &Ctx) {
     // A stalled or hostile peer must not pin the drain forever.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let tracing = ring::tracing_enabled();
+    let started = tracing.then(Instant::now);
     let request = match http::read_request(&mut stream) {
         Ok(r) => r,
         Err(HttpError::Malformed(msg)) => {
@@ -741,40 +1034,73 @@ fn handle_blocking_connection(mut stream: TcpStream, ctx: &Ctx) {
         }
         Err(HttpError::Io(_)) => return,
     };
-    let bytes = match handle_request(&request, ctx) {
-        Outcome::Ready(bytes) => bytes,
-        Outcome::Score { reply, rows, .. } => match reply.recv() {
-            Ok(scored) => http::render_json(
-                200,
-                "OK",
-                &[],
-                &score_body(&scored.probs, rows, scored.version),
-                false,
-            ),
-            Err(_) => http::render_json(
-                500,
-                "Internal Server Error",
-                &[],
-                &json!({"error": "scorer dropped the request"}),
-                false,
-            ),
+    // Blocking mode reads and head-parses in one call, so the read stage
+    // covers both; `parse_us` is the feature parsing alone.
+    let timing = started.map(|started| ReqTiming {
+        started,
+        read_us: us32(started.elapsed()),
+        parse_started: Instant::now(),
+    });
+    let (bytes, trace) = match handle_request(&request, ctx, timing) {
+        Outcome::Ready(bytes, trace) => (bytes, trace),
+        Outcome::Score {
+            reply,
+            rows,
+            request_id,
+            mut trace,
+            ..
+        } => match reply.recv() {
+            Ok(scored) => {
+                fill_scored(&mut trace, &scored);
+                (
+                    http::render_json(
+                        200,
+                        "OK",
+                        &[],
+                        &score_body(&scored.probs, rows, scored.version, request_id),
+                        false,
+                    ),
+                    trace,
+                )
+            }
+            Err(_) => {
+                set_status(&mut trace, 500);
+                (
+                    http::render_json(
+                        500,
+                        "Internal Server Error",
+                        &[],
+                        &json!({"error": "scorer dropped the request", "request_id": request_id}),
+                        false,
+                    ),
+                    trace,
+                )
+            }
         },
         Outcome::Reload { done, .. } => match done.recv() {
-            Ok(result) => render_reload_result(result, false),
-            Err(_) => http::render_json(
-                500,
-                "Internal Server Error",
-                &[],
-                &json!({"error": "reload worker died"}),
-                false,
+            Ok(result) => (render_reload_result(result, false), None),
+            Err(_) => (
+                http::render_json(
+                    500,
+                    "Internal Server Error",
+                    &[],
+                    &json!({"error": "reload worker died"}),
+                    false,
+                ),
+                None,
             ),
         },
     };
     // Blocking mode is one-request-per-connection: force `close` framing
     // regardless of what the client asked for.
     let bytes = force_connection_close(bytes);
+    let write_started = Instant::now();
     if let Err(e) = stream.write_all(&bytes).and_then(|_| stream.flush()) {
         gale_obs::warn!("gale-serve response write failed: {e}");
+        return;
+    }
+    if let Some(state) = trace {
+        finish_trace(*state, write_started);
     }
 }
 
@@ -844,13 +1170,18 @@ fn parse_features(body: &[u8], input_dim: usize) -> Result<(Vec<f64>, usize), St
 
 /// Builds the `/score` response from `rows * 3` probabilities: the raw
 /// 3-class rows, the two-class error score (synthetic class dropped and
-/// renormalized, matching `Sgan::class_probs`), the verdict string, and
-/// the model generation that scored the batch (every row of a response
-/// was scored by exactly this version).
-fn score_body(probs: &[f64], rows: usize, version: u64) -> Value {
+/// renormalized, matching `Sgan::class_probs`), the verdict string, the
+/// model generation that scored the batch (every row of a response was
+/// scored by exactly this version), and the request id also stamped into
+/// the request's trace records. Feeds the per-version score-distribution
+/// and verdict-mix series as a side effect, so `/metrics` shows a reload
+/// as a clean handover between generations.
+fn score_body(probs: &[f64], rows: usize, version: u64, request_id: u64) -> Value {
+    let series = metrics::version_series(version);
     let mut prob_rows = Vec::with_capacity(rows);
     let mut error_scores = Vec::with_capacity(rows);
     let mut verdicts = Vec::with_capacity(rows);
+    let (mut errors, mut corrects) = (0u64, 0u64);
     for r in 0..rows {
         let (pe, pc, ps) = (probs[r * 3], probs[r * 3 + 1], probs[r * 3 + 2]);
         prob_rows.push(Value::Array(vec![
@@ -858,14 +1189,25 @@ fn score_body(probs: &[f64], rows: usize, version: u64) -> Value {
             Value::from(pc),
             Value::from(ps),
         ]));
-        error_scores.push(Value::from(pe / (pe + pc).max(1e-12)));
-        verdicts.push(Value::from(if pe > pc { "error" } else { "correct" }));
+        let score = pe / (pe + pc).max(1e-12);
+        series.score.record(score);
+        error_scores.push(Value::from(score));
+        if pe > pc {
+            errors += 1;
+            verdicts.push(Value::from("error"));
+        } else {
+            corrects += 1;
+            verdicts.push(Value::from("correct"));
+        }
     }
+    series.verdict_error.add(errors);
+    series.verdict_correct.add(corrects);
     json!({
         "probs": Value::Array(prob_rows),
         "error_scores": Value::Array(error_scores),
         "verdicts": Value::Array(verdicts),
         "model_version": Value::Int(version as i64),
+        "request_id": request_id,
     })
 }
 
@@ -901,7 +1243,7 @@ mod tests {
     #[test]
     fn score_body_reports_verdicts_and_renormalized_scores() {
         let probs = [0.6, 0.2, 0.2, 0.1, 0.7, 0.2];
-        let body = score_body(&probs, 2, 3);
+        let body = score_body(&probs, 2, 3, 77);
         let verdicts = body.get("verdicts").unwrap().as_array().unwrap();
         assert_eq!(verdicts[0].as_str(), Some("error"));
         assert_eq!(verdicts[1].as_str(), Some("correct"));
@@ -909,6 +1251,11 @@ mod tests {
         assert!((scores[0].as_f64().unwrap() - 0.75).abs() < 1e-12);
         assert!((scores[1].as_f64().unwrap() - 0.125).abs() < 1e-12);
         assert_eq!(body.get("model_version").unwrap().as_u64(), Some(3));
+        assert_eq!(body.get("request_id").unwrap().as_u64(), Some(77));
+        // The per-version series saw both rows.
+        let series = metrics::version_series(3);
+        assert!(series.verdict_error.get() >= 1);
+        assert!(series.verdict_correct.get() >= 1);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! End-to-end telemetry smoke test: runs the GALE loop with observability
 //! enabled and asserts (1) the pipeline metrics match the `GaleConfig`,
-//! (2) the JSONL trace is well-formed and carries the expected spans and
-//! events, (3) the embedded run report round-trips, and (4) enabling
-//! telemetry does not change a single bit of the pipeline's output.
+//! (2) the JSONL trace is well-formed, carries the expected spans and
+//! events, and stamps the ambient request id into every record emitted
+//! inside the `request_scope`, (3) the embedded run report round-trips,
+//! and (4) enabling telemetry does not change a single bit of the
+//! pipeline's output.
 //!
 //! A single `#[test]` in its own integration binary: the metrics registry
 //! and the enabled flag are process-global, so this file must not share a
@@ -59,13 +61,20 @@ fn telemetry_smoke_end_to_end() {
     gale_obs::set_enabled(false);
     let off = run();
 
-    // Instrumented run: count metric deltas against this run only.
+    // Instrumented run: count metric deltas against this run only. The
+    // whole run executes under a request scope, the way a traced serving
+    // request would, so every span and event must carry `"req"`.
+    const REQ_ID: u64 = 9001;
     let iters_before = gale_obs::metrics::counter("gale.iterations").get();
     let queries_before = gale_obs::metrics::counter("gale.oracle.queries").get();
     gale_obs::set_enabled(true);
     let trace = gale_obs::trace::capture_to_memory();
-    let on = run();
+    let on = {
+        let _scope = gale_obs::span::request_scope(REQ_ID);
+        run()
+    };
     gale_obs::set_enabled(false);
+    assert_eq!(gale_obs::span::current_request(), 0, "scope must restore");
 
     // (1) Metrics match the config. The train fold is far larger than the
     // total budget, so every iteration issues exactly `local_budget`
@@ -87,6 +96,11 @@ fn telemetry_smoke_end_to_end() {
     let mut events = Vec::new();
     for line in &lines {
         let v = gale_json::from_str(line).unwrap_or_else(|e| panic!("bad trace line {line}: {e}"));
+        assert_eq!(
+            v["req"].as_u64(),
+            Some(REQ_ID),
+            "record missing the ambient request id: {line}"
+        );
         match v["t"].as_str() {
             Some("span") => spans.push(v),
             Some("event") => events.push(v),
