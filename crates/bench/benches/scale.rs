@@ -1,0 +1,386 @@
+//! Scale bench: streamed SBM generation → out-of-core GALE at
+//! n = 10k / 100k / 1M nodes (10 edges per node).
+//!
+//! Unlike the criterion targets this bench times whole pipeline legs with
+//! manual clocks — a single 1M-node run is the unit of measurement, not
+//! something to re-run for statistics. Legs run in ascending footprint
+//! order because Linux's `VmHWM` (the peak-RSS probe) is a process-lifetime
+//! high-water mark: a leg's reading attributes memory only if nothing
+//! bigger ran before it.
+//!
+//! Profiles (`GALE_BENCH_SCALE_PROFILE`, default `ci`; `GALE_BENCH_SMOKE=1`
+//! forces `smoke`):
+//!
+//! * `smoke` — one tiny 2k-node leg, sub-second, no gate;
+//! * `ci`    — 10k + 100k legs (what the scale-bench CI job runs);
+//! * `full`  — 10k + 100k + 1M: regenerates the committed `BENCH_scale.json`.
+//!
+//! The report follows the `BENCH_kernels`/`BENCH_select` shape (`entries` +
+//! intra-run `speedups`), and the gate follows the same contract: ratios
+//! measured in one run transfer across machines, absolute seconds do not.
+//! Gated ratios:
+//!
+//! * `scale_gae_epoch/sampled_vs_full/10000` — a sampled mini-batch epoch
+//!   vs a legacy full-graph epoch at 10k (the tentpole's speedup);
+//! * `scale_gae_epoch/linear_scaling/100000_vs_10000` — 10× the 10k epoch
+//!   time over the 100k epoch time. Sampled epochs cost
+//!   `O(batches · fanout²)`, not `O(n)`, so this ratio sits near the size
+//!   factor; regressing toward 1 means epoch cost started scaling with n;
+//! * `scale_rss/headroom/<n>` — the 4 GiB ceiling over the leg's peak RSS.
+//!
+//! Additionally (non-smoke) every pipeline leg's peak RSS must sit under
+//! the 4 GiB ceiling outright — the ISSUE's out-of-core acceptance bar.
+//! Skip all gating with `GALE_BENCH_NO_GATE=1`.
+
+use gale_core::{run_gale_scale, ScaleGaleConfig, SganConfig};
+use gale_data::{generate_scale, ScaleGraph, ScaleSpec};
+use gale_graph::{CsrStore, PropagationConfig};
+use gale_json::{json, Value};
+use gale_nn::{Gae, GaeConfig, MiniBatchConfig};
+use gale_tensor::{Rng, SparseMatrix, SymNormalized};
+use std::sync::Arc;
+use std::time::Instant;
+
+const RSS_CEILING_BYTES: f64 = 4.0 * 1024.0 * 1024.0 * 1024.0;
+const EDGES_PER_NODE: usize = 10;
+const TIMING_EPOCHS: usize = 3;
+const SEED: u64 = 0x5ca1eb;
+
+fn smoke() -> bool {
+    criterion::smoke_mode()
+}
+
+fn profile() -> &'static str {
+    if smoke() {
+        return "smoke";
+    }
+    match std::env::var("GALE_BENCH_SCALE_PROFILE").as_deref() {
+        Ok("full") => "full",
+        Ok("smoke") => "smoke",
+        _ => "ci",
+    }
+}
+
+fn leg_sizes() -> Vec<usize> {
+    match profile() {
+        "smoke" => vec![2_000],
+        "full" => vec![10_000, 100_000, 1_000_000],
+        _ => vec![10_000, 100_000],
+    }
+}
+
+/// Shared GAE shape for the epoch timings and the pipeline legs. The
+/// sampled schedule is size-independent by design: that independence is
+/// exactly what the `linear_scaling` gate measures.
+fn gae_cfg(epochs: usize) -> GaeConfig {
+    GaeConfig {
+        hidden_dim: 32,
+        embed_dim: 16,
+        epochs,
+        ..Default::default()
+    }
+}
+
+fn minibatch_cfg(nodes: usize) -> MiniBatchConfig {
+    MiniBatchConfig {
+        fanouts: vec![10, 10],
+        edge_batch: if nodes <= 2_000 { 128 } else { 512 },
+        batches_per_epoch: if nodes <= 2_000 { 4 } else { 16 },
+        seed: SEED,
+    }
+}
+
+fn pipeline_cfg(nodes: usize) -> ScaleGaleConfig {
+    let tiny = nodes <= 2_000;
+    ScaleGaleConfig {
+        gae: gae_cfg(if tiny { 2 } else { 3 }),
+        minibatch: minibatch_cfg(nodes),
+        sgan: SganConfig {
+            d_hidden: vec![24, 12],
+            g_hidden: vec![24],
+            epochs: if tiny { 10 } else { 40 },
+            incremental_epochs: if tiny { 4 } else { 8 },
+            batch_unsup: 256,
+            early_stop_patience: 0,
+            ..Default::default()
+        },
+        local_budget: 16,
+        iterations: if tiny { 2 } else { 3 },
+        candidate_pool: 4096,
+        eval_chunk: 8192,
+        synthetic_rows: 2048,
+        propagation: PropagationConfig {
+            iterations: 10,
+            ..Default::default()
+        },
+        seed: SEED,
+        ..Default::default()
+    }
+}
+
+/// Materializes a mapped store as an in-memory `SparseMatrix` — the input
+/// of the legacy full-graph reference path (small legs only).
+fn sparse_from_store(store: &CsrStore) -> SparseMatrix {
+    let mut triplets = Vec::with_capacity(store.nnz());
+    for r in 0..store.rows() {
+        let (cols, vals) = store.row(r);
+        for (c, v) in cols.iter().zip(vals) {
+            triplets.push((r, *c as usize, *v));
+        }
+    }
+    SparseMatrix::from_triplets(store.rows(), store.cols(), triplets)
+}
+
+struct LegResult {
+    nodes: usize,
+    entries: Vec<Value>,
+    sampled_epoch_s: f64,
+    peak_rss_bytes: u64,
+}
+
+fn run_leg(nodes: usize, with_full_ref: bool) -> std::io::Result<(LegResult, Option<f64>)> {
+    let edges = nodes * EDGES_PER_NODE;
+    let dir = std::env::temp_dir().join(format!("gale-scale-bench-{}-{nodes}", std::process::id()));
+    let mut entries = Vec::new();
+
+    // 1. Streamed generation straight to the on-disk CSR format.
+    let t0 = Instant::now();
+    let spec = ScaleSpec::sized(nodes, edges, SEED);
+    let g: ScaleGraph = generate_scale(&spec, &dir)?;
+    let gen_s = t0.elapsed().as_secs_f64();
+    println!("scale/{nodes}: generated {edges} edges in {gen_s:.2}s");
+    entries.push(json!({
+        "name": format!("scale_generate/stream/{nodes}"),
+        "mean_s": gen_s,
+        "edges_per_s": edges as f64 / gen_s,
+    }));
+
+    // 2. Sampled mini-batch GAE epoch time over the mapped store.
+    let s = SymNormalized::new(&g.adjacency);
+    let t0 = Instant::now();
+    let _ = Gae::train_sampled(
+        &g.features,
+        &g.adjacency,
+        &s,
+        &gae_cfg(TIMING_EPOCHS),
+        &minibatch_cfg(nodes),
+        &mut Rng::seed_from_u64(SEED),
+    );
+    let sampled_epoch_s = t0.elapsed().as_secs_f64() / TIMING_EPOCHS as f64;
+    entries.push(json!({
+        "name": format!("scale_gae_epoch/sampled/{nodes}"),
+        "mean_s": sampled_epoch_s,
+        "nodes_per_s": nodes as f64 / sampled_epoch_s,
+    }));
+
+    // 2b. Legacy full-graph epoch reference (small legs only: it holds the
+    // dense n×hidden activations the sampled path exists to avoid).
+    let full_epoch_s = if with_full_ref {
+        let a = sparse_from_store(&g.adjacency);
+        let s_norm = Arc::new(a.sym_normalized_with_self_loops());
+        let t0 = Instant::now();
+        let _ = Gae::train(
+            &g.features,
+            &a,
+            s_norm,
+            &gae_cfg(TIMING_EPOCHS),
+            &mut Rng::seed_from_u64(SEED),
+        );
+        let full = t0.elapsed().as_secs_f64() / TIMING_EPOCHS as f64;
+        entries.push(json!({
+            "name": format!("scale_gae_epoch/full/{nodes}"),
+            "mean_s": full,
+            "nodes_per_s": nodes as f64 / full,
+        }));
+        Some(full)
+    } else {
+        None
+    };
+
+    // 3. The end-to-end out-of-core loop: train → select → annotate.
+    let t0 = Instant::now();
+    let out = run_gale_scale(&g.adjacency, &g.features, &g.truth, &pipeline_cfg(nodes));
+    let pipeline_s = t0.elapsed().as_secs_f64();
+    let prf = out.prf_against(&g.truth);
+    println!(
+        "scale/{nodes}: pipeline {pipeline_s:.2}s, peak RSS {:.0} MiB, F1 {:.3}",
+        out.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        prf.f1
+    );
+    entries.push(json!({
+        "name": format!("scale_pipeline/out_of_core/{nodes}"),
+        "mean_s": pipeline_s,
+        "nodes_per_s": nodes as f64 / pipeline_s,
+        "train_s": out.train_time.as_secs_f64(),
+        "select_s": out.select_time.as_secs_f64(),
+        "annotate_s": out.annotate_time.as_secs_f64(),
+        "queries_issued": out.queries_issued as f64,
+        "f1": prf.f1,
+        "peak_rss_bytes": out.peak_rss_bytes as f64,
+    }));
+
+    let peak = out.peak_rss_bytes;
+    drop(out);
+    drop(g);
+    std::fs::remove_dir_all(&dir).ok();
+    Ok((
+        LegResult {
+            nodes,
+            entries,
+            sampled_epoch_s,
+            peak_rss_bytes: peak,
+        },
+        full_epoch_s,
+    ))
+}
+
+fn default_report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
+}
+
+/// Anchors a relative env-var path at the repo root (cargo bench runs with
+/// `crates/bench` as the working directory).
+fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
+    if p.is_absolute() {
+        p
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn main() {
+    let _ = std::env::args();
+    let sizes = leg_sizes();
+    let smallest = sizes[0];
+    let mut legs: Vec<LegResult> = Vec::new();
+    let mut full_ref: Option<(usize, f64)> = None;
+    for &nodes in &sizes {
+        // The full-graph reference only runs on the smallest leg: at 100k+
+        // it would dominate wall-clock and drag the RSS high-water mark
+        // above what the out-of-core path actually uses.
+        let (leg, full) = run_leg(nodes, nodes == smallest)
+            .unwrap_or_else(|e| panic!("scale leg {nodes} failed: {e}"));
+        if let Some(f) = full {
+            full_ref = Some((nodes, f));
+        }
+        legs.push(leg);
+    }
+
+    let mut entries = Vec::new();
+    for leg in &legs {
+        entries.extend(leg.entries.iter().cloned());
+    }
+    let mut speedups = gale_json::Map::new();
+    if let Some((nodes, full_epoch)) = full_ref {
+        let sampled = legs.iter().find(|l| l.nodes == nodes).unwrap();
+        speedups.insert(
+            format!("scale_gae_epoch/sampled_vs_full/{nodes}"),
+            Value::from(full_epoch / sampled.sampled_epoch_s),
+        );
+    }
+    for pair in legs.windows(2) {
+        let (small, big) = (&pair[0], &pair[1]);
+        let factor = big.nodes as f64 / small.nodes as f64;
+        speedups.insert(
+            format!(
+                "scale_gae_epoch/linear_scaling/{}_vs_{}",
+                big.nodes, small.nodes
+            ),
+            Value::from(factor * small.sampled_epoch_s / big.sampled_epoch_s),
+        );
+    }
+    for leg in &legs {
+        if leg.peak_rss_bytes > 0 {
+            speedups.insert(
+                format!("scale_rss/headroom/{}", leg.nodes),
+                Value::from(RSS_CEILING_BYTES / leg.peak_rss_bytes as f64),
+            );
+        }
+    }
+    let gated: Vec<(String, f64)> = speedups
+        .iter()
+        .filter(|(key, _)| key.starts_with("scale_gae_epoch/") || key.starts_with("scale_rss/"))
+        .filter_map(|(key, v)| v.as_f64().map(|s| (key.clone(), s)))
+        .collect();
+
+    let out_path = std::env::var("GALE_BENCH_SCALE_OUT")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| default_report_path());
+    let baseline_path = std::env::var("GALE_BENCH_SCALE_BASELINE")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| out_path.clone());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+
+    let report = json!({
+        "schema": "gale-bench-scale/v1",
+        "threads": gale_tensor::par::max_threads() as f64,
+        "smoke": smoke(),
+        "profile": profile(),
+        "rss_ceiling_bytes": RSS_CEILING_BYTES,
+        "entries": entries,
+        "speedups": Value::Object(speedups),
+    });
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("scale bench report written to {}", out_path.display());
+
+    if smoke() || std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return;
+    }
+
+    // Absolute memory-ceiling gate: the out-of-core contract, not a
+    // baseline comparison. `peak_rss_bytes == 0` means no procfs (not
+    // Linux); there is nothing to measure, so nothing to gate.
+    let mut failures = Vec::new();
+    for leg in &legs {
+        if leg.peak_rss_bytes as f64 >= RSS_CEILING_BYTES {
+            failures.push(format!(
+                "scale_pipeline/out_of_core/{}: peak RSS {:.2} GiB >= 4 GiB ceiling",
+                leg.nodes,
+                leg.peak_rss_bytes as f64 / (1024.0 * 1024.0 * 1024.0)
+            ));
+        }
+    }
+
+    // Baseline gate: intra-run ratios may not drop >15% below the
+    // committed report's, pairs with no real margin (base < 1.2) skipped —
+    // the BENCH_select contract.
+    if let Some(baseline) = baseline {
+        if baseline.get("smoke").and_then(|v| v.as_bool()) == Some(true) {
+            println!("baseline is a smoke run; skipping the ratio gate");
+        } else if let Some(base_speedups) = baseline.get("speedups").and_then(|v| v.as_object()) {
+            for (key, current) in &gated {
+                let Some(base) = base_speedups.get(key).and_then(|v| v.as_f64()) else {
+                    continue;
+                };
+                if base < 1.2 {
+                    continue;
+                }
+                if *current < base * 0.85 {
+                    failures.push(format!(
+                        "{key}: ratio {base:.2}x -> {current:.2}x ({:.0}% of baseline)",
+                        current / base * 100.0
+                    ));
+                }
+            }
+        }
+    } else {
+        println!(
+            "no baseline at {}; ratio gate skipped",
+            baseline_path.display()
+        );
+    }
+
+    if !failures.is_empty() {
+        eprintln!("scale bench gate failed:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("scale bench gate passed");
+}

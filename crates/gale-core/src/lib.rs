@@ -18,6 +18,7 @@ pub mod memo;
 pub mod metrics;
 pub mod oracle;
 pub mod pipeline;
+pub mod scale;
 pub mod select;
 pub mod sgan;
 pub mod strategies;
@@ -31,6 +32,7 @@ pub use memo::MemoCache;
 pub use metrics::{auc_pr, best_f1_threshold, prevalence_threshold, Prf};
 pub use oracle::{EnsembleOracle, GroundTruthOracle, NoisyOracle, Oracle};
 pub use pipeline::{run_gale, GaleConfig, GaleOutcome, IterationRecord};
+pub use scale::{run_gale_scale, ScaleGaleConfig, ScaleOutcome};
 pub use select::{objective, qselect};
 pub use sgan::{Sgan, SganConfig, TrainStats, SYNTHETIC_CLASS};
 pub use strategies::{cold_start_queries, select_queries, QueryStrategy, SelectionInputs};

@@ -221,6 +221,9 @@ impl GaleOutcome {
         rep.total("total_annotate_ms", ms(self.total_annotate_time()));
         rep.total("total_train_ms", ms(self.total_train_time()));
         rep.total("total_ms", ms(self.total_time));
+        // Process peak RSS (0 where procfs is unavailable); sampled at
+        // report time, which upper-bounds the run since VmHWM only rises.
+        rep.total("peak_rss_bytes", gale_obs::record_peak_rss() as f64);
         if gale_obs::enabled() {
             rep.total(
                 "par_utilization",

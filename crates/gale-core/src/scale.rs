@@ -1,0 +1,567 @@
+//! Million-node GALE: the out-of-core pipeline.
+//!
+//! [`run_gale_scale`] wires train → select → annotate over any adjacency
+//! exposing [`NeighborAccess`] + [`EdgeSample`] — an in-memory
+//! [`gale_tensor::SparseMatrix`] or a memory-mapped `gale_graph::CsrStore`
+//! — without ever materializing the normalized operator or a full-graph
+//! activation set:
+//!
+//! * **Representation**: neighbor-sampled mini-batch GAE
+//!   ([`Gae::train_sampled`]) over the on-the-fly [`SymNormalized`]
+//!   operator; full-graph inference streams through the access kernels.
+//! * **Classifier**: the SGAN of Section IV on `X_R = [X | Z]`
+//!   (column-standardized), evaluated in fixed-size row chunks
+//!   ([`Sgan::scores_and_embeddings_chunked`]) so peak memory is
+//!   `O(chunk)`, not `O(n)`.
+//! * **Selection**: diversified typicality restricted to a bounded
+//!   candidate slate (the `candidate_pool` most uncertain unlabeled
+//!   nodes). `clusT` is the standard k'-means score over the slate;
+//!   `topoT` evaluates the Section V-A conflict term with
+//!   [`ppr_smooth_access`] power iteration — two smoothings per class,
+//!   never materializing `P`. Distance memoization is off (the slate
+//!   changes every iteration, so a cache would only add an `O(n)` map).
+//!
+//! Scale-path approximations, relative to [`crate::run_gale`]: GAugment's
+//! constraint-mined synthetic encodings are replaced by noise-perturbed
+//! real encodings (synthetic graphs carry no constraint library), and the
+//! oracle is consulted directly on the selected nodes (no detector-report
+//! annotation stage). Both substitutions are deliberate and documented in
+//! DESIGN.md's scale section.
+//!
+//! Everything downstream of the RNG is deterministic in `(cfg.seed,
+//! thread count)`: the sampler, the access kernels, and qselect all carry
+//! bitwise thread-invariance contracts.
+
+use crate::calibrate::calibrated_predictions;
+use crate::label::{Example, ExamplePool, Label};
+use crate::memo::MemoCache;
+use crate::metrics::Prf;
+use crate::select::qselect;
+use crate::sgan::{Sgan, SganConfig};
+use crate::strategies::cold_start_queries;
+use crate::typicality::clustering_typicality;
+use gale_graph::{ppr_smooth_access, NodeId, PropagationConfig};
+use gale_nn::{Gae, GaeConfig, MiniBatchConfig};
+use gale_tensor::{EdgeSample, Matrix, NeighborAccess, Rng, SymNormalized};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+/// Configuration of the out-of-core GALE loop.
+#[derive(Debug, Clone)]
+pub struct ScaleGaleConfig {
+    /// GAE (representation) hyper-parameters.
+    pub gae: GaeConfig,
+    /// Mini-batch sampling schedule for GAE training.
+    pub minibatch: MiniBatchConfig,
+    /// SGAN hyper-parameters.
+    pub sgan: SganConfig,
+    /// Queries per iteration (`k`).
+    pub local_budget: usize,
+    /// Iteration count `T` (iteration 0 is the cold start).
+    pub iterations: usize,
+    /// Re-sampling rate η for old examples in incremental updates.
+    pub eta: f64,
+    /// Diversity weight λ in the selection objective.
+    pub lambda: f64,
+    /// `k' = k_prime_factor · k` clusters for clusT.
+    pub k_prime_factor: usize,
+    /// Candidate slate size: selection considers only this many unlabeled
+    /// nodes per iteration (the most uncertain ones), bounding the k-means
+    /// and qselect cost independently of `n`.
+    pub candidate_pool: usize,
+    /// Rows per chunk in full-graph SGAN evaluation.
+    pub eval_chunk: usize,
+    /// Rows of the synthetic block `X_S` (noise-perturbed real encodings).
+    pub synthetic_rows: usize,
+    /// PPR settings for topological typicality.
+    pub propagation: PropagationConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleGaleConfig {
+    fn default() -> Self {
+        ScaleGaleConfig {
+            gae: GaeConfig::default(),
+            minibatch: MiniBatchConfig::default(),
+            sgan: SganConfig::default(),
+            local_budget: 10,
+            iterations: 5,
+            eta: 0.5,
+            lambda: 0.3,
+            k_prime_factor: 2,
+            candidate_pool: 4096,
+            eval_chunk: 8192,
+            synthetic_rows: 2048,
+            propagation: PropagationConfig::default(),
+            seed: 0x5ca1e,
+        }
+    }
+}
+
+/// Result of an out-of-core GALE run.
+pub struct ScaleOutcome {
+    /// Final `P(error)` per node.
+    pub error_scores: Vec<f64>,
+    /// Thresholded predictions per node.
+    pub predictions: Vec<Label>,
+    /// The accumulated example pool.
+    pub pool: ExamplePool,
+    /// Total queries sent to the oracle.
+    pub queries_issued: usize,
+    /// Wall-clock in model training (GAE + SGAN + incremental updates).
+    pub train_time: Duration,
+    /// Wall-clock in query selection (chunked eval + typicality + qselect).
+    pub select_time: Duration,
+    /// Wall-clock consulting the oracle.
+    pub annotate_time: Duration,
+    /// Total wall-clock.
+    pub total_time: Duration,
+    /// Process peak RSS sampled at the end of the run (0 off-Linux).
+    pub peak_rss_bytes: u64,
+}
+
+impl ScaleOutcome {
+    /// Precision/recall/F1 of the thresholded predictions against a
+    /// per-node ground-truth error mask.
+    pub fn prf_against(&self, truth: &[bool]) -> Prf {
+        let predicted: HashSet<NodeId> = self
+            .predictions
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == Label::Error)
+            .map(|(v, _)| v)
+            .collect();
+        let actual: HashSet<NodeId> = truth
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e)
+            .map(|(v, _)| v)
+            .collect();
+        Prf::from_sets(&predicted, &actual)
+    }
+
+    /// Run totals as a [`gale_obs::RunReport`] (no per-iteration rows:
+    /// the scale loop reports stage aggregates plus the memory
+    /// high-water mark).
+    pub fn run_report(&self) -> gale_obs::RunReport {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let mut rep = gale_obs::RunReport::new("GALE scale run", &[]);
+        rep.total("queries_issued", self.queries_issued);
+        rep.total("pool_size", self.pool.len());
+        rep.total("train_ms", ms(self.train_time));
+        rep.total("select_ms", ms(self.select_time));
+        rep.total("annotate_ms", ms(self.annotate_time));
+        rep.total("total_ms", ms(self.total_time));
+        rep.total("peak_rss_bytes", self.peak_rss_bytes as f64);
+        rep
+    }
+}
+
+/// `[x | z]` with every column standardized to zero mean / unit variance
+/// (columns with no spread pass through centered only).
+fn standardized_concat(x: &Matrix, z: &Matrix) -> Matrix {
+    assert_eq!(x.rows(), z.rows(), "standardized_concat: row mismatch");
+    let n = x.rows();
+    let (dx, dz) = (x.cols(), z.cols());
+    let mut out = Matrix::zeros(n, dx + dz);
+    for r in 0..n {
+        let row = out.row_mut(r);
+        row[..dx].copy_from_slice(x.row(r));
+        row[dx..].copy_from_slice(z.row(r));
+    }
+    for c in 0..dx + dz {
+        let mut mean = 0.0;
+        for r in 0..n {
+            mean += out[(r, c)];
+        }
+        mean /= n.max(1) as f64;
+        let mut var = 0.0;
+        for r in 0..n {
+            let d = out[(r, c)] - mean;
+            var += d * d;
+        }
+        let std = (var / n.max(1) as f64).sqrt();
+        let scale = if std > 1e-12 { 1.0 / std } else { 1.0 };
+        for r in 0..n {
+            out[(r, c)] = (out[(r, c)] - mean) * scale;
+        }
+    }
+    out
+}
+
+/// The `cap` unlabeled nodes whose score sits closest to the decision
+/// boundary, in ascending (uncertainty, node id) order — a deterministic
+/// slate for selection.
+fn most_uncertain_unlabeled(scores: &[f64], pool: &ExamplePool, cap: usize) -> Vec<usize> {
+    let mut keyed: Vec<(f64, usize)> = scores
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| !pool.contains(v))
+        .map(|(v, &p)| ((p - 0.5).abs(), v))
+        .collect();
+    let cap = cap.min(keyed.len());
+    if cap == 0 {
+        return Vec::new();
+    }
+    let cmp = |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+    if keyed.len() > cap {
+        keyed.select_nth_unstable_by(cap - 1, cmp);
+        keyed.truncate(cap);
+    }
+    keyed.sort_unstable_by(cmp);
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Diversified typicality `T(v) = clusT(v) · topoT(v)` over the candidate
+/// slate, with the topological term evaluated by access-path PPR power
+/// iteration (Section V-A, out-of-core form).
+fn scale_typicality<S>(
+    s: &S,
+    h: &Matrix,
+    scores: &[f64],
+    cands: &[usize],
+    pool: &ExamplePool,
+    cfg: &ScaleGaleConfig,
+    rng: &mut Rng,
+) -> Vec<f64>
+where
+    S: NeighborAccess + Sync + ?Sized,
+{
+    let n = s.node_count();
+    let predicted_class = |v: usize| usize::from(scores[v] <= 0.5); // 0 = error
+    let (clus, _km) = clustering_typicality(
+        h,
+        cands,
+        (cfg.k_prime_factor * cfg.local_budget).max(1),
+        rng,
+    );
+
+    // Soft labels Ls(v): propagate the labeled one-hots, one smoothing per
+    // class; nodes reached by no mass fall back to the prediction.
+    let mut soft_mass: [Vec<f64>; 2] = [Vec::new(), Vec::new()];
+    for (l, mass) in soft_mass.iter_mut().enumerate() {
+        let mut y0 = vec![0.0f64; n];
+        let mut any = false;
+        for e in pool.examples() {
+            if e.label.class_index() == l {
+                y0[e.node] = 1.0;
+                any = true;
+            }
+        }
+        *mass = if any {
+            ppr_smooth_access(s, &y0, &cfg.propagation)
+        } else {
+            vec![0.0; n]
+        };
+    }
+    let soft_class = |v: usize| {
+        let (e, c) = (soft_mass[0][v], soft_mass[1][v]);
+        if e.abs() + c.abs() < 1e-12 {
+            predicted_class(v)
+        } else {
+            usize::from(c > e)
+        }
+    };
+
+    // Conflict per class: m_l = P 1_{C_l} / |C_l|, conflict_l = P m_l.
+    let mut members: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    for &v in cands {
+        members[predicted_class(v)].push(v);
+    }
+    let mut conflict: [Option<Vec<f64>>; 2] = [None, None];
+    for l in 0..2 {
+        if members[l].is_empty() {
+            continue;
+        }
+        let mut indicator = vec![0.0f64; n];
+        let w = 1.0 / members[l].len() as f64;
+        for &v in &members[l] {
+            indicator[v] = w;
+        }
+        let m_l = ppr_smooth_access(s, &indicator, &cfg.propagation);
+        conflict[l] = Some(ppr_smooth_access(s, &m_l, &cfg.propagation));
+    }
+
+    cands
+        .iter()
+        .zip(&clus)
+        .map(|(&v, &clus_t)| {
+            let other = 1 - soft_class(v);
+            let c = conflict[other].as_ref().map(|vec| vec[v]).unwrap_or(0.0);
+            clus_t * (1.0 - c).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+/// Runs the out-of-core GALE loop against a ground-truth oracle.
+///
+/// * `adj` — adjacency access (mmap store or in-memory CSR);
+/// * `x` — node features (`n × d`, resident: `O(n·d)` is the accepted
+///   dense floor of the scale path);
+/// * `truth` — per-node error mask; the oracle answers from it and the
+///   final scores are evaluated against it by the caller.
+pub fn run_gale_scale<A>(adj: &A, x: &Matrix, truth: &[bool], cfg: &ScaleGaleConfig) -> ScaleOutcome
+where
+    A: NeighborAccess + EdgeSample + Sync + ?Sized,
+{
+    let n = adj.node_count();
+    assert_eq!(x.rows(), n, "run_gale_scale: feature/node mismatch");
+    assert_eq!(truth.len(), n, "run_gale_scale: truth/node mismatch");
+    assert!(cfg.local_budget > 0, "run_gale_scale: zero budget");
+    assert!(cfg.iterations > 0, "run_gale_scale: zero iterations");
+    let run_span = gale_obs::span!(
+        "gale.scale.run",
+        nodes = n,
+        iterations = cfg.iterations,
+        local_budget = cfg.local_budget,
+        seed = cfg.seed,
+    );
+    let started = Instant::now();
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let label_of = |e: bool| if e { Label::Error } else { Label::Correct };
+    let mut train_time = Duration::ZERO;
+    let mut select_time = Duration::ZERO;
+    let mut annotate_time = Duration::ZERO;
+
+    // --- Representation: sampled GAE + streamed inference. ---------------
+    let sp = gale_obs::span!("gale.scale.represent");
+    let s = SymNormalized::new(adj);
+    let mut gae = Gae::train_sampled(x, adj, &s, &cfg.gae, &cfg.minibatch, &mut rng);
+    let mut z = Matrix::zeros(0, 0);
+    gae.embed_access(&s, x, &mut z);
+    let x_r = standardized_concat(x, &z);
+    drop(z);
+    drop(gae);
+    // X_S: noise-perturbed real encodings stand in for GAugment's
+    // constraint-synthesized errors (see module docs).
+    let m = cfg.synthetic_rows.min(n);
+    let mut x_s = Matrix::zeros(m, x_r.cols());
+    for r in 0..m {
+        let src = rng.below(n);
+        for c in 0..x_r.cols() {
+            x_s[(r, c)] = x_r[(src, c)] + rng.gauss();
+        }
+    }
+    train_time += sp.finish();
+
+    // --- Cold start. ------------------------------------------------------
+    let mut pool = ExamplePool::new();
+    let mut queries_issued = 0usize;
+    let sp = gale_obs::span!("gale.scale.select", iter = 0usize);
+    let mut slate = rng.sample_indices(n, cfg.candidate_pool.min(n));
+    slate.sort_unstable();
+    let q0 = cold_start_queries(&x_r, &slate, cfg.local_budget, &mut rng);
+    select_time += sp.finish();
+    let sp = gale_obs::span!("gale.scale.annotate", iter = 0usize);
+    for &v in &q0 {
+        pool.insert(v, label_of(truth[v]));
+    }
+    queries_issued += q0.len();
+    gale_obs::counter_add!("gale.oracle.queries", q0.len() as u64);
+    annotate_time += sp.finish();
+
+    let sp = gale_obs::span!("gale.scale.train", iter = 0usize);
+    let mut sgan = Sgan::new(x_r.cols(), &cfg.sgan, &mut rng);
+    let targets = ExamplePool::targets(&pool.examples().collect::<Vec<_>>());
+    // Empty validation fold: early stopping would need a full-graph
+    // forward per epoch, exactly the O(n) activation the scale path bans.
+    let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+    train_time += sp.finish();
+
+    // --- Iterative improvement. -------------------------------------------
+    let mut scores: Vec<f64> = Vec::new();
+    let mut h = Matrix::zeros(0, 0);
+    for iter in 1..cfg.iterations {
+        let sp = gale_obs::span!("gale.scale.select", iter = iter);
+        sgan.scores_and_embeddings_chunked(&x_r, cfg.eval_chunk, &mut scores, &mut h);
+        let cands = most_uncertain_unlabeled(&scores, &pool, cfg.candidate_pool);
+        if cands.is_empty() {
+            let _ = sp.finish();
+            break;
+        }
+        let typ = scale_typicality(&s, &h, &scores, &cands, &pool, cfg, &mut rng);
+        let mut memo = MemoCache::new(false, 0.0);
+        let q_i = qselect(&h, &cands, &typ, cfg.local_budget, cfg.lambda, &mut memo);
+        select_time += sp.finish();
+
+        let sp = gale_obs::span!("gale.scale.annotate", iter = iter);
+        let mut v_t_i: Vec<Example> = pool.sample(cfg.eta, &mut rng);
+        for &v in &q_i {
+            let l = label_of(truth[v]);
+            pool.insert(v, l);
+            v_t_i.push(Example { node: v, label: l });
+        }
+        queries_issued += q_i.len();
+        gale_obs::counter_add!("gale.oracle.queries", q_i.len() as u64);
+        annotate_time += sp.finish();
+
+        let sp = gale_obs::span!("gale.scale.train", iter = iter);
+        let targets = ExamplePool::targets(&v_t_i);
+        let _ = sgan.update_discriminator(&x_r, &x_s, &targets, &mut rng);
+        train_time += sp.finish();
+    }
+
+    // --- Final scoring (chunked; no calibration fold at scale). -----------
+    let sp = gale_obs::span!("gale.scale.score");
+    sgan.scores_and_embeddings_chunked(&x_r, cfg.eval_chunk, &mut scores, &mut h);
+    let predictions = calibrated_predictions(&scores, &[]);
+    select_time += sp.finish();
+
+    let outcome = ScaleOutcome {
+        error_scores: scores,
+        predictions,
+        pool,
+        queries_issued,
+        train_time,
+        select_time,
+        annotate_time,
+        total_time: started.elapsed(),
+        peak_rss_bytes: gale_obs::record_peak_rss(),
+    };
+    let _ = run_span
+        .field("queries_issued", outcome.queries_issued)
+        .field("peak_rss_bytes", outcome.peak_rss_bytes as f64)
+        .finish();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::SparseMatrix;
+
+    /// Small planted-error instance mirroring the scale generator: two
+    /// feature communities, errors carry the other community's features.
+    fn planted(n: usize, seed: u64) -> (SparseMatrix, Matrix, Vec<bool>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let dim = 6;
+        let mut triplets = Vec::new();
+        for v in 0..n {
+            for _ in 0..4 {
+                let u = if rng.chance(0.85) {
+                    // Intra-community: same parity.
+                    let c = rng.below(n / 2);
+                    (c * 2 + (v % 2)) % n
+                } else {
+                    rng.below(n)
+                };
+                if u != v {
+                    triplets.push((v, u, 1.0));
+                    triplets.push((u, v, 1.0));
+                }
+            }
+        }
+        let a = SparseMatrix::from_triplets(n, n, triplets);
+        let mut truth = vec![false; n];
+        let mut x = Matrix::zeros(n, dim);
+        for v in 0..n {
+            let own = if v % 2 == 0 { -2.0 } else { 2.0 };
+            let err = rng.chance(0.1);
+            truth[v] = err;
+            let center = if err { -own } else { own };
+            for d in 0..dim {
+                x[(v, d)] = center + rng.gauss() * 0.5;
+            }
+        }
+        (a, x, truth)
+    }
+
+    fn quick_cfg(seed: u64) -> ScaleGaleConfig {
+        ScaleGaleConfig {
+            gae: GaeConfig {
+                hidden_dim: 12,
+                embed_dim: 6,
+                epochs: 6,
+                ..Default::default()
+            },
+            minibatch: MiniBatchConfig {
+                fanouts: vec![4, 4],
+                edge_batch: 64,
+                batches_per_epoch: 4,
+                seed,
+            },
+            sgan: SganConfig {
+                d_hidden: vec![16, 8],
+                g_hidden: vec![16],
+                epochs: 60,
+                incremental_epochs: 6,
+                batch_unsup: 64,
+                early_stop_patience: 0,
+                ..Default::default()
+            },
+            local_budget: 8,
+            iterations: 3,
+            candidate_pool: 96,
+            eval_chunk: 37,
+            synthetic_rows: 64,
+            propagation: PropagationConfig {
+                iterations: 10,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn scale_loop_runs_and_beats_chance() {
+        let (a, x, truth) = planted(240, 5);
+        let out = run_gale_scale(&a, &x, &truth, &quick_cfg(5));
+        assert_eq!(out.error_scores.len(), 240);
+        assert_eq!(out.predictions.len(), 240);
+        assert!(out.queries_issued <= 8 * 3);
+        assert_eq!(out.pool.len(), out.queries_issued);
+        let prf = out.prf_against(&truth);
+        // ~10% planted error rate: all-error guessing gives F1 ≈ 0.18.
+        assert!(
+            prf.f1 > 0.3,
+            "F1 {:.3} (P {:.3} R {:.3})",
+            prf.f1,
+            prf.precision,
+            prf.recall
+        );
+        let rep = out.run_report();
+        assert!(rep.totals.iter().any(|(k, _)| k == "peak_rss_bytes"));
+    }
+
+    #[test]
+    fn scale_loop_is_deterministic() {
+        let (a, x, truth) = planted(150, 9);
+        let cfg = quick_cfg(9);
+        let s1 = run_gale_scale(&a, &x, &truth, &cfg);
+        let s2 = run_gale_scale(&a, &x, &truth, &cfg);
+        assert_eq!(s1.queries_issued, s2.queries_issued);
+        let bits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&s1.error_scores), bits(&s2.error_scores));
+        assert_eq!(s1.predictions, s2.predictions);
+    }
+
+    #[test]
+    fn uncertainty_slate_is_deterministic_and_bounded() {
+        let scores = vec![0.9, 0.5, 0.1, 0.52, 0.48, 0.5];
+        let mut pool = ExamplePool::new();
+        pool.insert(4, Label::Correct);
+        let slate = most_uncertain_unlabeled(&scores, &pool, 3);
+        // |p-0.5|: node 1 and 5 tie at 0 (id order), then 3 at 0.02.
+        assert_eq!(slate, vec![1, 5, 3]);
+        assert!(most_uncertain_unlabeled(&scores, &pool, 0).is_empty());
+    }
+
+    #[test]
+    fn standardized_concat_centers_columns() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 10.0]]);
+        let z = Matrix::from_rows(&[vec![-5.0], vec![5.0]]);
+        let out = standardized_concat(&x, &z);
+        assert_eq!(out.shape(), (2, 3));
+        for c in [0usize, 2] {
+            let mean: f64 = (0..2).map(|r| out[(r, c)]).sum::<f64>() / 2.0;
+            assert!(mean.abs() < 1e-12);
+            let var: f64 = (0..2).map(|r| out[(r, c)] * out[(r, c)]).sum::<f64>() / 2.0;
+            assert!((var - 1.0).abs() < 1e-9, "col {c} var {var}");
+        }
+        // Constant column: centered only.
+        assert_eq!(out[(0, 1)], 0.0);
+        assert_eq!(out[(1, 1)], 0.0);
+    }
+}

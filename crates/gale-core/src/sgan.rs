@@ -572,6 +572,61 @@ impl Sgan {
         out.copy_from(self.d.tap(self.tap));
     }
 
+    /// Chunked evaluation for graphs too large to forward in one block:
+    /// streams `x` through the discriminator `chunk` rows at a time,
+    /// writing per-row `P(error)` (2-class renormalized, the same
+    /// expression as [`Sgan::class_probs`]) into `scores` and the tapped
+    /// embeddings into `h` (`n × tap_dim`). Evaluation mode is
+    /// row-independent (batch norm uses running statistics, dropout is
+    /// off), so the result is bitwise equal to the one-shot path at any
+    /// chunk size — asserted by the module tests. Peak extra memory is one
+    /// `chunk`-row activation set instead of `n` rows, which is what lets
+    /// the million-node pipeline score every node under the scale bench's
+    /// memory ceiling.
+    pub fn scores_and_embeddings_chunked(
+        &mut self,
+        x: &Matrix,
+        chunk: usize,
+        scores: &mut Vec<f64>,
+        h: &mut Matrix,
+    ) {
+        assert!(
+            chunk > 0,
+            "scores_and_embeddings_chunked: chunk must be > 0"
+        );
+        let n = x.rows();
+        scores.clear();
+        scores.reserve(n);
+        if n == 0 {
+            h.resize(0, 0);
+            return;
+        }
+        let mut xb = Matrix::zeros(0, 0);
+        let mut pb = Matrix::zeros(0, 0);
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + chunk).min(n);
+            xb.resize(hi - lo, x.cols());
+            for r in lo..hi {
+                xb.row_mut(r - lo).copy_from_slice(x.row(r));
+            }
+            self.probs3_into(&xb, &mut pb);
+            let tap = self.d.tap(self.tap);
+            if lo == 0 {
+                h.resize(n, tap.cols());
+            }
+            for r in 0..tap.rows() {
+                h.row_mut(lo + r).copy_from_slice(tap.row(r));
+            }
+            for r in 0..pb.rows() {
+                let pe = pb[(r, 0)];
+                let pc = pb[(r, 1)];
+                scores.push(pe / (pe + pc).max(1e-12));
+            }
+            lo = hi;
+        }
+    }
+
     /// Per-row probability of the `error` class (classifier scores).
     pub fn error_scores(&mut self, x: &Matrix) -> Vec<f64> {
         let p = self.class_probs(x);
@@ -659,6 +714,44 @@ mod tests {
         let x_r = Matrix::from_rows(&rows);
         let x_s = Matrix::from_fn(n / 2, dim, |_, _| 2.0 + rng.gauss());
         (x_r, x_s, labels)
+    }
+
+    #[test]
+    fn chunked_eval_is_bitwise_equal_to_one_shot() {
+        let mut rng = Rng::seed_from_u64(91);
+        let (x_r, x_s, labels) = toy_data(&mut rng, 37, 5);
+        let targets: Vec<(usize, usize)> = labels
+            .iter()
+            .enumerate()
+            .step_by(3)
+            .map(|(i, l)| (i, l.class_index()))
+            .collect();
+        let mut sgan = Sgan::new(5, &small_cfg(), &mut rng);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
+
+        let full_scores = sgan.error_scores(&x_r);
+        let full_h = sgan.embeddings(&x_r);
+        for chunk in [1, 7, 37, 1000] {
+            let mut scores = Vec::new();
+            let mut h = Matrix::zeros(0, 0);
+            sgan.scores_and_embeddings_chunked(&x_r, chunk, &mut scores, &mut h);
+            assert_eq!(scores.len(), 37);
+            assert_eq!(h.shape(), full_h.shape());
+            for r in 0..37 {
+                assert_eq!(
+                    scores[r].to_bits(),
+                    full_scores[r].to_bits(),
+                    "score row {r}, chunk {chunk}"
+                );
+                for c in 0..h.cols() {
+                    assert_eq!(
+                        h[(r, c)].to_bits(),
+                        full_h[(r, c)].to_bits(),
+                        "tap ({r},{c}), chunk {chunk}"
+                    );
+                }
+            }
+        }
     }
 
     fn small_cfg() -> SganConfig {

@@ -10,7 +10,7 @@
 
 use crate::vocab;
 use gale_graph::value::AttrValue;
-use gale_graph::{AttrKind, Graph, NodeId};
+use gale_graph::{AttrKind, Graph};
 use gale_tensor::Rng;
 
 /// How one attribute of the generated node type is produced.
@@ -139,6 +139,64 @@ pub struct GeneratedGraph {
     pub communities: Vec<usize>,
 }
 
+/// Receiver for generated SBM edges. The small-graph path sinks straight
+/// into a [`Graph`]; the streaming scale path (`crate::scale`) sinks into
+/// on-disk row buckets without materializing an edge list.
+pub trait EdgeSink {
+    /// Called once per generated edge `(a, b)`, `a != b`.
+    fn edge(&mut self, a: usize, b: usize);
+}
+
+impl<F: FnMut(usize, usize)> EdgeSink for F {
+    fn edge(&mut self, a: usize, b: usize) {
+        self(a, b)
+    }
+}
+
+/// Draws `edges` stochastic-block-model edges over the given community
+/// assignment and feeds them to `sink`. With probability `intra_prob` an
+/// edge is drawn within one uniformly chosen community, otherwise between
+/// two uniform endpoints; self-loops are rejected. Returns the number of
+/// edges produced (short only if the rejection guard trips on degenerate
+/// specs). The RNG call sequence is part of the determinism contract:
+/// every sink sees identical edges for identical `(assignment, rng)`.
+pub fn sbm_edges(
+    communities: &[usize],
+    n_communities: usize,
+    edges: usize,
+    intra_prob: f64,
+    rng: &mut Rng,
+    sink: &mut dyn EdgeSink,
+) -> usize {
+    let nodes = communities.len();
+    // Group nodes by community for O(1) intra sampling.
+    let mut by_comm: Vec<Vec<usize>> = vec![Vec::new(); n_communities];
+    for (v, &c) in communities.iter().enumerate() {
+        by_comm[c].push(v);
+    }
+    let mut made = 0usize;
+    let mut guard = 0usize;
+    while made < edges && guard < edges * 20 {
+        guard += 1;
+        let (a, b) = if rng.chance(intra_prob) {
+            let c = rng.below(n_communities);
+            let members = &by_comm[c];
+            if members.len() < 2 {
+                continue;
+            }
+            (*rng.choose(members), *rng.choose(members))
+        } else {
+            (rng.below(nodes), rng.below(nodes))
+        };
+        if a == b {
+            continue;
+        }
+        sink.edge(a, b);
+        made += 1;
+    }
+    made
+}
+
 /// Stable value hash used for the derived-attribute FD mapping.
 fn value_hash(s: &str) -> usize {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -232,32 +290,19 @@ pub fn generate(spec: &GraphSpec, rng: &mut Rng) -> GeneratedGraph {
         g.add_node(node);
     }
 
-    // Edges: SBM draw with intra-community bias. Group nodes by community
-    // for O(1) intra sampling.
-    let mut by_comm: Vec<Vec<NodeId>> = vec![Vec::new(); spec.communities];
-    for (v, &c) in communities.iter().enumerate() {
-        by_comm[c].push(v);
-    }
-    let mut made = 0usize;
-    let mut guard = 0usize;
-    while made < spec.edges && guard < spec.edges * 20 {
-        guard += 1;
-        let (a, b) = if rng.chance(spec.intra_community_edge_prob) {
-            let c = rng.below(spec.communities);
-            let members = &by_comm[c];
-            if members.len() < 2 {
-                continue;
-            }
-            (*rng.choose(members), *rng.choose(members))
-        } else {
-            (rng.below(spec.nodes), rng.below(spec.nodes))
-        };
-        if a == b {
-            continue;
-        }
+    // Edges: SBM draw with intra-community bias, shared with the streaming
+    // scale path through the sink seam.
+    let mut sink = |a: usize, b: usize| {
         g.add_edge(a, b, et);
-        made += 1;
-    }
+    };
+    sbm_edges(
+        &communities,
+        spec.communities,
+        spec.edges,
+        spec.intra_community_edge_prob,
+        rng,
+        &mut sink,
+    );
 
     GeneratedGraph {
         graph: g,

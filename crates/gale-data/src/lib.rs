@@ -11,6 +11,7 @@
 pub mod datasets;
 pub mod featurize;
 pub mod generator;
+pub mod scale;
 pub mod split;
 pub mod vocab;
 
@@ -19,5 +20,6 @@ pub use featurize::{
     attribute_feature_layout, attribute_features, detector_signal_features, featurize,
     FeaturePipeline, FeaturizeConfig,
 };
-pub use generator::{generate, AttrSpec, GeneratedGraph, GraphSpec};
+pub use generator::{generate, sbm_edges, AttrSpec, EdgeSink, GeneratedGraph, GraphSpec};
+pub use scale::{generate_scale, ScaleGraph, ScaleSpec};
 pub use split::DataSplit;

@@ -1,0 +1,388 @@
+//! Streaming million-node SBM generation straight to the on-disk CSR
+//! format.
+//!
+//! The small-graph path ([`crate::generator`]) materializes a [`Graph`]
+//! with full attribute records; at 10M edges that is the wrong shape — the
+//! scale pipeline only needs the adjacency operator, a feature matrix, and
+//! a ground-truth error mask. This module reuses the exact same SBM edge
+//! core ([`crate::generator::sbm_edges`]) but sinks each edge (both
+//! directions) into row-range bucket spill files, then sorts one bucket at
+//! a time into a [`gale_graph::CsrWriter`]. Peak memory is O(nodes) for
+//! the community assignment plus one bucket's entries — the 10M-edge list
+//! is never held in RAM.
+//!
+//! Features are community-shifted Gaussians (the attribute analogue of the
+//! generator's `NumericByCommunity` spec); planted erroneous nodes draw
+//! their features from a *different* community's center plus extra noise,
+//! so attribute evidence disagrees with structural community — the error
+//! model GALE's discriminator is built to catch.
+//!
+//! [`Graph`]: gale_graph::Graph
+
+use crate::generator::sbm_edges;
+use gale_graph::{CsrStore, CsrWriter};
+use gale_tensor::{Matrix, Rng};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Specification for a streaming scale graph.
+#[derive(Debug, Clone)]
+pub struct ScaleSpec {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of undirected SBM edge draws.
+    pub edges: usize,
+    /// Number of communities.
+    pub communities: usize,
+    /// Probability an edge stays inside one community.
+    pub intra_community_edge_prob: f64,
+    /// Feature dimensionality.
+    pub feature_dim: usize,
+    /// Fraction of nodes planted as erroneous.
+    pub error_rate: f64,
+    /// Master seed; everything below derives from it deterministically.
+    pub seed: u64,
+}
+
+impl ScaleSpec {
+    /// A spec with the shared SBM shape (8 communities, 90% intra edges,
+    /// 16-dim features, 5% planted errors) at the given size.
+    pub fn sized(nodes: usize, edges: usize, seed: u64) -> ScaleSpec {
+        ScaleSpec {
+            nodes,
+            edges,
+            communities: 8,
+            intra_community_edge_prob: 0.9,
+            feature_dim: 16,
+            error_rate: 0.05,
+            seed,
+        }
+    }
+}
+
+/// A generated scale graph: on-disk adjacency plus in-memory per-node data.
+pub struct ScaleGraph {
+    /// The symmetric adjacency operator, memory-mapped from disk (values
+    /// are duplicate-edge counts, no self-loops).
+    pub adjacency: CsrStore,
+    /// Path of the on-disk CSR file backing `adjacency`.
+    pub adjacency_path: PathBuf,
+    /// `communities[v]` is node `v`'s planted community.
+    pub communities: Vec<usize>,
+    /// `nodes x feature_dim` attribute features.
+    pub features: Matrix,
+    /// `truth[v]` is true iff node `v` was planted as erroneous.
+    pub truth: Vec<bool>,
+}
+
+/// Rows per sort bucket: bounds the per-bucket in-RAM entry vector while
+/// keeping the bucket count small for 10k-scale specs.
+const BUCKET_ROWS: usize = 32 * 1024;
+
+/// An [`crate::generator::EdgeSink`] that spills each directed entry into
+/// the bucket file owning its source row.
+struct BucketSink {
+    writers: Vec<BufWriter<File>>,
+    counts: Vec<u64>,
+}
+
+impl BucketSink {
+    fn spill(&mut self, src: usize, dst: usize) {
+        let b = src / BUCKET_ROWS;
+        let mut rec = [0u8; 8];
+        rec[..4].copy_from_slice(&(src as u32).to_le_bytes());
+        rec[4..].copy_from_slice(&(dst as u32).to_le_bytes());
+        self.writers[b]
+            .write_all(&rec)
+            .expect("scale: bucket spill write failed");
+        self.counts[b] += 1;
+    }
+}
+
+/// Generates a scale graph, writing the adjacency to `dir` and returning
+/// it memory-mapped. Deterministic in `spec` (including the seed) and
+/// independent of thread count. `dir` is created if missing; spill files
+/// are removed before returning.
+pub fn generate_scale(spec: &ScaleSpec, dir: impl AsRef<Path>) -> io::Result<ScaleGraph> {
+    assert!(spec.nodes > 0, "generate_scale: need at least one node");
+    assert!(
+        spec.nodes <= u32::MAX as usize,
+        "generate_scale: bucket records are u32"
+    );
+    assert!(
+        spec.communities > 0,
+        "generate_scale: need at least one community"
+    );
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+
+    let mut rng = Rng::seed_from_u64(spec.seed);
+    // Balanced community assignment, shuffled — same scheme as `generate`.
+    let mut communities: Vec<usize> = (0..spec.nodes).map(|i| i % spec.communities).collect();
+    rng.shuffle(&mut communities);
+
+    // Independent streams so edge volume never shifts the feature draws.
+    let mut edge_rng = rng.fork();
+    let mut center_rng = rng.fork();
+    let mut feat_rng = rng.fork();
+    let mut err_rng = rng.fork();
+
+    // 1. Edges: SBM core -> per-row-range bucket spill files (both
+    //    directions, so the assembled CSR is symmetric).
+    let n_buckets = spec.nodes.div_ceil(BUCKET_ROWS);
+    let bucket_path = |b: usize| dir.join(format!("adjacency.bucket{b}.tmp"));
+    let mut sink = BucketSink {
+        writers: (0..n_buckets)
+            .map(|b| File::create(bucket_path(b)).map(BufWriter::new))
+            .collect::<io::Result<_>>()?,
+        counts: vec![0; n_buckets],
+    };
+    let mut spill = |a: usize, b: usize| {
+        sink.spill(a, b);
+        sink.spill(b, a);
+    };
+    sbm_edges(
+        &communities,
+        spec.communities,
+        spec.edges,
+        spec.intra_community_edge_prob,
+        &mut edge_rng,
+        &mut spill,
+    );
+    for w in &mut sink.writers {
+        w.flush()?;
+    }
+    drop(sink.writers);
+
+    // 2. Assemble: sort one bucket at a time, merge duplicate entries into
+    //    counts (the semantics of `SparseMatrix::from_triplets`), stream
+    //    rows — empty ones included — to the page-aligned writer.
+    let adjacency_path = dir.join("adjacency.csr");
+    let mut writer = CsrWriter::create(&adjacency_path, spec.nodes, spec.nodes)?;
+    let mut entries: Vec<(u32, u32)> = Vec::new();
+    for b in 0..n_buckets {
+        let mut f = File::open(bucket_path(b))?;
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        entries.clear();
+        entries.extend(bytes.chunks_exact(8).map(|rec| {
+            (
+                u32::from_le_bytes(rec[..4].try_into().unwrap()),
+                u32::from_le_bytes(rec[4..].try_into().unwrap()),
+            )
+        }));
+        debug_assert_eq!(entries.len() as u64, sink.counts[b]);
+        entries.sort_unstable();
+        let row_lo = b * BUCKET_ROWS;
+        let row_hi = ((b + 1) * BUCKET_ROWS).min(spec.nodes);
+        let mut k = 0;
+        for r in row_lo..row_hi {
+            while k < entries.len() && entries[k].0 as usize == r {
+                let col = entries[k].1;
+                let mut count = 0u64;
+                while k < entries.len() && entries[k] == (r as u32, col) {
+                    count += 1;
+                    k += 1;
+                }
+                writer.push(col as usize, count as f64)?;
+            }
+            writer.finish_row()?;
+        }
+        debug_assert_eq!(k, entries.len(), "scale: entry outside bucket range");
+        std::fs::remove_file(bucket_path(b))?;
+    }
+    writer.finish()?;
+
+    // 3. Features: community centers ~ N(0, 2) per dim, node features
+    //    center + N(0, 1) noise.
+    let centers: Vec<Vec<f64>> = (0..spec.communities)
+        .map(|_| {
+            (0..spec.feature_dim)
+                .map(|_| center_rng.gauss() * 2.0)
+                .collect()
+        })
+        .collect();
+    let mut features = Matrix::zeros(spec.nodes, spec.feature_dim);
+    for v in 0..spec.nodes {
+        let center = &centers[communities[v]];
+        for d in 0..spec.feature_dim {
+            features[(v, d)] = center[d] + feat_rng.gauss();
+        }
+    }
+
+    // 4. Planted errors: the node keeps its structural community but its
+    //    features are redrawn around a different community's center with
+    //    inflated noise — attribute/structure disagreement.
+    let mut truth = vec![false; spec.nodes];
+    for v in 0..spec.nodes {
+        if !err_rng.chance(spec.error_rate) {
+            continue;
+        }
+        truth[v] = true;
+        let wrong = if spec.communities > 1 {
+            let shift = 1 + err_rng.below(spec.communities - 1);
+            (communities[v] + shift) % spec.communities
+        } else {
+            communities[v]
+        };
+        let center = &centers[wrong];
+        for d in 0..spec.feature_dim {
+            features[(v, d)] = center[d] + err_rng.gauss() * 2.0;
+        }
+    }
+
+    let adjacency = CsrStore::open(&adjacency_path)?;
+    Ok(ScaleGraph {
+        adjacency,
+        adjacency_path,
+        communities,
+        features,
+        truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::{NeighborAccess, SparseMatrix};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gale-scale-{}-{name}", std::process::id()));
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+        dir
+    }
+
+    /// Reference path: same RNG schedule, but edges collected in RAM and
+    /// assembled with `from_triplets`.
+    fn reference_adjacency(spec: &ScaleSpec) -> (Vec<usize>, SparseMatrix) {
+        let mut rng = Rng::seed_from_u64(spec.seed);
+        let mut communities: Vec<usize> = (0..spec.nodes).map(|i| i % spec.communities).collect();
+        rng.shuffle(&mut communities);
+        let mut edge_rng = rng.fork();
+        let mut triplets = Vec::new();
+        let mut sink = |a: usize, b: usize| {
+            triplets.push((a, b, 1.0));
+            triplets.push((b, a, 1.0));
+        };
+        sbm_edges(
+            &communities,
+            spec.communities,
+            spec.edges,
+            spec.intra_community_edge_prob,
+            &mut edge_rng,
+            &mut sink,
+        );
+        (
+            communities,
+            SparseMatrix::from_triplets(spec.nodes, spec.nodes, triplets),
+        )
+    }
+
+    #[test]
+    fn streamed_adjacency_matches_in_memory_reference() {
+        let spec = ScaleSpec {
+            nodes: 700,
+            edges: 1500,
+            communities: 5,
+            intra_community_edge_prob: 0.85,
+            feature_dim: 6,
+            error_rate: 0.1,
+            seed: 42,
+        };
+        let dir = tmp("ref");
+        let g = generate_scale(&spec, &dir).unwrap();
+        let (communities, want) = reference_adjacency(&spec);
+        assert_eq!(g.communities, communities);
+        assert_eq!(g.adjacency.rows(), 700);
+        assert_eq!(g.adjacency.nnz(), want.nnz());
+        for r in 0..spec.nodes {
+            let mut got = Vec::new();
+            g.adjacency
+                .visit_neighbors(r, &mut |c, v| got.push((c, v.to_bits())));
+            let w: Vec<(usize, u64)> = want.row_iter(r).map(|(c, v)| (c, v.to_bits())).collect();
+            assert_eq!(got, w, "row {r}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = ScaleSpec::sized(400, 900, 7);
+        let (da, db) = (tmp("det-a"), tmp("det-b"));
+        let a = generate_scale(&spec, &da).unwrap();
+        let b = generate_scale(&spec, &db).unwrap();
+        assert_eq!(a.communities, b.communities);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.adjacency.nnz(), b.adjacency.nnz());
+        for v in 0..spec.nodes {
+            for d in 0..spec.feature_dim {
+                assert_eq!(
+                    a.features[(v, d)].to_bits(),
+                    b.features[(v, d)].to_bits(),
+                    "feature ({v},{d})"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&da).unwrap();
+        std::fs::remove_dir_all(&db).unwrap();
+    }
+
+    #[test]
+    fn planted_errors_match_rate_and_shift_features() {
+        let spec = ScaleSpec::sized(2000, 4000, 11);
+        let dir = tmp("errs");
+        let g = generate_scale(&spec, &dir).unwrap();
+        let planted = g.truth.iter().filter(|&&t| t).count();
+        let expect = (spec.nodes as f64 * spec.error_rate) as usize;
+        assert!(
+            planted > expect / 2 && planted < expect * 2,
+            "planted {planted} vs expected ~{expect}"
+        );
+        // Erroneous nodes should sit farther from their own community's
+        // mean than clean nodes do on average.
+        let dim = spec.feature_dim;
+        let mut mean = vec![vec![0.0; dim]; spec.communities];
+        let mut n = vec![0usize; spec.communities];
+        for v in 0..spec.nodes {
+            if g.truth[v] {
+                continue;
+            }
+            n[g.communities[v]] += 1;
+            for (d, m) in mean[g.communities[v]].iter_mut().enumerate() {
+                *m += g.features[(v, d)];
+            }
+        }
+        for c in 0..spec.communities {
+            for m in mean[c].iter_mut() {
+                *m /= n[c].max(1) as f64;
+            }
+        }
+        let dist = |v: usize| -> f64 {
+            let m = &mean[g.communities[v]];
+            (0..dim)
+                .map(|d| (g.features[(v, d)] - m[d]).powi(2))
+                .sum::<f64>()
+                .sqrt()
+        };
+        let (mut err_d, mut ok_d, mut err_n, mut ok_n) = (0.0, 0.0, 0, 0);
+        for v in 0..spec.nodes {
+            if g.truth[v] {
+                err_d += dist(v);
+                err_n += 1;
+            } else {
+                ok_d += dist(v);
+                ok_n += 1;
+            }
+        }
+        assert!(
+            err_d / err_n as f64 > 1.5 * (ok_d / ok_n as f64),
+            "planted errors not separable: err {} vs ok {}",
+            err_d / err_n as f64,
+            ok_d / ok_n as f64
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -5,7 +5,11 @@
 //! operators, traversal utilities, and the `(X_G, A_G)` feature
 //! representation consumed by the learning stack.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `store::mapped` (the `mmap(2)` wrapper for
+// the out-of-core CSR reader) carries a scoped allowance for its audited
+// unsafe blocks, mirroring gale-tensor's `par` / `aligned` policy;
+// everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod features;
@@ -13,13 +17,17 @@ pub mod graph;
 pub mod io;
 pub mod propagation;
 pub mod schema;
+pub mod store;
 pub mod traversal;
 pub mod value;
 
 pub use features::FeatureRepr;
 pub use graph::{Edge, Graph, Node, NodeId};
-pub use propagation::{ppr_single, ppr_smooth, ppr_smooth_matrix, soft_labels, PropagationConfig};
+pub use propagation::{
+    ppr_single, ppr_smooth, ppr_smooth_access, ppr_smooth_matrix, soft_labels, PropagationConfig,
+};
 pub use schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
+pub use store::{write_csr, CsrStore, CsrWriter};
 pub use traversal::{
     bfs_distances, connected_components, degree_assortativity, induced_subgraph,
     k_hop_neighborhood, InducedSubgraph,

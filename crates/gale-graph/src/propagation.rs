@@ -11,7 +11,7 @@
 //! Because `S` is symmetric, `P` is symmetric too — the fact GALE's query
 //! selector exploits to evaluate row inner products ⟨P_v, m⟩ as `(P m)(v)`.
 
-use gale_tensor::{Matrix, SparseMatrix};
+use gale_tensor::{matvec_access, Matrix, NeighborAccess, SparseMatrix};
 
 /// Configuration shared by the propagation routines.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +44,38 @@ pub fn ppr_smooth(s_norm: &SparseMatrix, v: &[f64], cfg: &PropagationConfig) -> 
     let mut weight = alpha;
     for _ in 0..cfg.iterations {
         term = s_norm.matvec(&term);
+        weight *= 1.0 - alpha;
+        for (a, t) in acc.iter_mut().zip(&term) {
+            *a += weight * t;
+        }
+    }
+    acc
+}
+
+/// [`ppr_smooth`] over any [`NeighborAccess`] operator — the out-of-core
+/// path used by the million-node pipeline, where `S` is an adapter over a
+/// memory-mapped adjacency and never materialized. Bitwise identical to
+/// [`ppr_smooth`] when the access is an in-memory [`SparseMatrix`]: the
+/// per-row accumulation order of `matvec_access` matches
+/// [`SparseMatrix::matvec`], and the scalar recurrence is shared.
+pub fn ppr_smooth_access<A: NeighborAccess + Sync + ?Sized>(
+    s_norm: &A,
+    v: &[f64],
+    cfg: &PropagationConfig,
+) -> Vec<f64> {
+    assert_eq!(
+        s_norm.node_count(),
+        v.len(),
+        "ppr_smooth_access: size mismatch"
+    );
+    let alpha = cfg.alpha;
+    let mut term: Vec<f64> = v.to_vec(); // S^t v, starts at t = 0
+    let mut next: Vec<f64> = Vec::new();
+    let mut acc: Vec<f64> = v.iter().map(|x| alpha * x).collect();
+    let mut weight = alpha;
+    for _ in 0..cfg.iterations {
+        matvec_access(s_norm, &term, &mut next);
+        std::mem::swap(&mut term, &mut next);
         weight *= 1.0 - alpha;
         for (a, t) in acc.iter_mut().zip(&term) {
             *a += weight * t;
@@ -155,6 +187,17 @@ mod tests {
         for i in 0..6 {
             assert!((ps[i] - (p1[i] + 2.0 * p2[i])).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn ppr_access_path_is_bitwise_equal_to_sparse_path() {
+        let s = barbell().sym_normalized_with_self_loops();
+        let cfg = PropagationConfig::default();
+        let v = vec![0.3, 0.0, -1.2, 0.0, 2.0, 0.7];
+        let dense = ppr_smooth(&s, &v, &cfg);
+        let access = ppr_smooth_access(&s, &v, &cfg);
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&dense), bits(&access));
     }
 
     #[test]

@@ -1,0 +1,67 @@
+//! Property tests for the on-disk CSR store: write → map → read must be
+//! byte-identical to the in-memory CSR, on ragged graphs with empty rows,
+//! through both the mapped and the decoded backing.
+
+use gale_graph::{write_csr, CsrStore};
+use gale_tensor::{EdgeSample, NeighborAccess, Rng, SparseMatrix};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp(name: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gale-store-prop-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{case}.csr"))
+}
+
+/// Ragged random CSR: rows draw 0..=per_row entries, so empty rows (and
+/// with small sizes, fully empty column ranges) occur routinely.
+fn ragged_sparse(rows: usize, cols: usize, per_row: usize, seed: u64) -> SparseMatrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut triplets = Vec::new();
+    for r in 0..rows {
+        for _ in 0..rng.below(per_row + 1) {
+            triplets.push((r, rng.below(cols), rng.gauss()));
+        }
+    }
+    SparseMatrix::from_triplets(rows, cols, triplets)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_roundtrips_bitwise_vs_in_memory_csr(
+        rows in 1usize..120,
+        cols in 1usize..90,
+        per_row in 0usize..6,
+        seed in 0u64..10_000,
+    ) {
+        let s = ragged_sparse(rows, cols, per_row, seed);
+        let path = tmp("roundtrip", seed ^ ((rows as u64) << 32) ^ (cols as u64));
+        write_csr(&s, cols, &path).unwrap();
+
+        let mapped = CsrStore::open(&path).unwrap();
+        let decoded = CsrStore::open_in_memory(&path).unwrap();
+        for store in [&mapped, &decoded] {
+            prop_assert_eq!(store.rows(), rows);
+            prop_assert_eq!(store.cols(), cols);
+            prop_assert_eq!(store.nnz(), s.nnz());
+            prop_assert_eq!(store.entry_count(), s.entry_count());
+            for r in 0..rows {
+                let mut got: Vec<(usize, u64)> = Vec::new();
+                store.visit_neighbors(r, &mut |c, v| got.push((c, v.to_bits())));
+                let want: Vec<(usize, u64)> =
+                    s.row_iter(r).map(|(c, v)| (c, v.to_bits())).collect();
+                prop_assert_eq!(got, want, "row {}", r);
+                prop_assert_eq!(store.neighbor_count(r), s.row_nnz(r));
+                for (c, _) in s.row_iter(r) {
+                    prop_assert!(store.has_neighbor(r, c));
+                }
+            }
+            for k in 0..s.nnz() {
+                prop_assert_eq!(store.entry_at(k), s.entry_at(k), "entry {}", k);
+            }
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

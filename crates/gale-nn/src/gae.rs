@@ -13,7 +13,8 @@ use crate::gcn::Gcn;
 use crate::layer::Layer;
 use crate::loss::bce_with_logit_grad;
 use crate::optim::Adam;
-use gale_tensor::{Matrix, Rng, SparseMatrix};
+use crate::sampler::{NeighborSampler, SamplerConfig};
+use gale_tensor::{EdgeSample, Matrix, NeighborAccess, Rng, SparseMatrix, Workspace};
 use std::sync::Arc;
 
 /// Configuration of a GAE training run.
@@ -39,6 +40,30 @@ impl Default for GaeConfig {
             epochs: 60,
             lr: 0.01,
             negative_ratio: 1,
+        }
+    }
+}
+
+/// Mini-batch shape for [`Gae::train_sampled`].
+#[derive(Debug, Clone)]
+pub struct MiniBatchConfig {
+    /// Per-hop neighbor budgets for the 2-layer encoder (0 = full).
+    pub fanouts: Vec<usize>,
+    /// Positive edges drawn per batch.
+    pub edge_batch: usize,
+    /// Batches per epoch.
+    pub batches_per_epoch: usize,
+    /// Seed for batch composition and neighbor sampling.
+    pub seed: u64,
+}
+
+impl Default for MiniBatchConfig {
+    fn default() -> Self {
+        MiniBatchConfig {
+            fanouts: vec![10, 10],
+            edge_batch: 512,
+            batches_per_epoch: 16,
+            seed: 0,
         }
     }
 }
@@ -93,10 +118,13 @@ impl Gae {
             }
         }
         let mut final_loss = 0.0;
-        // Epoch-persistent buffers: the embedding and its gradient keep
-        // their allocation across epochs.
+        // Epoch-persistent buffers: the embedding, its gradient, and the
+        // pooled input-gradient buffer keep their allocations across
+        // epochs — the training loop is allocation-free in steady state.
+        let mut ws = Workspace::new();
         let mut z = Matrix::zeros(0, 0);
         let mut dz = Matrix::zeros(n, cfg.embed_dim);
+        let mut gx = ws.take(n, x.cols());
         for _ in 0..cfg.epochs {
             encoder.forward_into(x, true, &mut z);
             dz.fill(0.0);
@@ -135,13 +163,155 @@ impl Gae {
                 final_loss = loss / samples as f64;
             }
             encoder.zero_grad();
-            let _ = encoder.backward(&dz);
+            encoder.backward_into(&dz, &mut gx);
             opt.step(&mut encoder);
+        }
+        ws.give(gx);
+        Gae {
+            encoder,
+            final_loss,
+        }
+    }
+
+    /// Trains a GAE with neighbor-sampled mini-batches over out-of-core
+    /// operators: `adj` is the raw adjacency (positive edges are drawn by
+    /// flat entry index, negatives rejection-sampled against it) and `s`
+    /// its normalized propagation view. Memory per step is
+    /// `O(edge_batch · fanout²)`, never `O(n · hidden)`.
+    ///
+    /// Deterministic in `(cfg, scfg, mb, rng seed)` at any thread count:
+    /// batch composition and sampling derive from `(mb.seed, epoch,
+    /// batch)` and every kernel is bitwise thread-count-invariant.
+    pub fn train_sampled<A, S>(
+        x: &Matrix,
+        adj: &A,
+        s: &S,
+        cfg: &GaeConfig,
+        mb: &MiniBatchConfig,
+        rng: &mut Rng,
+    ) -> Gae
+    where
+        A: EdgeSample + ?Sized,
+        S: NeighborAccess + ?Sized,
+    {
+        let n = adj.node_count();
+        assert_eq!(x.rows(), n, "Gae::train_sampled: feature/node mismatch");
+        assert!(adj.entry_count() > 0, "Gae::train_sampled: empty graph");
+        assert_eq!(
+            mb.fanouts.len(),
+            2,
+            "Gae::train_sampled: the 2-layer encoder needs 2 fanouts"
+        );
+        let mut encoder = Gcn::new_detached(
+            x.cols(),
+            cfg.hidden_dim,
+            cfg.embed_dim,
+            Activation::Identity,
+            rng,
+        );
+        let mut opt = Adam::new(cfg.lr);
+        let mut sampler = NeighborSampler::new(SamplerConfig {
+            fanouts: mb.fanouts.clone(),
+            seed: mb.seed,
+        });
+
+        // Batch-persistent buffers.
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        let mut seeds: Vec<usize> = Vec::new();
+        let mut xb = Matrix::zeros(0, 0);
+        let mut z = Matrix::zeros(0, 0);
+        let mut dz = Matrix::zeros(0, 0);
+        let mut gx = Matrix::zeros(0, 0);
+        let mut final_loss = 0.0;
+
+        for epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0;
+            let mut epoch_samples = 0usize;
+            for batch in 0..mb.batches_per_epoch {
+                // Batch composition from (seed, epoch, batch) alone.
+                let mut brng = Rng::seed_from_u64(
+                    mb.seed
+                        ^ (epoch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ (batch as u64 + 1).wrapping_mul(0x94D0_49BB_1331_11EB),
+                );
+                pairs.clear();
+                seeds.clear();
+                for _ in 0..mb.edge_batch {
+                    let (u, v) = adj.entry_at(brng.below(adj.entry_count()));
+                    if u == v {
+                        continue;
+                    }
+                    pairs.push((u, v, 1.0));
+                    for _ in 0..cfg.negative_ratio {
+                        let (mut a, mut b) = (brng.below(n), brng.below(n));
+                        let mut tries = 0;
+                        while (a == b || adj.has_neighbor(a, b)) && tries < 16 {
+                            a = brng.below(n);
+                            b = brng.below(n);
+                            tries += 1;
+                        }
+                        if a != b && !adj.has_neighbor(a, b) {
+                            pairs.push((a, b, 0.0));
+                        }
+                    }
+                }
+                if pairs.is_empty() {
+                    continue;
+                }
+                for &(u, v, _) in &pairs {
+                    seeds.push(u);
+                    seeds.push(v);
+                }
+                seeds.sort_unstable();
+                seeds.dedup();
+
+                let block = sampler.sample(s, &seeds, epoch, batch);
+                x.select_rows_into(block.inputs(), &mut xb);
+                encoder.forward_block_into(block, &xb, &mut z);
+
+                dz.resize(seeds.len(), cfg.embed_dim);
+                dz.fill(0.0);
+                let mut loss = 0.0;
+                let local = |g: usize| seeds.binary_search(&g).expect("endpoint is a seed");
+                for &(u, v, y) in &pairs {
+                    let (i, j) = (local(u), local(v));
+                    let dot: f64 = z.row(i).iter().zip(z.row(j)).map(|(a, b)| a * b).sum();
+                    let p = 1.0 / (1.0 + (-dot).exp());
+                    let (l, g) = bce_with_logit_grad(p, y);
+                    loss += l;
+                    for d in 0..z.cols() {
+                        dz[(i, d)] += g * z[(j, d)];
+                        dz[(j, d)] += g * z[(i, d)];
+                    }
+                }
+                dz.scale_inplace(1.0 / pairs.len() as f64);
+                epoch_loss += loss;
+                epoch_samples += pairs.len();
+
+                encoder.zero_grad();
+                encoder.backward_block_into(block, &dz, &mut gx);
+                opt.step(&mut encoder);
+            }
+            if epoch_samples > 0 {
+                final_loss = epoch_loss / epoch_samples as f64;
+            }
         }
         Gae {
             encoder,
             final_loss,
         }
+    }
+
+    /// Embeds all nodes through any [`NeighborAccess`] operator — the
+    /// evaluation pass matching [`Gae::train_sampled`], which never
+    /// materializes `S`.
+    pub fn embed_access<A: NeighborAccess + Sync + ?Sized>(
+        &mut self,
+        a: &A,
+        x: &Matrix,
+        out: &mut Matrix,
+    ) {
+        self.encoder.forward_access_into(a, x, out);
     }
 
     /// Produces embeddings for the given features (evaluation mode).

@@ -7,7 +7,8 @@
 
 use crate::activation::Activation;
 use crate::layer::Layer;
-use gale_tensor::{Matrix, Rng, SparseMatrix};
+use crate::sampler::Block;
+use gale_tensor::{spmm_access_into, CsrBlock, Matrix, NeighborAccess, Rng, SparseMatrix};
 use std::sync::Arc;
 
 /// One graph-convolution layer: `Z = act(S X W + b)`.
@@ -80,6 +81,62 @@ impl GcnLayer {
         }
     }
 
+    /// Everything after the propagation product: `pre = (S X) W + b`,
+    /// `out = act(pre)`, caches refreshed for backward. Shared by the
+    /// full-graph, block, and access forward paths, so a block whose
+    /// operator slice equals the full `S` is bitwise identical to the
+    /// full-graph pass.
+    fn finish_forward(&mut self, out: &mut Matrix) {
+        self.cached_sx.matmul_into(&self.w, &mut self.cached_pre);
+        self.cached_pre.add_row_broadcast(self.b.row(0));
+        self.cached_out.copy_from(&self.cached_pre);
+        for v in self.cached_out.data_mut() {
+            *v = self.act.apply(*v);
+        }
+        out.copy_from(&self.cached_out);
+    }
+
+    /// Forward over a sampled block slice: `out = act(op X W + b)` where
+    /// `op` is the induced `|out rows| x |x rows|` operator from a
+    /// [`NeighborSampler`](crate::sampler::NeighborSampler) hop.
+    pub fn forward_block_into(&mut self, op: &CsrBlock, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(x.rows(), op.cols(), "GcnLayer: block frontier mismatch");
+        op.spmm_into(x, &mut self.cached_sx);
+        self.finish_forward(out);
+    }
+
+    /// Backward for a block forward: parameter gradients from the cached
+    /// activations, input gradient gathered through the transposed slice
+    /// (`grad_in = opᵀ (dpre Wᵀ)`), sized `|x rows| x in_dim`.
+    ///
+    /// For a full-fanout block over all nodes `opᵀ`'s rows are bitwise
+    /// equal to `S`'s rows (the operator is symmetric and its entries are
+    /// products of commuting factors), so this path reproduces
+    /// [`Layer::backward_into`] exactly.
+    pub fn backward_block_into(
+        &mut self,
+        op_t: &CsrBlock,
+        grad_out: &Matrix,
+        grad_in: &mut Matrix,
+    ) {
+        self.backward_common(grad_out);
+        op_t.spmm_into(&self.scratch_dxw, grad_in);
+    }
+
+    /// Forward over any [`NeighborAccess`] operator (e.g. the normalized
+    /// view of a memory-mapped store) instead of the layer's own `S`; used
+    /// for full-graph inference at scales where `S` is never materialized.
+    pub fn forward_access_into<A: NeighborAccess + Sync + ?Sized>(
+        &mut self,
+        a: &A,
+        x: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.rows(), a.node_count(), "GcnLayer: node count mismatch");
+        spmm_access_into(a, x, &mut self.cached_sx);
+        self.finish_forward(out);
+    }
+
     /// Computes dL/dpre and the parameter gradients shared by both backward
     /// paths; leaves `S^T (dpre W^T)`'s inner product in `scratch_dxw`.
     fn backward_common(&mut self, grad_out: &Matrix) {
@@ -135,23 +192,18 @@ impl Layer for GcnLayer {
     fn forward_into(&mut self, x: &Matrix, _train: bool, out: &mut Matrix) {
         assert_eq!(x.rows(), self.s.rows(), "GcnLayer: node count mismatch");
         self.s.spmm_into(x, &mut self.cached_sx);
-        self.cached_sx.matmul_into(&self.w, &mut self.cached_pre);
-        self.cached_pre.add_row_broadcast(self.b.row(0));
-        self.cached_out.copy_from(&self.cached_pre);
-        for v in self.cached_out.data_mut() {
-            *v = self.act.apply(*v);
-        }
-        out.copy_from(&self.cached_out);
+        self.finish_forward(out);
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        self.backward_common(grad_out);
-        // dX = S^T (dpre W^T) = S (dpre W^T) since S is symmetric.
-        self.s.matmul_dense(&self.scratch_dxw)
+        let mut out = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut out);
+        out
     }
 
     fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {
         self.backward_common(grad_out);
+        // dX = S^T (dpre W^T) = S (dpre W^T) since S is symmetric.
         self.s.spmm_into(&self.scratch_dxw, grad_in);
     }
 
@@ -190,6 +242,62 @@ impl Gcn {
         }
     }
 
+    /// Builds a GCN with no attached graph operator, for use exclusively
+    /// through the block ([`Gcn::forward_block_into`]) and access
+    /// ([`Gcn::forward_access_into`]) paths — the out-of-core training
+    /// configuration, where `S` is never materialized. The weight
+    /// initialization draws the same RNG sequence as [`Gcn::new`].
+    pub fn new_detached(
+        in_dim: usize,
+        hidden_dim: usize,
+        out_dim: usize,
+        out_act: Activation,
+        rng: &mut Rng,
+    ) -> Self {
+        Gcn::new(
+            Arc::new(SparseMatrix::zeros(0, 0)),
+            in_dim,
+            hidden_dim,
+            out_dim,
+            out_act,
+            rng,
+        )
+    }
+
+    /// Forward over a 2-hop sampled [`Block`]: `x` holds the feature rows
+    /// of `block.inputs()`, the output holds rows for `block.seeds()`.
+    pub fn forward_block_into(&mut self, block: &Block, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(block.depth(), 2, "Gcn: need a 2-hop block");
+        self.layer1
+            .forward_block_into(&block.ops[1], x, &mut self.hidden);
+        self.layer2
+            .forward_block_into(&block.ops[0], &self.hidden, out);
+    }
+
+    /// Backward for [`Gcn::forward_block_into`]: `grad_out` has seed rows,
+    /// `grad_in` gets `block.inputs()` rows.
+    pub fn backward_block_into(&mut self, block: &Block, grad_out: &Matrix, grad_in: &mut Matrix) {
+        assert_eq!(block.depth(), 2, "Gcn: need a 2-hop block");
+        self.layer2
+            .backward_block_into(&block.ops_t[0], grad_out, &mut self.ghidden);
+        self.layer1
+            .backward_block_into(&block.ops_t[1], &self.ghidden, grad_in);
+    }
+
+    /// Full-graph inference over any [`NeighborAccess`] operator instead of
+    /// the attached `S` (evaluation path for out-of-core graphs). Memory is
+    /// the two layer activations — `n x hidden` and `n x out` — not the
+    /// operator.
+    pub fn forward_access_into<A: NeighborAccess + Sync + ?Sized>(
+        &mut self,
+        a: &A,
+        x: &Matrix,
+        out: &mut Matrix,
+    ) {
+        self.layer1.forward_access_into(a, x, &mut self.hidden);
+        self.layer2.forward_access_into(a, &self.hidden, out);
+    }
+
     /// Hidden representation from the most recent forward pass.
     pub fn hidden(&self) -> &Matrix {
         &self.hidden
@@ -223,8 +331,9 @@ impl Layer for Gcn {
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        self.layer2.backward_into(grad_out, &mut self.ghidden);
-        self.layer1.backward(&self.ghidden)
+        let mut out = Matrix::zeros(0, 0);
+        self.backward_into(grad_out, &mut out);
+        out
     }
 
     fn backward_into(&mut self, grad_out: &Matrix, grad_in: &mut Matrix) {

@@ -26,13 +26,14 @@ pub mod linear;
 pub mod loss;
 pub mod mlp;
 pub mod optim;
+pub mod sampler;
 
 pub use activation::{Activation, ActivationLayer};
 pub use batchnorm::BatchNorm;
 pub use checkpoint::{CkptError, LayerState};
 pub use dropout::Dropout;
 pub use embedding::HashEmbedder;
-pub use gae::{Gae, GaeConfig};
+pub use gae::{Gae, GaeConfig, MiniBatchConfig};
 pub use gcn::{Gcn, GcnLayer};
 pub use layer::Layer;
 pub use linear::Linear;
@@ -41,3 +42,4 @@ pub use loss::{
 };
 pub use mlp::{backward_from_tap, backward_from_tap_into, Mlp};
 pub use optim::{Adam, Sgd};
+pub use sampler::{Block, NeighborSampler, SamplerConfig};

@@ -1,0 +1,155 @@
+//! The tentpole equivalence contract: a full-fanout sampled block over all
+//! nodes drives forward/backward passes that are bitwise identical to the
+//! legacy full-graph path, at 1, 2, and 8 threads; and sampled (truncated)
+//! runs are a pure function of `(seed, epoch, batch)` — thread count never
+//! changes a bit.
+
+use gale_nn::sampler::{NeighborSampler, SamplerConfig};
+use gale_nn::{Activation, Gae, GaeConfig, Gcn, Layer, MiniBatchConfig};
+use gale_tensor::par::with_threads;
+use gale_tensor::{Matrix, Rng, SparseMatrix};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn bits(m: &Matrix) -> Vec<u64> {
+    m.data().iter().map(|f| f.to_bits()).collect()
+}
+
+/// Random symmetric adjacency (with the odd isolated node) and its
+/// normalized operator.
+fn random_graph(n: usize, edges: usize, seed: u64) -> (SparseMatrix, SparseMatrix) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut triplets = Vec::new();
+    for _ in 0..edges {
+        let (a, b) = (rng.below(n), rng.below(n));
+        if a != b {
+            triplets.push((a, b, 1.0));
+            triplets.push((b, a, 1.0));
+        }
+    }
+    let a = SparseMatrix::from_triplets(n, n, triplets);
+    let s = a.sym_normalized_with_self_loops();
+    (a, s)
+}
+
+/// One forward + backward through the legacy full-graph path.
+fn run_legacy(s: Arc<SparseMatrix>, x: &Matrix, grad: &Matrix, seed: u64) -> (Matrix, Matrix) {
+    let mut net = Gcn::new(
+        s,
+        x.cols(),
+        5,
+        3,
+        Activation::Identity,
+        &mut Rng::seed_from_u64(seed),
+    );
+    let mut out = Matrix::zeros(0, 0);
+    net.forward_into(x, true, &mut out);
+    net.zero_grad();
+    let mut gx = Matrix::zeros(0, 0);
+    net.backward_into(grad, &mut gx);
+    (out, gx)
+}
+
+/// The same pass through a full-fanout block over all nodes.
+fn run_block(s: &SparseMatrix, x: &Matrix, grad: &Matrix, seed: u64) -> (Matrix, Matrix) {
+    let mut net = Gcn::new_detached(
+        x.cols(),
+        5,
+        3,
+        Activation::Identity,
+        &mut Rng::seed_from_u64(seed),
+    );
+    let seeds: Vec<usize> = (0..s.rows()).collect();
+    let mut sampler = NeighborSampler::new(SamplerConfig::full(2, 0));
+    let block = sampler.sample(s, &seeds, 0, 0);
+    assert_eq!(
+        block.inputs(),
+        &seeds[..],
+        "full-fanout frontier is all nodes"
+    );
+    let mut out = Matrix::zeros(0, 0);
+    net.forward_block_into(block, x, &mut out);
+    net.zero_grad();
+    let mut gx = Matrix::zeros(0, 0);
+    net.backward_block_into(block, grad, &mut gx);
+    (out, gx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full-fanout block forward/backward == legacy full-graph pass,
+    /// bitwise, at every thread count.
+    #[test]
+    fn full_fanout_block_bitwise_equals_full_graph(graph_seed in 0u64..1000, net_seed in 0u64..1000) {
+        let n = 40 + (graph_seed as usize % 23);
+        let (_, s) = random_graph(n, 3 * n, graph_seed);
+        let s = Arc::new(s);
+        let mut rng = Rng::seed_from_u64(net_seed ^ 0xABCD);
+        let x = Matrix::randn(n, 7, 1.0, &mut rng);
+        let grad = Matrix::randn(n, 3, 1.0, &mut rng);
+
+        let baseline = with_threads(1, || run_legacy(s.clone(), &x, &grad, net_seed));
+        for t in THREAD_COUNTS {
+            let legacy = with_threads(t, || run_legacy(s.clone(), &x, &grad, net_seed));
+            let block = with_threads(t, || run_block(&s, &x, &grad, net_seed));
+            prop_assert_eq!(bits(&legacy.0), bits(&baseline.0), "legacy fwd, {} threads", t);
+            prop_assert_eq!(bits(&block.0), bits(&baseline.0), "block fwd, {} threads", t);
+            prop_assert_eq!(bits(&legacy.1), bits(&baseline.1), "legacy bwd, {} threads", t);
+            prop_assert_eq!(bits(&block.1), bits(&baseline.1), "block bwd, {} threads", t);
+        }
+    }
+
+    /// Truncated-fanout sampled training is deterministic in
+    /// (seed, epoch, batch) — identical bits at 1/2/8 threads.
+    #[test]
+    fn sampled_training_deterministic_across_threads(seed in 0u64..500) {
+        let n = 60;
+        let (a, s) = random_graph(n, 4 * n, seed);
+        let x = Matrix::randn(n, 6, 1.0, &mut Rng::seed_from_u64(seed ^ 0x55));
+        let cfg = GaeConfig { hidden_dim: 8, embed_dim: 4, epochs: 3, ..Default::default() };
+        let mb = MiniBatchConfig {
+            fanouts: vec![3, 3],
+            edge_batch: 24,
+            batches_per_epoch: 4,
+            seed,
+        };
+        let embed = |threads: usize| {
+            with_threads(threads, || {
+                let mut gae = Gae::train_sampled(
+                    &x, &a, &s, &cfg, &mb, &mut Rng::seed_from_u64(seed ^ 0x77),
+                );
+                let mut z = Matrix::zeros(0, 0);
+                gae.embed_access(&s, &x, &mut z);
+                (z, gae.final_loss)
+            })
+        };
+        let base = embed(1);
+        for t in THREAD_COUNTS {
+            let got = embed(t);
+            prop_assert_eq!(bits(&got.0), bits(&base.0), "embeddings, {} threads", t);
+            prop_assert_eq!(got.1.to_bits(), base.1.to_bits(), "loss, {} threads", t);
+        }
+    }
+}
+
+/// Full-fanout mini-batch GAE (all edges per batch is unnecessary — what
+/// matters is that the *access* inference path over the in-memory operator
+/// matches the legacy embed path bitwise).
+#[test]
+fn access_inference_matches_legacy_embed() {
+    let (a, s) = random_graph(50, 160, 77);
+    let s_arc = Arc::new(s.clone());
+    let x = Matrix::randn(50, 6, 1.0, &mut Rng::seed_from_u64(1));
+    let cfg = GaeConfig {
+        epochs: 4,
+        ..Default::default()
+    };
+    let mut gae = Gae::train(&x, &a, s_arc, &cfg, &mut Rng::seed_from_u64(2));
+    let legacy = gae.embed(&x);
+    let mut via_access = Matrix::zeros(0, 0);
+    gae.embed_access(&s, &x, &mut via_access);
+    assert_eq!(bits(&legacy), bits(&via_access));
+}

@@ -48,12 +48,14 @@
 use std::sync::atomic::{AtomicU8, Ordering};
 
 pub mod metrics;
+pub mod procinfo;
 pub mod report;
 pub mod ring;
 pub mod span;
 pub mod trace;
 
 pub use gale_json::Value;
+pub use procinfo::{peak_rss_bytes, record_peak_rss};
 pub use report::RunReport;
 pub use ring::{TracePolicy, WideEvent};
 pub use span::{Span, SpanTimer};

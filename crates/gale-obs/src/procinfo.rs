@@ -1,0 +1,66 @@
+//! Process-level resource probes.
+//!
+//! The scale benches and the serving `/metrics` endpoint both need the
+//! process peak resident set size — the number the out-of-core training
+//! path is designed to bound. Linux exposes it as `VmHWM` in
+//! `/proc/self/status`; everywhere else this module reports 0 rather than
+//! guessing.
+
+use crate::metrics;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`). Returns 0 on platforms without procfs or when the
+/// file cannot be parsed — callers treat 0 as "unknown", never as "no
+/// memory used".
+///
+/// Note `VmHWM` is a process-lifetime high-water mark: it only ever rises,
+/// so phase-level attribution requires sampling in ascending-footprint
+/// order.
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| parse_vm_hwm(&s))
+        .unwrap_or(0)
+}
+
+/// Parses the `VmHWM:` line (kB) out of a `/proc/<pid>/status` body.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Samples [`peak_rss_bytes`] into the `proc.peak_rss_bytes` gauge and
+/// returns the sampled value. Sets the gauge unconditionally (not gated on
+/// [`crate::enabled`]) so `/metrics` reports a live number whether or not
+/// trace telemetry is on — the same contract as the serving metrics.
+pub fn record_peak_rss() -> u64 {
+    let v = peak_rss_bytes();
+    metrics::gauge("proc.peak_rss_bytes").set(v as f64);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let body = "Name:\tgale\nVmPeak:\t  999 kB\nVmHWM:\t  123456 kB\nThreads:\t4\n";
+        assert_eq!(parse_vm_hwm(body), Some(123_456 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tgale\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_peak_rss_is_positive_and_recorded() {
+        let v = record_peak_rss();
+        assert!(v > 0, "VmHWM should be readable on Linux");
+        assert_eq!(metrics::gauge("proc.peak_rss_bytes").get(), v as f64);
+        // High-water mark never decreases.
+        assert!(peak_rss_bytes() >= v);
+    }
+}

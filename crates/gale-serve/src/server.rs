@@ -372,17 +372,22 @@ fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Ou
             ),
             None,
         ),
-        ("GET", "/metrics") => Outcome::Ready(
-            http::render_response(
-                200,
-                "OK",
-                "text/plain; version=0.0.4",
-                &[],
-                gale_obs::metrics::render_text().as_bytes(),
-                ka,
-            ),
-            None,
-        ),
+        ("GET", "/metrics") => {
+            // Refresh the process high-water mark so scrapes see a live
+            // number; VmHWM only rises, so sampling here is always safe.
+            gale_obs::record_peak_rss();
+            Outcome::Ready(
+                http::render_response(
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4",
+                    &[],
+                    gale_obs::metrics::render_text().as_bytes(),
+                    ka,
+                ),
+                None,
+            )
+        }
         ("POST", "/admin/reload") => reload_request(request, ctx),
         ("POST", "/admin/shutdown") => {
             let ack = http::render_json(200, "OK", &[], &json!({"status": "draining"}), ka);

@@ -21,6 +21,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod aligned;
+pub mod block;
 pub mod distance;
 mod gemm;
 pub mod kmeans;
@@ -34,6 +35,9 @@ pub mod stats;
 pub mod workspace;
 
 pub use aligned::AVec;
+pub use block::{
+    matvec_access, spmm_access_into, CsrBlock, EdgeSample, NeighborAccess, SymNormalized,
+};
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use linalg::{solve, sym_eigen, SymEigen};
 pub use matrix::Matrix;

@@ -157,25 +157,29 @@ impl SparseMatrix {
             dense.cols()
         );
         let n = dense.cols();
-        out.resize(self.rows, n);
         gale_obs::counter_add!("kernel.spmm.calls", 1);
         gale_obs::counter_add!("kernel.spmm.flops", (2 * self.nnz() * n) as u64);
         gale_obs::counter_add!(
             "kernel.spmm.bytes",
             (8 * (2 * self.nnz() + self.nnz() * n + self.rows * n)) as u64
         );
-        crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
-            let row0 = start / n.max(1);
-            for (b, orow) in block.chunks_mut(n).enumerate() {
-                orow.fill(0.0);
-                for (c, v) in self.row_iter(row0 + b) {
-                    let drow = dense.row(c);
-                    for j in 0..n {
-                        orow[j] += v * drow[j];
-                    }
-                }
-            }
-        });
+        csr_spmm_into(
+            &self.indptr,
+            &self.indices,
+            &self.values,
+            self.rows,
+            dense,
+            out,
+        );
+    }
+
+    /// The `(row, col)` coordinates of the `k`-th stored entry in row-major
+    /// CSR order (`k < nnz()`). O(log rows) via the row-pointer table.
+    pub fn entry_coords(&self, k: usize) -> (usize, usize) {
+        assert!(k < self.nnz(), "entry_coords: {k} >= nnz {}", self.nnz());
+        // First row whose indptr exceeds k holds the entry.
+        let r = self.indptr.partition_point(|&p| p <= k) - 1;
+        (r, self.indices[k])
     }
 
     /// Sparse * vector product. Parallel over row chunks; each output
@@ -324,6 +328,37 @@ impl SparseMatrix {
             .collect();
         tilde.scale_rows(&inv)
     }
+}
+
+/// The shared CSR * dense kernel behind [`SparseMatrix::spmm_into`] and
+/// [`crate::block::CsrBlock::spmm_into`]: parallel over disjoint row
+/// chunks, each output row accumulated in stored-entry order, so any
+/// operator lowered to these three slices produces bitwise-identical rows
+/// at any thread count. `out` is resized to `rows x dense.cols()`.
+pub(crate) fn csr_spmm_into(
+    indptr: &[usize],
+    indices: &[usize],
+    values: &[f64],
+    rows: usize,
+    dense: &Matrix,
+    out: &mut Matrix,
+) {
+    let n = dense.cols();
+    out.resize(rows, n);
+    crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
+        let row0 = start / n.max(1);
+        for (b, orow) in block.chunks_mut(n).enumerate() {
+            orow.fill(0.0);
+            let r = row0 + b;
+            for k in indptr[r]..indptr[r + 1] {
+                let v = values[k];
+                let drow = dense.row(indices[k]);
+                for j in 0..n {
+                    orow[j] += v * drow[j];
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]
