@@ -1,0 +1,382 @@
+//! Criterion bench for the mixed-precision inference backend: the same
+//! register-tiled GEMM and blocked distance-sweep kernels monomorphized
+//! over `f64` and `f32`, plus the committed score-tolerance measurement
+//! between a checkpointed SGAN and its one-way `f32` inference lowering.
+//!
+//! Like `kernels.rs` this target has a custom `main`: after the groups run
+//! it drains the shim's result registry into informational entries,
+//! measures the f32-over-f64 speedups with interleaved paired passes
+//! (f64 and f32 alternate within the same seconds, best-of-passes per
+//! side — two criterion groups run minutes apart see different machine
+//! weather and their ratio swung 40% run to run on one core), measures
+//! the maximum |p_f32 - p_f64| score divergence and verdict-flip count
+//! over a fixed deterministic eval corpus, and writes
+//! `BENCH_precision.json` at the repo root (override with
+//! `GALE_BENCH_PRECISION_OUT`). The serving legs of the same report are
+//! appended by `gale-loadgen bench-precision`.
+//!
+//! Two gates against the committed baseline (override with
+//! `GALE_BENCH_PRECISION_BASELINE`, skip with `GALE_BENCH_NO_GATE=1`):
+//!
+//! * throughput — non-smoke runs fail if an f32-over-f64 speedup drops
+//!   more than 15% below the committed speedup for the same kernel/size
+//!   (pairs whose baseline is under 1.2x are skipped, as everywhere);
+//! * tolerance — *every* run (the measurement is deterministic, smoke or
+//!   not) fails on any verdict flip beyond the committed count or a score
+//!   divergence more than 10% beyond the committed bound.
+
+use criterion::{black_box, take_results, BenchmarkId, Criterion};
+use gale_core::{Sgan, SganConfig};
+use gale_json::{json, Value};
+use gale_tensor::distance::pairwise_sq_into;
+use gale_tensor::{Matrix, Rng, Workspace};
+
+const GEMM_SIZES: [usize; 3] = [128, 256, 512];
+const DIST_ROWS: [usize; 2] = [512, 1024];
+const DIST_DIM: usize = 64;
+
+/// Eval corpus for the tolerance measurement: the same model family the
+/// serving smoke tests use (`tiny_model(dim=6, seed=41)`) scored over a
+/// seeded Gaussian batch. Deterministic end to end — same weights, same
+/// rows, same per-precision bitwise-deterministic kernels — so the
+/// committed divergence and flip count reproduce exactly on any host.
+const TOL_DIM: usize = 6;
+const TOL_MODEL_SEED: u64 = 41;
+const TOL_CORPUS_SEED: u64 = 4242;
+const TOL_ROWS: usize = 256;
+
+fn tol_model() -> Sgan {
+    let mut rng = Rng::seed_from_u64(TOL_MODEL_SEED);
+    Sgan::new(
+        TOL_DIM,
+        &SganConfig {
+            d_hidden: vec![8, 4],
+            g_hidden: vec![8],
+            ..Default::default()
+        },
+        &mut rng,
+    )
+}
+
+/// Best-of-passes for an interleaved f64/f32 pair. The order within each
+/// pass alternates, so slow machine drift taxes both sides equally; the
+/// per-side minimum is the stable estimator of kernel cost (spikes only
+/// ever slow a pass down).
+fn paired_min(passes: usize, f64_op: &mut dyn FnMut(), f32_op: &mut dyn FnMut()) -> (f64, f64) {
+    let time_once = |op: &mut dyn FnMut()| {
+        let t = std::time::Instant::now();
+        op();
+        t.elapsed().as_secs_f64()
+    };
+    let (mut m64, mut m32) = (f64::INFINITY, f64::INFINITY);
+    for pass in 0..passes {
+        if pass % 2 == 0 {
+            m64 = m64.min(time_once(f64_op));
+            m32 = m32.min(time_once(f32_op));
+        } else {
+            m32 = m32.min(time_once(f32_op));
+            m64 = m64.min(time_once(f64_op));
+        }
+    }
+    (m64, m32)
+}
+
+/// The committed f32-over-f64 speedups, one interleaved pair per kernel
+/// and size.
+fn measure_speedups() -> gale_json::Map {
+    let passes = if criterion::smoke_mode() { 2 } else { 16 };
+    let mut speedups = gale_json::Map::new();
+    for &n in &GEMM_SIZES {
+        let mut rng = Rng::seed_from_u64(n as u64);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 1.0, &mut rng);
+        let (a32, b32) = (a.to_f32(), b.to_f32());
+        let mut out: Matrix = Matrix::zeros(n, n);
+        let mut out32: Matrix<f32> = Matrix::zeros(n, n);
+        let (m64, m32) = paired_min(
+            passes,
+            &mut || a.matmul_into(black_box(&b), &mut out),
+            &mut || a32.matmul_into(black_box(&b32), &mut out32),
+        );
+        speedups.insert(format!("gemm/f32/{n}"), Value::from(m64 / m32));
+    }
+    for &n in &DIST_ROWS {
+        let mut rng = Rng::seed_from_u64(1000 + n as u64);
+        let x = Matrix::randn(n, DIST_DIM, 1.0, &mut rng);
+        let x32 = x.to_f32();
+        let mut ws: Workspace = Workspace::new();
+        let mut ws32: Workspace<f32> = Workspace::new();
+        let mut out: Matrix = Matrix::zeros(n, n);
+        let mut out32: Matrix<f32> = Matrix::zeros(n, n);
+        let (m64, m32) = paired_min(
+            passes,
+            &mut || pairwise_sq_into(black_box(&x), &x, &mut ws, &mut out),
+            &mut || pairwise_sq_into(black_box(&x32), &x32, &mut ws32, &mut out32),
+        );
+        speedups.insert(format!("distance/f32/{n}"), Value::from(m64 / m32));
+    }
+    speedups
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &GEMM_SIZES {
+        let mut rng = Rng::seed_from_u64(n as u64);
+        let a = Matrix::randn(n, n, 1.0, &mut rng);
+        let b = Matrix::randn(n, n, 1.0, &mut rng);
+        let (a32, b32) = (a.to_f32(), b.to_f32());
+        let mut out: Matrix = Matrix::zeros(n, n);
+        let mut out32: Matrix<f32> = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |be, _| {
+            be.iter(|| a.matmul_into(black_box(&b), &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |be, _| {
+            be.iter(|| a32.matmul_into(black_box(&b32), &mut out32));
+        });
+    }
+    group.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(10);
+    for &n in &DIST_ROWS {
+        let mut rng = Rng::seed_from_u64(1000 + n as u64);
+        let x = Matrix::randn(n, DIST_DIM, 1.0, &mut rng);
+        let x32 = x.to_f32();
+        let mut ws: Workspace = Workspace::new();
+        let mut ws32: Workspace<f32> = Workspace::new();
+        let mut out: Matrix = Matrix::zeros(n, n);
+        let mut out32: Matrix<f32> = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("f64", n), &n, |be, _| {
+            be.iter(|| pairwise_sq_into(black_box(&x), &x, &mut ws, &mut out));
+        });
+        group.bench_with_input(BenchmarkId::new("f32", n), &n, |be, _| {
+            be.iter(|| pairwise_sq_into(black_box(&x32), &x32, &mut ws32, &mut out32));
+        });
+    }
+    group.finish();
+}
+
+/// Scores the fixed corpus at both precisions and reports the maximum
+/// absolute per-class probability divergence and the number of verdict
+/// flips (rows where `p_error > p_correct` disagrees between precisions).
+fn measure_tolerance() -> Value {
+    let mut model = tol_model();
+    let mut infer32 = model.to_f32();
+    let mut rng = Rng::seed_from_u64(TOL_CORPUS_SEED);
+    let x = Matrix::randn(TOL_ROWS, TOL_DIM, 1.0, &mut rng);
+    let x32 = x.to_f32();
+    let mut p64 = Matrix::zeros(0, 0);
+    model.probs3_into(&x, &mut p64);
+    let mut p32: Matrix<f32> = Matrix::zeros(0, 0);
+    infer32.probs3_into(&x32, &mut p32);
+
+    let mut max_div = 0.0f64;
+    let mut flips = 0u64;
+    for r in 0..TOL_ROWS {
+        for c in 0..3 {
+            let div = (p64[(r, c)] - p32[(r, c)] as f64).abs();
+            if div > max_div {
+                max_div = div;
+            }
+        }
+        let v64 = p64[(r, 0)] > p64[(r, 1)];
+        let v32 = p32[(r, 0)] > p32[(r, 1)];
+        if v64 != v32 {
+            flips += 1;
+        }
+    }
+    println!(
+        "tolerance corpus: {TOL_ROWS} rows, max |p_f32 - p_f64| {max_div:.3e}, {flips} verdict flip(s)"
+    );
+    json!({
+        "rows": TOL_ROWS as f64,
+        "dim": TOL_DIM as f64,
+        "model_seed": TOL_MODEL_SEED as f64,
+        "corpus_seed": TOL_CORPUS_SEED as f64,
+        "max_abs_divergence": max_div,
+        "verdict_flips": flips as f64,
+    })
+}
+
+/// Default report path: `<repo root>/BENCH_precision.json`.
+fn default_report_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_precision.json")
+}
+
+/// Anchors a relative env-var path at the repo root (cargo runs bench
+/// binaries with `crates/bench` as the working directory).
+fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
+    if p.is_absolute() {
+        p
+    } else {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(p)
+    }
+}
+
+fn main() {
+    let _ = std::env::args();
+    let mut criterion = Criterion::default();
+    bench_gemm(&mut criterion);
+    bench_distance(&mut criterion);
+    criterion.final_summary();
+    // Custom main bypasses criterion_main!, so flush bench traces here.
+    criterion::flush_telemetry();
+    let tolerance = measure_tolerance();
+
+    let out_path = std::env::var("GALE_BENCH_PRECISION_OUT")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| default_report_path());
+    let baseline_path = std::env::var("GALE_BENCH_PRECISION_BASELINE")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| out_path.clone());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+
+    let results = take_results();
+    let mut entries = Vec::new();
+    for r in &results {
+        // Element throughput: n*n*n MACs for GEMM, n*n*dim for the sweep.
+        let mut entry = json!({
+            "name": r.name.clone(),
+            "mean_s": r.mean_s,
+            "min_s": r.min_s,
+            "max_s": r.max_s,
+            "samples": r.samples as f64,
+            "iters": r.iters as f64,
+        });
+        let mut parts = r.name.split('/');
+        if let (Some(group), Some(_), Some(Ok(n)), Value::Object(map)) = (
+            parts.next(),
+            parts.next(),
+            parts.next().map(str::parse::<f64>),
+            &mut entry,
+        ) {
+            let ops = match group {
+                "gemm" => n * n * n,
+                "distance" => n * n * DIST_DIM as f64,
+                _ => 0.0,
+            };
+            if ops > 0.0 {
+                map.insert("ops_per_s".to_string(), Value::from(ops / r.mean_s));
+            }
+        }
+        entries.push(entry);
+    }
+    // f32-over-f64 speedup per kernel/size: `gemm/f32/256` is how much
+    // faster the f32 GEMM ran than the f64 GEMM of the same shape,
+    // measured interleaved so both sides share the same machine weather.
+    let speedups = measure_speedups();
+    for (key, v) in speedups.iter() {
+        if let Some(s) = v.as_f64() {
+            println!("{key}: {s:.2}x f32 over f64");
+        }
+    }
+    let gated: Vec<(String, f64)> = speedups
+        .iter()
+        .filter_map(|(key, v)| v.as_f64().map(|s| (key.clone(), s)))
+        .collect();
+    let report = json!({
+        "schema": "gale-bench-precision/v1",
+        "threads": gale_tensor::par::max_threads() as f64,
+        "smoke": criterion::smoke_mode(),
+        "entries": entries,
+        "speedups": Value::Object(speedups),
+        "tolerance": tolerance.clone(),
+    });
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", out_path.display()));
+    println!("precision bench report written to {}", out_path.display());
+
+    let mut failures = Vec::new();
+    let usable_baseline = match &baseline {
+        None => {
+            println!(
+                "no baseline at {}; skipping the regression gate",
+                baseline_path.display()
+            );
+            None
+        }
+        Some(b) => Some(b),
+    };
+
+    // Tolerance gate: deterministic, so it runs on every configuration —
+    // smoke included. A code change that flips a verdict on the committed
+    // corpus or grows the divergence bound must update the baseline
+    // deliberately, never by drift.
+    if std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return;
+    }
+    if let Some(base_tol) = usable_baseline.and_then(|b| b.get("tolerance")) {
+        let base_flips = base_tol
+            .get("verdict_flips")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let base_div = base_tol
+            .get("max_abs_divergence")
+            .and_then(Value::as_f64)
+            .unwrap_or(0.0);
+        let flips = tolerance
+            .get("verdict_flips")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        let div = tolerance
+            .get("max_abs_divergence")
+            .and_then(Value::as_f64)
+            .unwrap_or(f64::INFINITY);
+        if flips > base_flips {
+            failures.push(format!(
+                "verdict flips on the committed corpus: {base_flips:.0} -> {flips:.0}"
+            ));
+        }
+        if div > base_div * 1.10 {
+            failures.push(format!(
+                "max score divergence: {base_div:.3e} -> {div:.3e} (>10% beyond baseline)"
+            ));
+        }
+    }
+    // Throughput gate: same contract as the other kernel benches — the
+    // intra-run f32-over-f64 speedup may not drop more than 15% below the
+    // committed speedup. Smoke runs (one iteration) are too noisy to gate.
+    let speedup_gate_live = !criterion::smoke_mode()
+        && usable_baseline
+            .map(|b| b.get("smoke").and_then(Value::as_bool) != Some(true))
+            .unwrap_or(false);
+    if speedup_gate_live {
+        let base_speedups = usable_baseline
+            .and_then(|b| b.get("speedups"))
+            .and_then(Value::as_object);
+        if let Some(base_speedups) = base_speedups {
+            for (key, current) in &gated {
+                let Some(base) = base_speedups.get(key).and_then(Value::as_f64) else {
+                    continue;
+                };
+                if base < 1.2 {
+                    continue;
+                }
+                if *current < base * 0.85 {
+                    failures.push(format!(
+                        "{key}: speedup {base:.2}x -> {current:.2}x ({:.0}% of baseline)",
+                        current / base * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "precision contract regressed vs {}:",
+            baseline_path.display()
+        );
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("precision gate passed vs {}", baseline_path.display());
+}

@@ -96,7 +96,7 @@ fn naive_kmeans(
                 *a = best;
             }
         });
-        let mut sums = Matrix::zeros(k, d);
+        let mut sums: Matrix = Matrix::zeros(k, d);
         let mut counts = vec![0usize; k];
         let mut total = 0.0;
         for (i, &c) in assignments.iter().enumerate() {

@@ -34,7 +34,7 @@ pub use oracle::{EnsembleOracle, GroundTruthOracle, NoisyOracle, Oracle};
 pub use pipeline::{run_gale, GaleConfig, GaleOutcome, IterationRecord};
 pub use scale::{run_gale_scale, ScaleGaleConfig, ScaleOutcome};
 pub use select::{objective, qselect};
-pub use sgan::{Sgan, SganConfig, TrainStats, SYNTHETIC_CLASS};
+pub use sgan::{Sgan, SganConfig, SganInfer, TrainStats, SYNTHETIC_CLASS};
 pub use strategies::{cold_start_queries, select_queries, QueryStrategy, SelectionInputs};
 pub use typicality::{
     clustering_typicality, topological_typicality, typicality_scores, TypicalityContext,

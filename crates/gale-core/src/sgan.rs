@@ -21,10 +21,10 @@ use gale_nn::checkpoint::{
     need_f64, need_usize, open_envelope, CkptError,
 };
 use gale_nn::{
-    feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam, Layer,
-    Mlp,
+    feature_matching_loss, sgan_unsupervised_loss, softmax_cross_entropy, Activation, Adam,
+    InferNet, Layer, Mlp,
 };
-use gale_tensor::{Matrix, Rng};
+use gale_tensor::{Element, Matrix, Rng};
 use std::path::Path;
 
 /// Class index of synthetic examples in the discriminator output.
@@ -692,6 +692,75 @@ impl Sgan {
     }
 }
 
+/// Forward-only serving replica of a trained [`Sgan`]: the discriminator
+/// alone, lowered to element `E` (see `gale_nn::infer`). `f64` replicas
+/// reproduce [`Sgan::probs3_into`] bit for bit; `f32` replicas are the
+/// bandwidth-halved path validated by the tolerance-gated precision bench.
+pub struct SganInfer<E: Element> {
+    d: InferNet<E>,
+    /// Index of the tapped (embedding) layer inside `d`.
+    tap: usize,
+    input_dim: usize,
+}
+
+impl<E: Element> SganInfer<E> {
+    /// Encoding dimensionality this replica was built for.
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Bit width of the serving element type (64 or 32), for telemetry.
+    pub fn precision_bits(&self) -> u32 {
+        E::BITS
+    }
+
+    /// Full 3-class probabilities {error, correct, synthetic}, mirroring
+    /// [`Sgan::probs3_into`] operation for operation: one batched forward
+    /// through the `_into` kernels, then an in-place row softmax with the
+    /// same max-subtract / exp / renormalize chain.
+    pub fn probs3_into(&mut self, x: &Matrix<E>, out: &mut Matrix<E>) {
+        out.copy_from(self.d.forward_inplace(x));
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(E::NEG_INFINITY, |m, v| m.max_e(v));
+            let mut z = E::ZERO;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                z += *v;
+            }
+            if z > E::ZERO {
+                for v in row.iter_mut() {
+                    *v /= z;
+                }
+            }
+        }
+    }
+
+    /// Node embeddings from the tapped intermediate layer, mirroring
+    /// [`Sgan::embeddings_into`].
+    pub fn embeddings_into(&mut self, x: &Matrix<E>, out: &mut Matrix<E>) {
+        let _ = self.d.forward_inplace(x);
+        out.copy_from(self.d.tap(self.tap));
+    }
+}
+
+impl Sgan {
+    /// Lowers the discriminator into a forward-only serving replica over
+    /// element `E`. One-way: nothing converts back into training state.
+    pub fn to_infer<E: Element>(&self) -> SganInfer<E> {
+        SganInfer {
+            d: self.d.to_infer::<E>(),
+            tap: self.tap,
+            input_dim: self.input_dim,
+        }
+    }
+
+    /// One-way lowering to the `f32` serving replica.
+    pub fn to_f32(&self) -> SganInfer<f32> {
+        self.to_infer::<f32>()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1028,5 +1097,72 @@ mod tests {
         let mut sgan = Sgan::new(4, &small_cfg(), &mut rng);
         let stats = sgan.train(&x_r, &x_s, &targets, &[], &mut rng);
         assert!(stats.d_loss.is_finite());
+    }
+
+    /// A briefly trained SGAN plus its real-encoding matrix, for the
+    /// lowering parity tests.
+    fn tiny_trained_sgan(rng: &mut Rng) -> (Sgan, Matrix) {
+        let (x_r, x_s, labels) = toy_data(rng, 40, 5);
+        let targets: Vec<(usize, usize)> = (0..40)
+            .step_by(4)
+            .map(|r| (r, labels[r].class_index()))
+            .collect();
+        let mut sgan = Sgan::new(5, &small_cfg(), rng);
+        let _ = sgan.train(&x_r, &x_s, &targets, &[], rng);
+        (sgan, x_r)
+    }
+
+    #[test]
+    fn f64_infer_replica_matches_probs3_bitwise() {
+        let mut rng = Rng::seed_from_u64(5);
+        let (mut sgan, x_r) = tiny_trained_sgan(&mut rng);
+        let mut want = Matrix::zeros(0, 0);
+        sgan.probs3_into(&x_r, &mut want);
+        let mut replica = sgan.to_infer::<f64>();
+        let mut got = Matrix::zeros(0, 0);
+        replica.probs3_into(&x_r, &mut got);
+        assert_eq!(got.shape(), want.shape());
+        for (g, w) in got.data().iter().zip(want.data()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+        // Embedding tap parity too.
+        let mut h64 = Matrix::zeros(0, 0);
+        let mut href = Matrix::zeros(0, 0);
+        replica.embeddings_into(&x_r, &mut h64);
+        sgan.embeddings_into(&x_r, &mut href);
+        for (g, w) in h64.data().iter().zip(href.data()) {
+            assert_eq!(g.to_bits(), w.to_bits());
+        }
+    }
+
+    #[test]
+    fn f32_infer_replica_tracks_f64_probs_within_tolerance() {
+        let mut rng = Rng::seed_from_u64(6);
+        let (mut sgan, x_r) = tiny_trained_sgan(&mut rng);
+        let mut p64 = Matrix::zeros(0, 0);
+        sgan.probs3_into(&x_r, &mut p64);
+        let mut replica = sgan.to_f32();
+        assert_eq!(replica.precision_bits(), 32);
+        assert_eq!(replica.input_dim(), sgan.input_dim());
+        let mut p32: Matrix<f32> = Matrix::zeros(0, 0);
+        replica.probs3_into(&x_r.to_f32(), &mut p32);
+        assert_eq!(p32.shape(), p64.shape());
+        for r in 0..p64.rows() {
+            // Probabilities live in [0,1]; absolute tolerance is the
+            // natural contract (it is what the precision bench gates on).
+            for c in 0..p64.cols() {
+                let d = (p32[(r, c)] as f64 - p64[(r, c)]).abs();
+                assert!(
+                    d <= 1e-4,
+                    "({r},{c}): |{} - {}| = {d}",
+                    p32[(r, c)],
+                    p64[(r, c)]
+                );
+            }
+            // And verdicts (argmax over the error/correct margin) agree.
+            let v64 = p64[(r, 0)] > p64[(r, 1)];
+            let v32 = p32[(r, 0)] > p32[(r, 1)];
+            assert_eq!(v32, v64, "verdict flip on row {r}");
+        }
     }
 }

@@ -283,7 +283,7 @@ fn select_cols(m: &Matrix, cols: &[usize]) -> Matrix {
 /// patterns to trust instead of unioning them.
 pub fn detector_signal_features(g: &Graph, lib: &DetectorLibrary) -> Matrix {
     let report = lib.run(g);
-    let mut x = Matrix::zeros(g.node_count(), lib.len().max(1));
+    let mut x: Matrix = Matrix::zeros(g.node_count(), lib.len().max(1));
     for (i, dets) in report.per_detector.iter().enumerate() {
         for d in dets {
             x[(d.node, i)] = x[(d.node, i)].max(d.confidence);

@@ -17,6 +17,14 @@
 //!   `GALE_BENCH_SERVE_BASELINE`; skip with `GALE_BENCH_NO_GATE=1`). The
 //!   tracing-on vs tracing-off pair is gated intra-run: tracing may not
 //!   cost more than 5% of p99.
+//! - `gale-loadgen bench-precision [--smoke]` — the serving half of the
+//!   committed precision report: boots an f64 shard and an f32 shard of
+//!   the same checkpoint side by side (alternating pooled passes, like
+//!   the tracing measurement), checks that both answer a fixed eval
+//!   request with identical verdicts, and merges serve p50/p99 and the
+//!   f32-over-f64 serving speedups into `BENCH_precision.json` written
+//!   earlier by `cargo bench -p gale-bench --bench precision` (override
+//!   with `GALE_BENCH_PRECISION_OUT`/`GALE_BENCH_PRECISION_BASELINE`).
 //!
 //! Intra-run ratios — event-loop throughput over blocking throughput
 //! measured in the same run — transfer across machines the way absolute
@@ -36,6 +44,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bench-precision") => cmd_bench_precision(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -59,6 +68,7 @@ USAGE:
                    [--warmup-secs S] [--rows N]
                    [--reload-ckpt PATH --reload-at-secs S]
   gale-loadgen bench [--smoke]
+  gale-loadgen bench-precision [--smoke]
 ";
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
@@ -284,6 +294,7 @@ fn spawn_server(
     addr: &str,
     mode: &str,
     shards: usize,
+    precision: &str,
     trace: bool,
 ) -> Result<std::process::Child, String> {
     std::process::Command::new(binary)
@@ -297,6 +308,8 @@ fn spawn_server(
             mode,
             "--shards",
             &shards.to_string(),
+            "--precision",
+            precision,
             // The default 2ms batching linger is tuned for open-loop
             // traffic; under a closed loop it dominates every leg's
             // latency and masks the architectural differences the bench
@@ -368,7 +381,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut measured: Vec<(&str, LoadReport)> = Vec::new();
     for leg in &LEGS {
         let addr = format!("127.0.0.1:{}", free_port()?);
-        let child = spawn_server(&binary, &ckpt_a, &addr, leg.mode, leg.shards, leg.trace)?;
+        let child = spawn_server(
+            &binary, &ckpt_a, &addr, leg.mode, leg.shards, "f64", leg.trace,
+        )?;
         let dim = wait_healthy(&addr, Duration::from_secs(10))?;
         let report = run(&LoadConfig {
             addr: addr.clone(),
@@ -405,7 +420,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     // Reload-under-load leg: four shards, hot swap mid-run, zero drops.
     let reload_report = {
         let addr = format!("127.0.0.1:{}", free_port()?);
-        let child = spawn_server(&binary, &ckpt_a, &addr, "evloop", 4, true)?;
+        let child = spawn_server(&binary, &ckpt_a, &addr, "evloop", 4, "f64", true)?;
         let dim = wait_healthy(&addr, Duration::from_secs(10))?;
         let cfg = LoadConfig {
             addr: addr.clone(),
@@ -511,7 +526,7 @@ fn measure_tracing_overhead(binary: &Path, ckpt: &Path, smoke: bool) -> Result<V
     let mut servers = Vec::new();
     for trace in [true, false] {
         let addr = format!("127.0.0.1:{}", free_port()?);
-        let child = spawn_server(binary, ckpt, &addr, "evloop", 1, trace)?;
+        let child = spawn_server(binary, ckpt, &addr, "evloop", 1, "f64", trace)?;
         let dim = wait_healthy(&addr, Duration::from_secs(10))?;
         servers.push((addr, child, dim));
     }
@@ -569,6 +584,324 @@ fn measure_tracing_overhead(binary: &Path, ckpt: &Path, smoke: bool) -> Result<V
         "p99_off_us": p99_off,
         "p99_overhead_ratio": ratio,
     }))
+}
+
+// ---------------------------------------------------------------------------
+// `bench-precision`: the serving half of BENCH_precision.json
+// ---------------------------------------------------------------------------
+
+/// Drives an f64 shard and an f32 shard of the same checkpoint side by
+/// side and merges serve-path p50/p99 plus the f32-over-f64 serving
+/// speedups into the precision report the criterion bench wrote earlier.
+/// Runs the kernel bench first; this command refuses to invent the file
+/// from scratch so the committed report is always the union of both
+/// halves.
+fn cmd_bench_precision(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--smoke"])?;
+    let smoke = smoke_mode(&flags);
+    let binary = serve_binary()?;
+    let scratch = std::env::temp_dir().join(format!("gale-loadgen-prec-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("mkdir {}: {e}", scratch.display()))?;
+    let ckpt = scratch.join("precision.ckpt");
+    let status = std::process::Command::new(&binary)
+        .args([
+            "train-demo",
+            "--out",
+            &ckpt.to_string_lossy(),
+            "--seed",
+            "7",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .status()
+        .map_err(|e| format!("train-demo: {e}"))?;
+    if !status.success() {
+        return Err(format!("train-demo exited with {status}"));
+    }
+
+    let out_path = std::env::var("GALE_BENCH_PRECISION_OUT")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| repo_path("BENCH_precision.json".into()));
+    let baseline_path = std::env::var("GALE_BENCH_PRECISION_BASELINE")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| out_path.clone());
+    let kernel_report: Value = std::fs::read_to_string(&out_path)
+        .map_err(|e| {
+            format!(
+                "cannot read {} ({e}) — run `cargo bench -p gale-bench --bench precision` first",
+                out_path.display()
+            )
+        })
+        .and_then(|text| {
+            gale_json::from_str(&text)
+                .map_err(|e| format!("{} is not JSON: {e}", out_path.display()))
+        })?;
+    let baseline: Option<Value> = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+
+    // One f64 server and one f32 server alive at once, single shard each,
+    // event-loop mode — the same alternating-pooled-passes scheme as the
+    // tracing measurement, so both precisions see the same machine
+    // weather and the pooled tails are stable.
+    let (passes, warmup, duration) = if smoke {
+        (
+            1usize,
+            Duration::from_millis(100),
+            Duration::from_millis(300),
+        )
+    } else {
+        (6usize, Duration::from_millis(250), Duration::from_secs(1))
+    };
+    let mut servers = Vec::new();
+    for precision in ["f64", "f32"] {
+        let addr = format!("127.0.0.1:{}", free_port()?);
+        let child = spawn_server(&binary, &ckpt, &addr, "evloop", 1, precision, true)?;
+        let dim = wait_healthy(&addr, Duration::from_secs(10))?;
+        servers.push((addr, child, dim));
+    }
+
+    // Fixed eval request to both shards before any load: identical rows,
+    // so the verdicts must agree and the score divergence is the serving
+    // path's own measurement of the tolerance contract.
+    let agreement_rows = 16usize;
+    let dim = servers[0].2;
+    let eval_body = gale_loadgen::score_body(agreement_rows, dim, 4242);
+    let mut replies = Vec::new();
+    for (addr, _, _) in &servers {
+        let (status, reply) = one_shot(addr, &render_post(addr, "/score", &eval_body))
+            .map_err(|e| format!("eval request to {addr} failed: {e}"))?;
+        if status != 200 {
+            return Err(format!(
+                "eval request answered {status}: {}",
+                String::from_utf8_lossy(&reply)
+            ));
+        }
+        let doc: Value = gale_json::from_str(&String::from_utf8_lossy(&reply))
+            .map_err(|e| format!("eval reply is not JSON: {e}"))?;
+        replies.push(doc);
+    }
+    let probs_of = |doc: &Value| -> Result<Vec<f64>, String> {
+        doc.get("probs")
+            .and_then(Value::as_array)
+            .map(|rows| {
+                rows.iter()
+                    .flat_map(|row| row.as_array().into_iter().flatten())
+                    .filter_map(Value::as_f64)
+                    .collect()
+            })
+            .ok_or_else(|| "eval reply has no probs".to_string())
+    };
+    let (p64, p32) = (probs_of(&replies[0])?, probs_of(&replies[1])?);
+    if p64.len() != agreement_rows * 3 || p32.len() != agreement_rows * 3 {
+        return Err(format!(
+            "eval replies have {} / {} probs, wanted {}",
+            p64.len(),
+            p32.len(),
+            agreement_rows * 3
+        ));
+    }
+    let mut max_div = 0.0f64;
+    let mut flips = 0u64;
+    for r in 0..agreement_rows {
+        for c in 0..3 {
+            max_div = max_div.max((p64[r * 3 + c] - p32[r * 3 + c]).abs());
+        }
+        if (p64[r * 3] > p64[r * 3 + 1]) != (p32[r * 3] > p32[r * 3 + 1]) {
+            flips += 1;
+        }
+    }
+    gale_obs::info!(
+        "serve eval: {agreement_rows} rows, max |p_f32 - p_f64| {max_div:.3e}, {flips} flip(s)"
+    );
+
+    let mut pooled: [Vec<u64>; 2] = [Vec::new(), Vec::new()];
+    let mut ok = [0u64; 2];
+    let mut errors = [0u64; 2];
+    for pass in 0..passes {
+        for side in [pass % 2, (pass + 1) % 2] {
+            let (addr, _, dim) = &servers[side];
+            let (report, samples) = run_samples(&LoadConfig {
+                addr: addr.clone(),
+                concurrency: 8,
+                duration,
+                warmup,
+                rows: 4,
+                dim: *dim,
+            });
+            ok[side] += report.ok;
+            errors[side] += report.errors;
+            pooled[side].extend(samples);
+        }
+    }
+    for (addr, child, _) in servers {
+        stop_server(&addr, child)?;
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+    for (side, label) in [(0, "f64"), (1, "f32")] {
+        if errors[side] > 0 {
+            return Err(format!("{label} leg had {} failed requests", errors[side]));
+        }
+        if ok[side] == 0 {
+            return Err(format!("{label} leg completed zero requests"));
+        }
+    }
+    pooled[0].sort_unstable();
+    pooled[1].sort_unstable();
+    let secs = passes as f64 * duration.as_secs_f64();
+    let side_json = |side: usize| {
+        json!({
+            "rps": ok[side] as f64 / secs,
+            "p50_us": percentile(&pooled[side], 0.50),
+            "p99_us": percentile(&pooled[side], 0.99),
+        })
+    };
+    let (rps64, rps32) = (ok[0] as f64 / secs, ok[1] as f64 / secs);
+    let (p99_64, p99_32) = (percentile(&pooled[0], 0.99), percentile(&pooled[1], 0.99));
+    gale_obs::info!(
+        "serve f64/f32   p99 {p99_64:>7.0}us / {p99_32:>7.0}us, {rps64:.0} / {rps32:.0} req/s"
+    );
+
+    // Merge: keep every field the kernel half wrote, append the serve
+    // section, and extend the speedups map with the serving ratios
+    // (higher is better for both: rps32/rps64 and p99_64/p99_32).
+    let mut speedups = gale_json::Map::new();
+    if let Some(kernel_speedups) = kernel_report.get("speedups").and_then(Value::as_object) {
+        for (key, v) in kernel_speedups.iter() {
+            speedups.insert(key.clone(), v.clone());
+        }
+    }
+    speedups.insert("serve/f32/rps", Value::from(rps32 / rps64.max(1e-9)));
+    speedups.insert("serve/f32/p99", Value::from(p99_64 / p99_32.max(1e-9)));
+    let mut merged = gale_json::Map::new();
+    if let Some(kernel) = kernel_report.as_object() {
+        for (key, v) in kernel.iter() {
+            if key != "speedups" && key != "serve" {
+                merged.insert(key.clone(), v.clone());
+            }
+        }
+    }
+    // The merged report is smoke if either half ran in smoke mode.
+    let kernel_smoke = kernel_report.get("smoke").and_then(Value::as_bool) == Some(true);
+    merged.insert("smoke", Value::from(smoke || kernel_smoke));
+    merged.insert("speedups", Value::Object(speedups));
+    merged.insert(
+        "serve",
+        json!({
+            "passes": passes as f64,
+            "f64": side_json(0),
+            "f32": side_json(1),
+            "agreement_rows": agreement_rows as f64,
+            "max_abs_divergence": max_div,
+            "verdict_flips": flips as f64,
+        }),
+    );
+    let report = Value::Object(merged);
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    println!("precision serve report merged into {}", out_path.display());
+
+    gate_precision(
+        &report,
+        baseline.as_ref(),
+        &baseline_path,
+        smoke || kernel_smoke,
+    )
+}
+
+/// The precision gate, run over the fully-merged report: the tolerance
+/// half (verdict flips, score divergence — serving section) binds on
+/// every run because the eval request is deterministic; the speedup half
+/// follows the usual smoke rules and 1.2x floor.
+fn gate_precision(
+    report: &Value,
+    baseline: Option<&Value>,
+    baseline_path: &Path,
+    smoke: bool,
+) -> Result<(), String> {
+    if std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return Ok(());
+    }
+    let mut failures = Vec::new();
+    let serve = report.get("serve");
+    let flips = serve
+        .and_then(|s| s.get("verdict_flips"))
+        .and_then(Value::as_f64)
+        .unwrap_or(f64::INFINITY);
+    let base_flips = baseline
+        .and_then(|b| b.get("serve"))
+        .and_then(|s| s.get("verdict_flips"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if flips > base_flips {
+        failures.push(format!(
+            "serve verdict flips on the fixed eval request: {base_flips:.0} -> {flips:.0}"
+        ));
+    }
+    if let (Some(base_div), Some(div)) = (
+        baseline
+            .and_then(|b| b.get("serve"))
+            .and_then(|s| s.get("max_abs_divergence"))
+            .and_then(Value::as_f64),
+        serve
+            .and_then(|s| s.get("max_abs_divergence"))
+            .and_then(Value::as_f64),
+    ) {
+        if div > base_div * 1.10 {
+            failures.push(format!(
+                "serve score divergence: {base_div:.3e} -> {div:.3e} (>10% beyond baseline)"
+            ));
+        }
+    }
+    let usable_baseline = match baseline {
+        _ if smoke => None,
+        None => {
+            println!(
+                "no baseline at {}; skipping the speedup half of the gate",
+                baseline_path.display()
+            );
+            None
+        }
+        Some(b) if b.get("smoke").and_then(Value::as_bool) == Some(true) => {
+            println!("baseline is a smoke run; skipping the speedup half of the gate");
+            None
+        }
+        Some(b) => Some(b),
+    };
+    if let Some(baseline) = usable_baseline {
+        let current_speedups = report
+            .get("speedups")
+            .and_then(Value::as_object)
+            .expect("merged report always has speedups");
+        if let Some(base_speedups) = baseline.get("speedups").and_then(Value::as_object) {
+            for (key, base) in base_speedups.iter() {
+                let (Some(base), Some(current)) = (
+                    base.as_f64(),
+                    current_speedups.get(key).and_then(Value::as_f64),
+                ) else {
+                    continue;
+                };
+                if base < 1.2 {
+                    continue;
+                }
+                if current < base * 0.85 {
+                    failures.push(format!(
+                        "{key}: speedup {base:.2}x -> {current:.2}x ({:.0}% of baseline)",
+                        current / base * 100.0
+                    ));
+                }
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("precision gate passed");
+        Ok(())
+    } else {
+        Err(format!(
+            "precision contract regressed:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
 }
 
 /// How much of p99 request tracing is allowed to cost — the

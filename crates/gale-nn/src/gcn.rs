@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 /// One graph-convolution layer: `Z = act(S X W + b)`.
 pub struct GcnLayer {
-    s: Arc<SparseMatrix>,
+    pub(crate) s: Arc<SparseMatrix>,
     pub(crate) w: Matrix,
     pub(crate) b: Matrix,
     gw: Matrix,

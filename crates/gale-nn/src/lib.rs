@@ -21,6 +21,7 @@ pub mod dropout;
 pub mod embedding;
 pub mod gae;
 pub mod gcn;
+pub mod infer;
 pub mod layer;
 pub mod linear;
 pub mod loss;
@@ -35,6 +36,7 @@ pub use dropout::Dropout;
 pub use embedding::HashEmbedder;
 pub use gae::{Gae, GaeConfig, MiniBatchConfig};
 pub use gcn::{Gcn, GcnLayer};
+pub use infer::{GaeInfer, GcnInfer, InferLayer, InferNet};
 pub use layer::Layer;
 pub use linear::Linear;
 pub use loss::{

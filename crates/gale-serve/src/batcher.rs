@@ -3,31 +3,42 @@
 //!
 //! A [`ShardPool`] holds `N` scorer shards. Every shard owns a full model
 //! replica — replicas are built from one parsed checkpoint document, and
-//! checkpoints restore bit-exactly, so all shards score bitwise-identically
-//! — plus a *bounded* job queue. [`ShardPool::submit`] dispatches to the
-//! shard with the least queue depth, breaking ties round-robin; when every
-//! queue is full the submission fails immediately and the caller sheds load
-//! with `503`. Each shard pops the first waiting job, lingers up to
-//! `max_wait_us` coalescing more jobs until `max_batch` rows are in hand,
-//! and runs **one** forward pass over the combined batch through
-//! [`Sgan::probs3_into`]. Batch and output matrices come from a per-shard
-//! [`Workspace`] pool, so steady-state serving does not allocate.
+//! checkpoints restore bit-exactly, so all same-precision shards score
+//! bitwise-identically — plus a *bounded* job queue. [`ShardPool::submit`]
+//! dispatches to the shard with the least queue depth, breaking ties
+//! round-robin; when every queue is full the submission fails immediately
+//! and the caller sheds load with `503`. Each shard pops the first waiting
+//! job, lingers up to `max_wait_us` coalescing more jobs until `max_batch`
+//! rows are in hand, and runs **one** forward pass over the combined batch
+//! through [`Sgan::probs3_into`]. Batch and output matrices come from
+//! per-shard [`Workspace`] pools, so steady-state serving does not
+//! allocate.
+//!
+//! Each shard runs at a fixed [`Precision`] chosen at spawn time
+//! ([`ShardPool::spawn_with_precisions`]). `F64` shards serve the exact
+//! training-precision replica; `F32` shards serve a one-way
+//! [`SganInfer<f32>`] lowering of the same checkpoint — features are
+//! narrowed on batch assembly and probabilities widened on reply, so the
+//! wire format never changes. The f32 path trades the bitwise-parity
+//! guarantee for bandwidth: divergence against f64 is bounded by the
+//! committed tolerance corpus (`BENCH_precision.json`), and replies stamp
+//! their [`ScoreReply::precision`] so clients can tell.
 //!
 //! Hot reload rides a second, unbounded control channel per shard: a
 //! [`ShardPool::reload`] parses and validates the new checkpoint *once*,
-//! builds one replica per shard (all-or-nothing — a checkpoint that fails
-//! to decode swaps nothing), and sends each shard a swap message. Shards
-//! apply swaps only **between** batches, so every row of any single batch
-//! is scored by exactly one model version, and no request is ever dropped:
-//! jobs queued across the swap simply score on whichever version their
-//! batch runs under.
+//! builds one replica per shard in that shard's precision (all-or-nothing
+//! — a checkpoint that fails to decode swaps nothing), and sends each
+//! shard a swap message. Shards apply swaps only **between** batches, so
+//! every row of any single batch is scored by exactly one model version,
+//! and no request is ever dropped: jobs queued across the swap simply
+//! score on whichever version their batch runs under.
 //!
 //! Shutdown is the natural channel protocol: when every submit handle is
 //! dropped each shard drains whatever is still queued — every job gets its
 //! reply — and exits. No job is ever dropped on the floor.
 
 use crate::metrics;
-use gale_core::Sgan;
+use gale_core::{Sgan, SganInfer};
 use gale_nn::checkpoint::{self, CkptError};
 use gale_tensor::Workspace;
 use std::path::Path;
@@ -57,6 +68,96 @@ impl Default for BatchConfig {
             max_batch: 64,
             max_wait_us: 2_000,
             queue_capacity: 128,
+        }
+    }
+}
+
+/// Arithmetic width a scorer shard runs its forward passes at.
+///
+/// `F64` is the training precision: bitwise-identical to calling the
+/// checkpointed model in process. `F32` serves a one-way inference
+/// lowering — roughly twice the effective memory bandwidth on this repo's
+/// GEMM and distance kernels, deterministic per-precision (fixed 16-lane
+/// reduction chains, thread-count invariant) but *not* bit-equal to f64;
+/// its divergence is bounded by the committed tolerance baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Double precision — the default, bit-exact with training.
+    #[default]
+    F64,
+    /// Single precision — lowered inference replicas.
+    F32,
+}
+
+impl Precision {
+    /// Parses `"f64"` / `"f32"` (the `--precision` flag vocabulary).
+    pub fn parse(s: &str) -> Option<Precision> {
+        match s {
+            "f64" => Some(Precision::F64),
+            "f32" => Some(Precision::F32),
+            _ => None,
+        }
+    }
+
+    /// The flag/JSON spelling: `"f64"` or `"f32"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+
+    /// Mantissa-carrying width in bits (64 or 32); what `/metrics` and
+    /// wide events report.
+    pub fn bits(self) -> u32 {
+        match self {
+            Precision::F64 => 64,
+            Precision::F32 => 32,
+        }
+    }
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A shard's model replica at its serving precision.
+///
+/// `F64` holds the full trainable model (bit-exact with the checkpoint);
+/// `F32` holds the forward-only lowered replica. Reload rebuilds whichever
+/// variant the shard already runs, always from the same validated f64
+/// checkpoint document.
+enum ShardModel {
+    /// The training-precision replica.
+    F64(Box<Sgan>),
+    /// The lowered single-precision inference replica.
+    F32(Box<SganInfer<f32>>),
+}
+
+impl ShardModel {
+    /// Builds the replica for `precision` from a decoded f64 model.
+    fn lower(model: Sgan, precision: Precision) -> ShardModel {
+        match precision {
+            Precision::F64 => ShardModel::F64(Box::new(model)),
+            Precision::F32 => ShardModel::F32(Box::new(model.to_f32())),
+        }
+    }
+
+    /// Input dimension the replica expects.
+    fn input_dim(&self) -> usize {
+        match self {
+            ShardModel::F64(m) => m.input_dim(),
+            ShardModel::F32(m) => m.input_dim(),
+        }
+    }
+
+    /// The precision this replica scores at.
+    fn precision(&self) -> Precision {
+        match self {
+            ShardModel::F64(_) => Precision::F64,
+            ShardModel::F32(_) => Precision::F32,
         }
     }
 }
@@ -93,6 +194,8 @@ pub struct ScoreReply {
     /// The batched forward pass, microseconds (shared by every job in the
     /// batch).
     pub forward_us: u32,
+    /// Arithmetic width of the shard that scored these rows.
+    pub precision: Precision,
 }
 
 /// Why a submission was rejected.
@@ -143,9 +246,10 @@ impl From<CkptError> for ReloadError {
 
 /// Control messages delivered outside the job queue (never shed).
 enum Ctrl {
-    /// Replace the shard's model between batches.
+    /// Replace the shard's model between batches. The replacement is
+    /// already at the shard's precision — shards never change width.
     Swap {
-        model: Box<Sgan>,
+        model: ShardModel,
         version: u64,
         ack: Sender<()>,
     },
@@ -179,6 +283,8 @@ pub struct ShardSnapshot {
     pub last_batch_version: u64,
     /// Forward passes executed.
     pub batches: u64,
+    /// Arithmetic width this shard scores at (fixed at spawn).
+    pub precision: Precision,
 }
 
 /// One shard's submission handles.
@@ -187,6 +293,7 @@ struct Shard {
     ctrl: Sender<Ctrl>,
     depth: Arc<AtomicI64>,
     stats: Arc<ShardStats>,
+    precision: Precision,
 }
 
 /// The sharded scorer pool. Cloned freely via `Arc`; dropping the last
@@ -201,9 +308,9 @@ pub struct ShardPool {
 }
 
 impl ShardPool {
-    /// Spawns `shards` scorer threads around replicas of `model` and
-    /// returns the pool plus the thread handles (join them after dropping
-    /// the pool to wait for the drain).
+    /// Spawns `shards` all-`f64` scorer threads around replicas of `model`
+    /// and returns the pool plus the thread handles (join them after
+    /// dropping the pool to wait for the drain).
     ///
     /// Replica construction round-trips the model through its checkpoint
     /// document, which restores bit-exactly — every shard scores any row
@@ -213,10 +320,30 @@ impl ShardPool {
         shards: usize,
         cfg: &BatchConfig,
     ) -> (Arc<ShardPool>, Vec<JoinHandle<()>>) {
+        ShardPool::spawn_with_precisions(model, &vec![Precision::F64; shards.max(1)], cfg)
+    }
+
+    /// Spawns one scorer thread per entry of `precisions`, each serving a
+    /// replica of `model` lowered to that shard's precision. `F64` shards
+    /// are bit-exact with the checkpoint (and with each other); `F32`
+    /// shards serve the one-way [`SganInfer<f32>`] lowering.
+    pub fn spawn_with_precisions(
+        model: Sgan,
+        precisions: &[Precision],
+        cfg: &BatchConfig,
+    ) -> (Arc<ShardPool>, Vec<JoinHandle<()>>) {
         metrics::register_all();
-        let shards = shards.max(1);
+        let precisions: &[Precision] = if precisions.is_empty() {
+            &[Precision::F64]
+        } else {
+            precisions
+        };
+        let shards = precisions.len();
         let input_dim = model.input_dim();
-        let doc = if shards > 1 {
+        // The trainable f64 model moves into the first f64 shard; every
+        // other replica (and every f32 lowering) comes from one encoded
+        // checkpoint document, which restores bit-exactly.
+        let doc = if shards > 1 || precisions[0] == Precision::F32 {
             Some(
                 model
                     .to_json()
@@ -228,12 +355,21 @@ impl ShardPool {
         let mut handles = Vec::with_capacity(shards);
         let mut slots = Vec::with_capacity(shards);
         let mut model = Some(model);
-        for i in 0..shards {
-            let replica = match model.take() {
-                Some(m) => m,
-                None => Sgan::from_json(doc.as_ref().expect("doc built for extra shards"))
-                    .expect("re-decoding a just-encoded model cannot fail"),
+        for (i, &precision) in precisions.iter().enumerate() {
+            let proto = match (precision, model.take()) {
+                (Precision::F64, Some(m)) => m,
+                (precision, taken) => {
+                    // An f32 shard lowers a decoded copy and leaves the
+                    // original for a later f64 shard.
+                    if precision == Precision::F32 {
+                        model = taken;
+                    }
+                    Sgan::from_json(doc.as_ref().expect("doc built for extra shards"))
+                        .expect("re-decoding a just-encoded model cannot fail")
+                }
             };
+            let replica = ShardModel::lower(proto, precision);
+            metrics::shard_precision(i).set(precision.bits() as f64);
             let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity.max(1));
             let (ctrl_tx, ctrl_rx) = mpsc::channel();
             let depth = Arc::new(AtomicI64::new(0));
@@ -263,6 +399,7 @@ impl ShardPool {
                 ctrl: ctrl_tx,
                 depth,
                 stats,
+                precision,
             });
         }
         metrics::model_version().set(INITIAL_VERSION as f64);
@@ -288,6 +425,11 @@ impl ShardPool {
         self.shards.len()
     }
 
+    /// Per-shard serving precisions, in shard order (fixed at spawn).
+    pub fn precisions(&self) -> Vec<Precision> {
+        self.shards.iter().map(|s| s.precision).collect()
+    }
+
     /// Current model generation (1 at boot, +1 per successful reload).
     pub fn version(&self) -> u64 {
         self.version.load(Ordering::SeqCst)
@@ -304,6 +446,7 @@ impl ShardPool {
                 last_batch_rows: s.stats.last_batch_rows.load(Ordering::Relaxed),
                 last_batch_version: s.stats.last_batch_version.load(Ordering::Relaxed),
                 batches: s.stats.batches.load(Ordering::Relaxed),
+                precision: s.precision,
             })
             .collect()
     }
@@ -388,11 +531,13 @@ impl ShardPool {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         // Parse once, decode once per shard: every replica comes from the
-        // same document, so all shards restore bit-identically.
+        // same document, so all same-precision shards restore
+        // bit-identically. F32 shards get the validated f64 decode lowered
+        // into their width — the checkpoint format itself stays f64-only.
         let doc = checkpoint::read_file(path.as_ref())?;
         let mut replicas = Vec::with_capacity(self.shards.len());
-        for _ in 0..self.shards.len() {
-            replicas.push(Sgan::from_json(&doc)?);
+        for shard in &self.shards {
+            replicas.push(ShardModel::lower(Sgan::from_json(&doc)?, shard.precision));
         }
         let found = replicas[0].input_dim();
         if found != self.input_dim {
@@ -408,7 +553,7 @@ impl ShardPool {
             shard
                 .ctrl
                 .send(Ctrl::Swap {
-                    model: Box::new(replica),
+                    model: replica,
                     version: new_version,
                     ack: ack_tx,
                 })
@@ -443,7 +588,7 @@ fn us32(d: Duration) -> u32 {
 /// reply — and exits.
 #[allow(clippy::too_many_arguments)]
 fn run_shard(
-    mut model: Sgan,
+    mut model: ShardModel,
     mut version: u64,
     shard_id: u32,
     rx: Receiver<ScoreJob>,
@@ -453,7 +598,14 @@ fn run_shard(
     cfg: &BatchConfig,
 ) {
     let dim = model.input_dim();
-    let mut ws = Workspace::new();
+    let precision = model.precision();
+    // One buffer pool per precision the shard can touch; only the pool
+    // matching `precision` is ever exercised, the other stays empty.
+    let mut ws64: Workspace<f64> = Workspace::new();
+    let mut ws32: Workspace<f32> = Workspace::new();
+    // Widened probabilities of the current batch, reused across batches so
+    // the f32 path's widen step does not allocate either.
+    let mut scored: Vec<f64> = Vec::new();
     let mut jobs: Vec<(ScoreJob, Instant)> = Vec::new();
     let (mut reported_hits, mut reported_misses) = (0u64, 0u64);
     loop {
@@ -465,7 +617,8 @@ fn run_shard(
             ack,
         }) = ctrl.try_recv()
         {
-            model = *m;
+            debug_assert_eq!(m.precision(), precision, "swap must keep the shard's width");
+            model = m;
             version = v;
             let _ = ack.send(());
         }
@@ -501,17 +654,49 @@ fn run_shard(
             }
         }
 
-        // One batched forward through the pooled buffers.
-        let mut batch = ws.take(total_rows, dim);
-        let mut offset = 0usize;
-        for (job, _) in &jobs {
-            batch.data_mut()[offset..offset + job.features.len()].copy_from_slice(&job.features);
-            offset += job.features.len();
+        // One batched forward through the pooled buffers of the shard's
+        // precision. The f32 arm narrows features during batch assembly
+        // and widens probabilities right after the forward, so everything
+        // downstream (scatter, replies, `/score` rendering) stays f64.
+        let forward_started;
+        let forward_us;
+        scored.clear();
+        match &mut model {
+            ShardModel::F64(m) => {
+                let mut batch = ws64.take(total_rows, dim);
+                let mut offset = 0usize;
+                for (job, _) in &jobs {
+                    batch.data_mut()[offset..offset + job.features.len()]
+                        .copy_from_slice(&job.features);
+                    offset += job.features.len();
+                }
+                let mut probs = ws64.take(total_rows, 3);
+                forward_started = Instant::now();
+                m.probs3_into(&batch, &mut probs);
+                forward_us = us32(forward_started.elapsed());
+                scored.extend_from_slice(probs.data());
+                ws64.give(batch);
+                ws64.give(probs);
+            }
+            ShardModel::F32(m) => {
+                let mut batch = ws32.take(total_rows, dim);
+                let mut offset = 0usize;
+                for (job, _) in &jobs {
+                    let dst = &mut batch.data_mut()[offset..offset + job.features.len()];
+                    for (d, &s) in dst.iter_mut().zip(&job.features) {
+                        *d = s as f32;
+                    }
+                    offset += job.features.len();
+                }
+                let mut probs = ws32.take(total_rows, 3);
+                forward_started = Instant::now();
+                m.probs3_into(&batch, &mut probs);
+                forward_us = us32(forward_started.elapsed());
+                scored.extend(probs.data().iter().map(|&v| v as f64));
+                ws32.give(batch);
+                ws32.give(probs);
+            }
         }
-        let mut probs = ws.take(total_rows, 3);
-        let forward_started = Instant::now();
-        model.probs3_into(&batch, &mut probs);
-        let forward_us = us32(forward_started.elapsed());
         metrics::batches().add(1);
         metrics::rows().add(total_rows as u64);
         metrics::batch_rows().record(total_rows as f64);
@@ -520,7 +705,9 @@ fn run_shard(
             .last_batch_rows
             .store(total_rows as u64, Ordering::Relaxed);
         stats.last_batch_version.store(version, Ordering::Relaxed);
-        let (hits, misses) = ws.stats();
+        let (h64, m64) = ws64.stats();
+        let (h32, m32) = ws32.stats();
+        let (hits, misses) = (h64 + h32, m64 + m32);
         metrics::pool_hits().add(hits - reported_hits);
         metrics::pool_misses().add(misses - reported_misses);
         (reported_hits, reported_misses) = (hits, misses);
@@ -528,7 +715,7 @@ fn run_shard(
         // Scatter the rows back to their requesters.
         let mut row0 = 0usize;
         for (job, popped) in jobs.drain(..) {
-            let slice = probs.data()[row0 * 3..(row0 + job.rows) * 3].to_vec();
+            let slice = scored[row0 * 3..(row0 + job.rows) * 3].to_vec();
             row0 += job.rows;
             metrics::latency_us().record(job.enqueued.elapsed().as_secs_f64() * 1e6);
             let queue_us = us32(popped.duration_since(job.enqueued));
@@ -546,10 +733,9 @@ fn run_shard(
                 queue_us,
                 assembly_us,
                 forward_us,
+                precision,
             });
         }
-        ws.give(batch);
-        ws.give(probs);
     }
 }
 
@@ -692,6 +878,124 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn mixed_precision_pool_agrees_on_verdicts_and_stamps_precision() {
+        // One f64 and one f32 shard behind the same pool: dispatch is
+        // load-based, so the same request lands on either. Submitting one
+        // fixed batch many times must exercise both shards; f64 replies
+        // stay bitwise-exact, f32 replies must agree on every verdict and
+        // track the probabilities within single-precision tolerance.
+        let dim = 5;
+        let (pool, handles) = ShardPool::spawn_with_precisions(
+            tiny_model(dim),
+            &[Precision::F64, Precision::F32],
+            &BatchConfig::default(),
+        );
+        assert_eq!(pool.precisions(), vec![Precision::F64, Precision::F32]);
+        let snaps = pool.shard_snapshots();
+        assert_eq!(snaps[0].precision, Precision::F64);
+        assert_eq!(snaps[1].precision, Precision::F32);
+
+        let mut rng = Rng::seed_from_u64(34);
+        let x = Matrix::randn(6, dim, 1.0, &mut rng);
+        let mut model = tiny_model(dim);
+        let mut expect = Matrix::zeros(0, 0);
+        model.probs3_into(&x, &mut expect);
+        let (mut seen64, mut seen32) = (false, false);
+        for _ in 0..24 {
+            let served = pool.submit(x.data().to_vec(), 6).unwrap().recv().unwrap();
+            assert_eq!(served.probs.len(), 6 * 3);
+            match served.precision {
+                Precision::F64 => {
+                    seen64 = true;
+                    for (a, b) in expect.data().iter().zip(&served.probs) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                Precision::F32 => {
+                    seen32 = true;
+                    for r in 0..6 {
+                        let want = expect[(r, 0)] > expect[(r, 1)];
+                        let got = served.probs[r * 3] > served.probs[r * 3 + 1];
+                        assert_eq!(want, got, "verdict flip on row {r}");
+                        for c in 0..3 {
+                            let diff = (expect[(r, c)] - served.probs[r * 3 + c]).abs();
+                            assert!(diff < 1e-4, "row {r} class {c} diverged by {diff:e}");
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            seen64 && seen32,
+            "both precisions must score (f64 {seen64}, f32 {seen32})"
+        );
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn reload_lowers_the_checkpoint_into_each_shards_precision() {
+        // A reload against a mixed pool must hand the f64 shard a
+        // bit-exact replica and the f32 shard a lowering of the *new*
+        // checkpoint — both at the bumped version.
+        let dim = 4;
+        let (pool, handles) = ShardPool::spawn_with_precisions(
+            tiny_model(dim),
+            &[Precision::F64, Precision::F32],
+            &BatchConfig::default(),
+        );
+        let mut rng = Rng::seed_from_u64(57);
+        let mut next = Sgan::new(
+            dim,
+            &SganConfig {
+                d_hidden: vec![6],
+                g_hidden: vec![6],
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let path = scratch_path("reload-mixed.ckpt");
+        next.save(&path).unwrap();
+        let v = pool.reload(&path).unwrap();
+        assert_eq!(v, INITIAL_VERSION + 1);
+
+        let x = Matrix::randn(5, dim, 1.0, &mut rng);
+        let mut expect = Matrix::zeros(0, 0);
+        next.probs3_into(&x, &mut expect);
+        let (mut seen64, mut seen32) = (false, false);
+        for _ in 0..24 {
+            let got = pool.submit(x.data().to_vec(), 5).unwrap().recv().unwrap();
+            assert_eq!(got.version, v);
+            match got.precision {
+                Precision::F64 => {
+                    seen64 = true;
+                    for (a, b) in expect.data().iter().zip(&got.probs) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                Precision::F32 => {
+                    seen32 = true;
+                    for r in 0..5 {
+                        assert_eq!(
+                            expect[(r, 0)] > expect[(r, 1)],
+                            got.probs[r * 3] > got.probs[r * 3 + 1],
+                            "verdict flip on row {r} after reload"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(seen64 && seen32, "both precisions must score after reload");
+        drop(pool);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //!   a small SGAN on synthetic two-cluster data and writes a checkpoint, so
 //!   the serving path can be exercised without a full pipeline run.
 //! - `gale-serve serve --ckpt model.ckpt [--addr HOST:PORT] [--shards N]
-//!   [--mode evloop|blocking] [--max-batch N] [--max-wait-us U]
+//!   [--precision f64|f32[,per-shard list]] [--mode evloop|blocking]
+//!   [--max-batch N] [--max-wait-us U]
 //!   [--queue-capacity N]` — loads the checkpoint and serves `/score`,
 //!   `/healthz`, `/metrics`, `/admin/reload`, and the `/debug/{trace,
 //!   slow,queues}` introspection endpoints until `POST /admin/shutdown`
@@ -18,7 +19,7 @@
 
 use gale_core::{Sgan, SganConfig};
 use gale_json::json;
-use gale_serve::{serve, BatchConfig, ServeConfig, ServeMode};
+use gale_serve::{serve, BatchConfig, Precision, ServeConfig, ServeMode};
 use gale_tensor::{Matrix, Rng};
 use std::io::{Read, Write};
 use std::process::ExitCode;
@@ -50,7 +51,8 @@ gale-serve: sharded micro-batching inference server for GALE checkpoints
 USAGE:
   gale-serve train-demo --out PATH [--dim N] [--seed S]
   gale-serve serve --ckpt PATH [--addr HOST:PORT] [--shards N]
-                   [--mode evloop|blocking] [--max-batch N]
+                   [--precision f64|f32[,f32,..]] [--mode evloop|blocking]
+                   [--max-batch N]
                    [--max-wait-us U] [--queue-capacity N]
                    [--retry-after-secs S] [--keep-alive-secs S]
                    [--trace on|off] [--trace-sample N] [--trace-slow-us U]
@@ -145,6 +147,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--ckpt",
             "--addr",
             "--shards",
+            "--precision",
             "--mode",
             "--max-batch",
             "--max-wait-us",
@@ -165,6 +168,18 @@ fn run_serve(args: &[String]) -> Result<(), String> {
                 "flag `--mode` wants evloop|blocking, got `{other}`"
             ))
         }
+    };
+    // `--precision f32` runs every shard single-precision; a comma list
+    // (`--precision f64,f32`) names one precision per shard, in order.
+    let precision: Vec<Precision> = match find(&flags, "--precision") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|tok| {
+                Precision::parse(tok.trim())
+                    .ok_or_else(|| format!("flag `--precision` wants f64|f32 entries, got `{tok}`"))
+            })
+            .collect::<Result<_, _>>()?,
     };
     let trace = match find(&flags, "--trace").unwrap_or("on") {
         "on" => true,
@@ -187,6 +202,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         },
         retry_after_secs: parse_num(&flags, "--retry-after-secs", 1u32)?,
         shards: parse_num(&flags, "--shards", 1usize)?.max(1),
+        precision,
         mode,
         keep_alive_secs: parse_num(&flags, "--keep-alive-secs", 60u64)?,
         trace,

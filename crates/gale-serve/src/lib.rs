@@ -48,6 +48,7 @@ pub mod metrics;
 pub mod server;
 
 pub use batcher::{
-    BatchConfig, ReloadError, ScoreReply, ShardPool, ShardSnapshot, SubmitError, INITIAL_VERSION,
+    BatchConfig, Precision, ReloadError, ScoreReply, ShardPool, ShardSnapshot, SubmitError,
+    INITIAL_VERSION,
 };
 pub use server::{serve, ServeConfig, ServeMode, ServerHandle};

@@ -23,7 +23,7 @@
 //! shards drain and exit, so no accepted request goes unanswered no matter
 //! how many shards are racing the listener close.
 
-use crate::batcher::{BatchConfig, ReloadError, ScoreReply, ShardPool, SubmitError};
+use crate::batcher::{BatchConfig, Precision, ReloadError, ScoreReply, ShardPool, SubmitError};
 use crate::http::{self, HttpError, Request};
 use crate::metrics;
 use gale_core::Sgan;
@@ -60,6 +60,10 @@ pub struct ServeConfig {
     pub retry_after_secs: u32,
     /// Scorer shards, each owning a bit-exact model replica.
     pub shards: usize,
+    /// Per-shard serving precision. Empty runs every shard at `f64` (the
+    /// bit-exact default); one entry broadcasts to every shard; otherwise
+    /// the list must name one precision per shard, in shard order.
+    pub precision: Vec<Precision>,
     /// Connection-handling architecture.
     pub mode: ServeMode,
     /// Idle keep-alive connections are closed after this many seconds.
@@ -84,6 +88,7 @@ impl Default for ServeConfig {
             batch: BatchConfig::default(),
             retry_after_secs: 1,
             shards: 1,
+            precision: Vec::new(),
             mode: ServeMode::EventLoop,
             keep_alive_secs: 60,
             trace: true,
@@ -158,7 +163,19 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
             slow_us: cfg.trace_slow_us,
         },
     );
-    let (pool, shard_threads) = ShardPool::spawn(model, cfg.shards, &cfg.batch);
+    let shards = cfg.shards.max(1);
+    let precisions: Vec<Precision> = match cfg.precision.len() {
+        0 => vec![Precision::F64; shards],
+        1 => vec![cfg.precision[0]; shards],
+        n if n == shards => cfg.precision.clone(),
+        n => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("--precision names {n} shard precisions but --shards is {shards}"),
+            ))
+        }
+    };
+    let (pool, shard_threads) = ShardPool::spawn_with_precisions(model, &precisions, &cfg.batch);
     let ctx = Arc::new(Ctx {
         pool,
         shutdown: shutdown.clone(),
@@ -183,9 +200,14 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
     threads.push(front);
     threads.extend(shard_threads);
     gale_obs::info!(
-        "gale-serve listening on http://{addr} ({} shard{}, {:?} mode)",
-        cfg.shards.max(1),
-        if cfg.shards.max(1) == 1 { "" } else { "s" },
+        "gale-serve listening on http://{addr} ({} shard{} [{}], {:?} mode)",
+        precisions.len(),
+        if precisions.len() == 1 { "" } else { "s" },
+        precisions
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(","),
         cfg.mode
     );
     Ok(ServerHandle {
@@ -245,6 +267,7 @@ fn fill_scored(trace: &mut Option<Box<TraceState>>, scored: &ScoreReply) {
         state.ev.status = 200;
         state.ev.shard = scored.shard;
         state.ev.model_version = scored.version;
+        state.ev.precision_bits = scored.precision.bits();
         state.ev.batch_rows = scored.batch_rows;
         state.ev.queue_us = scored.queue_us;
         state.ev.assembly_us = scored.assembly_us;
@@ -336,6 +359,7 @@ fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Ou
                         "last_batch_rows": s.last_batch_rows,
                         "last_batch_version": s.last_batch_version,
                         "batches": s.batches,
+                        "precision": s.precision.as_str(),
                     })
                 })
                 .collect();
@@ -366,6 +390,13 @@ fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Ou
                     "input_dim": ctx.pool.input_dim(),
                     "model_version": Value::Int(ctx.pool.version() as i64),
                     "shards": ctx.pool.shard_count(),
+                    "precisions": Value::Array(
+                        ctx.pool
+                            .precisions()
+                            .iter()
+                            .map(|p| Value::from(p.as_str()))
+                            .collect(),
+                    ),
                     "mode": format!("{:?}", ctx.mode),
                 }),
                 ka,
@@ -901,7 +932,13 @@ fn tick_conn(conn: &mut Conn, ctx: &Ctx, draining: bool, scratch: &mut [u8]) -> 
                             200,
                             "OK",
                             &[],
-                            &score_body(&scored.probs, *rows, scored.version, *request_id),
+                            &score_body(
+                                &scored.probs,
+                                *rows,
+                                scored.version,
+                                *request_id,
+                                scored.precision,
+                            ),
                             *keep_alive,
                         ),
                         trace.take(),
@@ -1062,7 +1099,13 @@ fn handle_blocking_connection(mut stream: TcpStream, ctx: &Ctx) {
                         200,
                         "OK",
                         &[],
-                        &score_body(&scored.probs, rows, scored.version, request_id),
+                        &score_body(
+                            &scored.probs,
+                            rows,
+                            scored.version,
+                            request_id,
+                            scored.precision,
+                        ),
                         false,
                     ),
                     trace,
@@ -1181,7 +1224,13 @@ fn parse_features(body: &[u8], input_dim: usize) -> Result<(Vec<f64>, usize), St
 /// the request's trace records. Feeds the per-version score-distribution
 /// and verdict-mix series as a side effect, so `/metrics` shows a reload
 /// as a clean handover between generations.
-fn score_body(probs: &[f64], rows: usize, version: u64, request_id: u64) -> Value {
+fn score_body(
+    probs: &[f64],
+    rows: usize,
+    version: u64,
+    request_id: u64,
+    precision: Precision,
+) -> Value {
     let series = metrics::version_series(version);
     let mut prob_rows = Vec::with_capacity(rows);
     let mut error_scores = Vec::with_capacity(rows);
@@ -1212,6 +1261,7 @@ fn score_body(probs: &[f64], rows: usize, version: u64, request_id: u64) -> Valu
         "error_scores": Value::Array(error_scores),
         "verdicts": Value::Array(verdicts),
         "model_version": Value::Int(version as i64),
+        "precision": precision.as_str(),
         "request_id": request_id,
     })
 }
@@ -1248,7 +1298,7 @@ mod tests {
     #[test]
     fn score_body_reports_verdicts_and_renormalized_scores() {
         let probs = [0.6, 0.2, 0.2, 0.1, 0.7, 0.2];
-        let body = score_body(&probs, 2, 3, 77);
+        let body = score_body(&probs, 2, 3, 77, Precision::F32);
         let verdicts = body.get("verdicts").unwrap().as_array().unwrap();
         assert_eq!(verdicts[0].as_str(), Some("error"));
         assert_eq!(verdicts[1].as_str(), Some("correct"));
@@ -1256,6 +1306,7 @@ mod tests {
         assert!((scores[0].as_f64().unwrap() - 0.75).abs() < 1e-12);
         assert!((scores[1].as_f64().unwrap() - 0.125).abs() < 1e-12);
         assert_eq!(body.get("model_version").unwrap().as_u64(), Some(3));
+        assert_eq!(body.get("precision").unwrap().as_str(), Some("f32"));
         assert_eq!(body.get("request_id").unwrap().as_u64(), Some(77));
         // The per-version series saw both rows.
         let series = metrics::version_series(3);

@@ -5,7 +5,7 @@
 
 use gale_core::{Sgan, SganConfig};
 use gale_json::Value;
-use gale_serve::{serve, BatchConfig, ServeConfig};
+use gale_serve::{serve, BatchConfig, Precision, ServeConfig};
 use gale_tensor::{Matrix, Rng};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -358,4 +358,89 @@ fn shutdown_drains_in_flight_requests() {
     }
     // The server is gone: new connections must fail.
     assert!(TcpStream::connect(addr).is_err());
+}
+
+#[test]
+fn mixed_precision_shards_agree_on_verdicts_end_to_end() {
+    // A two-shard server, one shard per precision. The same deterministic
+    // corpus is scored until both shards have answered; every f32 reply
+    // must agree with the f64 in-process forward on every verdict, the
+    // reply must say which precision scored it, and the introspection
+    // endpoints (`/healthz`, `/debug/queues`, `/metrics`) must expose the
+    // per-shard precisions.
+    let dim = 6;
+    let mut reference = tiny_model(dim, 41);
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        shards: 2,
+        precision: vec![Precision::F64, Precision::F32],
+        ..Default::default()
+    };
+    let handle = serve(tiny_model(dim, 41), &cfg).unwrap();
+    let addr = handle.addr();
+
+    let health = get(addr, "/healthz").json();
+    let precisions = health.get("precisions").unwrap().as_array().unwrap();
+    assert_eq!(precisions[0].as_str(), Some("f64"));
+    assert_eq!(precisions[1].as_str(), Some("f32"));
+
+    // The fixed tolerance corpus: seeded, so every run (and the precision
+    // bench) scores the same rows.
+    let mut rng = Rng::seed_from_u64(4242);
+    let x = Matrix::randn(8, dim, 1.0, &mut rng);
+    let mut expect = Matrix::zeros(0, 0);
+    reference.probs3_into(&x, &mut expect);
+    let body = score_request_body(&x);
+    let (mut seen64, mut seen32) = (false, false);
+    for _ in 0..24 {
+        let resp = post(addr, "/score", &body);
+        assert_eq!(resp.status, 200);
+        let doc = resp.json();
+        let verdicts = doc.get("verdicts").unwrap().as_array().unwrap();
+        assert_eq!(verdicts.len(), 8);
+        for (r, v) in verdicts.iter().enumerate() {
+            let want = if expect[(r, 0)] > expect[(r, 1)] {
+                "error"
+            } else {
+                "correct"
+            };
+            assert_eq!(v.as_str(), Some(want), "verdict flip on row {r}");
+        }
+        match doc.get("precision").unwrap().as_str().unwrap() {
+            "f64" => {
+                seen64 = true;
+                // The f64 shard stays bitwise-exact even in a mixed pool.
+                let probs = doc.get("probs").unwrap().as_array().unwrap();
+                for (r, row) in probs.iter().enumerate() {
+                    for (c, v) in row.as_array().unwrap().iter().enumerate() {
+                        assert_eq!(v.as_f64().unwrap().to_bits(), expect[(r, c)].to_bits());
+                    }
+                }
+            }
+            "f32" => {
+                seen32 = true;
+                let probs = doc.get("probs").unwrap().as_array().unwrap();
+                for (r, row) in probs.iter().enumerate() {
+                    for (c, v) in row.as_array().unwrap().iter().enumerate() {
+                        let diff = (v.as_f64().unwrap() - expect[(r, c)]).abs();
+                        assert!(diff < 1e-4, "row {r} class {c} diverged by {diff:e}");
+                    }
+                }
+            }
+            other => panic!("unknown precision {other:?}"),
+        }
+    }
+    assert!(
+        seen64 && seen32,
+        "both shards must score (f64 {seen64}, f32 {seen32})"
+    );
+
+    let queues = get(addr, "/debug/queues").json();
+    let shards = queues.get("shards").unwrap().as_array().unwrap();
+    assert_eq!(shards[0].get("precision").unwrap().as_str(), Some("f64"));
+    assert_eq!(shards[1].get("precision").unwrap().as_str(), Some("f32"));
+    assert_eq!(metric_value(addr, "serve_precision_shard0"), 64.0);
+    assert_eq!(metric_value(addr, "serve_precision_shard1"), 32.0);
+
+    handle.shutdown();
 }

@@ -1,0 +1,336 @@
+//! The sealed [`Element`] trait: the two scalar types (`f64`, `f32`) the
+//! dense kernels are generic over.
+//!
+//! Training, checkpoints, and every Tier-1 determinism contract stay
+//! bit-exact `f64`; `f32` exists purely as an *inference* element so the
+//! serving tier can halve its memory bandwidth on the GEMM / distance /
+//! softmax hot paths. The trait is sealed because the kernels bake in
+//! per-type facts that don't generalize: the cache-line lane layout of
+//! [`crate::aligned::AVec`], and the SIMD dot/sweep backends in
+//! [`crate::distance`] (eight `f64` lanes or sixteen `f32` lanes per
+//! 64-byte line).
+//!
+//! Determinism carries over per element type: for a fixed `E`, every
+//! kernel is thread-count invariant and backend invariant (scalar, AVX,
+//! AVX-512 produce identical bits), exactly as the f64 contract in
+//! DESIGN.md — the f32 path is deterministic too, it is just a *different*
+//! (lower-precision) deterministic function than the f64 path.
+
+use std::fmt::{Debug, Display};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for f32 {}
+}
+
+/// One 64-byte cache line of eight `f64`s (the [`crate::aligned::AVec`]
+/// allocation granule for the f64 element type).
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+pub struct LaneF64(pub(crate) [f64; 8]);
+
+/// One 64-byte cache line of sixteen `f32`s.
+#[derive(Clone, Copy)]
+#[repr(C, align(64))]
+pub struct LaneF32(pub(crate) [f32; 16]);
+
+const _: () = assert!(std::mem::size_of::<LaneF64>() == 64);
+const _: () = assert!(std::mem::align_of::<LaneF64>() == 64);
+const _: () = assert!(std::mem::size_of::<LaneF32>() == 64);
+const _: () = assert!(std::mem::align_of::<LaneF32>() == 64);
+
+/// Scalar element type of the dense kernels: `f64` (training + serving
+/// default) or `f32` (inference-only replicas).
+///
+/// Everything generic code needs funnels through here: arithmetic (via the
+/// `std::ops` supertraits), the handful of transcendental functions the
+/// layers use, the cache-line lane type backing [`crate::aligned::AVec`],
+/// and the SIMD-dispatched dot/sweep kernels whose per-lane accumulation
+/// chains are fixed per element type (see [`crate::distance`]).
+pub trait Element:
+    sealed::Sealed
+    + Copy
+    + Default
+    + Send
+    + Sync
+    + PartialOrd
+    + Debug
+    + Display
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Negative infinity (softmax row-max seed).
+    const NEG_INFINITY: Self;
+    /// Bit width of the element (64 or 32); stamped into serving telemetry.
+    const BITS: u32;
+    /// Elements per 64-byte cache-line lane (8 for f64, 16 for f32).
+    const LANE: usize;
+
+    /// The `#[repr(C, align(64))]` cache-line lane backing
+    /// [`crate::aligned::AVec`] storage for this element type.
+    type Lane: Copy + Send + Sync + 'static;
+
+    /// A lane with every slot set to `v`.
+    fn lane_splat(v: Self) -> Self::Lane;
+
+    /// Conversion from `f64` (rounds to nearest for `f32`); the one-way
+    /// checkpoint-lowering direction.
+    fn from_f64(v: f64) -> Self;
+    /// Widening back to `f64` (exact for both element types).
+    fn to_f64(self) -> f64;
+
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// IEEE maximum (NaN-ignoring, like `f64::max`).
+    fn max_e(self, other: Self) -> Self;
+    /// `true` for finite (non-NaN, non-infinite) values.
+    fn is_finite(self) -> bool;
+
+    /// Dot product over this element's fixed per-lane accumulation chain,
+    /// dispatched to the widest SIMD backend at runtime. Every backend
+    /// produces identical bits for a given `E` (see `crate::distance`).
+    fn dot_chain(a: &[Self], b: &[Self]) -> Self;
+
+    /// Fan-out sweep `out[i] = gram_sq(norms[i], tsq, dot(slab row i, t))`
+    /// over a contiguous row-major `slab` (`out.len()` rows of `cols`).
+    /// Per-row arithmetic matches [`Element::dot_chain`] bit for bit at
+    /// any block position.
+    fn sq_sweep(
+        slab: &[Self],
+        cols: usize,
+        norms: &[Self],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    );
+
+    /// As [`Element::sq_sweep`] over a gathered candidate subset:
+    /// `out[i]` pairs row `indices[i]` of the full `points` slab with `t`;
+    /// `norms` covers all rows.
+    #[allow(clippy::too_many_arguments)]
+    fn sq_sweep_indexed(
+        points: &[Self],
+        cols: usize,
+        norms: &[Self],
+        indices: &[usize],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    );
+}
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f64::NEG_INFINITY;
+    const BITS: u32 = 64;
+    const LANE: usize = 8;
+
+    type Lane = LaneF64;
+
+    #[inline]
+    fn lane_splat(v: Self) -> LaneF64 {
+        LaneF64([v; 8])
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f64::exp(self)
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        f64::tanh(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn max_e(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+
+    #[inline]
+    fn dot_chain(a: &[Self], b: &[Self]) -> Self {
+        crate::distance::dot_unrolled(a, b)
+    }
+
+    #[inline]
+    fn sq_sweep(
+        slab: &[Self],
+        cols: usize,
+        norms: &[Self],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    ) {
+        crate::distance::sq_sweep_f64(slab, cols, norms, t, tsq, out);
+    }
+
+    #[inline]
+    fn sq_sweep_indexed(
+        points: &[Self],
+        cols: usize,
+        norms: &[Self],
+        indices: &[usize],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    ) {
+        crate::distance::sq_sweep_indexed_f64(points, cols, norms, indices, t, tsq, out);
+    }
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const NEG_INFINITY: Self = f32::NEG_INFINITY;
+    const BITS: u32 = 32;
+    const LANE: usize = 16;
+
+    type Lane = LaneF32;
+
+    #[inline]
+    fn lane_splat(v: Self) -> LaneF32 {
+        LaneF32([v; 16])
+    }
+
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn exp(self) -> Self {
+        f32::exp(self)
+    }
+    #[inline]
+    fn tanh(self) -> Self {
+        f32::tanh(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn max_e(self, other: Self) -> Self {
+        f32::max(self, other)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+
+    #[inline]
+    fn dot_chain(a: &[Self], b: &[Self]) -> Self {
+        crate::distance::dot_unrolled_f32(a, b)
+    }
+
+    #[inline]
+    fn sq_sweep(
+        slab: &[Self],
+        cols: usize,
+        norms: &[Self],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    ) {
+        crate::distance::sq_sweep_f32(slab, cols, norms, t, tsq, out);
+    }
+
+    #[inline]
+    fn sq_sweep_indexed(
+        points: &[Self],
+        cols: usize,
+        norms: &[Self],
+        indices: &[usize],
+        t: &[Self],
+        tsq: Self,
+        out: &mut [Self],
+    ) {
+        crate::distance::sq_sweep_indexed_f32(points, cols, norms, indices, t, tsq, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_conversions() {
+        assert_eq!(<f64 as Element>::BITS, 64);
+        assert_eq!(<f32 as Element>::BITS, 32);
+        assert_eq!(<f64 as Element>::LANE, 8);
+        assert_eq!(<f32 as Element>::LANE, 16);
+        assert_eq!(f32::from_f64(1.5), 1.5f32);
+        assert_eq!(1.5f32.to_f64(), 1.5f64);
+        // Narrowing rounds to nearest.
+        let x = 0.1f64;
+        assert_eq!(f32::from_f64(x), x as f32);
+    }
+
+    #[test]
+    fn generic_math_matches_inherent() {
+        fn probe<E: Element>(v: f64) -> [f64; 5] {
+            let x = E::from_f64(v);
+            [
+                x.sqrt().to_f64(),
+                x.exp().to_f64(),
+                x.tanh().to_f64(),
+                (-x).abs().to_f64(),
+                x.max_e(E::ZERO).to_f64(),
+            ]
+        }
+        let got = probe::<f64>(2.25);
+        assert_eq!(got[0], 1.5);
+        assert_eq!(got[3], 2.25);
+        let got32 = probe::<f32>(2.25);
+        assert_eq!(got32[0], 1.5);
+        assert!(got32[1].is_finite());
+    }
+}

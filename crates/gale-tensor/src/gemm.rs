@@ -15,6 +15,8 @@
 //! [`crate::par::par_chunks_mut`] can hand disjoint row ranges to the
 //! worker pool; row results never depend on which chunk computed them.
 
+use crate::element::Element;
+
 /// Output rows per register tile.
 pub(crate) const MR: usize = 4;
 /// Output columns per register tile.
@@ -23,14 +25,14 @@ pub(crate) const NR: usize = 8;
 /// `block = A[row0..row0+rows, :] * B` for row-major `A` (`lda = k_dim`)
 /// and `B` (`k_dim x n`). `block` holds `rows * n` elements and is fully
 /// overwritten.
-pub(crate) fn gemm_nn_block(
-    a: &[f64],
+pub(crate) fn gemm_nn_block<E: Element>(
+    a: &[E],
     lda: usize,
     k_dim: usize,
-    b: &[f64],
+    b: &[E],
     n: usize,
     row0: usize,
-    block: &mut [f64],
+    block: &mut [E],
 ) {
     if n == 0 {
         return;
@@ -43,7 +45,7 @@ pub(crate) fn gemm_nn_block(
         while jb < n {
             let jl = NR.min(n - jb);
             if il == MR && jl == NR {
-                let mut acc = [[0.0f64; NR]; MR];
+                let mut acc = [[E::ZERO; NR]; MR];
                 for k in 0..k_dim {
                     let brow = &b[k * n + jb..k * n + jb + NR];
                     for ii in 0..MR {
@@ -61,7 +63,7 @@ pub(crate) fn gemm_nn_block(
                 for ii in 0..il {
                     let arow = &a[(row0 + ib + ii) * lda..(row0 + ib + ii) * lda + k_dim];
                     for jj in 0..jl {
-                        let mut s = 0.0;
+                        let mut s = E::ZERO;
                         for (k, &aik) in arow.iter().enumerate() {
                             s += aik * b[k * n + jb + jj];
                         }
@@ -81,14 +83,14 @@ pub(crate) fn gemm_nn_block(
 /// (the `C += Aᵀ B` form used for gradient accumulation); otherwise the
 /// block is fully overwritten.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn gemm_tn_block(
-    a: &[f64],
+pub(crate) fn gemm_tn_block<E: Element>(
+    a: &[E],
     lda: usize,
     k_dim: usize,
-    b: &[f64],
+    b: &[E],
     n: usize,
     row0: usize,
-    block: &mut [f64],
+    block: &mut [E],
     acc0: bool,
 ) {
     if n == 0 {
@@ -102,7 +104,7 @@ pub(crate) fn gemm_tn_block(
         while jb < n {
             let jl = NR.min(n - jb);
             if il == MR && jl == NR {
-                let mut acc = [[0.0f64; NR]; MR];
+                let mut acc = [[E::ZERO; NR]; MR];
                 if acc0 {
                     for ii in 0..MR {
                         acc[ii]
@@ -130,7 +132,7 @@ pub(crate) fn gemm_tn_block(
                         let mut s = if acc0 {
                             block[(ib + ii) * n + jb + jj]
                         } else {
-                            0.0
+                            E::ZERO
                         };
                         for k in 0..k_dim {
                             s += a[k * lda + i] * b[k * n + jb + jj];
@@ -148,14 +150,14 @@ pub(crate) fn gemm_tn_block(
 /// `block = (A Bᵀ)[row0..row0+rows, :]` for row-major `A` (`lda = k_dim`)
 /// and `B` (`n x k_dim`); output column `j` reads `B`'s row `j`. `block`
 /// holds `rows * n` elements and is fully overwritten.
-pub(crate) fn gemm_nt_block(
-    a: &[f64],
+pub(crate) fn gemm_nt_block<E: Element>(
+    a: &[E],
     lda: usize,
     k_dim: usize,
-    b: &[f64],
+    b: &[E],
     n: usize,
     row0: usize,
-    block: &mut [f64],
+    block: &mut [E],
 ) {
     if n == 0 {
         return;
@@ -168,9 +170,9 @@ pub(crate) fn gemm_nt_block(
         while jb < n {
             let jl = NR.min(n - jb);
             if il == MR && jl == NR {
-                let mut acc = [[0.0f64; NR]; MR];
+                let mut acc = [[E::ZERO; NR]; MR];
                 for k in 0..k_dim {
-                    let mut bvals = [0.0f64; NR];
+                    let mut bvals = [E::ZERO; NR];
                     for jj in 0..NR {
                         bvals[jj] = b[(jb + jj) * k_dim + k];
                     }
@@ -189,7 +191,7 @@ pub(crate) fn gemm_nt_block(
                     let arow = &a[(row0 + ib + ii) * lda..(row0 + ib + ii) * lda + k_dim];
                     for jj in 0..jl {
                         let brow = &b[(jb + jj) * k_dim..(jb + jj) * k_dim + k_dim];
-                        let mut s = 0.0;
+                        let mut s = E::ZERO;
                         for k in 0..k_dim {
                             s += arow[k] * brow[k];
                         }
@@ -203,10 +205,14 @@ pub(crate) fn gemm_nt_block(
     }
 }
 
-/// Records the standard GEMM telemetry for an `m x k * k x n` product.
+/// Records the standard GEMM telemetry for an `m x k * k x n` product of
+/// `E` elements (the byte counter scales with the element width).
 #[inline]
-pub(crate) fn record_gemm_counters(m: usize, k: usize, n: usize) {
+pub(crate) fn record_gemm_counters<E: Element>(m: usize, k: usize, n: usize) {
     gale_obs::counter_add!("kernel.gemm.calls", 1);
     gale_obs::counter_add!("kernel.gemm.flops", (2 * m * n * k) as u64);
-    gale_obs::counter_add!("kernel.gemm.bytes", (8 * (m * k + k * n + m * n)) as u64);
+    gale_obs::counter_add!(
+        "kernel.gemm.bytes",
+        (std::mem::size_of::<E>() * (m * k + k * n + m * n)) as u64
+    );
 }

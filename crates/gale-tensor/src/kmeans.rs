@@ -272,7 +272,7 @@ pub fn kmeans(points: &Matrix, cfg: &KMeansConfig, rng: &mut Rng) -> KMeansResul
             n,
             |range| {
                 let mut inertia = 0.0;
-                let mut sums = Matrix::zeros(k, d);
+                let mut sums: Matrix = Matrix::zeros(k, d);
                 let mut counts = vec![0usize; k];
                 for i in range {
                     let c = assignments[i];

@@ -23,6 +23,7 @@
 pub mod aligned;
 pub mod block;
 pub mod distance;
+pub mod element;
 mod gemm;
 pub mod kmeans;
 pub mod linalg;
@@ -38,6 +39,7 @@ pub use aligned::AVec;
 pub use block::{
     matvec_access, spmm_access_into, CsrBlock, EdgeSample, NeighborAccess, SymNormalized,
 };
+pub use element::Element;
 pub use kmeans::{kmeans, KMeansConfig, KMeansResult};
 pub use linalg::{solve, sym_eigen, SymEigen};
 pub use matrix::Matrix;

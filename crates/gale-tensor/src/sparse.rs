@@ -173,6 +173,47 @@ impl SparseMatrix {
         );
     }
 
+    /// [`SparseMatrix::spmm_into`] against a reduced-precision dense
+    /// operand: CSR values stay `f64` on disk and are lowered to `E` at
+    /// accumulate time, mirroring the f64 kernel's row-major, CSR-order
+    /// accumulation exactly. For `E = f64` the lowering is the identity and
+    /// the result is bitwise equal to [`SparseMatrix::spmm_into`]; for
+    /// `E = f32` it is the same deterministic chain at single precision.
+    pub fn spmm_lowered_into<E: crate::Element>(&self, dense: &Matrix<E>, out: &mut Matrix<E>) {
+        assert_eq!(
+            self.cols,
+            dense.rows(),
+            "spmm_lowered_into: {}x{} * {}x{}",
+            self.rows,
+            self.cols,
+            dense.rows(),
+            dense.cols()
+        );
+        let n = dense.cols();
+        gale_obs::counter_add!("kernel.spmm.calls", 1);
+        gale_obs::counter_add!("kernel.spmm.flops", (2 * self.nnz() * n) as u64);
+        gale_obs::counter_add!(
+            "kernel.spmm.bytes",
+            (std::mem::size_of::<E>() * (2 * self.nnz() + self.nnz() * n + self.rows * n)) as u64
+        );
+        out.resize(self.rows, n);
+        let (indptr, indices, values) = (&self.indptr, &self.indices, &self.values);
+        crate::par::par_chunks_mut(out.data_mut(), n.max(1), |start, block| {
+            let row0 = start / n.max(1);
+            for (b, orow) in block.chunks_mut(n).enumerate() {
+                orow.fill(E::ZERO);
+                let r = row0 + b;
+                for k in indptr[r]..indptr[r + 1] {
+                    let v = E::from_f64(values[k]);
+                    let drow = dense.row(indices[k]);
+                    for j in 0..n {
+                        orow[j] += v * drow[j];
+                    }
+                }
+            }
+        });
+    }
+
     /// The `(row, col)` coordinates of the `k`-th stored entry in row-major
     /// CSR order (`k < nnz()`). O(log rows) via the row-pointer table.
     pub fn entry_coords(&self, k: usize) -> (usize, usize) {
