@@ -201,22 +201,7 @@ fn measure_tolerance() -> Value {
     })
 }
 
-/// Default report path: `<repo root>/BENCH_precision.json`.
-fn default_report_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_precision.json")
-}
-
-/// Anchors a relative env-var path at the repo root (cargo runs bench
-/// binaries with `crates/bench` as the working directory).
-fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
-    if p.is_absolute() {
-        p
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(p)
-    }
-}
+use gale_bench::paths::{repo_path, report_path};
 
 fn main() {
     let _ = std::env::args();
@@ -228,9 +213,7 @@ fn main() {
     criterion::flush_telemetry();
     let tolerance = measure_tolerance();
 
-    let out_path = std::env::var("GALE_BENCH_PRECISION_OUT")
-        .map(|p| repo_path(p.into()))
-        .unwrap_or_else(|_| default_report_path());
+    let out_path = report_path("GALE_BENCH_PRECISION_OUT", "BENCH_precision.json");
     let baseline_path = std::env::var("GALE_BENCH_PRECISION_BASELINE")
         .map(|p| repo_path(p.into()))
         .unwrap_or_else(|_| out_path.clone());

@@ -234,21 +234,7 @@ fn run_leg(nodes: usize, with_full_ref: bool) -> std::io::Result<(LegResult, Opt
     ))
 }
 
-fn default_report_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_scale.json")
-}
-
-/// Anchors a relative env-var path at the repo root (cargo bench runs with
-/// `crates/bench` as the working directory).
-fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
-    if p.is_absolute() {
-        p
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(p)
-    }
-}
+use gale_bench::paths::{repo_path, report_path};
 
 fn main() {
     let _ = std::env::args();
@@ -305,9 +291,7 @@ fn main() {
         .filter_map(|(key, v)| v.as_f64().map(|s| (key.clone(), s)))
         .collect();
 
-    let out_path = std::env::var("GALE_BENCH_SCALE_OUT")
-        .map(|p| repo_path(p.into()))
-        .unwrap_or_else(|_| default_report_path());
+    let out_path = report_path("GALE_BENCH_SCALE_OUT", "BENCH_scale.json");
     let baseline_path = std::env::var("GALE_BENCH_SCALE_BASELINE")
         .map(|p| repo_path(p.into()))
         .unwrap_or_else(|_| out_path.clone());

@@ -278,24 +278,7 @@ fn throughput_for(
     }
 }
 
-/// Default report path: `<repo root>/BENCH_select.json`.
-fn default_report_path() -> std::path::PathBuf {
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_select.json")
-}
-
-/// Anchors a relative env-var path at the repo root. Cargo runs bench
-/// binaries with `crates/bench` as the working directory, so a bare
-/// `BENCH_select.json` from CI would otherwise resolve two levels deep
-/// and silently miss the committed baseline.
-fn repo_path(p: std::path::PathBuf) -> std::path::PathBuf {
-    if p.is_absolute() {
-        p
-    } else {
-        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-            .join("../..")
-            .join(p)
-    }
-}
+use gale_bench::paths::{repo_path, report_path};
 
 fn main() {
     let _ = std::env::args();
@@ -306,9 +289,7 @@ fn main() {
     // Custom main bypasses criterion_main!, so flush bench traces here.
     criterion::flush_telemetry();
 
-    let out_path = std::env::var("GALE_BENCH_SELECT_OUT")
-        .map(|p| repo_path(p.into()))
-        .unwrap_or_else(|_| default_report_path());
+    let out_path = report_path("GALE_BENCH_SELECT_OUT", "BENCH_select.json");
     // The baseline is whatever report was committed at the same path
     // (override with GALE_BENCH_SELECT_BASELINE); read it before
     // overwriting.

@@ -15,6 +15,7 @@ pub mod exp_noise;
 pub mod exp_table4;
 pub mod exp_tables;
 pub mod harness;
+pub mod paths;
 
 pub use exp_ablation::ablation;
 pub use exp_casestudy::casestudy;

@@ -21,6 +21,7 @@ pub mod pipeline;
 pub mod scale;
 pub mod select;
 pub mod sgan;
+pub mod standardize;
 pub mod strategies;
 pub mod typicality;
 
@@ -35,6 +36,7 @@ pub use pipeline::{run_gale, GaleConfig, GaleOutcome, IterationRecord};
 pub use scale::{run_gale_scale, ScaleGaleConfig, ScaleOutcome};
 pub use select::{objective, qselect};
 pub use sgan::{Sgan, SganConfig, SganInfer, TrainStats, SYNTHETIC_CLASS};
+pub use standardize::ColumnStandardizer;
 pub use strategies::{cold_start_queries, select_queries, QueryStrategy, SelectionInputs};
 pub use typicality::{
     clustering_typicality, topological_typicality, typicality_scores, TypicalityContext,

@@ -290,6 +290,32 @@ impl MemoCache {
         }
     }
 
+    /// Grows the version vector to cover `n` nodes (new nodes start at
+    /// version 0) without touching existing entries. Graph deltas can add
+    /// nodes between embedding installs, and [`MemoCache::distance`] /
+    /// [`MemoCache::typicality`] index the version vector directly, so it
+    /// must cover every live node id before those are consulted.
+    pub fn ensure_len(&mut self, n: usize) {
+        if self.versions.len() < n {
+            self.versions.resize(n, 0);
+        }
+    }
+
+    /// Bumps the dirty version of each listed node directly — the
+    /// graph-delta generalization of [`MemoCache::update_embeddings`]'s
+    /// AL-iteration snapshot diffing. Cached distances, typicality
+    /// entries, and row norms involving these nodes go stale immediately,
+    /// without waiting for the next embedding install.
+    pub fn invalidate_nodes(&mut self, nodes: &[usize]) {
+        if let Some(max) = nodes.iter().copied().max() {
+            self.ensure_len(max + 1);
+        }
+        for &v in nodes {
+            self.versions[v] += 1;
+        }
+        gale_obs::counter_add!("memo.dirty_rows", nodes.len() as u64);
+    }
+
     /// Current version of a node's embedding (diagnostics).
     pub fn version(&self, node: usize) -> u64 {
         self.versions.get(node).copied().unwrap_or(0)
@@ -476,5 +502,49 @@ mod tests {
                 assert_eq!(memo.distance(&h, i, j), exact);
             }
         }
+    }
+
+    #[test]
+    fn invalidate_nodes_busts_cached_pairs() {
+        let mut rng = Rng::seed_from_u64(10);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        let _ = memo.distance(&h, 2, 7);
+        let _ = memo.distance(&h, 2, 7);
+        assert_eq!(memo.hits, 1, "second lookup should hit");
+        memo.invalidate_nodes(&[7]);
+        let _ = memo.distance(&h, 2, 7);
+        assert_eq!(memo.hits, 1, "invalidated pair must recompute");
+        // Unrelated pairs keep hitting.
+        let _ = memo.distance(&h, 0, 1);
+        let _ = memo.distance(&h, 0, 1);
+        assert_eq!(memo.hits, 2);
+    }
+
+    #[test]
+    fn invalidate_nodes_busts_typicality() {
+        let mut rng = Rng::seed_from_u64(11);
+        let h = embeddings(&mut rng);
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.update_embeddings(&h);
+        memo.store_typicality(3, 0.5);
+        assert_eq!(memo.typicality(3), Some(0.5));
+        memo.invalidate_nodes(&[3]);
+        assert_eq!(memo.typicality(3), None);
+    }
+
+    #[test]
+    fn ensure_len_grows_for_delta_added_nodes() {
+        let mut memo = MemoCache::new(true, 1e-9);
+        memo.ensure_len(4);
+        assert_eq!(memo.version(3), 0);
+        // Invalidating past the current length grows the vector too.
+        memo.invalidate_nodes(&[9]);
+        assert_eq!(memo.version(9), 1);
+        assert_eq!(memo.version(5), 0);
+        // Shrinking never happens.
+        memo.ensure_len(2);
+        assert_eq!(memo.version(9), 1);
     }
 }

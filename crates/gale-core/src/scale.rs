@@ -159,7 +159,9 @@ impl ScaleOutcome {
 }
 
 /// `[x | z]` with every column standardized to zero mean / unit variance
-/// (columns with no spread pass through centered only).
+/// (columns with no spread pass through centered only). Fit-and-apply in
+/// one step via [`crate::ColumnStandardizer`], which the streaming engine
+/// also uses with a *frozen* fit.
 fn standardized_concat(x: &Matrix, z: &Matrix) -> Matrix {
     assert_eq!(x.rows(), z.rows(), "standardized_concat: row mismatch");
     let n = x.rows();
@@ -170,23 +172,8 @@ fn standardized_concat(x: &Matrix, z: &Matrix) -> Matrix {
         row[..dx].copy_from_slice(x.row(r));
         row[dx..].copy_from_slice(z.row(r));
     }
-    for c in 0..dx + dz {
-        let mut mean = 0.0;
-        for r in 0..n {
-            mean += out[(r, c)];
-        }
-        mean /= n.max(1) as f64;
-        let mut var = 0.0;
-        for r in 0..n {
-            let d = out[(r, c)] - mean;
-            var += d * d;
-        }
-        let std = (var / n.max(1) as f64).sqrt();
-        let scale = if std > 1e-12 { 1.0 / std } else { 1.0 };
-        for r in 0..n {
-            out[(r, c)] = (out[(r, c)] - mean) * scale;
-        }
-    }
+    let st = crate::ColumnStandardizer::fit(&out);
+    st.apply(&mut out);
     out
 }
 

@@ -1,0 +1,136 @@
+//! Frozen per-column standardization.
+//!
+//! The batch pipeline standardizes the discriminator input `[X | Z]` to
+//! zero mean / unit variance over the whole training population. A
+//! streaming engine that re-scores single nodes after a graph delta must
+//! apply the *same* affine map — re-fitting on a mutated population would
+//! shift every node's input and invalidate every cached verdict — so the
+//! `(mean, scale)` vectors are promoted to a model artifact: fitted once
+//! at build time, serialized next to the checkpoints, and applied
+//! row-locally forever after.
+
+use gale_tensor::Matrix;
+
+/// A fitted per-column affine map `v ↦ (v - mean[c]) * scale[c]`.
+///
+/// `scale[c]` is `1/std` for columns with spread and `1.0` for constant
+/// columns (which pass through centered only), matching the batch
+/// pipeline's rule exactly. Applying the map is elementwise, so any
+/// row subset transforms bitwise-identically to the full matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStandardizer {
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+}
+
+impl ColumnStandardizer {
+    /// Fits mean and `1/std` per column of `m`, summing rows in ascending
+    /// order (the fit is part of the bitwise contract: a refit over the
+    /// same matrix reproduces the same bits).
+    pub fn fit(m: &Matrix) -> Self {
+        let n = m.rows();
+        let cols = m.cols();
+        let mut mean = vec![0.0; cols];
+        let mut scale = vec![1.0; cols];
+        for c in 0..cols {
+            let mut mu = 0.0;
+            for r in 0..n {
+                mu += m[(r, c)];
+            }
+            mu /= n.max(1) as f64;
+            let mut var = 0.0;
+            for r in 0..n {
+                let d = m[(r, c)] - mu;
+                var += d * d;
+            }
+            let std = (var / n.max(1) as f64).sqrt();
+            mean[c] = mu;
+            scale[c] = if std > 1e-12 { 1.0 / std } else { 1.0 };
+        }
+        ColumnStandardizer { mean, scale }
+    }
+
+    /// Reconstructs a standardizer from serialized `(mean, scale)`
+    /// vectors (e.g. a streaming bundle's frozen artifact).
+    pub fn from_parts(mean: Vec<f64>, scale: Vec<f64>) -> Self {
+        assert_eq!(
+            mean.len(),
+            scale.len(),
+            "ColumnStandardizer: mean/scale length mismatch"
+        );
+        ColumnStandardizer { mean, scale }
+    }
+
+    /// Number of columns the map covers.
+    pub fn cols(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The fitted per-column means.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The fitted per-column scales (`1/std`, or `1.0` for constant columns).
+    pub fn scale(&self) -> &[f64] {
+        &self.scale
+    }
+
+    /// Standardizes one row in place.
+    pub fn apply_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.mean.len(), "ColumnStandardizer: row width");
+        for (c, v) in row.iter_mut().enumerate() {
+            *v = (*v - self.mean[c]) * self.scale[c];
+        }
+    }
+
+    /// Standardizes every row of `m` in place.
+    pub fn apply(&self, m: &mut Matrix) {
+        for r in 0..m.rows() {
+            self.apply_row(m.row_mut(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gale_tensor::Rng;
+
+    #[test]
+    fn constant_columns_center_only() {
+        let m = Matrix::from_vec(3, 2, vec![2.0, 1.0, 2.0, 5.0, 2.0, 9.0]);
+        let st = ColumnStandardizer::fit(&m);
+        assert_eq!(st.scale()[0], 1.0);
+        let mut out = m.clone();
+        st.apply(&mut out);
+        for r in 0..3 {
+            assert_eq!(out[(r, 0)], 0.0);
+        }
+    }
+
+    #[test]
+    fn row_subset_matches_full_apply_bitwise() {
+        let mut rng = Rng::seed_from_u64(21);
+        let m = Matrix::randn(16, 5, 2.0, &mut rng);
+        let st = ColumnStandardizer::fit(&m);
+        let mut full = m.clone();
+        st.apply(&mut full);
+        for r in [0usize, 7, 15] {
+            let mut row: Vec<f64> = m.row(r).to_vec();
+            st.apply_row(&mut row);
+            let got: Vec<u64> = row.iter().map(|v| v.to_bits()).collect();
+            let want: Vec<u64> = full.row(r).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "row {r}");
+        }
+    }
+
+    #[test]
+    fn refit_is_bitwise_stable() {
+        let mut rng = Rng::seed_from_u64(22);
+        let m = Matrix::randn(9, 4, 1.0, &mut rng);
+        let a = ColumnStandardizer::fit(&m);
+        let b = ColumnStandardizer::fit(&m);
+        assert_eq!(a, b);
+    }
+}

@@ -27,7 +27,7 @@ pub use propagation::{
     ppr_single, ppr_smooth, ppr_smooth_access, ppr_smooth_matrix, soft_labels, PropagationConfig,
 };
 pub use schema::{AttrId, AttrKind, EdgeTypeId, NodeTypeId, Schema};
-pub use store::{write_csr, CsrStore, CsrWriter};
+pub use store::{write_csr, CsrStore, CsrWriter, StoreError};
 pub use traversal::{
     bfs_distances, connected_components, degree_assortativity, induced_subgraph,
     k_hop_neighborhood, InducedSubgraph,

@@ -33,6 +33,89 @@ const PAGE: u64 = 4096;
 /// Magic bytes identifying the format, version included.
 const MAGIC: &[u8; 8] = b"GALECSR1";
 
+/// Typed failure modes of the CSR writer.
+///
+/// Compaction treats a finished store file as the new source of truth and
+/// discards the overlay that produced it, so the writer must report —
+/// not best-effort-swallow — anything that would leave a short or
+/// non-durable file behind.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// `finish` was called before every declared row was sealed, or a row
+    /// was sealed past the declared count.
+    RowCount {
+        /// Rows sealed via [`CsrWriter::finish_row`].
+        finished: usize,
+        /// Rows declared at [`CsrWriter::create`].
+        declared: usize,
+    },
+    /// A spill file held fewer bytes than the entry count requires
+    /// (truncated out from under the writer).
+    ShortSpill {
+        /// Bytes actually spliced from the spill file.
+        copied: u64,
+        /// Bytes the entry count requires.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "csr store i/o: {e}"),
+            StoreError::RowCount { finished, declared } => {
+                write!(f, "csr writer: {finished} of {declared} rows finished")
+            }
+            StoreError::ShortSpill { copied, expected } => {
+                write!(
+                    f,
+                    "csr writer: short spill file ({copied} of {expected} bytes)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(inner) => inner,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// Removes the spill files when the writer is dropped without reaching
+/// the end of [`CsrWriter::finish`] (early drop, error path, panic).
+struct SpillGuard {
+    paths: [PathBuf; 2],
+}
+
+impl Drop for SpillGuard {
+    fn drop(&mut self) {
+        for p in &self.paths {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
 fn pad_to_page(w: &mut impl Write, pos: u64) -> io::Result<u64> {
     let rem = pos % PAGE;
     if rem == 0 {
@@ -60,11 +143,14 @@ pub struct CsrWriter {
     n_cols: usize,
     nnz: u64,
     finished_rows: usize,
+    // Dropped last (declaration order): removes the spill files whether
+    // the writer finishes cleanly or is abandoned mid-stream.
+    _spill_guard: SpillGuard,
 }
 
 impl CsrWriter {
     /// Creates a writer for a `rows x cols` operator at `path`.
-    pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> io::Result<Self> {
+    pub fn create(path: impl AsRef<Path>, rows: usize, cols: usize) -> Result<Self, StoreError> {
         let path = path.as_ref().to_path_buf();
         let cols_tmp = path.with_extension("cols.tmp");
         let vals_tmp = path.with_extension("vals.tmp");
@@ -74,6 +160,9 @@ impl CsrWriter {
             cols: BufWriter::new(File::create(&cols_tmp)?),
             vals: BufWriter::new(File::create(&vals_tmp)?),
             path,
+            _spill_guard: SpillGuard {
+                paths: [cols_tmp.clone(), vals_tmp.clone()],
+            },
             cols_tmp,
             vals_tmp,
             indptr,
@@ -85,7 +174,7 @@ impl CsrWriter {
     }
 
     /// Appends an entry to the row currently being built.
-    pub fn push(&mut self, col: usize, value: f64) -> io::Result<()> {
+    pub fn push(&mut self, col: usize, value: f64) -> Result<(), StoreError> {
         assert!(col < self.n_cols, "CsrWriter::push: col {col} out of range");
         self.cols.write_all(&(col as u64).to_le_bytes())?;
         self.vals.write_all(&value.to_le_bytes())?;
@@ -94,27 +183,41 @@ impl CsrWriter {
     }
 
     /// Seals the current row. Must be called exactly `rows` times.
-    pub fn finish_row(&mut self) -> io::Result<()> {
+    pub fn finish_row(&mut self) -> Result<(), StoreError> {
+        if self.finished_rows >= self.rows {
+            return Err(StoreError::RowCount {
+                finished: self.finished_rows + 1,
+                declared: self.rows,
+            });
+        }
         self.finished_rows += 1;
-        assert!(
-            self.finished_rows <= self.rows,
-            "CsrWriter: more rows finished than declared"
-        );
         self.indptr.push(self.nnz);
         Ok(())
     }
 
-    /// Assembles the final file and removes the spill files.
-    pub fn finish(mut self) -> io::Result<()> {
-        assert_eq!(
-            self.finished_rows, self.rows,
-            "CsrWriter::finish: {} of {} rows finished",
-            self.finished_rows, self.rows
-        );
+    /// Assembles the final file, syncs it to stable storage, and removes
+    /// the spill files. The file is only durable once this returns `Ok` —
+    /// callers that replace another representation (e.g. a delta overlay
+    /// compacting into a fresh CSR) must not discard the old one before.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        if self.finished_rows != self.rows {
+            return Err(StoreError::RowCount {
+                finished: self.finished_rows,
+                declared: self.rows,
+            });
+        }
         self.cols.flush()?;
         self.vals.flush()?;
-        drop(self.cols);
-        drop(self.vals);
+        // Swap in empty buffers so the spill handles close now; the real
+        // fields can't be moved out of a struct that still owns a guard.
+        drop(std::mem::replace(
+            &mut self.cols,
+            BufWriter::new(File::open(&self.cols_tmp)?),
+        ));
+        drop(std::mem::replace(
+            &mut self.vals,
+            BufWriter::new(File::open(&self.vals_tmp)?),
+        ));
 
         let mut out = BufWriter::new(File::create(&self.path)?);
         // Header page.
@@ -133,13 +236,19 @@ impl CsrWriter {
         for tmp in [&self.cols_tmp, &self.vals_tmp] {
             let mut src = File::open(tmp)?;
             let copied = io::copy(&mut src, &mut out)?;
-            assert_eq!(copied, 8 * self.nnz, "CsrWriter: short spill file");
+            if copied != 8 * self.nnz {
+                return Err(StoreError::ShortSpill {
+                    copied,
+                    expected: 8 * self.nnz,
+                });
+            }
             pos += copied;
             pos = pad_to_page(&mut out, pos)?;
         }
         out.flush()?;
-        std::fs::remove_file(&self.cols_tmp)?;
-        std::fs::remove_file(&self.vals_tmp)?;
+        // fsync before reporting success: "finished" must mean "on disk",
+        // not "in the page cache" (the spill guard removes the tmps).
+        out.get_ref().sync_all()?;
         Ok(())
     }
 }
@@ -160,11 +269,11 @@ pub fn write_csr<A: NeighborAccess + ?Sized>(
             }
         });
         if let Some(e) = err {
-            return Err(e);
+            return Err(e.into());
         }
         w.finish_row()?;
     }
-    w.finish()
+    Ok(w.finish()?)
 }
 
 /// How a [`CsrStore`] holds the file contents.
@@ -566,6 +675,57 @@ mod tests {
         for r in 0..4 {
             assert_eq!(store.neighbor_count(r), 0);
         }
+    }
+
+    #[test]
+    fn unfinished_rows_is_typed_error() {
+        let path = tmp("short.csr");
+        let mut w = CsrWriter::create(&path, 3, 3).unwrap();
+        w.push(1, 1.0).unwrap();
+        w.finish_row().unwrap();
+        match w.finish() {
+            Err(StoreError::RowCount { finished, declared }) => {
+                assert_eq!((finished, declared), (1, 3));
+            }
+            other => panic!("wanted RowCount error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sealing_past_declared_rows_is_typed_error() {
+        let path = tmp("overrow.csr");
+        let mut w = CsrWriter::create(&path, 1, 3).unwrap();
+        w.finish_row().unwrap();
+        assert!(matches!(
+            w.finish_row(),
+            Err(StoreError::RowCount {
+                finished: 2,
+                declared: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn dropped_writer_removes_spill_files() {
+        let path = tmp("dropped.csr");
+        let cols_tmp = path.with_extension("cols.tmp");
+        let vals_tmp = path.with_extension("vals.tmp");
+        let mut w = CsrWriter::create(&path, 2, 2).unwrap();
+        w.push(0, 1.0).unwrap();
+        assert!(cols_tmp.exists() && vals_tmp.exists());
+        drop(w);
+        assert!(!cols_tmp.exists(), "cols spill survived drop");
+        assert!(!vals_tmp.exists(), "vals spill survived drop");
+    }
+
+    #[test]
+    fn finish_removes_spill_files() {
+        let s = ragged();
+        let path = tmp("synced.csr");
+        write_csr(&s, s.cols(), &path).unwrap();
+        assert!(!path.with_extension("cols.tmp").exists());
+        assert!(!path.with_extension("vals.tmp").exists());
+        assert!(CsrStore::open(&path).is_ok());
     }
 
     #[test]

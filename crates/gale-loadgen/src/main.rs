@@ -26,6 +26,19 @@
 //!   earlier by `cargo bench -p gale-bench --bench precision` (override
 //!   with `GALE_BENCH_PRECISION_OUT`/`GALE_BENCH_PRECISION_BASELINE`).
 //!
+//! - `gale-loadgen bench-stream [--smoke]` — the committed streaming
+//!   benchmark: builds a `stream-demo` bundle, loads two engines from it,
+//!   drives identical mutation rounds through both, and times the
+//!   incremental k-hop refresh against a full from-scratch re-embed and
+//!   re-score of the mutated graph. The verdicts must agree *bitwise*
+//!   every round — that check binds on every run, smoke included. A
+//!   second leg boots `gale-serve --stream` and measures `POST /mutate`
+//!   p50/p99 over the wire, checking the graph version never runs
+//!   backwards. Writes `BENCH_stream.json` (override with
+//!   `GALE_BENCH_STREAM_OUT`/`GALE_BENCH_STREAM_BASELINE`); non-smoke
+//!   runs also gate the incremental-vs-full speedup against a hard 5x
+//!   floor.
+//!
 //! Intra-run ratios — event-loop throughput over blocking throughput
 //! measured in the same run — transfer across machines the way absolute
 //! requests/sec never do, which is what makes the committed report a
@@ -45,6 +58,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bench-precision") => cmd_bench_precision(&args[1..]),
+        Some("bench-stream") => cmd_bench_stream(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -69,6 +83,7 @@ USAGE:
                    [--reload-ckpt PATH --reload-at-secs S]
   gale-loadgen bench [--smoke]
   gale-loadgen bench-precision [--smoke]
+  gale-loadgen bench-stream [--smoke]
 ";
 
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<Vec<(String, String)>, String> {
@@ -899,6 +914,351 @@ fn gate_precision(
     } else {
         Err(format!(
             "precision contract regressed:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `bench-stream`: the committed BENCH_stream.json pipeline
+// ---------------------------------------------------------------------------
+
+/// Hard floor on the incremental-vs-full speedup for non-smoke runs. The
+/// whole point of the delta overlay and k-hop dirty tracking is that a
+/// handful of mutations must not cost a whole-graph re-embed; 5x on the
+/// committed bundle size is the contract from the streaming design note.
+const STREAM_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// One deterministic mutation round: an attribute rewrite, an edge
+/// removal, and a same-community edge insertion. The strides are coprime
+/// to the bundle's community count so successive rounds wander the whole
+/// graph instead of re-dirtying one neighborhood.
+fn stream_round(round: usize, n: usize, dim: usize) -> Vec<gale_stream::Mutation> {
+    use gale_stream::Mutation;
+    let node = (round * 7 + 3) % n;
+    let attrs = (0..dim)
+        .map(|c| ((round + c) % 13) as f64 * 0.15 - 0.9)
+        .collect();
+    let ru = (round * 11) % n;
+    let au = (round * 13 + 2) % n;
+    vec![
+        Mutation::UpdateAttrs { node, attrs },
+        Mutation::RemoveEdge {
+            u: ru,
+            v: (ru + 8) % n,
+        },
+        Mutation::AddEdge {
+            u: au,
+            v: (au + 16) % n,
+            weight: 1.0,
+        },
+    ]
+}
+
+/// Fails unless both engines' verdicts agree to the bit. Version stamps
+/// are excluded on purpose: the full rebuild stamps every node with the
+/// current version while the incremental path only stamps refreshed ones.
+fn assert_stream_parity(
+    live: &mut gale_stream::StreamEngine,
+    control: &mut gale_stream::StreamEngine,
+    round: usize,
+) -> Result<(), String> {
+    let a = live.all_scores();
+    let b = control.all_scores();
+    if a.len() != b.len() {
+        return Err(format!(
+            "round {round}: node counts diverged ({} vs {})",
+            a.len(),
+            b.len()
+        ));
+    }
+    for (sa, sb) in a.iter().zip(&b) {
+        let bits_match = sa
+            .probs
+            .iter()
+            .zip(&sb.probs)
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+            && sa.score.to_bits() == sb.score.to_bits()
+            && sa.erroneous == sb.erroneous;
+        if !bits_match {
+            return Err(format!(
+                "round {round}: node {} verdicts diverged — incremental {:?} vs full {:?}",
+                sa.node, sa.probs, sb.probs
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_bench_stream(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--smoke"])?;
+    let smoke = smoke_mode(&flags);
+    let binary = serve_binary()?;
+    let scratch = std::env::temp_dir().join(format!("gale-loadgen-stream-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).map_err(|e| format!("mkdir {}: {e}", scratch.display()))?;
+    let bundle = scratch.join("stream-bundle");
+    // The non-smoke bundle must be large enough that a 2-hop dirty
+    // closure (plus its one-hop refresh frontier) is a small fraction of
+    // the graph — locality is the whole bet. At the demo's ~6 average
+    // degree a round dirties a few hundred nodes, so 8k nodes keeps the
+    // frontier under ~15% of the graph.
+    let (nodes, dim, rounds, http_mutations) = if smoke {
+        (240usize, 8usize, 4usize, 40usize)
+    } else {
+        (8000usize, 8usize, 12usize, 300usize)
+    };
+    let status = std::process::Command::new(&binary)
+        .args([
+            "stream-demo",
+            "--out",
+            &bundle.to_string_lossy(),
+            "--nodes",
+            &nodes.to_string(),
+            "--dim",
+            &dim.to_string(),
+            "--seed",
+            "11",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .status()
+        .map_err(|e| format!("stream-demo: {e}"))?;
+    if !status.success() {
+        return Err(format!("stream-demo exited with {status}"));
+    }
+
+    // In-process leg: two engines from the same bundle (identical artifact
+    // bits), identical mutation rounds into both. One refreshes its k-hop
+    // dirty set; the other re-embeds and re-scores the whole mutated graph
+    // from scratch. Same rounds, same machine weather — the ratio is
+    // intra-run and the verdicts must match bitwise after every round.
+    let cfg = gale_stream::StreamConfig::default();
+    let mut live = gale_stream::load_bundle(&bundle, cfg)
+        .map_err(|e| format!("loading {}: {e}", bundle.display()))?;
+    let mut control = gale_stream::load_bundle(&bundle, cfg)
+        .map_err(|e| format!("loading {}: {e}", bundle.display()))?;
+    let mut incr_ns = 0u128;
+    let mut full_ns = 0u128;
+    let mut refreshed_total = 0usize;
+    for round in 0..rounds {
+        let batch = stream_round(round, nodes, dim);
+        let ra = live
+            .apply(&batch)
+            .map_err(|e| format!("round {round}: {e}"))?;
+        let rb = control
+            .apply(&batch)
+            .map_err(|e| format!("round {round}: {e}"))?;
+        for (oa, ob) in ra.outcomes.iter().zip(&rb.outcomes) {
+            if oa.admitted != ob.admitted {
+                return Err(format!(
+                    "round {round}: admission diverged between identical engines"
+                ));
+            }
+        }
+        let t = std::time::Instant::now();
+        refreshed_total += live.refresh();
+        incr_ns += t.elapsed().as_nanos();
+        let t = std::time::Instant::now();
+        control.rescore_full();
+        full_ns += t.elapsed().as_nanos();
+        assert_stream_parity(&mut live, &mut control, round)?;
+    }
+    let speedup = full_ns as f64 / (incr_ns as f64).max(1.0);
+    gale_obs::info!(
+        "stream {rounds} rounds over {nodes} nodes: incremental {:.0}us total \
+         ({} rows refreshed), full {:.0}us total — {speedup:.1}x, verdicts bitwise-equal",
+        incr_ns as f64 / 1_000.0,
+        refreshed_total,
+        full_ns as f64 / 1_000.0
+    );
+
+    // HTTP leg: the same bundle served with `--stream`, mutations over the
+    // wire. Closed-loop single client — the interesting numbers are the
+    // mutate latency tail and the graph version never running backwards.
+    let addr = format!("127.0.0.1:{}", free_port()?);
+    let child = std::process::Command::new(&binary)
+        .args([
+            "serve",
+            "--ckpt",
+            &bundle.join("sgan.ckpt").to_string_lossy(),
+            "--addr",
+            &addr,
+            "--mode",
+            "evloop",
+            "--shards",
+            "1",
+            "--max-wait-us",
+            "200",
+            "--trace",
+            "off",
+            "--stream",
+            &bundle.to_string_lossy(),
+        ])
+        .env("GALE_THREADS", "1")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("cannot spawn {}: {e}", binary.display()))?;
+    wait_healthy(&addr, Duration::from_secs(10))?;
+    let mut samples = Vec::with_capacity(http_mutations);
+    let mut last_version = 0u64;
+    for round in 0..http_mutations {
+        let batch: Vec<Value> = stream_round(round + rounds, nodes, dim)
+            .iter()
+            .map(gale_stream::Mutation::to_json)
+            .collect();
+        let body = json!({"mutations": Value::Array(batch)}).to_string();
+        let t = std::time::Instant::now();
+        let (status, reply) = one_shot(&addr, &render_post(&addr, "/mutate", &body))
+            .map_err(|e| format!("mutate {round}: {e}"))?;
+        samples.push(t.elapsed().as_micros() as u64);
+        if status != 200 {
+            return Err(format!(
+                "mutate {round} answered {status}: {}",
+                String::from_utf8_lossy(&reply)
+            ));
+        }
+        let doc: Value = gale_json::from_str(&String::from_utf8_lossy(&reply))
+            .map_err(|e| format!("mutate {round} reply is not JSON: {e}"))?;
+        let version = doc
+            .get("graph_version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("mutate {round} reply has no graph_version"))?;
+        if version < last_version {
+            return Err(format!(
+                "graph version ran backwards: {last_version} -> {version}"
+            ));
+        }
+        last_version = version;
+    }
+    let (rescore_status, rescore_reply) = one_shot(
+        &addr,
+        &render_post(&addr, "/score", r#"{"nodes": [0, 1, 2, 3]}"#),
+    )
+    .map_err(|e| format!("node re-score: {e}"))?;
+    if rescore_status != 200 {
+        return Err(format!(
+            "node re-score answered {rescore_status}: {}",
+            String::from_utf8_lossy(&rescore_reply)
+        ));
+    }
+    stop_server(&addr, child)?;
+    let _ = std::fs::remove_dir_all(&scratch);
+    samples.sort_unstable();
+    let (p50, p99) = (percentile(&samples, 0.50), percentile(&samples, 0.99));
+    gale_obs::info!(
+        "stream http: {http_mutations} mutate batches, p50 {p50:.0}us p99 {p99:.0}us, \
+         graph version {last_version}"
+    );
+
+    let mut speedups = gale_json::Map::new();
+    speedups.insert("stream/incremental_vs_full", Value::from(speedup));
+    let report = json!({
+        "schema": "gale-bench-stream/v1",
+        "smoke": smoke,
+        "nodes": nodes as i64,
+        "feature_dim": dim as i64,
+        "rounds": rounds as i64,
+        "mutations_per_round": 3,
+        "incremental": json!({
+            "total_us": incr_ns as f64 / 1_000.0,
+            "mean_us_per_round": incr_ns as f64 / 1_000.0 / rounds as f64,
+            "rows_refreshed": refreshed_total as i64,
+        }),
+        "full": json!({
+            "total_us": full_ns as f64 / 1_000.0,
+            "mean_us_per_round": full_ns as f64 / 1_000.0 / rounds as f64,
+        }),
+        "verdict_parity": "bitwise",
+        "http": json!({
+            "mutate_batches": http_mutations as i64,
+            "p50_us": p50,
+            "p99_us": p99,
+            "graph_version_final": Value::Int(last_version as i64),
+        }),
+        "speedups": Value::Object(speedups),
+    });
+    let out_path = std::env::var("GALE_BENCH_STREAM_OUT")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| repo_path("BENCH_stream.json".into()));
+    let baseline_path = std::env::var("GALE_BENCH_STREAM_BASELINE")
+        .map(|p| repo_path(p.into()))
+        .unwrap_or_else(|_| out_path.clone());
+    let baseline = std::fs::read_to_string(&baseline_path)
+        .ok()
+        .and_then(|text| gale_json::from_str(&text).ok());
+    std::fs::write(&out_path, gale_json::to_string_pretty(&report))
+        .map_err(|e| format!("writing {}: {e}", out_path.display()))?;
+    println!("stream bench report written to {}", out_path.display());
+
+    gate_stream(&report, baseline.as_ref(), &baseline_path, smoke)
+}
+
+/// The streaming gate. Bitwise verdict parity already bound during the
+/// measurement (the bench errors out before writing a report), so this
+/// half covers the performance contract: a hard
+/// [`STREAM_SPEEDUP_FLOOR`] on non-smoke runs — the floor is part of the
+/// design's acceptance, not machine-relative — plus the usual
+/// baseline-ratio rules shared with the other benches.
+fn gate_stream(
+    report: &Value,
+    baseline: Option<&Value>,
+    baseline_path: &Path,
+    smoke: bool,
+) -> Result<(), String> {
+    if std::env::var("GALE_BENCH_NO_GATE").is_ok_and(|v| v == "1") {
+        return Ok(());
+    }
+    let mut failures = Vec::new();
+    let speedup = report
+        .get("speedups")
+        .and_then(|s| s.get("stream/incremental_vs_full"))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0);
+    if !smoke && speedup < STREAM_SPEEDUP_FLOOR {
+        failures.push(format!(
+            "incremental refresh is only {speedup:.1}x faster than a full rebuild \
+             (floor {STREAM_SPEEDUP_FLOOR:.0}x)"
+        ));
+    }
+    let usable_baseline = match baseline {
+        _ if smoke => None,
+        None => {
+            println!(
+                "no baseline at {}; skipping the baseline half of the gate",
+                baseline_path.display()
+            );
+            None
+        }
+        Some(b) if b.get("smoke").and_then(Value::as_bool) == Some(true) => {
+            println!("baseline is a smoke run; skipping the baseline half of the gate");
+            None
+        }
+        Some(b) => Some(b),
+    };
+    if let Some(baseline) = usable_baseline {
+        if let (Some(base), Some(current)) = (
+            baseline
+                .get("speedups")
+                .and_then(|s| s.get("stream/incremental_vs_full"))
+                .and_then(Value::as_f64),
+            Some(speedup),
+        ) {
+            if base >= 1.2 && current < base * 0.85 {
+                failures.push(format!(
+                    "stream/incremental_vs_full: speedup {base:.2}x -> {current:.2}x \
+                     ({:.0}% of baseline)",
+                    current / base * 100.0
+                ));
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("stream gate passed");
+        Ok(())
+    } else {
+        Err(format!(
+            "streaming performance regressed:\n  {}",
             failures.join("\n  ")
         ))
     }

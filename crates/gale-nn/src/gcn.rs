@@ -298,6 +298,68 @@ impl Gcn {
         self.layer2.forward_access_into(a, &self.hidden, out);
     }
 
+    /// Neighborhood-local inference: recomputes only the output rows
+    /// `rows` (which must be sorted ascending and deduplicated) of a
+    /// full-graph forward over `a`, writing them to `out` in `rows`
+    /// order. `x` is the full feature matrix (`a.node_count()` rows).
+    ///
+    /// The receptive field of a 2-layer GCN output row is its 2-hop
+    /// neighborhood, so this gathers the 1-hop frontier `F = rows ∪
+    /// N(rows)`, runs layer 1 over the frontier's full operator rows, and
+    /// layer 2 over the `rows` operator rows with columns remapped into
+    /// the frontier. Both layers accumulate per row in the same ascending
+    /// column order as [`Gcn::forward_access_into`] and share
+    /// `finish_forward`, so each output row is **bitwise identical** to
+    /// the same row of the full pass (proptested in gale-stream).
+    ///
+    /// Cost is `O(|F| · d̄)` operator entries instead of `O(nnz)` — the
+    /// streaming path's incremental refresh after a graph delta.
+    pub fn forward_rows_access_into<A: NeighborAccess + Sync + ?Sized>(
+        &mut self,
+        a: &A,
+        rows: &[usize],
+        x: &Matrix,
+        out: &mut Matrix,
+    ) {
+        assert_eq!(x.rows(), a.node_count(), "Gcn: node count mismatch");
+        debug_assert!(
+            rows.windows(2).all(|w| w[0] < w[1]),
+            "Gcn: rows must be sorted and deduplicated"
+        );
+        // 1-hop closed frontier of the requested rows, ascending.
+        let mut frontier_set = std::collections::BTreeSet::new();
+        for &r in rows {
+            frontier_set.insert(r);
+            a.visit_neighbors(r, &mut |c, _| {
+                frontier_set.insert(c);
+            });
+        }
+        let frontier: Vec<usize> = frontier_set.into_iter().collect();
+
+        // Layer 1 over the frontier's full operator rows (global columns).
+        let mut op1 = CsrBlock::new();
+        op1.reset(a.node_count());
+        for &r in &frontier {
+            a.visit_neighbors(r, &mut |c, v| op1.push(c, v));
+            op1.finish_row();
+        }
+        self.layer1.forward_block_into(&op1, x, &mut self.hidden);
+
+        // Layer 2 over the requested rows, columns remapped into frontier
+        // positions (ascending global order maps to ascending local order,
+        // preserving the accumulation order of the full pass).
+        let mut op2 = CsrBlock::new();
+        op2.reset(frontier.len());
+        for &r in rows {
+            a.visit_neighbors(r, &mut |c, v| {
+                let local = frontier.binary_search(&c).expect("frontier covers N(rows)");
+                op2.push(local, v);
+            });
+            op2.finish_row();
+        }
+        self.layer2.forward_block_into(&op2, &self.hidden, out);
+    }
+
     /// Hidden representation from the most recent forward pass.
     pub fn hidden(&self) -> &Matrix {
         &self.hidden
@@ -414,6 +476,25 @@ mod tests {
         }
         for i in 4..8 {
             assert_eq!(preds[i], 1, "node {i} misclassified: {preds:?}");
+        }
+    }
+
+    #[test]
+    fn rows_forward_matches_full_access_bitwise() {
+        let s = two_cliques();
+        let mut rng = Rng::seed_from_u64(115);
+        let mut net = Gcn::new(s.clone(), 3, 6, 2, Activation::Identity, &mut rng);
+        let x = Matrix::randn(8, 3, 1.0, &mut rng);
+        let mut full = Matrix::zeros(0, 0);
+        net.forward_access_into(s.as_ref(), &x, &mut full);
+        for rows in [vec![0usize], vec![3, 4], vec![0, 1, 2, 3, 4, 5, 6, 7]] {
+            let mut partial = Matrix::zeros(0, 0);
+            net.forward_rows_access_into(s.as_ref(), &rows, &x, &mut partial);
+            for (k, &r) in rows.iter().enumerate() {
+                let got: Vec<u64> = partial.row(k).iter().map(|v| v.to_bits()).collect();
+                let want: Vec<u64> = full.row(r).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(got, want, "row {r} of {rows:?}");
+            }
         }
     }
 

@@ -1,6 +1,6 @@
 //! The `gale-serve` command-line entry point.
 //!
-//! Three subcommands:
+//! Four subcommands:
 //!
 //! - `gale-serve train-demo --out model.ckpt [--dim N] [--seed S]` — trains
 //!   a small SGAN on synthetic two-cluster data and writes a checkpoint, so
@@ -17,10 +17,11 @@
 //!   server to hot-swap to a new checkpoint and reports the new model
 //!   version.
 
-use gale_core::{Sgan, SganConfig};
+use gale_core::{ColumnStandardizer, Sgan, SganConfig};
 use gale_json::json;
-use gale_serve::{serve, BatchConfig, Precision, ServeConfig, ServeMode};
-use gale_tensor::{Matrix, Rng};
+use gale_serve::{serve_with_stream, BatchConfig, Precision, ServeConfig, ServeMode};
+use gale_stream::{load_bundle, save_bundle, StreamConfig};
+use gale_tensor::{Matrix, Rng, SparseMatrix, SymNormalized};
 use std::io::{Read, Write};
 use std::process::ExitCode;
 
@@ -28,6 +29,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("train-demo") => train_demo(&args[1..]),
+        Some("stream-demo") => stream_demo(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
         Some("reload") => run_reload(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
@@ -50,13 +52,20 @@ gale-serve: sharded micro-batching inference server for GALE checkpoints
 
 USAGE:
   gale-serve train-demo --out PATH [--dim N] [--seed S]
+  gale-serve stream-demo --out DIR [--nodes N] [--dim D] [--seed S]
   gale-serve serve --ckpt PATH [--addr HOST:PORT] [--shards N]
                    [--precision f64|f32[,f32,..]] [--mode evloop|blocking]
                    [--max-batch N]
                    [--max-wait-us U] [--queue-capacity N]
                    [--retry-after-secs S] [--keep-alive-secs S]
                    [--trace on|off] [--trace-sample N] [--trace-slow-us U]
+                   [--stream DIR]
   gale-serve reload --addr HOST:PORT --ckpt PATH
+
+`stream-demo` trains a small graph model over a synthetic community graph
+and writes a stream bundle; `serve --stream DIR` boots that bundle so
+`POST /mutate`, node-mode `POST /score` ({\"nodes\": [...]}), and
+`GET /debug/stream` come alive alongside the shard-pool endpoints.
 ";
 
 /// Pulls `--flag value` pairs out of `args`; rejects unknown flags.
@@ -140,6 +149,108 @@ fn train_demo(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Trains the full streaming artifact set — graph, features, GAE encoder,
+/// SGAN discriminator, frozen standardizer — over a synthetic community
+/// graph with injected feature errors, and writes a stream bundle.
+fn stream_demo(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args, &["--out", "--nodes", "--dim", "--seed"])?;
+    let out = find(&flags, "--out").ok_or("stream-demo requires --out DIR")?;
+    let n: usize = parse_num(&flags, "--nodes", 1200)?;
+    let dim: usize = parse_num(&flags, "--dim", 8)?;
+    let seed: u64 = parse_num(&flags, "--seed", 11)?;
+    if n < 32 {
+        return Err("stream-demo needs --nodes >= 32".into());
+    }
+
+    // Community graph: a ring inside each community plus random
+    // intra-community chords; features cluster around per-community
+    // centers, and every 10th node gets an erroneous feature shift.
+    let communities = 8usize;
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut centers = Matrix::randn(communities, dim, 3.0, &mut rng);
+    let mut x = Matrix::randn(n, dim, 1.0, &mut rng);
+    let mut targets = Vec::new();
+    for r in 0..n {
+        let com = r % communities;
+        for c in 0..dim {
+            x[(r, c)] += centers[(com, c)];
+        }
+        let erroneous = r % 10 == 0;
+        if erroneous {
+            for c in 0..dim {
+                x[(r, c)] += 4.0;
+            }
+        }
+        if r < n / 2 {
+            targets.push((r, usize::from(!erroneous)));
+        }
+    }
+    centers.resize(0, 0);
+    let mut triplets = Vec::new();
+    let push_edge = |t: &mut Vec<(usize, usize, f64)>, u: usize, v: usize| {
+        if u != v {
+            t.push((u, v, 1.0));
+            t.push((v, u, 1.0));
+        }
+    };
+    for r in 0..n {
+        push_edge(&mut triplets, r, (r + communities) % n);
+    }
+    for _ in 0..(n * 2) {
+        let u = rng.below(n);
+        let hop = 1 + rng.below(n / communities - 1);
+        let v = (u + hop * communities) % n;
+        push_edge(&mut triplets, u, v);
+    }
+    let a = SparseMatrix::from_triplets(n, n, triplets);
+
+    let gae_cfg = gale_nn::GaeConfig {
+        hidden_dim: 16,
+        embed_dim: 8,
+        epochs: 20,
+        ..Default::default()
+    };
+    let s_norm = std::sync::Arc::new(a.sym_normalized_with_self_loops());
+    let mut gae = gale_nn::Gae::train(&x, &a, s_norm, &gae_cfg, &mut rng);
+    gale_obs::info!("stream-demo: GAE trained (loss {:.4})", gae.final_loss);
+
+    // Embed through the access path — the exact operator the streaming
+    // engine rebuilds at load time, so bundle bits match serving bits.
+    let mut z = Matrix::zeros(0, 0);
+    gae.embed_access(&SymNormalized::new(&a), &x, &mut z);
+    let mut inputs = Matrix::zeros(n, dim + z.cols());
+    for r in 0..n {
+        let row = inputs.row_mut(r);
+        row[..dim].copy_from_slice(x.row(r));
+        row[dim..].copy_from_slice(z.row(r));
+    }
+    let st = ColumnStandardizer::fit(&inputs);
+    st.apply(&mut inputs);
+
+    let sgan_cfg = SganConfig {
+        d_hidden: vec![24, 12],
+        g_hidden: vec![24],
+        epochs: 60,
+        ..Default::default()
+    };
+    let mut sgan = Sgan::new(inputs.cols(), &sgan_cfg, &mut rng);
+    let x_s = Matrix::zeros(0, inputs.cols());
+    let stats = sgan.train(&inputs, &x_s, &targets, &[], &mut rng);
+    gale_obs::info!(
+        "stream-demo: SGAN trained ({} epochs, d_loss {:.4})",
+        stats.epochs_run,
+        stats.d_loss
+    );
+
+    let dir = std::path::Path::new(out);
+    save_bundle(dir, &a, &x, &gae, &sgan, &st).map_err(|e| format!("bundle write failed: {e}"))?;
+    gale_obs::info!(
+        "stream bundle written to {out} ({n} nodes, {} edges)",
+        a.nnz() / 2
+    );
+    Ok(())
+}
+
 fn run_serve(args: &[String]) -> Result<(), String> {
     let flags = parse_flags(
         args,
@@ -157,6 +268,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
             "--trace",
             "--trace-sample",
             "--trace-slow-us",
+            "--stream",
         ],
     )?;
     let ckpt = find(&flags, "--ckpt").ok_or("serve requires --ckpt PATH")?;
@@ -215,7 +327,21 @@ fn run_serve(args: &[String]) -> Result<(), String> {
         "loaded checkpoint `{ckpt}` (input_dim {})",
         model.input_dim()
     );
-    let handle = serve(model, &cfg).map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
+    let engine = match find(&flags, "--stream") {
+        None => None,
+        Some(dir) => {
+            let engine = load_bundle(std::path::Path::new(dir), StreamConfig::default())
+                .map_err(|e| format!("cannot load stream bundle `{dir}`: {e}"))?;
+            gale_obs::info!(
+                "stream bundle `{dir}` loaded ({} nodes, graph v{})",
+                engine.node_count(),
+                engine.graph_version()
+            );
+            Some(engine)
+        }
+    };
+    let handle = serve_with_stream(model, &cfg, engine)
+        .map_err(|e| format!("cannot bind `{}`: {e}", cfg.addr))?;
     handle.wait();
     gale_obs::info!("gale-serve drained and stopped");
     Ok(())

@@ -46,9 +46,11 @@ pub mod batcher;
 pub mod http;
 pub mod metrics;
 pub mod server;
+pub mod stream;
 
 pub use batcher::{
     BatchConfig, Precision, ReloadError, ScoreReply, ShardPool, ShardSnapshot, SubmitError,
     INITIAL_VERSION,
 };
-pub use server::{serve, ServeConfig, ServeMode, ServerHandle};
+pub use server::{serve, serve_with_stream, ServeConfig, ServeMode, ServerHandle};
+pub use stream::StreamState;

@@ -141,6 +141,47 @@ pub fn request_us() -> &'static Histogram {
     histogram("serve.request_us", gale_obs::metrics::buckets::TIME_US)
 }
 
+/// Mutations accepted through `POST /mutate` (admitted or quarantined).
+pub fn stream_mutations() -> &'static Counter {
+    counter("stream.mutations")
+}
+
+/// Nodes currently awaiting an incremental verdict refresh.
+pub fn stream_dirty_nodes() -> &'static Gauge {
+    gauge("stream.dirty_nodes")
+}
+
+/// Current stream graph version (one bump per applied mutation).
+pub fn stream_graph_version() -> &'static Gauge {
+    gauge("stream.graph_version")
+}
+
+/// Delta-overlay compactions folded back into a fresh CSR base.
+pub fn stream_compactions() -> &'static Gauge {
+    gauge("stream.compactions")
+}
+
+/// Edges rejected by the structure-aware admission filter.
+pub fn stream_quarantined() -> &'static Gauge {
+    gauge("stream.quarantined_edges")
+}
+
+/// Incremental verdict refreshes run (each covers one dirty batch).
+pub fn stream_refreshes() -> &'static Counter {
+    counter("stream.refreshes")
+}
+
+/// Incremental refresh latency, microseconds per refresh.
+pub fn stream_refresh_us() -> &'static Histogram {
+    histogram("stream.refresh_us", gale_obs::metrics::buckets::TIME_US)
+}
+
+/// `/mutate` handling latency (parse + apply + dirty marking),
+/// microseconds.
+pub fn stream_mutate_us() -> &'static Histogram {
+    histogram("stream.mutate_us", gale_obs::metrics::buckets::TIME_US)
+}
+
 /// The score-distribution and verdict-mix series of one model generation.
 /// Separate series per version make a reload visible as a distribution
 /// handover in `/metrics` rather than a blur across generations.

@@ -26,6 +26,7 @@
 use crate::batcher::{BatchConfig, Precision, ReloadError, ScoreReply, ShardPool, SubmitError};
 use crate::http::{self, HttpError, Request};
 use crate::metrics;
+use crate::stream::StreamState;
 use gale_core::Sgan;
 use gale_json::{json, Value};
 use gale_nn::checkpoint::CkptError;
@@ -105,6 +106,8 @@ struct Ctx {
     retry_after: String,
     mode: ServeMode,
     started: Instant,
+    /// Streaming engine, present when the server booted with a bundle.
+    stream: Option<StreamState>,
 }
 
 /// A running server. Dropping the handle without calling
@@ -151,6 +154,18 @@ impl Drop for ServerHandle {
 /// Boots the server around a loaded model and returns once it is
 /// listening.
 pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
+    serve_with_stream(model, cfg, None)
+}
+
+/// Boots the server with an optional streaming engine attached. With an
+/// engine, `POST /mutate`, node-mode `POST /score` (`{"nodes": [...]}`
+/// bodies), and `GET /debug/stream` come alive; feature-body `/score`
+/// requests keep the shard-pool path either way.
+pub fn serve_with_stream(
+    model: Sgan,
+    cfg: &ServeConfig,
+    stream: Option<gale_stream::StreamEngine>,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -182,6 +197,7 @@ pub fn serve(model: Sgan, cfg: &ServeConfig) -> std::io::Result<ServerHandle> {
         retry_after: cfg.retry_after_secs.to_string(),
         mode: cfg.mode,
         started: Instant::now(),
+        stream: stream.map(StreamState::new),
     });
 
     let mut threads = Vec::with_capacity(shard_threads.len() + 1);
@@ -306,7 +322,40 @@ enum Outcome {
 fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Outcome {
     let ka = request.keep_alive;
     match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/score") => score_request(request, ctx, timing),
+        ("POST", "/score") => match &ctx.stream {
+            // Node-mode scoring goes to the streaming engine; feature
+            // bodies stay on the shard-pool hot path.
+            Some(stream) if StreamState::is_node_request(&request.body) => {
+                Outcome::Ready(stream.score_nodes(&request.body, ka), None)
+            }
+            _ => score_request(request, ctx, timing),
+        },
+        ("POST", "/mutate") => match &ctx.stream {
+            Some(stream) => Outcome::Ready(stream.mutate(&request.body, ka), None),
+            None => Outcome::Ready(
+                http::render_json(
+                    404,
+                    "Not Found",
+                    &[],
+                    &json!({"error": "server booted without --stream"}),
+                    ka,
+                ),
+                None,
+            ),
+        },
+        ("GET", "/debug/stream") => match &ctx.stream {
+            Some(stream) => Outcome::Ready(stream.debug(ka), None),
+            None => Outcome::Ready(
+                http::render_json(
+                    404,
+                    "Not Found",
+                    &[],
+                    &json!({"error": "server booted without --stream"}),
+                    ka,
+                ),
+                None,
+            ),
+        },
         ("GET", "/debug/trace") => {
             let events: Vec<Value> = ring::drain_recent()
                 .iter()
@@ -428,7 +477,7 @@ fn handle_request(request: &Request, ctx: &Ctx, timing: Option<ReqTiming>) -> Ou
         (
             "POST" | "GET",
             "/score" | "/healthz" | "/metrics" | "/admin/reload" | "/admin/shutdown"
-            | "/debug/trace" | "/debug/slow" | "/debug/queues",
+            | "/debug/trace" | "/debug/slow" | "/debug/queues" | "/mutate" | "/debug/stream",
         ) => Outcome::Ready(
             http::render_json(
                 405,

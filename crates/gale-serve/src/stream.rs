@@ -1,0 +1,196 @@
+//! Streaming endpoints: `/mutate`, node-mode `/score`, `/debug/stream`.
+//!
+//! When the server boots with a stream bundle
+//! ([`crate::serve_with_stream`]), a [`gale_stream::StreamEngine`] rides
+//! alongside the shard pool behind a mutex. Mutations apply deltas and
+//! mark k-hop dirty sets; verdicts refresh lazily on the next node-mode
+//! score request, so a mutation burst costs one incremental refresh, not
+//! one per mutation. Feature-body `/score` requests never touch the
+//! mutex — they keep the shard-pool hot path.
+
+use crate::http;
+use crate::metrics;
+use gale_json::{json, Value};
+use gale_stream::{Mutation, StreamEngine};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The engine plus serving glue, shared by every connection thread.
+pub struct StreamState {
+    engine: Mutex<StreamEngine>,
+}
+
+impl StreamState {
+    /// Wraps an engine for serving.
+    pub fn new(engine: StreamEngine) -> Self {
+        StreamState {
+            engine: Mutex::new(engine),
+        }
+    }
+
+    /// Whether a request body is a node-mode score request
+    /// (`{"nodes": [...]}`) rather than a feature payload.
+    pub fn is_node_request(body: &[u8]) -> bool {
+        body.windows(7).any(|w| w == b"\"nodes\"")
+    }
+
+    /// `POST /mutate` — applies a mutation batch, returns the per-mutation
+    /// outcomes and the new graph version. Verdicts stay stale until the
+    /// next score request.
+    pub fn mutate(&self, body: &[u8], ka: bool) -> Vec<u8> {
+        let started = Instant::now();
+        let muts = match std::str::from_utf8(body)
+            .map_err(|e| e.to_string())
+            .and_then(Mutation::parse_batch)
+        {
+            Ok(muts) => muts,
+            Err(msg) => {
+                return http::render_json(400, "Bad Request", &[], &json!({"error": msg}), ka)
+            }
+        };
+        let mut engine = self.engine.lock().expect("stream engine lock");
+        match engine.apply(&muts) {
+            Ok(report) => {
+                metrics::stream_mutations().add(report.outcomes.len() as u64);
+                metrics::stream_dirty_nodes().set(report.dirty as f64);
+                metrics::stream_graph_version().set(report.graph_version as f64);
+                metrics::stream_compactions().set(engine.graph_compactions() as f64);
+                metrics::stream_quarantined().set(engine.quarantined_edges() as f64);
+                metrics::stream_mutate_us().record(started.elapsed().as_micros() as f64);
+                let outcomes: Vec<Value> = report
+                    .outcomes
+                    .iter()
+                    .map(|o| {
+                        json!({
+                            "seq": Value::Int(o.seq as i64),
+                            "op": o.kind,
+                            "admitted": o.admitted,
+                            "reason": match o.reason {
+                                Some(r) => Value::from(r),
+                                None => Value::Null,
+                            },
+                            "node": match o.assigned_node {
+                                Some(n) => Value::Int(n as i64),
+                                None => Value::Null,
+                            },
+                        })
+                    })
+                    .collect();
+                http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &json!({
+                        "outcomes": Value::Array(outcomes),
+                        "graph_version": Value::Int(report.graph_version as i64),
+                        "dirty_nodes": Value::Int(report.dirty as i64),
+                        "compacted": report.compacted,
+                    }),
+                    ka,
+                )
+            }
+            Err(msg) => http::render_json(400, "Bad Request", &[], &json!({"error": msg}), ka),
+        }
+    }
+
+    /// Node-mode `POST /score` — lazily refreshes dirty nodes, then
+    /// answers with the same verdict vocabulary as the feature-body path,
+    /// plus the `graph_version` each verdict was computed at.
+    pub fn score_nodes(&self, body: &[u8], ka: bool) -> Vec<u8> {
+        let nodes = match parse_nodes(body) {
+            Ok(nodes) => nodes,
+            Err(msg) => {
+                return http::render_json(400, "Bad Request", &[], &json!({"error": msg}), ka)
+            }
+        };
+        let mut engine = self.engine.lock().expect("stream engine lock");
+        let refresh_ns_before = engine.refresh_ns;
+        let refreshes_before = engine.refreshes;
+        match engine.score_nodes(&nodes) {
+            Ok(scores) => {
+                if engine.refreshes > refreshes_before {
+                    metrics::stream_refreshes().add(engine.refreshes - refreshes_before);
+                    metrics::stream_refresh_us()
+                        .record((engine.refresh_ns - refresh_ns_before) as f64 / 1_000.0);
+                }
+                metrics::stream_dirty_nodes().set(engine.dirty_count() as f64);
+                let mut node_ids = Vec::with_capacity(scores.len());
+                let mut probs = Vec::with_capacity(scores.len());
+                let mut error_scores = Vec::with_capacity(scores.len());
+                let mut verdicts = Vec::with_capacity(scores.len());
+                let mut versions = Vec::with_capacity(scores.len());
+                for s in &scores {
+                    node_ids.push(Value::Int(s.node as i64));
+                    probs.push(Value::Array(
+                        s.probs.iter().map(|&p| Value::from(p)).collect(),
+                    ));
+                    error_scores.push(Value::from(s.score));
+                    verdicts.push(Value::from(if s.erroneous { "error" } else { "correct" }));
+                    versions.push(Value::Int(s.graph_version as i64));
+                }
+                http::render_json(
+                    200,
+                    "OK",
+                    &[],
+                    &json!({
+                        "nodes": Value::Array(node_ids),
+                        "probs": Value::Array(probs),
+                        "error_scores": Value::Array(error_scores),
+                        "verdicts": Value::Array(verdicts),
+                        "graph_versions": Value::Array(versions),
+                        "graph_version": Value::Int(engine.graph_version() as i64),
+                    }),
+                    ka,
+                )
+            }
+            Err(msg) => http::render_json(400, "Bad Request", &[], &json!({"error": msg}), ka),
+        }
+    }
+
+    /// `GET /debug/stream` — engine introspection document.
+    pub fn debug(&self, ka: bool) -> Vec<u8> {
+        let engine = self.engine.lock().expect("stream engine lock");
+        http::render_json(200, "OK", &[], &engine.debug_json(), ka)
+    }
+}
+
+/// Parses `{"nodes": [0, 4, 17]}`.
+fn parse_nodes(body: &[u8]) -> Result<Vec<usize>, String> {
+    let text = std::str::from_utf8(body).map_err(|e| e.to_string())?;
+    let doc = gale_json::from_str(text).map_err(|e| format!("bad json: {e}"))?;
+    let list = doc
+        .get("nodes")
+        .and_then(Value::as_array)
+        .ok_or("body needs a `nodes` array")?;
+    if list.is_empty() {
+        return Err("`nodes` must not be empty".into());
+    }
+    list.iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| "`nodes` entries must be non-negative integers".to_string())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_request_sniffing() {
+        assert!(StreamState::is_node_request(br#"{"nodes": [1, 2]}"#));
+        assert!(!StreamState::is_node_request(
+            br#"{"features": [[1.0, 2.0]]}"#
+        ));
+    }
+
+    #[test]
+    fn parse_nodes_accepts_and_rejects() {
+        assert_eq!(parse_nodes(br#"{"nodes": [0, 3]}"#).unwrap(), vec![0, 3]);
+        assert!(parse_nodes(br#"{"nodes": []}"#).is_err());
+        assert!(parse_nodes(br#"{"nodes": [-1]}"#).is_err());
+        assert!(parse_nodes(br#"{"features": [1]}"#).is_err());
+    }
+}

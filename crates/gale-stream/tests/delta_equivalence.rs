@@ -1,0 +1,202 @@
+//! Property tests: any interleaving of mutations and compactions yields a
+//! [`DeltaGraph`] whose `NeighborAccess` view — and whose normalized
+//! operator and SpMM products — are bitwise-identical to a from-scratch
+//! graph build, at 1, 2, and 8 threads.
+
+use gale_stream::{BaseGraph, CompactionPolicy, DeltaGraph};
+use gale_tensor::par::with_threads;
+use gale_tensor::{spmm_access_into, Matrix, NeighborAccess, Rng, SparseMatrix, SymNormalized};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Reference model: undirected edge map keyed by `(min, max)`.
+#[derive(Default)]
+struct Model {
+    nodes: usize,
+    edges: BTreeMap<(usize, usize), f64>,
+}
+
+impl Model {
+    fn key(u: usize, v: usize) -> (usize, usize) {
+        (u.min(v), u.max(v))
+    }
+
+    fn to_sparse(&self) -> SparseMatrix {
+        let mut t = Vec::with_capacity(self.edges.len() * 2);
+        for (&(u, v), &w) in &self.edges {
+            t.push((u, v, w));
+            t.push((v, u, w));
+        }
+        SparseMatrix::from_triplets(self.nodes, self.nodes, t)
+    }
+}
+
+/// A random starting graph plus its reference model.
+fn seed_graph(n: usize, seed: u64) -> (DeltaGraph, Model) {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut model = Model {
+        nodes: n,
+        edges: BTreeMap::new(),
+    };
+    for _ in 0..(n * 2) {
+        let u = rng.below(n);
+        let v = rng.below(n);
+        if u != v {
+            model.edges.insert(Model::key(u, v), 1.0);
+        }
+    }
+    let base = model.to_sparse();
+    // An aggressive policy so proptest runs actually cross the threshold.
+    let policy = CompactionPolicy {
+        min_churn: 4,
+        churn_ratio: 0.125,
+    };
+    (DeltaGraph::with_policy(BaseGraph::Mem(base), policy), model)
+}
+
+/// Applies `steps` random mutations (plus occasional forced compactions)
+/// to both the delta graph and the reference model.
+fn churn(g: &mut DeltaGraph, model: &mut Model, steps: usize, seed: u64) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    for _ in 0..steps {
+        let n = model.nodes;
+        match rng.next_u64() % 10 {
+            // Add (or re-weight) an edge.
+            0..=3 => {
+                let u = rng.below(n);
+                let v = rng.below(n);
+                if u != v {
+                    let w = 1.0 + (rng.next_u64() % 4) as f64;
+                    g.add_edge(u, v, w);
+                    model.edges.insert(Model::key(u, v), w);
+                }
+            }
+            // Remove an edge (maybe absent — both sides must agree).
+            4..=6 => {
+                let u = rng.below(n);
+                let v = rng.below(n);
+                if u != v {
+                    let existed = g.remove_edge(u, v);
+                    let modeled = model.edges.remove(&Model::key(u, v)).is_some();
+                    assert_eq!(existed, modeled, "removal disagreement on ({u},{v})");
+                }
+            }
+            // Append a node.
+            7 => {
+                let id = g.add_node();
+                assert_eq!(id, model.nodes);
+                model.nodes += 1;
+            }
+            // Detach a node.
+            8 => {
+                let victim = rng.below(n);
+                g.remove_node(victim);
+                model.edges.retain(|&(u, v), _| u != victim && v != victim);
+            }
+            // Force a compaction mid-stream.
+            _ => g.compact(),
+        }
+        g.maybe_compact();
+    }
+}
+
+/// Sorted `(col, value-bits)` adjacency row via the access trait.
+fn row_bits(g: &(impl NeighborAccess + ?Sized), r: usize) -> Vec<(usize, u64)> {
+    let mut out = Vec::new();
+    g.visit_neighbors(r, &mut |c, v| out.push((c, v.to_bits())));
+    out
+}
+
+fn assert_views_identical(delta: &DeltaGraph, fresh: &SparseMatrix) {
+    assert_eq!(delta.node_count(), fresh.rows());
+    for r in 0..fresh.rows() {
+        assert_eq!(delta.neighbor_count(r), fresh.neighbor_count(r), "row {r}");
+        assert_eq!(row_bits(delta, r), row_bits(fresh, r), "row {r}");
+    }
+}
+
+fn dense_for(n: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut m = Matrix::zeros(n, cols);
+    for r in 0..n {
+        for c in 0..cols {
+            m[(r, c)] = rng.f64() * 2.0 - 1.0;
+        }
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn interleaved_mutations_match_from_scratch(
+        n in 4usize..28,
+        steps in 0usize..48,
+        seed in 0u64..1000,
+    ) {
+        let (mut g, mut model) = seed_graph(n, seed);
+        churn(&mut g, &mut model, steps, seed);
+        let fresh = model.to_sparse();
+
+        // Raw adjacency view, bitwise.
+        prop_assert_eq!(g.node_count(), fresh.rows());
+        for r in 0..fresh.rows() {
+            prop_assert_eq!(g.neighbor_count(r), fresh.neighbor_count(r));
+            prop_assert_eq!(row_bits(&g, r), row_bits(&fresh, r));
+            for c in 0..fresh.rows() {
+                prop_assert_eq!(g.has_neighbor(r, c), fresh.has_neighbor(r, c));
+            }
+        }
+
+        // Normalized-operator view and SpMM products, per thread count.
+        let nd = g.node_count();
+        let x = dense_for(nd, 3, seed.wrapping_add(17));
+        for &t in &THREAD_COUNTS {
+            with_threads(t, || {
+                let (mut yd, mut yf) = (Matrix::zeros(0, 0), Matrix::zeros(0, 0));
+                {
+                    let op_d = SymNormalized::new(&g);
+                    let op_f = SymNormalized::new(&fresh);
+                    for r in 0..nd {
+                        assert_eq!(row_bits(&op_d, r), row_bits(&op_f, r), "S row {r}");
+                    }
+                    spmm_access_into(&op_d, &x, &mut yd);
+                    spmm_access_into(&op_f, &x, &mut yf);
+                }
+                assert_eq!(yd.data().len(), yf.data().len());
+                for (a, b) in yd.data().iter().zip(yf.data()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{t}-thread SpMM bits");
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn compaction_after_churn_preserves_bits(
+        n in 4usize..20,
+        steps in 1usize..32,
+        seed in 0u64..500,
+    ) {
+        let (mut g, mut model) = seed_graph(n, seed);
+        churn(&mut g, &mut model, steps, seed);
+        let before: Vec<Vec<(usize, u64)>> =
+            (0..g.node_count()).map(|r| row_bits(&g, r)).collect();
+        let compactions = g.compactions();
+        g.compact();
+        prop_assert_eq!(g.compactions(), compactions + 1);
+        prop_assert_eq!(g.churn(), 0);
+        for (r, row) in before.iter().enumerate() {
+            prop_assert_eq!(&row_bits(&g, r), row, "row {} changed by compaction", r);
+        }
+    }
+}
+
+#[test]
+fn unused_helper_guard() {
+    // Keep the non-macro helpers referenced even if proptest shrinks away.
+    let (g, model) = seed_graph(5, 7);
+    assert_views_identical(&g, &model.to_sparse());
+}

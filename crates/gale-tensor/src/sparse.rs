@@ -117,6 +117,16 @@ impl SparseMatrix {
             .map(|(&c, &v)| (c, v))
     }
 
+    /// Borrowed `(columns, values)` slices of row `r`, in ascending
+    /// column order. Zero-cost view for callers (like delta overlays)
+    /// that merge CSR rows without an iterator allocation.
+    #[inline]
+    pub fn row_slices(&self, r: usize) -> (&[usize], &[f64]) {
+        let lo = self.indptr[r];
+        let hi = self.indptr[r + 1];
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
     /// Number of stored entries in row `r`.
     #[inline]
     pub fn row_nnz(&self, r: usize) -> usize {
